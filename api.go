@@ -1,0 +1,110 @@
+package rlckit
+
+// This file is the public facade of the module: it re-exports the key
+// types and entry points from the internal packages via aliases and thin
+// wrappers, so downstream users can `import "rlckit"` without reaching
+// into internal/ (which Go forbids). Power users inside this module can
+// keep using the internal packages directly; both views are the same
+// types.
+
+import (
+	"rlckit/internal/core"
+	"rlckit/internal/elmore"
+	"rlckit/internal/refeng"
+	"rlckit/internal/repeater"
+	"rlckit/internal/screen"
+	"rlckit/internal/tech"
+	"rlckit/internal/tline"
+)
+
+// Line is a uniform distributed RLC interconnect (per-unit-length R, L,
+// C plus a length). See tline.Line.
+type Line = tline.Line
+
+// Drive is the paper's gate model: driver resistance Rtr, load
+// capacitance CL, step amplitude V. See tline.Drive.
+type Drive = tline.Drive
+
+// Params are the canonical dimensionless parameters (RT, CT, ζ, ωn).
+type Params = core.Params
+
+// Buffer characterizes a technology's minimum repeater (R0, C0, Amin,
+// Vdd). See repeater.Buffer.
+type Buffer = repeater.Buffer
+
+// RepeaterPlan is a complete repeater insertion design.
+type RepeaterPlan = repeater.Plan
+
+// TechNode is a technology node's device and wire parameters.
+type TechNode = tech.Node
+
+// ScreenResult is an inductance-significance verdict for one net.
+type ScreenResult = screen.Result
+
+// LineFromTotals builds a Line of the given length (meters) from total
+// impedances Rt (Ω), Lt (H), Ct (F).
+func LineFromTotals(rt, lt, ct, length float64) Line {
+	return tline.FromTotals(rt, lt, ct, length)
+}
+
+// Analyze computes RT, CT, ζ and ωn for a driven line (Eqs. 3, 5, 6).
+func Analyze(ln Line, d Drive) (Params, error) {
+	return core.Analyze(ln, d)
+}
+
+// Delay returns the paper's closed-form 50% propagation delay (Eq. 9).
+func Delay(ln Line, d Drive) (float64, error) {
+	return core.Delay(ln, d)
+}
+
+// DelaySimulated returns the reference delay from the exact
+// transmission-line transfer function, numerically inverted — the
+// module's stand-in for a dynamic circuit simulation.
+func DelaySimulated(ln Line, d Drive) (float64, error) {
+	return refeng.DelayExactTF(ln, d, 0)
+}
+
+// DelayAuto returns Eq. 9 when the configuration is inside the model's
+// validated accuracy domain and falls back to the exact engine
+// otherwise; the boolean reports whether the closed form was used.
+func DelayAuto(ln Line, d Drive) (float64, bool, error) {
+	v, m, err := refeng.DelaySmart(ln, d)
+	return v, m == refeng.MethodEq9, err
+}
+
+// DelayRCOnly returns Sakurai's RC-only 50% delay — what a classic
+// timing flow would report if it ignored inductance.
+func DelayRCOnly(ln Line, d Drive) float64 {
+	rt, _, ct := ln.Totals()
+	return elmore.Sakurai50(rt, ct, d.Rtr, d.CL)
+}
+
+// DesignRepeaters returns the paper's inductance-aware repeater plan
+// (Eqs. 14/15) for the line with the given minimum buffer.
+func DesignRepeaters(ln Line, b Buffer) (RepeaterPlan, error) {
+	return repeater.Design(ln, b, repeater.RLC)
+}
+
+// DesignRepeatersRC returns the classic RC-only (Bakoglu) plan — the
+// baseline whose extra delay/area/energy the paper quantifies.
+func DesignRepeatersRC(ln Line, b Buffer) (RepeaterPlan, error) {
+	return repeater.Design(ln, b, repeater.RC)
+}
+
+// NeedsInductance screens a driven net: does RC-only analysis suffice,
+// or is the net inside the inductance-significant window (or
+// underdamped) for the given input rise time?
+func NeedsInductance(ln Line, d Drive, riseTime float64) (ScreenResult, error) {
+	return screen.Check(ln, d, riseTime)
+}
+
+// Technology returns a built-in technology node by name ("500nm",
+// "350nm", "250nm", "180nm", "130nm").
+func Technology(name string) (TechNode, error) {
+	return tech.Lookup(name)
+}
+
+// Technologies lists the built-in node names.
+func Technologies() []string {
+	return tech.Names()
+}

@@ -1,0 +1,71 @@
+package rlckit_test
+
+import (
+	"math"
+	"testing"
+
+	"rlckit"
+)
+
+func TestPublicFacadeEndToEnd(t *testing.T) {
+	line := rlckit.LineFromTotals(1000, 100e-9, 1e-12, 0.01)
+	gate := rlckit.Drive{Rtr: 500, CL: 0.5e-12}
+
+	p, err := rlckit.Analyze(line, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Zeta-2.259) > 0.01 {
+		t.Errorf("ζ = %g", p.Zeta)
+	}
+	model, err := rlckit.Delay(line, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := rlckit.DelaySimulated(line, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model-sim) > 0.05*sim {
+		t.Errorf("model %g vs sim %g", model, sim)
+	}
+	auto, usedEq9, err := rlckit.DelayAuto(line, gate)
+	if err != nil || !usedEq9 || auto != model {
+		t.Errorf("DelayAuto: %g, eq9=%v, err=%v", auto, usedEq9, err)
+	}
+	if rc := rlckit.DelayRCOnly(line, gate); rc <= 0 {
+		t.Errorf("RC delay %g", rc)
+	}
+}
+
+func TestPublicFacadeRepeatersAndScreening(t *testing.T) {
+	node, err := rlckit.Technology("250nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rlckit.Technologies()) != 5 {
+		t.Error("technology list")
+	}
+	line, err := node.GlobalWire.Line(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlc, err := rlckit.DesignRepeaters(line, node.Buffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rlckit.DesignRepeatersRC(line, node.Buffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlc.K >= rc.K {
+		t.Errorf("RLC plan should use fewer sections: %g vs %g", rlc.K, rc.K)
+	}
+	res, err := rlckit.NeedsInductance(line, node.Gate(20, 10), 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LMin <= 0 || res.LMax <= res.LMin {
+		t.Errorf("window [%g, %g]", res.LMin, res.LMax)
+	}
+}

@@ -1,0 +1,160 @@
+// Command netsim runs a transient analysis of a small SPICE-like
+// netlist deck (see internal/netlist for the format) using rlckit's MNA
+// engine and writes the probed node voltages as CSV.
+//
+// Usage:
+//
+//	netsim deck.cir            # or: netsim - < deck.cir
+//	netsim -method be deck.cir
+//	netsim -measure deck.cir   # print 50% delay / rise / overshoot
+//	netsim -ac deck.cir        # run the deck's .ac sweep (mag dB, phase)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"os"
+
+	"rlckit/internal/mna"
+	"rlckit/internal/netlist"
+	"rlckit/internal/units"
+)
+
+func main() {
+	var (
+		method  = flag.String("method", "trap", "integration method: trap or be")
+		measure = flag.Bool("measure", false, "print waveform measurements instead of CSV")
+		ac      = flag.Bool("ac", false, "run the deck's .ac sweep instead of transient")
+		every   = flag.Int("every", 1, "output every Nth sample")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: netsim [-method trap|be] [-measure] <deck.cir|->")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *method, *measure, *ac, *every, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, method string, measure, ac bool, every int, out io.Writer) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	deck, err := netlist.Parse(r)
+	if err != nil {
+		return err
+	}
+	if ac {
+		return runAC(deck, out)
+	}
+	if deck.Dt == 0 {
+		return fmt.Errorf("deck has no .tran directive (use -ac for the AC sweep)")
+	}
+	opts := mna.Options{Dt: deck.Dt, TEnd: deck.TEnd, Probes: deck.Probes}
+	switch method {
+	case "trap", "":
+		opts.Method = mna.Trapezoidal
+	case "be":
+		opts.Method = mna.BackwardEuler
+	default:
+		return fmt.Errorf("unknown method %q (want trap or be)", method)
+	}
+	if every < 1 {
+		every = 1
+	}
+	res, err := mna.Simulate(deck.Ckt, opts)
+	if err != nil {
+		return err
+	}
+	if measure {
+		for _, p := range deck.Probes {
+			w, err := res.Waveform(p)
+			if err != nil {
+				return err
+			}
+			final := w.Final()
+			fmt.Fprintf(out, "%s: final=%s", deck.NodeName(p), units.Format(final, "V", 4))
+			if d, err := w.Delay50(final); err == nil {
+				fmt.Fprintf(out, "  t50=%s", units.Format(d, "s", 4))
+			}
+			if rt, err := w.RiseTime(final); err == nil {
+				fmt.Fprintf(out, "  rise=%s", units.Format(rt, "s", 4))
+			}
+			fmt.Fprintf(out, "  overshoot=%.2f%%\n", 100*w.Overshoot(final))
+		}
+		return nil
+	}
+	// CSV output.
+	fmt.Fprint(out, "time")
+	for _, p := range deck.Probes {
+		fmt.Fprintf(out, ",%s", deck.NodeName(p))
+	}
+	fmt.Fprintln(out)
+	cols := make([][]float64, len(deck.Probes))
+	for i, p := range deck.Probes {
+		if cols[i], err = res.V(p); err != nil {
+			return err
+		}
+	}
+	for i, t := range res.Time {
+		if i%every != 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%.6e", t)
+		for _, c := range cols {
+			fmt.Fprintf(out, ",%.6e", c[i])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runAC executes the deck's .ac sweep and writes magnitude (dB) and
+// phase (degrees) columns per probe.
+func runAC(deck *netlist.Deck, out io.Writer) error {
+	if len(deck.ACFreqs) == 0 {
+		return fmt.Errorf("deck has no .ac directive")
+	}
+	res, err := mna.AC(deck.Ckt, deck.ACFreqs, deck.Probes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, "freq")
+	for _, p := range deck.Probes {
+		n := deck.NodeName(p)
+		fmt.Fprintf(out, ",%s_dB,%s_deg", n, n)
+	}
+	fmt.Fprintln(out)
+	cols := make([][]complex128, len(deck.Probes))
+	for i, p := range deck.Probes {
+		if cols[i], err = res.H(p); err != nil {
+			return err
+		}
+	}
+	for i, f := range res.Freq {
+		fmt.Fprintf(out, "%.6e", f)
+		for _, c := range cols {
+			mag := cmplx.Abs(c[i])
+			db := math.Inf(-1)
+			if mag > 0 {
+				db = 20 * math.Log10(mag)
+			}
+			fmt.Fprintf(out, ",%.4f,%.3f", db, cmplx.Phase(c[i])*180/math.Pi)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDeck = `
+Vin in 0 STEP 1 10p
+R1 in out 1k
+C1 out 0 1p
+.tran 5p 8n
+.ac 1e6 1e10 5
+.probe out
+`
+
+func writeDeck(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "deck.cir")
+	if err := os.WriteFile(p, []byte(testDeck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTransientCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run(writeDeck(t), "trap", false, false, 100, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time,out\n") {
+		t.Errorf("bad header:\n%.80s", out)
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Error("too few samples")
+	}
+}
+
+func TestMeasureMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(writeDeck(t), "be", true, false, 1, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"out:", "t50=", "rise=", "overshoot="} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("measure output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestACMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(writeDeck(t), "trap", false, true, 1, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "freq,out_dB,out_deg\n") {
+		t.Errorf("bad AC header:\n%.80s", b.String())
+	}
+}
+
+func TestBadMethodAndMissingFile(t *testing.T) {
+	var b strings.Builder
+	if err := run(writeDeck(t), "rk4", false, false, 1, &b); err == nil {
+		t.Error("bad method accepted")
+	}
+	if err := run("/nonexistent/deck.cir", "trap", false, false, 1, &b); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestACModeWithoutDirective(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "noac.cir")
+	deck := "Vin in 0 DC 1\nR1 in 0 1k\n.tran 1p 1n\n.probe in\n"
+	if err := os.WriteFile(p, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(p, "trap", false, true, 1, &b); err == nil {
+		t.Error("AC without .ac accepted")
+	}
+}

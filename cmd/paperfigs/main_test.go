@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, config{table1: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "E1 summary", "within 5%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunCheapExperiments(t *testing.T) {
+	var b strings.Builder
+	cfg := config{increase: true, scaling: true, census: true, csv: true}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T_{L/R}", "130nm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// CSV mode: commas in tables.
+	if !strings.Contains(out, ",") {
+		t.Error("csv mode produced no commas")
+	}
+}
+
+func TestRunFig2AndLength(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, config{fig2: true, length: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "E7") {
+		t.Errorf("missing sections:\n%.200s", out)
+	}
+}

@@ -1,0 +1,102 @@
+// Command repeaterplan designs optimal repeater insertion for an RLC
+// line under both the paper's RLC closed forms and the classic RC-only
+// Bakoglu solution, quantifying what ignoring inductance costs.
+//
+// Usage:
+//
+//	repeaterplan -rt 1k -lt 5n -ct 1p -len 10m -r0 1k -c0 1f [-true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rlckit/internal/repeater"
+	"rlckit/internal/tline"
+	"rlckit/internal/units"
+)
+
+func main() {
+	var (
+		rtF  = flag.String("rt", "1k", "total line resistance (ohms)")
+		ltF  = flag.String("lt", "5n", "total line inductance (henries)")
+		ctF  = flag.String("ct", "1p", "total line capacitance (farads)")
+		lenF = flag.String("len", "10m", "line length (meters)")
+		r0F  = flag.String("r0", "1k", "min buffer output resistance (ohms)")
+		c0F  = flag.String("c0", "1f", "min buffer input capacitance (farads)")
+		vddF = flag.String("vdd", "1.8", "supply voltage (volts)")
+		tru  = flag.Bool("true", false, "also run the exact-engine optimizer")
+	)
+	flag.Parse()
+	if err := run(*rtF, *ltF, *ctF, *lenF, *r0F, *c0F, *vddF, *tru, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repeaterplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rtF, ltF, ctF, lenF, r0F, c0F, vddF string, tru bool, out io.Writer) error {
+	vals := map[string]string{"rt": rtF, "lt": ltF, "ct": ctF, "len": lenF, "r0": r0F, "c0": c0F, "vdd": vddF}
+	parsed := map[string]float64{}
+	for name, s := range vals {
+		v, err := units.Parse(s)
+		if err != nil {
+			return fmt.Errorf("-%s: %w", name, err)
+		}
+		parsed[name] = v
+	}
+	ln := tline.FromTotals(parsed["rt"], parsed["lt"], parsed["ct"], parsed["len"])
+	buf := repeater.Buffer{R0: parsed["r0"], C0: parsed["c0"], Amin: 1, Vdd: parsed["vdd"]}
+
+	tlr, err := repeater.TLR(ln, buf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "T_{L/R} = %.3f\n\n", tlr)
+
+	for _, m := range []repeater.Model{repeater.RLC, repeater.RC} {
+		p, err := repeater.Design(ln, buf, m)
+		if err != nil {
+			return err
+		}
+		dTrue, err := repeater.TrueTotalDelay(ln, buf, p.H, p.K)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s design:\n", m)
+		fmt.Fprintf(out, "  h = %.2f x min,  k = %.2f sections (use %d x h=%.2f)\n",
+			p.H, p.K, p.KInt, p.HForKInt)
+		fmt.Fprintf(out, "  delay: model %s, exact-engine %s\n",
+			units.Format(p.TotalDelay, "s", 4), units.Format(dTrue, "s", 4))
+		fmt.Fprintf(out, "  area %.1f x Amin, switching energy %s\n\n",
+			p.AreaInt, units.Format(p.SwitchEnergy, "J", 3))
+	}
+
+	di, err := repeater.DelayIncrease(ln, buf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Ignoring inductance (RC vs RLC design): %+.1f%% delay, %+.1f%% area (Eq. 18), Eq. 17 fit %.1f%%\n",
+		di, repeater.AreaIncrease(tlr), repeater.DelayIncreaseApprox(tlr))
+	ei, err := repeater.EnergyIncrease(ln, buf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Switching-energy increase of the RC design: %+.1f%%\n", ei)
+
+	if tru {
+		h, k, d, err := repeater.OptimizeTrue(ln, buf)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nExact-engine optimum: h = %.2f, k = %.2f, delay %s\n",
+			h, k, units.Format(d, "s", 4))
+		dvo, err := repeater.DelayIncreaseVsOptimum(ln, buf)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "RC design vs exact optimum: %+.1f%%\n", dvo)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPlan(t *testing.T) {
+	var b strings.Builder
+	if err := run("1k", "5n", "1p", "10m", "1k", "1f", "1.8", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T_{L/R} = 5.000", "RLC design", "RC design", "Eq. 18"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlanTrueOptimizer(t *testing.T) {
+	var b strings.Builder
+	if err := run("1k", "2n", "1p", "10m", "1k", "1f", "1.8", true, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Exact-engine optimum") {
+		t.Errorf("missing optimizer section:\n%s", b.String())
+	}
+}
+
+func TestRunPlanBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run("1k", "5n", "1p", "10m", "bad", "1f", "1.8", false, &b); err == nil {
+		t.Error("bad -r0 accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Command rlcdelay computes the propagation delay of a CMOS gate driving
+// a distributed RLC line, comparing the paper's closed-form Eq. 9 model
+// against RC-only estimates and (optionally) dynamic simulation.
+//
+// Usage:
+//
+//	rlcdelay -rt 1k -lt 100n -ct 1p -len 10m -rtr 500 -cl 0.5p [-sim]
+//
+// All values accept engineering notation. -rt/-lt/-ct are line totals;
+// -len is informational (defaults to 10 mm).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rlckit/internal/core"
+	"rlckit/internal/elmore"
+	"rlckit/internal/refeng"
+	"rlckit/internal/tline"
+	"rlckit/internal/units"
+)
+
+func main() {
+	var (
+		rtF  = flag.String("rt", "1k", "total line resistance (ohms)")
+		ltF  = flag.String("lt", "100n", "total line inductance (henries)")
+		ctF  = flag.String("ct", "1p", "total line capacitance (farads)")
+		lenF = flag.String("len", "10m", "line length (meters)")
+		rtrF = flag.String("rtr", "500", "driver output resistance (ohms)")
+		clF  = flag.String("cl", "0.5p", "load capacitance (farads)")
+		sim  = flag.Bool("sim", false, "also run the exact-transfer-function simulation")
+	)
+	flag.Parse()
+	if err := run(*rtF, *ltF, *ctF, *lenF, *rtrF, *clF, *sim, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rlcdelay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rtF, ltF, ctF, lenF, rtrF, clF string, sim bool, out io.Writer) error {
+	parse := func(name, s string) (float64, error) {
+		v, err := units.Parse(s)
+		if err != nil {
+			return 0, fmt.Errorf("-%s: %w", name, err)
+		}
+		return v, nil
+	}
+	rt, err := parse("rt", rtF)
+	if err != nil {
+		return err
+	}
+	lt, err := parse("lt", ltF)
+	if err != nil {
+		return err
+	}
+	ct, err := parse("ct", ctF)
+	if err != nil {
+		return err
+	}
+	length, err := parse("len", lenF)
+	if err != nil {
+		return err
+	}
+	rtr, err := parse("rtr", rtrF)
+	if err != nil {
+		return err
+	}
+	cl, err := parse("cl", clF)
+	if err != nil {
+		return err
+	}
+
+	ln := tline.FromTotals(rt, lt, ct, length)
+	d := tline.Drive{Rtr: rtr, CL: cl}
+	p, err := core.Analyze(ln, d)
+	if err != nil {
+		return err
+	}
+	eq9, err := core.Delay(ln, d)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "Line:    Rt=%s  Lt=%s  Ct=%s  length=%s\n",
+		units.Format(rt, "Ohm", 3), units.Format(lt, "H", 3),
+		units.Format(ct, "F", 3), units.Format(length, "m", 3))
+	fmt.Fprintf(out, "Gate:    Rtr=%s  CL=%s\n",
+		units.Format(rtr, "Ohm", 3), units.Format(cl, "F", 3))
+	fmt.Fprintf(out, "Params:  RT=%.3f  CT=%.3f  zeta=%.3f (%s)  TOF=%s\n",
+		p.RT, p.CT, p.Zeta, p.Classify(), units.Format(ln.TimeOfFlight(), "s", 3))
+	if !p.InAccuracyDomain() {
+		fmt.Fprintf(out, "warning: RT/CT outside [0,1]; Eq. 9 error may exceed 5%%\n")
+	}
+	fmt.Fprintf(out, "Delay (Eq. 9, RLC):      %s\n", units.Format(eq9, "s", 4))
+	fmt.Fprintf(out, "Delay (Sakurai, RC):     %s\n",
+		units.Format(elmore.Sakurai50(rt, ct, rtr, cl), "s", 4))
+	fmt.Fprintf(out, "Delay (0.69*Elmore, RC): %s\n",
+		units.Format(0.693*elmore.LineElmore(rt, ct, rtr, cl), "s", 4))
+	if sim {
+		ref, err := refeng.DelayExactTF(ln, d, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Delay (simulated):       %s  (Eq. 9 error %+.2f%%)\n",
+			units.Format(ref, "s", 4), 100*(eq9-ref)/ref)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var b strings.Builder
+	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"zeta=2.259", "Eq. 9", "Sakurai", "1.295ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithSim(t *testing.T) {
+	var b strings.Builder
+	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", true, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "simulated") {
+		t.Errorf("missing simulation line:\n%s", b.String())
+	}
+}
+
+func TestRunWarnsOutsideDomain(t *testing.T) {
+	var b strings.Builder
+	if err := run("100", "10n", "1p", "2m", "500", "0.1p", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "warning") {
+		t.Errorf("missing out-of-domain warning:\n%s", b.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run("oops", "100n", "1p", "10m", "500", "0.5p", false, &b); err == nil {
+		t.Error("bad -rt accepted")
+	}
+	if err := run("1k", "zzz", "1p", "10m", "500", "0.5p", false, &b); err == nil {
+		t.Error("bad -lt accepted")
+	}
+	if err := run("1k", "100n", "1p", "10m", "500", "-0.5p", false, &b); err == nil {
+		t.Error("negative -cl accepted")
+	}
+}

@@ -1,0 +1,26 @@
+// Package rlckit is a Go reproduction of "Effects of Inductance on the
+// Propagation Delay and Repeater Insertion in VLSI Circuits" (Ismail &
+// Friedman, DAC 1999).
+//
+// The library lives under internal/:
+//
+//   - core      — the paper's closed-form RLC delay model (ζ, ωn, Eq. 9)
+//   - repeater  — RLC-aware repeater insertion (Eqs. 11, 13-18)
+//   - tline     — distributed-line models (ladders, exact transfer fn)
+//   - mna       — transient circuit simulator (the AS/X stand-in)
+//   - ratfun    — pole/residue analytic step responses
+//   - laplace   — numerical inverse Laplace (Euler, Talbot)
+//   - refeng    — the three cross-validated reference delay engines
+//   - elmore    — RC-tree Elmore/Sakurai baselines
+//   - tech      — technology nodes and wire-geometry parasitics
+//   - paper     — regeneration of every table/figure (E1-E9)
+//   - circuit, waveform, numeric, units, netgen, netlist, report — substrates
+//
+// Executables: cmd/rlcdelay, cmd/repeaterplan, cmd/netsim, cmd/paperfigs.
+// Runnable examples: examples/quickstart, examples/clocktree,
+// examples/busdesign, examples/techscaling.
+//
+// The benchmark suite in bench_test.go regenerates each paper artifact;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results against the paper's printed values.
+package rlckit

@@ -1,0 +1,56 @@
+// Quickstart: analyze one global wire with rlckit.
+//
+// It builds the paper's canonical driven line, computes the closed-form
+// RLC delay (Eq. 9), compares it with the RC-only estimate a classic
+// timing flow would use, and verifies both against a dynamic simulation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlckit/internal/core"
+	"rlckit/internal/elmore"
+	"rlckit/internal/refeng"
+	"rlckit/internal/tline"
+	"rlckit/internal/units"
+)
+
+func main() {
+	// A 10 mm global wire: 1 kΩ, 100 nH, 1 pF total, driven by a gate
+	// with 500 Ω output resistance into a 0.5 pF receiver.
+	line := tline.FromTotals(
+		units.KiloOhm(1), units.NanoHenry(100), units.PicoFarad(1),
+		units.MilliMeter(10))
+	gate := tline.Drive{Rtr: units.Ohm(500), CL: units.PicoFarad(0.5)}
+
+	// Step 1: the dimensionless picture.
+	p, err := core.Analyze(line, gate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RT=%.2f CT=%.2f  ζ=%.3f (%s)  ωn=%.3g rad/s\n",
+		p.RT, p.CT, p.Zeta, p.Classify(), p.OmegaN)
+
+	// Step 2: closed-form delay (Eq. 9) vs the RC-only baseline.
+	rlc, err := core.Delay(line, gate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, _, ct := line.Totals()
+	rc := elmore.Sakurai50(rt, ct, gate.Rtr, gate.CL)
+	fmt.Printf("Eq. 9 (RLC) delay:   %s\n", units.Format(rlc, "s", 4))
+	fmt.Printf("Sakurai (RC) delay:  %s\n", units.Format(rc, "s", 4))
+
+	// Step 3: check against a dynamic simulation (exact transfer
+	// function, numerically inverted — rlckit's AS/X stand-in).
+	sim, err := refeng.DelayExactTF(line, gate, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Simulated delay:     %s\n", units.Format(sim, "s", 4))
+	fmt.Printf("Eq. 9 error: %+.2f%%   RC-only error: %+.2f%%\n",
+		100*(rlc-sim)/sim, 100*(rc-sim)/sim)
+}

@@ -1,0 +1,61 @@
+// Techscaling: the paper's Section IV conclusion, replayed across a
+// five-node technology table — as gate parasitics R0·C0 shrink, T_{L/R}
+// grows and the cost of RC-only repeater design rises.
+//
+// Run with: go run ./examples/techscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/repeater"
+	"rlckit/internal/report"
+	"rlckit/internal/tech"
+	"rlckit/internal/units"
+)
+
+func main() {
+	// The same physical clock wire (20 mm, 2.5x-wide 250nm geometry),
+	// driven by each node's buffers.
+	wire := tech.Default().GlobalWire
+	wire.Width *= 2.5
+	spine, err := wire.Line(units.MilliMeter(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = netgen.TLRSweep // see netgen for synthetic sweeps at exact T values
+	tb := report.NewTable("Cost of ignoring inductance across technology nodes (fixed 20 mm clock wire)",
+		"node", "R0C0", "T_{L/R}", "RC plan k", "RLC plan k",
+		"delay cost vs optimum %", "area cost %")
+	for _, node := range tech.All() {
+		buf := node.Buffer()
+		tlr, err := repeater.TLR(spine, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, kRC, err := repeater.BakogluHK(spine, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, kRLC, err := repeater.ClosedFormHK(spine, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Grade the RC-blind plan against the exact-engine optimum: the
+		// honest, monotone version of the paper's Eq. 16 trend.
+		dvo, err := repeater.DelayIncreaseVsOptimum(spine, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(node.Name, units.Format(node.R0*node.C0, "s", 3), tlr,
+			kRC, kRLC, dvo, repeater.AreaIncrease(tlr))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nT_{L/R} grows as R0·C0 shrinks: every generation makes the RC-only")
+	fmt.Println("repeater methodology more expensive — the paper's closing argument.")
+}

@@ -1,0 +1,367 @@
+// Package circuit models lumped linear circuits — the netlists that
+// rlckit's transient simulator (internal/mna) consumes.
+//
+// A Circuit is a set of nodes (node 0 is ground) connected by resistors,
+// capacitors, inductors and independent voltage sources. The package
+// provides builders, validation (positivity, connectivity, source
+// presence), and small structural queries. It deliberately supports only
+// the linear elements the paper's experiments need; the MNA engine is
+// written against this element set.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ground is the reference node present in every circuit.
+const Ground = 0
+
+// Source is a time-dependent voltage source waveform.
+type Source interface {
+	// V returns the source voltage at time t.
+	V(t float64) float64
+}
+
+// DC is a constant source.
+type DC float64
+
+// V implements Source.
+func (d DC) V(float64) float64 { return float64(d) }
+
+// Step is a delayed finite-rise step source: 0 for t < Delay, then a
+// linear ramp of duration Rise up to Amplitude. Rise == 0 gives an ideal
+// step. The paper drives lines with "a fast rising signal that can be
+// approximated by a step signal"; a short ramp keeps fixed-step
+// integrators honest while matching the ideal-step delay to well below
+// measurement tolerance.
+type Step struct {
+	Amplitude float64
+	Delay     float64
+	Rise      float64
+}
+
+// V implements Source.
+func (s Step) V(t float64) float64 {
+	switch {
+	case t < s.Delay:
+		return 0
+	case s.Rise <= 0 || t >= s.Delay+s.Rise:
+		return s.Amplitude
+	default:
+		return s.Amplitude * (t - s.Delay) / s.Rise
+	}
+}
+
+// Pulse is a trapezoidal pulse source (delay, rise, width at amplitude,
+// fall), useful for repeater switching-energy experiments.
+type Pulse struct {
+	Amplitude                float64
+	Delay, Rise, Width, Fall float64
+	Period                   float64 // 0 = single shot
+}
+
+// V implements Source.
+func (p Pulse) V(t float64) float64 {
+	if t < p.Delay {
+		return 0
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		tt = math.Mod(tt, p.Period)
+	}
+	switch {
+	case tt < p.Rise:
+		if p.Rise == 0 {
+			return p.Amplitude
+		}
+		return p.Amplitude * tt / p.Rise
+	case tt < p.Rise+p.Width:
+		return p.Amplitude
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return 0
+		}
+		return p.Amplitude * (1 - (tt-p.Rise-p.Width)/p.Fall)
+	default:
+		return 0
+	}
+}
+
+// Sine is a sinusoidal source for frequency-domain sanity experiments.
+type Sine struct {
+	Amplitude, Freq, Phase, Offset float64
+}
+
+// V implements Source.
+func (s Sine) V(t float64) float64 {
+	return s.Offset + s.Amplitude*math.Sin(2*math.Pi*s.Freq*t+s.Phase)
+}
+
+// ElementKind enumerates circuit element types.
+type ElementKind int
+
+// Element kinds.
+const (
+	KindResistor ElementKind = iota
+	KindCapacitor
+	KindInductor
+	KindVSource
+	KindISource
+)
+
+func (k ElementKind) String() string {
+	switch k {
+	case KindResistor:
+		return "R"
+	case KindCapacitor:
+		return "C"
+	case KindInductor:
+		return "L"
+	case KindVSource:
+		return "V"
+	case KindISource:
+		return "I"
+	default:
+		return fmt.Sprintf("ElementKind(%d)", int(k))
+	}
+}
+
+// Element is one two-terminal circuit element between nodes A and B.
+// For sources, A is the positive terminal. Value holds R in ohms, C in
+// farads, or L in henries; sources use Src instead.
+type Element struct {
+	Kind  ElementKind
+	Name  string
+	A, B  int
+	Value float64
+	Src   Source
+}
+
+// Mutual couples two inductors (by element index) with mutual
+// inductance M = k·sqrt(L1·L2), 0 <= k < 1.
+type Mutual struct {
+	Name   string
+	L1, L2 int // indexes into the element list; must be inductors
+	M      float64
+}
+
+// Circuit is a lumped linear circuit under construction or analysis.
+type Circuit struct {
+	nodes    int // count including ground
+	elements []Element
+	mutuals  []Mutual
+}
+
+// New returns an empty circuit containing only the ground node.
+func New() *Circuit {
+	return &Circuit{nodes: 1}
+}
+
+// Node allocates and returns a fresh node ID.
+func (c *Circuit) Node() int {
+	id := c.nodes
+	c.nodes++
+	return id
+}
+
+// Nodes returns the number of nodes including ground.
+func (c *Circuit) Nodes() int { return c.nodes }
+
+// Elements returns the element list (shared slice; callers must not
+// mutate).
+func (c *Circuit) Elements() []Element { return c.elements }
+
+func (c *Circuit) checkNode(n int) error {
+	if n < 0 || n >= c.nodes {
+		return fmt.Errorf("circuit: node %d out of range [0, %d)", n, c.nodes)
+	}
+	return nil
+}
+
+// AddR adds a resistor of r ohms between nodes a and b.
+func (c *Circuit) AddR(name string, a, b int, r float64) error {
+	if err := c.checkTerminals(a, b); err != nil {
+		return err
+	}
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return fmt.Errorf("circuit: resistor %q must have positive finite resistance, got %g", name, r)
+	}
+	c.elements = append(c.elements, Element{Kind: KindResistor, Name: name, A: a, B: b, Value: r})
+	return nil
+}
+
+// AddC adds a capacitor of v farads between nodes a and b.
+func (c *Circuit) AddC(name string, a, b int, v float64) error {
+	if err := c.checkTerminals(a, b); err != nil {
+		return err
+	}
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("circuit: capacitor %q must have positive finite capacitance, got %g", name, v)
+	}
+	c.elements = append(c.elements, Element{Kind: KindCapacitor, Name: name, A: a, B: b, Value: v})
+	return nil
+}
+
+// AddL adds an inductor of v henries between nodes a and b.
+func (c *Circuit) AddL(name string, a, b int, v float64) error {
+	if err := c.checkTerminals(a, b); err != nil {
+		return err
+	}
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("circuit: inductor %q must have positive finite inductance, got %g", name, v)
+	}
+	c.elements = append(c.elements, Element{Kind: KindInductor, Name: name, A: a, B: b, Value: v})
+	return nil
+}
+
+// AddV adds an independent voltage source with positive terminal a.
+func (c *Circuit) AddV(name string, a, b int, src Source) error {
+	if err := c.checkTerminals(a, b); err != nil {
+		return err
+	}
+	if src == nil {
+		return fmt.Errorf("circuit: source %q has nil waveform", name)
+	}
+	c.elements = append(c.elements, Element{Kind: KindVSource, Name: name, A: a, B: b, Src: src})
+	return nil
+}
+
+// AddI adds an independent current source driving current from node b
+// into node a (conventional arrow pointing at a); src gives the current
+// in amperes.
+func (c *Circuit) AddI(name string, a, b int, src Source) error {
+	if err := c.checkTerminals(a, b); err != nil {
+		return err
+	}
+	if src == nil {
+		return fmt.Errorf("circuit: source %q has nil waveform", name)
+	}
+	c.elements = append(c.elements, Element{Kind: KindISource, Name: name, A: a, B: b, Src: src})
+	return nil
+}
+
+// AddK magnetically couples the inductors named l1 and l2 with coupling
+// coefficient k ∈ [0, 1). The inductors must already exist.
+func (c *Circuit) AddK(name, l1, l2 string, k float64) error {
+	if k < 0 || k >= 1 || math.IsNaN(k) {
+		return fmt.Errorf("circuit: coupling %q needs 0 <= k < 1, got %g", name, k)
+	}
+	find := func(want string) (int, error) {
+		for i, e := range c.elements {
+			if e.Kind == KindInductor && e.Name == want {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("circuit: coupling %q references unknown inductor %q", name, want)
+	}
+	i1, err := find(l1)
+	if err != nil {
+		return err
+	}
+	i2, err := find(l2)
+	if err != nil {
+		return err
+	}
+	if i1 == i2 {
+		return fmt.Errorf("circuit: coupling %q references inductor %q twice", name, l1)
+	}
+	m := k * math.Sqrt(c.elements[i1].Value*c.elements[i2].Value)
+	c.mutuals = append(c.mutuals, Mutual{Name: name, L1: i1, L2: i2, M: m})
+	return nil
+}
+
+// Mutuals returns the mutual-inductance list (shared slice; callers must
+// not mutate).
+func (c *Circuit) Mutuals() []Mutual { return c.mutuals }
+
+func (c *Circuit) checkTerminals(a, b int) error {
+	if err := c.checkNode(a); err != nil {
+		return err
+	}
+	if err := c.checkNode(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("circuit: element terminals must differ, got node %d twice", a)
+	}
+	return nil
+}
+
+// Validate checks the circuit is simulatable: it has at least one source,
+// and every node is connected to ground through some element path.
+func (c *Circuit) Validate() error {
+	if c.nodes < 2 {
+		return errors.New("circuit: no nodes besides ground")
+	}
+	hasSource := false
+	for _, e := range c.elements {
+		if e.Kind == KindVSource || e.Kind == KindISource {
+			hasSource = true
+			break
+		}
+	}
+	if !hasSource {
+		return errors.New("circuit: no source")
+	}
+	// Connectivity by BFS over the element graph.
+	adj := make([][]int, c.nodes)
+	for _, e := range c.elements {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	seen := make([]bool, c.nodes)
+	queue := []int{Ground}
+	seen[Ground] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	for n, ok := range seen {
+		if !ok {
+			return fmt.Errorf("circuit: node %d is not connected to ground", n)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes element counts for diagnostics.
+type Stats struct {
+	Nodes, R, C, L, V int
+}
+
+// Stats returns element counts.
+func (c *Circuit) Stats() Stats {
+	s := Stats{Nodes: c.nodes}
+	for _, e := range c.elements {
+		switch e.Kind {
+		case KindResistor:
+			s.R++
+		case KindCapacitor:
+			s.C++
+		case KindInductor:
+			s.L++
+		case KindVSource, KindISource:
+			s.V++
+		}
+	}
+	return s
+}
+
+// TotalOfKind sums element values of the given kind (R in ohms, etc.).
+func (c *Circuit) TotalOfKind(k ElementKind) float64 {
+	t := 0.0
+	for _, e := range c.elements {
+		if e.Kind == k {
+			t += e.Value
+		}
+	}
+	return t
+}

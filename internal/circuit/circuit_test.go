@@ -1,0 +1,139 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSources(t *testing.T) {
+	if DC(3).V(99) != 3 {
+		t.Error("DC")
+	}
+	s := Step{Amplitude: 1, Delay: 1, Rise: 2}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.999, 0}, {1, 0}, {2, 0.5}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := s.V(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Step.V(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	ideal := Step{Amplitude: 2}
+	if ideal.V(0) != 2 || ideal.V(-1) != 0 {
+		t.Error("ideal step")
+	}
+}
+
+func TestPulse(t *testing.T) {
+	p := Pulse{Amplitude: 1, Delay: 1, Rise: 1, Width: 2, Fall: 1}
+	cases := []struct{ t, want float64 }{
+		{0.5, 0}, {1.5, 0.5}, {2, 1}, {3.9, 1}, {4.5, 0.5}, {6, 0},
+	}
+	for _, c := range cases {
+		if got := p.V(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Pulse.V(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	// Periodic repetition.
+	pp := Pulse{Amplitude: 1, Rise: 0, Width: 1, Fall: 0, Period: 4}
+	if pp.V(0.5) != 1 || pp.V(2) != 0 || pp.V(4.5) != 1 {
+		t.Error("periodic pulse")
+	}
+	// Zero rise/fall edges.
+	pz := Pulse{Amplitude: 1, Width: 1}
+	if pz.V(0) != 1 || pz.V(1.5) != 0 {
+		t.Error("zero-edge pulse")
+	}
+}
+
+func TestSine(t *testing.T) {
+	s := Sine{Amplitude: 2, Freq: 1, Offset: 1}
+	if math.Abs(s.V(0.25)-3) > 1e-12 {
+		t.Errorf("Sine.V(0.25) = %g", s.V(0.25))
+	}
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	c := New()
+	n1 := c.Node()
+	n2 := c.Node()
+	if n1 != 1 || n2 != 2 || c.Nodes() != 3 {
+		t.Fatalf("node allocation: %d %d %d", n1, n2, c.Nodes())
+	}
+	if err := c.AddV("vin", n1, Ground, Step{Amplitude: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("r1", n1, n2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("c1", n2, Ground, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.R != 1 || st.C != 1 || st.V != 1 || st.L != 0 || st.Nodes != 3 {
+		t.Errorf("stats %+v", st)
+	}
+	if got := c.TotalOfKind(KindResistor); got != 100 {
+		t.Errorf("TotalOfKind R = %g", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	c := New()
+	n := c.Node()
+	if err := c.AddR("bad", n, n, 1); err == nil {
+		t.Error("same-terminal element accepted")
+	}
+	if err := c.AddR("bad", n, 99, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := c.AddR("bad", n, Ground, -5); err == nil {
+		t.Error("negative resistance accepted")
+	}
+	if err := c.AddC("bad", n, Ground, 0); err == nil {
+		t.Error("zero capacitance accepted")
+	}
+	if err := c.AddL("bad", n, Ground, math.NaN()); err == nil {
+		t.Error("NaN inductance accepted")
+	}
+	if err := c.AddV("bad", n, Ground, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	c := New()
+	if err := c.Validate(); err == nil {
+		t.Error("empty circuit accepted")
+	}
+	n := c.Node()
+	if err := c.AddR("r", n, Ground, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("sourceless circuit accepted")
+	}
+	// Disconnected node.
+	c2 := New()
+	a := c2.Node()
+	_ = c2.Node() // floating
+	if err := c2.AddV("v", a, Ground, DC(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Validate(); err == nil {
+		t.Error("floating node accepted")
+	}
+}
+
+func TestElementKindString(t *testing.T) {
+	if KindResistor.String() != "R" || KindCapacitor.String() != "C" ||
+		KindInductor.String() != "L" || KindVSource.String() != "V" {
+		t.Error("kind strings")
+	}
+	if ElementKind(42).String() == "" {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlckit/internal/tline"
+)
+
+func relErr(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }
+
+// paperCase builds the decoded Table 1 configurations: Ct = 1 pF over
+// 10 mm; rt and rtr as decoded from the printed Eq. 9 values.
+func paperCase(rt, rtr, cT, lt float64) (tline.Line, tline.Drive) {
+	return tline.FromTotals(rt, lt, 1e-12, 0.01), tline.Drive{Rtr: rtr, CL: cT * 1e-12}
+}
+
+func TestZetaMatchesPrintedTable1Values(t *testing.T) {
+	// Cells of the paper's Table 1 whose (Rt, Rtr) decode was confirmed:
+	// the printed Eq. 9 values pin our ζ transcription to within ~1%.
+	cases := []struct {
+		rt, rtr, cT, lt float64
+		paperPs         float64
+	}{
+		{1000, 100, 0.1, 1e-6, 1062},
+		{1000, 500, 0.5, 1e-6, 1489},
+		{1000, 500, 0.5, 1e-7, 1297},
+		{500, 500, 1.0, 1e-7, 1297},
+		{500, 500, 0.1, 1e-6, 1070},
+		{500, 500, 0.1, 1e-8, 630},
+		{1000, 100, 0.5, 1e-7, 848},
+	}
+	for _, c := range cases {
+		ln, d := paperCase(c.rt, c.rtr, c.cT, c.lt)
+		got, err := Delay(ln, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(got, c.paperPs*1e-12); e > 0.012 {
+			t.Errorf("Rt=%g Rtr=%g CT=%g Lt=%g: Eq.9 = %.1f ps, paper %.0f ps (%.2f%%)",
+				c.rt, c.rtr, c.cT, c.lt, got*1e12, c.paperPs, e*100)
+		}
+	}
+}
+
+func TestRCLimit(t *testing.T) {
+	// As L→0, Eq. 9 must approach 0.74·Rt·Ct·(RT+CT+RT·CT+0.5); with
+	// RT=CT=0 that is 0.37·Rt·Ct (Sakurai's distributed RC delay).
+	rt, ct := 1000.0, 1e-12
+	want := 0.37 * rt * ct
+	got, err := DelayTotals(rt, 1e-14, ct, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, want) > 1e-3 {
+		t.Errorf("L→0 delay = %g, want %g", got, want)
+	}
+	if rc := RCLimitDelay(rt, ct, 0, 0); relErr(rc, want) > 1e-12 {
+		t.Errorf("RCLimitDelay = %g, want %g", rc, want)
+	}
+	// Loaded case: general formula.
+	rtr, cl := 500.0, 5e-13
+	wantLoaded := 0.74 * rt * ct * (0.5 + 0.5 + 0.25 + 0.5)
+	if rc := RCLimitDelay(rt, ct, rtr, cl); relErr(rc, wantLoaded) > 1e-12 {
+		t.Errorf("loaded RCLimitDelay = %g, want %g", rc, wantLoaded)
+	}
+	if RCLimitDelay(0, ct, 0, 0) != 0 || RCLimitDelay(rt, 0, 0, 0) != 0 {
+		t.Error("degenerate RCLimitDelay should be 0")
+	}
+}
+
+func TestLCLimit(t *testing.T) {
+	// As R→0 (unloaded), Eq. 9 must approach sqrt(Lt·Ct) = l·sqrt(LC).
+	lt, ct := 1e-7, 1e-12
+	want := math.Sqrt(lt * ct)
+	got, err := DelayTotals(1e-6, lt, ct, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got, want) > 1e-3 {
+		t.Errorf("R→0 delay = %g, want %g", got, want)
+	}
+	if lc := LCLimitDelay(lt, ct, 0); relErr(lc, want) > 1e-12 {
+		t.Errorf("LCLimitDelay = %g", lc)
+	}
+	if LCLimitDelay(0, ct, 0) != 0 || LCLimitDelay(lt, 0, 0) != 0 {
+		t.Error("degenerate LCLimitDelay should be 0")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(tline.Line{}, tline.Drive{}); err == nil {
+		t.Error("bad line accepted")
+	}
+	ln := tline.FromTotals(1000, 1e-7, 1e-12, 0.01)
+	if _, err := Analyze(ln, tline.Drive{Rtr: -1}); err == nil {
+		t.Error("bad drive accepted")
+	}
+	if _, err := AnalyzeTotals(-1, 1e-7, 1e-12, 0, 0); err == nil {
+		t.Error("negative rt accepted")
+	}
+	if _, err := AnalyzeTotals(0, 1e-7, 1e-12, 500, 0); err == nil {
+		t.Error("rt=0 with rtr>0 accepted (RT undefined)")
+	}
+	if _, err := AnalyzeTotals(0, 1e-7, 1e-12, 0, 1e-13); err != nil {
+		t.Errorf("lossless unloaded-driver line rejected: %v", err)
+	}
+}
+
+func TestParamsValues(t *testing.T) {
+	// Worked example: Rt=1000, Lt=1e-6, Ct=1pF, Rtr=500, CL=0.5pF.
+	p, err := AnalyzeTotals(1000, 1e-6, 1e-12, 500, 5e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RT != 0.5 || p.CT != 0.5 {
+		t.Errorf("RT=%g CT=%g", p.RT, p.CT)
+	}
+	wantWn := 1 / math.Sqrt(1e-6*1.5e-12)
+	if relErr(p.OmegaN, wantWn) > 1e-12 {
+		t.Errorf("ωn = %g, want %g", p.OmegaN, wantWn)
+	}
+	// ζ = (1000/2)·sqrt(1e-12/1e-6)·1.75/sqrt(1.5).
+	wantZeta := 500 * 1e-3 * 1.75 / math.Sqrt(1.5)
+	if relErr(p.Zeta, wantZeta) > 1e-12 {
+		t.Errorf("ζ = %g, want %g", p.Zeta, wantZeta)
+	}
+}
+
+func TestZetaFromMomentsEquivalence(t *testing.T) {
+	// Property: ζ from Eq. 6 equals b1·ωn/2 from the moment expansion.
+	f := func(rt, lt, ct, rtr, cl float64) bool {
+		rt = math.Abs(math.Mod(rt, 1e4)) + 1
+		lt = math.Abs(math.Mod(lt, 1e-5)) + 1e-10
+		ct = math.Abs(math.Mod(ct, 1e-11)) + 1e-14
+		rtr = math.Abs(math.Mod(rtr, 1e3))
+		cl = math.Abs(math.Mod(cl, 1e-12))
+		p, err := AnalyzeTotals(rt, lt, ct, rtr, cl)
+		if err != nil {
+			return false
+		}
+		zm := ZetaFromMoments(rt, lt, ct, rtr, cl)
+		return relErr(p.Zeta, zm) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledDelayShape(t *testing.T) {
+	// ζ→0: t′pd → 1 (pure LC flight time in scaled units).
+	if relErr(ScaledDelay(0), 1) > 1e-12 {
+		t.Errorf("t'(0) = %g", ScaledDelay(0))
+	}
+	// Large ζ: linear 1.48ζ asymptote.
+	if relErr(ScaledDelay(10), 14.8) > 1e-6 {
+		t.Errorf("t'(10) = %g", ScaledDelay(10))
+	}
+	// The curve must be continuous and bounded on (0, 3].
+	prev := ScaledDelay(0.001)
+	for z := 0.01; z <= 3; z += 0.01 {
+		v := ScaledDelay(z)
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("t'(%g) = %g", z, v)
+		}
+		if math.Abs(v-prev) > 0.05 {
+			t.Fatalf("discontinuity near ζ=%g", z)
+		}
+		prev = v
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if (Params{Zeta: 0.5}).Classify() != Underdamped {
+		t.Error("0.5 should be underdamped")
+	}
+	if (Params{Zeta: 1.0}).Classify() != Critical {
+		t.Error("1.0 should be critical")
+	}
+	if (Params{Zeta: 2}).Classify() != Overdamped {
+		t.Error("2 should be overdamped")
+	}
+	for _, c := range []DampingClass{Underdamped, Critical, Overdamped, DampingClass(9)} {
+		if c.String() == "" {
+			t.Error("empty class string")
+		}
+	}
+}
+
+func TestInAccuracyDomain(t *testing.T) {
+	if !(Params{RT: 0.5, CT: 0.5}).InAccuracyDomain() {
+		t.Error("(0.5, 0.5) should be in domain")
+	}
+	if (Params{RT: 5, CT: 0.5}).InAccuracyDomain() {
+		t.Error("(5, 0.5) should be outside")
+	}
+	if (Params{RT: 0.5, CT: -0.1}).InAccuracyDomain() {
+		t.Error("negative CT should be outside")
+	}
+}
+
+func TestMomentsKnown(t *testing.T) {
+	// Unloaded, undriven line: b1 = RtCt/2, b2 = LtCt/2 + Rt²Ct²/24.
+	b1, b2 := Moments(1000, 1e-7, 1e-12, 0, 0)
+	if relErr(b1, 0.5e-9) > 1e-12 {
+		t.Errorf("b1 = %g", b1)
+	}
+	want2 := 1e-7*1e-12/2 + 1e6*1e-24/24
+	if relErr(b2, want2) > 1e-12 {
+		t.Errorf("b2 = %g, want %g", b2, want2)
+	}
+}
+
+func TestTwoPoleTF(t *testing.T) {
+	ln := tline.FromTotals(1000, 1e-7, 1e-12, 0.01)
+	d := tline.Drive{Rtr: 500, CL: 5e-13}
+	p, _ := Analyze(ln, d)
+	num, den, err := TwoPoleTF(ln, d, 1/p.OmegaN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Degree() != 0 || den.Degree() != 2 {
+		t.Fatalf("degrees %d/%d", num.Degree(), den.Degree())
+	}
+	// S′ coefficient must be 2ζ (that's the definition of ζ).
+	if relErr(den.Coef[1], 2*p.Zeta) > 1e-12 {
+		t.Errorf("S′ coefficient %g, want 2ζ = %g", den.Coef[1], 2*p.Zeta)
+	}
+	if _, _, err := TwoPoleTF(ln, d, 0); err == nil {
+		t.Error("t0=0 accepted")
+	}
+	if _, _, err := TwoPoleTF(tline.Line{}, d, 1); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, _, err := TwoPoleTF(ln, tline.Drive{CL: -1}, 1); err == nil {
+		t.Error("bad drive accepted")
+	}
+}
+
+func TestLengthForZeta(t *testing.T) {
+	per := tline.Line{R: 100e3, L: 1e-5, C: 1e-10, Length: 1} // per-meter values
+	d := tline.Drive{Rtr: 500, CL: 1e-13}
+	l, err := LengthForZeta(per, d, 5.0, 1e-4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := per
+	check.Length = l
+	p, _ := Analyze(check, d)
+	if relErr(p.Zeta, 5.0) > 1e-6 {
+		t.Errorf("ζ(l=%g) = %g, want 5", l, p.Zeta)
+	}
+	if _, err := LengthForZeta(per, d, -1, 1e-4, 1); err == nil {
+		t.Error("negative ζ accepted")
+	}
+}
+
+func TestDelayMonotoneInRt(t *testing.T) {
+	// Property: delay must not decrease when line resistance increases
+	// (all else fixed) — physical sanity of the closed form.
+	f := func(seed float64) bool {
+		base := math.Abs(math.Mod(seed, 900)) + 100
+		d1, err1 := DelayTotals(base, 1e-7, 1e-12, 500, 5e-13)
+		d2, err2 := DelayTotals(base*1.5, 1e-7, 1e-12, 500, 5e-13)
+		return err1 == nil && err2 == nil && d2 >= d1*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlckit/internal/numeric"
+)
+
+// FitCoefficients parameterize the Eq. 9 family
+//
+//	t′pd(ζ) = e^(−A·ζ^B) + C·ζ
+//
+// The paper's published fit is (A, B, C) = (2.9, 1.35, 1.48). The Fit
+// machinery below re-derives these constants from simulation data — the
+// "curve fitting method" step of the paper's Section II — so the model
+// is reproduced end to end rather than transcribed.
+type FitCoefficients struct {
+	A, B, C float64
+}
+
+// PaperCoefficients are the published Eq. 9 constants.
+var PaperCoefficients = FitCoefficients{A: 2.9, B: 1.35, C: 1.48}
+
+// Scaled evaluates the parameterized scaled delay at ζ.
+func (f FitCoefficients) Scaled(zeta float64) float64 {
+	if zeta < 0 {
+		zeta = 0
+	}
+	return math.Exp(-f.A*math.Pow(zeta, f.B)) + f.C*zeta
+}
+
+// Valid reports whether the coefficients define a physically sensible
+// curve: positive constants with t′(0) = 1.
+func (f FitCoefficients) Valid() bool {
+	return f.A > 0 && f.B > 0 && f.C > 0 &&
+		!math.IsNaN(f.A+f.B+f.C) && !math.IsInf(f.A+f.B+f.C, 0)
+}
+
+// FitSample is one (ζ, simulated scaled delay) observation.
+type FitSample struct {
+	Zeta, TpdScaled float64
+}
+
+// FitResult carries the refit outcome.
+type FitResult struct {
+	Coeff FitCoefficients
+	// RMSPct is the root-mean-square relative error of the fitted curve
+	// over the samples, in percent; MaxPct the worst sample.
+	RMSPct, MaxPct float64
+}
+
+// FitDelayModel fits the Eq. 9 family to simulation samples by
+// Nelder–Mead minimization of the summed squared relative error,
+// seeded at the paper's constants. At least 6 samples are required,
+// and they should span both the low-ζ (inductive) and high-ζ
+// (resistive) regimes for C to be identifiable.
+func FitDelayModel(samples []FitSample) (FitResult, error) {
+	if len(samples) < 6 {
+		return FitResult{}, fmt.Errorf("core: fit needs >= 6 samples, got %d", len(samples))
+	}
+	var zLo, zHi = math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		if s.Zeta <= 0 || s.TpdScaled <= 0 {
+			return FitResult{}, fmt.Errorf("core: non-positive sample (ζ=%g, t′=%g)", s.Zeta, s.TpdScaled)
+		}
+		zLo = math.Min(zLo, s.Zeta)
+		zHi = math.Max(zHi, s.Zeta)
+	}
+	if zHi < 4*zLo {
+		return FitResult{}, errors.New("core: samples span too little of the ζ axis to identify the asymptote")
+	}
+	obj := func(x []float64) float64 {
+		c := FitCoefficients{A: math.Exp(x[0]), B: math.Exp(x[1]), C: math.Exp(x[2])}
+		s := 0.0
+		for _, sm := range samples {
+			r := (c.Scaled(sm.Zeta) - sm.TpdScaled) / sm.TpdScaled
+			s += r * r
+		}
+		return s
+	}
+	seed := []float64{
+		math.Log(PaperCoefficients.A),
+		math.Log(PaperCoefficients.B),
+		math.Log(PaperCoefficients.C),
+	}
+	x, _ := numeric.NelderMead(obj, seed, 0.25, 1e-14, 6000)
+	res := FitResult{Coeff: FitCoefficients{
+		A: math.Exp(x[0]), B: math.Exp(x[1]), C: math.Exp(x[2]),
+	}}
+	if !res.Coeff.Valid() {
+		return FitResult{}, errors.New("core: fit diverged to non-physical coefficients")
+	}
+	sum := 0.0
+	for _, sm := range samples {
+		r := math.Abs(res.Coeff.Scaled(sm.Zeta)-sm.TpdScaled) / sm.TpdScaled
+		sum += r * r
+		if p := 100 * r; p > res.MaxPct {
+			res.MaxPct = p
+		}
+	}
+	res.RMSPct = 100 * math.Sqrt(sum/float64(len(samples)))
+	return res, nil
+}
+
+// ErrorVsSamples evaluates an arbitrary coefficient set against samples,
+// returning (rms%, max%): used to compare a refit against the published
+// constants on identical data.
+func ErrorVsSamples(c FitCoefficients, samples []FitSample) (rmsPct, maxPct float64) {
+	sum := 0.0
+	for _, sm := range samples {
+		r := math.Abs(c.Scaled(sm.Zeta)-sm.TpdScaled) / sm.TpdScaled
+		sum += r * r
+		if p := 100 * r; p > maxPct {
+			maxPct = p
+		}
+	}
+	return 100 * math.Sqrt(sum/float64(len(samples))), maxPct
+}

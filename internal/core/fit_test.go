@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPaperCoefficientsMatchScaledDelay(t *testing.T) {
+	// FitCoefficients with the paper's constants must agree with
+	// ScaledDelay everywhere.
+	for z := 0.0; z <= 12; z += 0.173 {
+		if relErr(PaperCoefficients.Scaled(z)+1e-300, ScaledDelay(z)+1e-300) > 1e-12 {
+			t.Fatalf("mismatch at ζ=%g", z)
+		}
+	}
+}
+
+func TestFitRecoversKnownCoefficients(t *testing.T) {
+	// Synthetic samples from a known member of the family (with slight
+	// perturbation from the paper's constants) must be recovered.
+	truth := FitCoefficients{A: 2.6, B: 1.28, C: 1.55}
+	rng := rand.New(rand.NewSource(11))
+	var samples []FitSample
+	for z := 0.2; z <= 9; z *= 1.33 {
+		noise := 1 + 0.001*rng.NormFloat64()
+		samples = append(samples, FitSample{Zeta: z, TpdScaled: truth.Scaled(z) * noise})
+	}
+	res, err := FitDelayModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coeff.A-truth.A) > 0.1 ||
+		math.Abs(res.Coeff.B-truth.B) > 0.05 ||
+		math.Abs(res.Coeff.C-truth.C) > 0.02 {
+		t.Errorf("recovered %+v, want %+v", res.Coeff, truth)
+	}
+	if res.RMSPct > 0.5 {
+		t.Errorf("rms %.3f%%", res.RMSPct)
+	}
+	if res.MaxPct < res.RMSPct {
+		t.Error("max below rms")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := FitDelayModel(nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	bad := []FitSample{{0.5, 1}, {0.5, 1}, {0.5, 1}, {0.5, 1}, {0.5, 1}, {-1, 1}}
+	if _, err := FitDelayModel(bad); err == nil {
+		t.Error("negative ζ accepted")
+	}
+	// Narrow ζ span: asymptote unidentifiable.
+	narrow := make([]FitSample, 8)
+	for i := range narrow {
+		z := 1.0 + 0.01*float64(i)
+		narrow[i] = FitSample{Zeta: z, TpdScaled: ScaledDelay(z)}
+	}
+	if _, err := FitDelayModel(narrow); err == nil {
+		t.Error("narrow span accepted")
+	}
+}
+
+func TestFitCoefficientsValid(t *testing.T) {
+	if !PaperCoefficients.Valid() {
+		t.Error("paper constants invalid")
+	}
+	if (FitCoefficients{A: -1, B: 1, C: 1}).Valid() {
+		t.Error("negative A accepted")
+	}
+	if (FitCoefficients{A: 1, B: math.NaN(), C: 1}).Valid() {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestScaledClampsNegativeZeta(t *testing.T) {
+	c := PaperCoefficients
+	if c.Scaled(-1) != c.Scaled(0) {
+		t.Error("negative ζ should clamp to 0")
+	}
+}
+
+func TestErrorVsSamples(t *testing.T) {
+	samples := []FitSample{{1, ScaledDelay(1)}, {2, ScaledDelay(2)}}
+	rms, maxp := ErrorVsSamples(PaperCoefficients, samples)
+	if rms > 1e-10 || maxp > 1e-10 {
+		t.Errorf("self-error rms=%g max=%g", rms, maxp)
+	}
+	off := FitCoefficients{A: 2.9, B: 1.35, C: 1.48 * 1.1}
+	rms2, _ := ErrorVsSamples(off, samples)
+	if rms2 < 1 {
+		t.Errorf("perturbed constants error %.3f%% too small", rms2)
+	}
+}

@@ -1,0 +1,168 @@
+// Package elmore implements the RC-only delay estimates that mainstream
+// EDA flows use — the baseline the paper argues becomes inadequate as
+// inductance grows.
+//
+// It provides a general RC-tree Elmore delay engine (first moment of the
+// impulse response, Elmore 1948 [13]), the ln2-scaled 50% estimate, and
+// Sakurai's closed-form 50% delay for a driven, loaded distributed RC
+// line — the formula Eq. 9 collapses to when Lt → 0.
+package elmore
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree is an RC tree: node 0 is the root (driver node); every other
+// node hangs off a parent through a resistance and carries a capacitance
+// to ground. The driver resistance is modeled as the resistance into
+// node 0's children or by giving node 0 itself a parent resistance via
+// NewTreeWithDriver.
+type Tree struct {
+	parent []int
+	r      []float64 // resistance from parent
+	c      []float64 // capacitance to ground
+	kids   [][]int
+}
+
+// NewTree returns a tree with a single root node of capacitance cRoot
+// fed through rDriver (the driver's output resistance).
+func NewTree(rDriver, cRoot float64) (*Tree, error) {
+	if rDriver < 0 || cRoot < 0 {
+		return nil, fmt.Errorf("elmore: negative root parameters (%g, %g)", rDriver, cRoot)
+	}
+	return &Tree{
+		parent: []int{-1},
+		r:      []float64{rDriver},
+		c:      []float64{cRoot},
+		kids:   [][]int{nil},
+	}, nil
+}
+
+// Add appends a node under parent with branch resistance r and node
+// capacitance c, returning its index.
+func (t *Tree) Add(parent int, r, c float64) (int, error) {
+	if parent < 0 || parent >= len(t.parent) {
+		return 0, fmt.Errorf("elmore: parent %d out of range", parent)
+	}
+	if r < 0 || c < 0 || math.IsNaN(r) || math.IsNaN(c) {
+		return 0, fmt.Errorf("elmore: negative or NaN branch (r=%g, c=%g)", r, c)
+	}
+	id := len(t.parent)
+	t.parent = append(t.parent, parent)
+	t.r = append(t.r, r)
+	t.c = append(t.c, c)
+	t.kids = append(t.kids, nil)
+	t.kids[parent] = append(t.kids[parent], id)
+	return id, nil
+}
+
+// Len returns the node count.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// AddCap adds extra capacitance (e.g. a receiver load) at a node.
+func (t *Tree) AddCap(node int, c float64) error {
+	if node < 0 || node >= len(t.parent) {
+		return fmt.Errorf("elmore: node %d out of range", node)
+	}
+	if c < 0 {
+		return fmt.Errorf("elmore: negative load %g", c)
+	}
+	t.c[node] += c
+	return nil
+}
+
+// downstreamCap returns, for every node, the total capacitance at and
+// below it.
+func (t *Tree) downstreamCap() []float64 {
+	n := len(t.parent)
+	sum := append([]float64(nil), t.c...)
+	// Children have larger indices than parents (construction order), so
+	// one reverse sweep accumulates subtrees.
+	for i := n - 1; i >= 1; i-- {
+		sum[t.parent[i]] += sum[i]
+	}
+	return sum
+}
+
+// Delays returns the Elmore delay from the source to every node:
+// ED(i) = Σ_{j on path root→i} r_j · Cdown(j).
+func (t *Tree) Delays() []float64 {
+	down := t.downstreamCap()
+	out := make([]float64, len(t.parent))
+	for i := range t.parent {
+		if i == 0 {
+			out[0] = t.r[0] * down[0]
+			continue
+		}
+		out[i] = out[t.parent[i]] + t.r[i]*down[i]
+	}
+	return out
+}
+
+// Delay returns the Elmore delay to one node.
+func (t *Tree) Delay(node int) (float64, error) {
+	if node < 0 || node >= len(t.parent) {
+		return 0, fmt.Errorf("elmore: node %d out of range", node)
+	}
+	return t.Delays()[node], nil
+}
+
+// Delay50 returns the common ln2-scaled 50% estimate 0.693·ED(node),
+// exact for a single-pole response and conservative for RC trees.
+func (t *Tree) Delay50(node int) (float64, error) {
+	d, err := t.Delay(node)
+	if err != nil {
+		return 0, err
+	}
+	return math.Ln2 * d, nil
+}
+
+// LineTree builds the RC tree of a driven distributed line discretized
+// into n segments, returning the tree and the far-end node index.
+func LineTree(rt, ct, rtr, cl float64, n int) (*Tree, int, error) {
+	if n < 1 {
+		return nil, 0, fmt.Errorf("elmore: need n >= 1 segments, got %d", n)
+	}
+	if rt < 0 || ct <= 0 || rtr < 0 || cl < 0 {
+		return nil, 0, fmt.Errorf("elmore: bad line (rt=%g ct=%g rtr=%g cl=%g)", rt, ct, rtr, cl)
+	}
+	tr, err := NewTree(rtr, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	node := 0
+	for i := 0; i < n; i++ {
+		node, err = tr.Add(node, rt/float64(n), ct/float64(n))
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := tr.AddCap(node, cl); err != nil {
+		return nil, 0, err
+	}
+	return tr, node, nil
+}
+
+// LineElmore returns the exact (continuum) Elmore delay of the driven,
+// loaded distributed RC line:
+//
+//	ED = Rt·Ct/2 + Rt·CL + Rtr·Ct + Rtr·CL
+//
+// which LineTree converges to as n → ∞, and which equals the first
+// transfer-function moment b1 in internal/core.
+func LineElmore(rt, ct, rtr, cl float64) float64 {
+	return rt*ct/2 + rt*cl + rtr*ct + rtr*cl
+}
+
+// Sakurai50 returns Sakurai's closed-form 50% delay for a driven,
+// loaded distributed RC line [3]:
+//
+//	t50 ≈ 0.377·Rt·Ct + 0.693·(Rtr·Ct + Rtr·CL + Rt·CL)
+//
+// This is the industry-standard RC formula the paper's Eq. 9 replaces;
+// comparing it against RLC references quantifies the cost of ignoring
+// inductance in timing analysis.
+func Sakurai50(rt, ct, rtr, cl float64) float64 {
+	return 0.377*rt*ct + 0.693*(rtr*ct+rtr*cl+rt*cl)
+}

@@ -1,0 +1,159 @@
+package elmore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rlckit/internal/refeng"
+	"rlckit/internal/tline"
+)
+
+func relErr(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }
+
+func TestSingleRC(t *testing.T) {
+	// One R, one C: Elmore = RC; 50% = ln2·RC exactly.
+	tr, err := NewTree(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.Add(0, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.Delay(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(d, 1e-9) > 1e-12 {
+		t.Errorf("ED = %g, want 1e-9", d)
+	}
+	d50, _ := tr.Delay50(n)
+	if relErr(d50, math.Ln2*1e-9) > 1e-12 {
+		t.Errorf("t50 = %g", d50)
+	}
+}
+
+func TestTwoBranchTree(t *testing.T) {
+	// Root —r1— a(c1), root —r2— b(c2): textbook hand computation.
+	tr, _ := NewTree(100, 0)
+	a, _ := tr.Add(0, 200, 1e-12)
+	b, _ := tr.Add(0, 300, 2e-12)
+	// Cdown(root)=3p, ED(a) = 100·3p + 200·1p = 5e-10.
+	da, _ := tr.Delay(a)
+	if relErr(da, 5e-10) > 1e-12 {
+		t.Errorf("ED(a) = %g", da)
+	}
+	// ED(b) = 100·3p + 300·2p = 9e-10.
+	db, _ := tr.Delay(b)
+	if relErr(db, 9e-10) > 1e-12 {
+		t.Errorf("ED(b) = %g", db)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewTree(-1, 0); err == nil {
+		t.Error("negative driver accepted")
+	}
+	tr, _ := NewTree(1, 0)
+	if _, err := tr.Add(5, 1, 1); err == nil {
+		t.Error("bad parent accepted")
+	}
+	if _, err := tr.Add(0, -1, 1); err == nil {
+		t.Error("negative r accepted")
+	}
+	if err := tr.AddCap(9, 1); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := tr.AddCap(0, -1); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if _, err := tr.Delay(42); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := tr.Delay50(42); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, _, err := LineTree(1000, 1e-12, 0, 0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := LineTree(1000, -1, 0, 0, 5); err == nil {
+		t.Error("bad ct accepted")
+	}
+}
+
+func TestLineTreeConvergesToLineElmore(t *testing.T) {
+	rt, ct, rtr, cl := 1000.0, 1e-12, 500.0, 5e-13
+	want := LineElmore(rt, ct, rtr, cl)
+	prevErr := math.Inf(1)
+	for _, n := range []int{4, 16, 64, 256} {
+		tr, far, err := LineTree(rt, ct, rtr, cl, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := tr.Delay(far)
+		e := math.Abs(d - want)
+		if e >= prevErr {
+			t.Fatalf("n=%d: error %g did not shrink (prev %g)", n, e, prevErr)
+		}
+		prevErr = e
+	}
+	// The discrete ladder's Elmore delay is want − Rt·Ct/(2n) exactly.
+	if prevErr > 1.05*1000*1e-12/(2*256) {
+		t.Errorf("n=256 off by %g, want ≈ RtCt/2n = %g", prevErr, 1000*1e-12/(2*256.0))
+	}
+}
+
+func TestLineElmoreMatchesMomentFormula(t *testing.T) {
+	f := func(rt, ct, rtr, cl float64) bool {
+		rt = math.Abs(math.Mod(rt, 1e4))
+		ct = math.Abs(math.Mod(ct, 1e-11)) + 1e-15
+		rtr = math.Abs(math.Mod(rtr, 1e3))
+		cl = math.Abs(math.Mod(cl, 1e-12))
+		want := rt*ct/2 + rt*cl + rtr*ct + rtr*cl
+		return relErr(LineElmore(rt, ct, rtr, cl)+1e-300, want+1e-300) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSakuraiAgainstExactRCLine(t *testing.T) {
+	// In the RC regime (negligible L), Sakurai's formula must be within
+	// a few percent of the exact distributed-line delay.
+	cases := []struct{ rt, ct, rtr, cl float64 }{
+		{1000, 1e-12, 0, 0},
+		{1000, 1e-12, 500, 5e-13},
+		{2000, 2e-12, 250, 1e-12},
+	}
+	for _, c := range cases {
+		ln := tline.FromTotals(c.rt, 1e-12*c.rt*c.ct*1e9, c.ct, 0.01) // tiny L
+		d := tline.Drive{Rtr: c.rtr, CL: c.cl}
+		exact, err := refeng.DelayExactTF(ln, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sak := Sakurai50(c.rt, c.ct, c.rtr, c.cl)
+		if relErr(sak, exact) > 0.05 {
+			t.Errorf("case %+v: Sakurai %.4g vs exact %.4g (%.1f%%)",
+				c, sak, exact, 100*relErr(sak, exact))
+		}
+	}
+}
+
+func TestElmoreUpperBoundsTrue50(t *testing.T) {
+	// For RC lines the Elmore delay upper-bounds the true 50% delay
+	// (Gupta et al.); sanity-check on a driven loaded line.
+	rt, ct, rtr, cl := 1000.0, 1e-12, 500.0, 5e-13
+	ln := tline.FromTotals(rt, 1e-16, ct, 0.01)
+	exact, err := refeng.DelayExactTF(ln, tline.Drive{Rtr: rtr, CL: cl}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed := LineElmore(rt, ct, rtr, cl); ed < exact {
+		t.Errorf("Elmore %g below true 50%% delay %g", ed, exact)
+	}
+}

@@ -1,0 +1,237 @@
+// Package laplace numerically inverts Laplace transforms, providing the
+// third independent reference engine for rlckit's delay validation: it
+// evaluates the *exact* distributed-line transfer function (internal/
+// tline.ExactTF) in the time domain without any lumped approximation.
+//
+// Two methods from the Abate–Whitt unified framework are implemented:
+//
+//   - Euler: Fourier-series inversion with Euler summation acceleration.
+//     Robust for oscillatory originals (underdamped RLC responses), which
+//     is why it is the default here.
+//   - Talbot: deformed Bromwich contour. Extremely accurate for smooth,
+//     non-oscillatory originals (overdamped responses); used as a
+//     cross-check where it applies.
+//
+// Both approximate f(t) from samples of F(s) at method-specific complex
+// nodes scaled by 1/t.
+package laplace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// F is a Laplace-domain function F(s).
+type F func(s complex128) complex128
+
+// DefaultM is the default term parameter; Euler uses 2M+1 transform
+// evaluations per time point and yields roughly 0.6·M significant digits
+// in double precision (diminishing beyond M ≈ 25 due to roundoff).
+const DefaultM = 18
+
+// Euler inverts F at time t > 0 using the Euler algorithm with parameter
+// m (pass 0 for DefaultM).
+func Euler(f F, t float64, m int) (float64, error) {
+	if t <= 0 {
+		return 0, fmt.Errorf("laplace: Euler needs t > 0, got %g", t)
+	}
+	if m <= 0 {
+		m = DefaultM
+	}
+	if m > 30 {
+		return 0, fmt.Errorf("laplace: Euler m = %d exceeds double-precision useful range (max 30)", m)
+	}
+	xi := eulerXi(m)
+	a := float64(m) * math.Ln10 / 3
+	scale := math.Pow(10, float64(m)/3)
+	sum := 0.0
+	sign := 1.0
+	for k := 0; k <= 2*m; k++ {
+		beta := complex(a, math.Pi*float64(k))
+		v := real(f(beta / complex(t, 0)))
+		sum += sign * xi[k] * v
+		sign = -sign
+	}
+	return scale * sum / t, nil
+}
+
+// eulerXi returns the Euler-summation weights ξ_0..ξ_{2M}.
+func eulerXi(m int) []float64 {
+	xi := make([]float64, 2*m+1)
+	xi[0] = 0.5
+	for k := 1; k <= m; k++ {
+		xi[k] = 1
+	}
+	xi[2*m] = math.Pow(2, -float64(m))
+	// Binomial recurrence: ξ_{2M−j} = ξ_{2M−j+1} + 2^{−M}·C(M, j).
+	binom := 1.0
+	for j := 1; j < m; j++ {
+		binom = binom * float64(m-j+1) / float64(j)
+		xi[2*m-j] = xi[2*m-j+1] + math.Pow(2, -float64(m))*binom
+	}
+	return xi
+}
+
+// Talbot inverts F at time t > 0 using Talbot's fixed contour with m
+// nodes (pass 0 for a default of 32). Use only for originals without
+// sustained oscillation; poles close to the imaginary axis violate the
+// contour assumptions and degrade accuracy.
+func Talbot(f F, t float64, m int) (float64, error) {
+	if t <= 0 {
+		return 0, fmt.Errorf("laplace: Talbot needs t > 0, got %g", t)
+	}
+	if m <= 0 {
+		m = 32
+	}
+	mf := float64(m)
+	sum := complex(0, 0)
+	for k := 0; k < m; k++ {
+		var delta, gamma complex128
+		if k == 0 {
+			delta = complex(2*mf/5, 0)
+			gamma = complex(0.5, 0) * cmplx.Exp(delta)
+		} else {
+			kf := float64(k)
+			theta := kf * math.Pi / mf
+			cot := math.Cos(theta) / math.Sin(theta)
+			delta = complex(2*kf*math.Pi/5*cot, 2*kf*math.Pi/5)
+			gamma = complex(1, kf*math.Pi/mf*(1+cot*cot)) + complex(0, -cot)
+			gamma *= cmplx.Exp(delta)
+		}
+		sum += gamma * f(delta/complex(t, 0))
+	}
+	return 2 / (5 * t) * real(sum), nil
+}
+
+// StepResponse wraps a transfer function H(s) as its unit-step time
+// response via Euler inversion of H(s)/s.
+func StepResponse(h F, m int) func(t float64) (float64, error) {
+	return func(t float64) (float64, error) {
+		return Euler(func(s complex128) complex128 { return h(s) / s }, t, m)
+	}
+}
+
+// CrossingTime finds the first time the step response of H crosses level
+// rising, searched on [tLo, tHi] by bisection on a dense pre-scan. It is
+// the 50%-delay extractor used on the exact line transfer function.
+func CrossingTime(h F, level, tLo, tHi float64, m int) (float64, error) {
+	if tLo <= 0 || tHi <= tLo {
+		return 0, fmt.Errorf("laplace: bad crossing window [%g, %g]", tLo, tHi)
+	}
+	step := StepResponse(h, m)
+	const scan = 400
+	prevT := tLo
+	prevV, err := step(prevT)
+	if err != nil {
+		return 0, err
+	}
+	if prevV >= level {
+		return 0, fmt.Errorf("laplace: response already %g >= %g at window start", prevV, level)
+	}
+	for i := 1; i <= scan; i++ {
+		t := tLo + (tHi-tLo)*float64(i)/scan
+		v, err := step(t)
+		if err != nil {
+			return 0, err
+		}
+		if v >= level {
+			// Bisect in (prevT, t].
+			g := func(x float64) float64 {
+				y, err2 := step(x)
+				if err2 != nil {
+					err = err2
+				}
+				return y - level
+			}
+			x, berr := bisectMonotone(g, prevT, t)
+			if err != nil {
+				return 0, err
+			}
+			return x, berr
+		}
+		prevT, prevV = t, v
+	}
+	return 0, errors.New("laplace: no crossing in window")
+}
+
+// bisectMonotone is a local bisection that tolerates the slight numeric
+// noise of inversion output near the crossing.
+func bisectMonotone(g func(float64) float64, a, b float64) (float64, error) {
+	fa := g(a)
+	fb := g(b)
+	if fa > 0 || fb < 0 {
+		return 0, fmt.Errorf("laplace: lost bracket [%g, %g] (g: %g, %g)", a, b, fa, fb)
+	}
+	for i := 0; i < 100; i++ {
+		mid := (a + b) / 2
+		if g(mid) >= 0 {
+			b = mid
+		} else {
+			a = mid
+		}
+		if (b - a) <= 1e-12*b {
+			break
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// GaverStehfest inverts F at t > 0 with the Gaver–Stehfest algorithm of
+// even order n (pass 0 for 14). It uses only real evaluations of F,
+// which makes it attractive when F is expensive on complex arguments —
+// but it is reliable only for smooth, non-oscillatory originals; for
+// underdamped responses use Euler. It is provided as a third
+// cross-check for overdamped lines.
+func GaverStehfest(f F, t float64, n int) (float64, error) {
+	if t <= 0 {
+		return 0, fmt.Errorf("laplace: Gaver-Stehfest needs t > 0, got %g", t)
+	}
+	if n <= 0 {
+		n = 14
+	}
+	if n%2 != 0 || n > 20 {
+		return 0, fmt.Errorf("laplace: Gaver-Stehfest order must be even and <= 20, got %d", n)
+	}
+	w := stehfestWeights(n)
+	ln2t := math.Ln2 / t
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += w[k-1] * real(f(complex(float64(k)*ln2t, 0)))
+	}
+	return ln2t * sum, nil
+}
+
+// stehfestWeights returns the classic Stehfest coefficients V_k.
+func stehfestWeights(n int) []float64 {
+	half := n / 2
+	v := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		sign := 1.0
+		if (k+half)%2 != 0 {
+			sign = -1
+		}
+		lo := (k + 1) / 2
+		hi := k
+		if hi > half {
+			hi = half
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			num := math.Pow(float64(j), float64(half)) * fact(2*j)
+			den := fact(half-j) * fact(j) * fact(j-1) * fact(k-j) * fact(2*j-k)
+			s += num / den
+		}
+		v[k-1] = sign * s
+	}
+	return v
+}
+
+func fact(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

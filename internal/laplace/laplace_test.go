@@ -1,0 +1,225 @@
+package laplace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEulerExponential(t *testing.T) {
+	// F(s) = 1/(s+a) ⇒ f(t) = e^{−at}.
+	a := 1.5
+	f := func(s complex128) complex128 { return 1 / (s + complex(a, 0)) }
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 5} {
+		got, err := Euler(f, tt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-a * tt)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("f(%g) = %.12g, want %.12g", tt, got, want)
+		}
+	}
+}
+
+func TestEulerOscillatory(t *testing.T) {
+	// F(s) = ω/(s²+ω²) ⇒ sin(ωt): the case Talbot cannot handle.
+	w := 3.0
+	f := func(s complex128) complex128 { return complex(w, 0) / (s*s + complex(w*w, 0)) }
+	for _, tt := range []float64{0.2, 1, 2.5, 4} {
+		got, err := Euler(f, tt, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Sin(w * tt)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("sin: f(%g) = %.10g, want %.10g", tt, got, want)
+		}
+	}
+}
+
+func TestEulerStepOfSecondOrder(t *testing.T) {
+	// Step response of H = 1/(1+2ζs/ωn+s²/ωn²) with ζ=0.3.
+	zeta, wn := 0.3, 2.0
+	h := func(s complex128) complex128 {
+		return 1 / (1 + complex(2*zeta/wn, 0)*s + s*s*complex(1/(wn*wn), 0))
+	}
+	wd := wn * math.Sqrt(1-zeta*zeta)
+	analytic := func(tt float64) float64 {
+		e := math.Exp(-zeta * wn * tt)
+		return 1 - e*(math.Cos(wd*tt)+zeta/math.Sqrt(1-zeta*zeta)*math.Sin(wd*tt))
+	}
+	step := StepResponse(h, 0)
+	for tt := 0.1; tt < 10; tt += 0.37 {
+		got, err := step(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := analytic(tt); math.Abs(got-want) > 1e-7 {
+			t.Fatalf("v(%g) = %.10g, want %.10g", tt, got, want)
+		}
+	}
+}
+
+func TestEulerValidation(t *testing.T) {
+	f := func(s complex128) complex128 { return 1 / s }
+	if _, err := Euler(f, 0, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := Euler(f, -1, 0); err == nil {
+		t.Error("t<0 accepted")
+	}
+	if _, err := Euler(f, 1, 99); err == nil {
+		t.Error("huge m accepted")
+	}
+}
+
+func TestTalbotSmooth(t *testing.T) {
+	// Overdamped: f(t) = t·e^{−t} ⇔ 1/(s+1)².
+	f := func(s complex128) complex128 { p := s + 1; return 1 / (p * p) }
+	for _, tt := range []float64{0.3, 1, 2, 4} {
+		got, err := Talbot(f, tt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tt * math.Exp(-tt)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("f(%g) = %.12g, want %.12g", tt, got, want)
+		}
+	}
+	if _, err := Talbot(f, 0, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestTalbotAgreesWithEulerOverdamped(t *testing.T) {
+	h := func(s complex128) complex128 {
+		return 1 / ((s + 1) * (s + complex(3, 0)) * (s + complex(10, 0)))
+	}
+	for _, tt := range []float64{0.2, 0.7, 1.9} {
+		e, err1 := Euler(h, tt, 0)
+		ta, err2 := Talbot(h, tt, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(e-ta) > 1e-8 {
+			t.Errorf("t=%g: Euler %.12g vs Talbot %.12g", tt, e, ta)
+		}
+	}
+}
+
+func TestCrossingTimeRC(t *testing.T) {
+	// H = 1/(1+s): 50% crossing of step response at ln 2.
+	h := func(s complex128) complex128 { return 1 / (1 + s) }
+	x, err := CrossingTime(h, 0.5, 0.01, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Ln2) > 1e-6 {
+		t.Errorf("crossing = %.9g, want ln2 = %.9g", x, math.Ln2)
+	}
+}
+
+func TestCrossingTimeErrors(t *testing.T) {
+	h := func(s complex128) complex128 { return 1 / (1 + s) }
+	if _, err := CrossingTime(h, 0.5, 0, 1, 0); err == nil {
+		t.Error("tLo=0 accepted")
+	}
+	if _, err := CrossingTime(h, 0.5, 2, 1, 0); err == nil {
+		t.Error("reversed window accepted")
+	}
+	// Level never reached in window.
+	if _, err := CrossingTime(h, 0.999999, 0.01, 0.02, 0); err == nil {
+		t.Error("no-crossing window accepted")
+	}
+	// Already above level at window start.
+	if _, err := CrossingTime(h, 0.1, 3, 5, 0); err == nil {
+		t.Error("late window accepted")
+	}
+}
+
+func TestEulerTimeScalingProperty(t *testing.T) {
+	// L{f(kt)} = F(s/k)/k: check on the exponential for several k.
+	a := 2.0
+	base := func(s complex128) complex128 { return 1 / (s + complex(a, 0)) }
+	for _, k := range []float64{0.5, 2, 7} {
+		scaled := func(s complex128) complex128 {
+			return base(s/complex(k, 0)) / complex(k, 0)
+		}
+		for _, tt := range []float64{0.3, 1.1} {
+			got, err := Euler(scaled, tt, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := math.Exp(-a * k * tt)
+			if math.Abs(got-want) > 1e-8 {
+				t.Errorf("k=%g f(%g) = %.10g, want %.10g", k, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestGaverStehfestSmooth(t *testing.T) {
+	// e^{−2t} and t·e^{−t}: smooth originals, high accuracy expected.
+	f1 := func(s complex128) complex128 { return 1 / (s + 2) }
+	f2 := func(s complex128) complex128 { p := s + 1; return 1 / (p * p) }
+	for _, tt := range []float64{0.3, 1, 2.5} {
+		g1, err := GaverStehfest(f1, tt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Exp(-2 * tt); math.Abs(g1-want) > 5e-5 {
+			t.Errorf("exp: f(%g) = %.10g, want %.10g", tt, g1, want)
+		}
+		g2, err := GaverStehfest(f2, tt, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := tt * math.Exp(-tt); math.Abs(g2-want) > 2e-4 {
+			t.Errorf("t·exp: f(%g) = %.10g, want %.10g", tt, g2, want)
+		}
+	}
+}
+
+func TestGaverStehfestAgreesWithEulerOverdamped(t *testing.T) {
+	h := func(s complex128) complex128 {
+		return 1 / ((s + 1) * (s + complex(4, 0)))
+	}
+	for _, tt := range []float64{0.4, 1.2} {
+		e, err1 := Euler(h, tt, 0)
+		g, err2 := GaverStehfest(h, tt, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(e-g) > 5e-5 {
+			t.Errorf("t=%g: Euler %.10g vs Stehfest %.10g", tt, e, g)
+		}
+	}
+}
+
+func TestGaverStehfestValidation(t *testing.T) {
+	f := func(s complex128) complex128 { return 1 / s }
+	if _, err := GaverStehfest(f, 0, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := GaverStehfest(f, 1, 13); err == nil {
+		t.Error("odd order accepted")
+	}
+	if _, err := GaverStehfest(f, 1, 22); err == nil {
+		t.Error("huge order accepted")
+	}
+}
+
+func TestGaverStehfestFailsOnOscillatory(t *testing.T) {
+	// Documented limitation: sin(3t) at a peak is badly wrong — this
+	// test pins the *reason* Euler is the default engine.
+	w := 3.0
+	f := func(s complex128) complex128 { return complex(w, 0) / (s*s + complex(w*w, 0)) }
+	tt := math.Pi / 2 / w * 3 // near a negative peak
+	g, err := GaverStehfest(f, tt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-math.Sin(w*tt)) < 0.1 {
+		t.Logf("note: Stehfest unexpectedly accurate on oscillation (%g vs %g)", g, math.Sin(w*tt))
+	}
+}

@@ -1,0 +1,133 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/numeric"
+)
+
+// ACResult holds a frequency sweep: for each probed node, the complex
+// voltage phasor at every frequency, with every voltage source replaced
+// by a unit AC phasor (1∠0). With a single source the probe phasor is
+// therefore the transfer function H(jω) from that source to the node.
+type ACResult struct {
+	Freq  []float64 // Hz
+	probe map[int][]complex128
+}
+
+// H returns the phasor sweep for a probed node.
+func (r *ACResult) H(node int) ([]complex128, error) {
+	s, ok := r.probe[node]
+	if !ok {
+		return nil, fmt.Errorf("mna: node %d was not probed", node)
+	}
+	return s, nil
+}
+
+// MagDB returns the magnitude sweep in decibels for a probed node.
+func (r *ACResult) MagDB(node int) ([]float64, error) {
+	h, err := r.H(node)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(h))
+	for i, v := range h {
+		m := math.Hypot(real(v), imag(v))
+		if m == 0 {
+			out[i] = math.Inf(-1)
+		} else {
+			out[i] = 20 * math.Log10(m)
+		}
+	}
+	return out, nil
+}
+
+// AC performs small-signal frequency-domain analysis at the given
+// frequencies (Hz), solving (G + jωC)·x = b with unit source phasors.
+// The system is solved in the reverse-Cuthill–McKee ordering with a
+// banded complex LU, so ladder-shaped circuits cost O(n·band²) per
+// frequency point.
+func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) {
+	if len(freqs) == 0 {
+		return nil, errors.New("mna: AC needs at least one frequency")
+	}
+	for _, f := range freqs {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("mna: bad frequency %g", f)
+		}
+	}
+	sys, err := assemble(ckt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range probes {
+		if p <= 0 || p >= ckt.Nodes() {
+			return nil, fmt.Errorf("mna: probe node %d out of range (ground cannot be probed)", p)
+		}
+	}
+	n := sys.n
+	res := &ACResult{
+		Freq:  append([]float64(nil), freqs...),
+		probe: make(map[int][]complex128, len(probes)),
+	}
+	for _, p := range probes {
+		res.probe[p] = make([]complex128, 0, len(freqs))
+	}
+	// Unit-phasor right-hand side in the RCM (permuted) ordering.
+	b := make([]complex128, n)
+	for _, e := range sys.sources {
+		b[sys.perm[e.row]] += complex(e.sgn, 0)
+	}
+	gb, cb := sys.permuted()
+	kl, ku := gb.KL, gb.KU
+	a := numeric.NewCBandMatrix(n, kl, ku)
+	for _, f := range freqs {
+		w := 2 * math.Pi * f
+		a.Zero()
+		for i := 0; i < n; i++ {
+			lo := i - kl
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + ku
+			if hi >= n {
+				hi = n - 1
+			}
+			for j := lo; j <= hi; j++ {
+				g := gb.At(i, j)
+				c := cb.At(i, j)
+				if g != 0 || c != 0 {
+					a.Set(i, j, complex(g, w*c))
+				}
+			}
+		}
+		lu, err := numeric.FactorCBandLU(a)
+		if err != nil {
+			return nil, fmt.Errorf("mna: AC solve at %g Hz: %w", f, err)
+		}
+		x := lu.Solve(b)
+		for _, p := range probes {
+			res.probe[p] = append(res.probe[p], x[sys.perm[p-1]])
+		}
+	}
+	return res, nil
+}
+
+// LogSpace returns n logarithmically spaced frequencies in [f0, f1] —
+// the usual AC sweep grid.
+func LogSpace(f0, f1 float64, n int) ([]float64, error) {
+	if f0 <= 0 || f1 <= f0 || n < 2 {
+		return nil, fmt.Errorf("mna: bad log sweep (%g, %g, %d)", f0, f1, n)
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(f1/f0, 1/float64(n-1))
+	f := f0
+	for i := range out {
+		out[i] = f
+		f *= ratio
+	}
+	return out, nil
+}

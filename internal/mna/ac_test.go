@@ -1,0 +1,157 @@
+package mna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/tline"
+)
+
+func TestACRCLowpass(t *testing.T) {
+	// H(jω) = 1/(1 + jωRC): check magnitude and phase at the pole.
+	r, c := 1000.0, 1e-12
+	ckt, out := buildRC(r, c, 0)
+	fPole := 1 / (2 * math.Pi * r * c)
+	res, err := AC(ckt, []float64{fPole / 100, fPole, fPole * 100}, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := res.H(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := cmplx.Abs(h[0]); math.Abs(m-1) > 1e-4 {
+		t.Errorf("low-frequency gain %v", h[0])
+	}
+	if m := cmplx.Abs(h[1]); math.Abs(m-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("pole magnitude %g, want 0.707", m)
+	}
+	if ph := cmplx.Phase(h[1]); math.Abs(ph+math.Pi/4) > 1e-3 {
+		t.Errorf("pole phase %g, want -45°", ph)
+	}
+	if m := cmplx.Abs(h[2]); m > 0.02 {
+		t.Errorf("high-frequency gain %g", m)
+	}
+	db, err := res.MagDB(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(db[1]+3.0103) > 0.02 {
+		t.Errorf("pole gain %g dB, want -3", db[1])
+	}
+}
+
+func TestACSeriesRLCResonance(t *testing.T) {
+	// At resonance the LC voltage across C peaks near Q = (1/R)·sqrt(L/C).
+	r, l, c := 10.0, 1e-9, 1e-12
+	ckt, out := buildSeriesRLC(r, l, c, 0)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(l*c))
+	res, err := AC(ckt, []float64{f0}, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := res.H(out)
+	q := math.Sqrt(l/c) / r
+	if m := cmplx.Abs(h[0]); math.Abs(m-q) > 0.02*q {
+		t.Errorf("resonant gain %g, want Q=%g", m, q)
+	}
+}
+
+func TestACLadderMatchesExactTF(t *testing.T) {
+	// The AC sweep of a fine lumped ladder must match the exact
+	// hyperbolic transfer function of the distributed line.
+	ln := tline.FromTotals(1000, 1e-7, 1e-12, 0.01)
+	d := tline.Drive{Rtr: 500, CL: 5e-13}
+	lad, err := tline.BuildLadder(ln, d, 80, tline.Pi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := tline.ExactTF(ln, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lt, ct := ln.Totals()
+	fn := 1 / (2 * math.Pi * math.Sqrt(lt*(ct+d.CL))) // natural frequency
+	freqs := []float64{fn / 100, fn / 10, fn / 3, fn}
+	res, err := AC(lad.Ckt, freqs, []int{lad.Out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := res.H(lad.Out)
+	for i, f := range freqs {
+		want := exact(complex(0, 2*math.Pi*f))
+		if cmplx.Abs(h[i]-want) > 0.01*(cmplx.Abs(want)+0.01) {
+			t.Errorf("f=%g: ladder %v vs exact %v", f, h[i], want)
+		}
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	ckt, out := buildRC(1000, 1e-12, 0)
+	if _, err := AC(ckt, nil, []int{out}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := AC(ckt, []float64{-1}, []int{out}); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	if _, err := AC(ckt, []float64{1e9}, []int{99}); err == nil {
+		t.Error("bad probe accepted")
+	}
+	res, err := AC(ckt, []float64{1e9}, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.H(out + 7); err == nil {
+		t.Error("unprobed read accepted")
+	}
+	if _, err := res.MagDB(out + 7); err == nil {
+		t.Error("unprobed MagDB accepted")
+	}
+	bad := circuit.New()
+	_ = bad.Node()
+	if _, err := AC(bad, []float64{1e9}, nil); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	fs, err := LogSpace(1, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(fs[i]-want[i]) > 1e-9*want[i] {
+			t.Errorf("fs[%d] = %g", i, fs[i])
+		}
+	}
+	if _, err := LogSpace(0, 10, 3); err == nil {
+		t.Error("f0=0 accepted")
+	}
+	if _, err := LogSpace(10, 1, 3); err == nil {
+		t.Error("reversed accepted")
+	}
+	if _, err := LogSpace(1, 10, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestACDCLimitMatchesTransientFinal(t *testing.T) {
+	// ω → 0 AC gain equals the settled transient value for a unit step.
+	ckt := circuit.New()
+	in := ckt.Node()
+	out := ckt.Node()
+	must(ckt.AddV("v", in, circuit.Ground, circuit.Step{Amplitude: 1, Delay: 1e-12}))
+	must(ckt.AddR("r1", in, out, 1000))
+	must(ckt.AddR("r2", out, circuit.Ground, 3000))
+	res, err := AC(ckt, []float64{1}, []int{out}) // ~DC
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := res.H(out)
+	if math.Abs(real(h[0])-0.75) > 1e-6 || math.Abs(imag(h[0])) > 1e-6 {
+		t.Errorf("DC gain %v, want 0.75", h[0])
+	}
+}

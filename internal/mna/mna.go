@@ -1,0 +1,432 @@
+// Package mna is rlckit's dynamic circuit simulator — the stand-in for
+// the proprietary AS/X simulator the paper validates against.
+//
+// It assembles lumped linear circuits (internal/circuit) into the
+// Modified Nodal Analysis form
+//
+//	C·dx/dt + G·x = b(t)
+//
+// where x stacks the non-ground node voltages and one branch current per
+// inductor and per voltage source. Transient analysis integrates this DAE
+// with the trapezoidal rule (default; A-stable, second order, the classic
+// SPICE choice) or backward Euler (first order, strongly damping — useful
+// as a cross-check and for taming startup transients).
+//
+// Unknowns are reordered with reverse Cuthill–McKee so that ladder-style
+// interconnect circuits factor as narrow band matrices; a 1000-segment
+// RLC line steps in O(n) per timestep rather than O(n²).
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/numeric"
+	"rlckit/internal/waveform"
+)
+
+// Method selects the integration rule.
+type Method int
+
+// Integration methods.
+const (
+	Trapezoidal Method = iota
+	BackwardEuler
+)
+
+func (m Method) String() string {
+	switch m {
+	case Trapezoidal:
+		return "trapezoidal"
+	case BackwardEuler:
+		return "backward-euler"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a transient run.
+type Options struct {
+	// Method is the integration rule (default Trapezoidal).
+	Method Method
+	// Dt is the fixed time step; required, must be positive.
+	Dt float64
+	// TEnd is the end time; required, must exceed Dt.
+	TEnd float64
+	// Probes lists node IDs whose voltages are recorded every step.
+	Probes []int
+}
+
+// Result holds a transient analysis record.
+type Result struct {
+	Time  []float64
+	probe map[int][]float64
+	// Final is the full final state vector (node voltages then branch
+	// currents) in original (pre-permutation) order.
+	Final []float64
+}
+
+// V returns the recorded voltage samples for a probed node.
+func (r *Result) V(node int) ([]float64, error) {
+	s, ok := r.probe[node]
+	if !ok {
+		return nil, fmt.Errorf("mna: node %d was not probed", node)
+	}
+	return s, nil
+}
+
+// Waveform returns the recorded voltage at a probed node as a waveform.
+func (r *Result) Waveform(node int) (*waveform.W, error) {
+	y, err := r.V(node)
+	if err != nil {
+		return nil, err
+	}
+	return waveform.New(r.Time, y)
+}
+
+// system is the assembled MNA description prior to integration.
+type system struct {
+	n       int // total unknowns
+	nv      int // node-voltage unknowns (circuit nodes minus ground)
+	g, c    *numeric.Matrix
+	sources []srcEntry // contributions to b(t)
+	perm    []int      // perm[orig] = new index, after RCM
+	inv     []int      // inv[new] = orig
+	kl, ku  int
+}
+
+type srcEntry struct {
+	row int // row in b (original ordering)
+	src circuit.Source
+	sgn float64
+}
+
+// assemble builds G, C and the source table from the circuit.
+func assemble(ckt *circuit.Circuit) (*system, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, err
+	}
+	nv := ckt.Nodes() - 1 // exclude ground
+	nbr := 0
+	for _, e := range ckt.Elements() {
+		if e.Kind == circuit.KindInductor || e.Kind == circuit.KindVSource {
+			nbr++
+		}
+	}
+	n := nv + nbr
+	s := &system{n: n, nv: nv, g: numeric.NewMatrix(n, n), c: numeric.NewMatrix(n, n)}
+	// Node v index: node i (1-based) → i-1. Ground contributes nothing.
+	vi := func(node int) int { return node - 1 }
+	br := nv
+	// branchOf[elementIndex] = branch unknown index (inductors only).
+	branchOf := make(map[int]int)
+	for ei, e := range ckt.Elements() {
+		_ = ei
+		a, b := e.A, e.B
+		switch e.Kind {
+		case circuit.KindResistor:
+			gg := 1 / e.Value
+			stamp2(s.g, vi(a), vi(b), gg, a, b)
+		case circuit.KindCapacitor:
+			stamp2(s.c, vi(a), vi(b), e.Value, a, b)
+		case circuit.KindInductor:
+			j := br
+			br++
+			branchOf[ei] = j
+			// KCL: current j leaves a, enters b.
+			if a != circuit.Ground {
+				s.g.Add(vi(a), j, 1)
+			}
+			if b != circuit.Ground {
+				s.g.Add(vi(b), j, -1)
+			}
+			// Branch: v_a − v_b − L·dj/dt = 0.
+			if a != circuit.Ground {
+				s.g.Add(j, vi(a), 1)
+			}
+			if b != circuit.Ground {
+				s.g.Add(j, vi(b), -1)
+			}
+			s.c.Add(j, j, -e.Value)
+		case circuit.KindVSource:
+			j := br
+			br++
+			if a != circuit.Ground {
+				s.g.Add(vi(a), j, 1)
+			}
+			if b != circuit.Ground {
+				s.g.Add(vi(b), j, -1)
+			}
+			if a != circuit.Ground {
+				s.g.Add(j, vi(a), 1)
+			}
+			if b != circuit.Ground {
+				s.g.Add(j, vi(b), -1)
+			}
+			s.sources = append(s.sources, srcEntry{row: j, src: e.Src, sgn: 1})
+		case circuit.KindISource:
+			// Current flows from b into a: KCL source terms.
+			if a != circuit.Ground {
+				s.sources = append(s.sources, srcEntry{row: vi(a), src: e.Src, sgn: 1})
+			}
+			if b != circuit.Ground {
+				s.sources = append(s.sources, srcEntry{row: vi(b), src: e.Src, sgn: -1})
+			}
+		}
+	}
+	// Mutual inductances couple the branch equations:
+	// row j1 gains −M·dj2/dt and row j2 gains −M·dj1/dt, matching the
+	// −L self terms' sign convention.
+	for _, m := range ckt.Mutuals() {
+		j1, ok1 := branchOf[m.L1]
+		j2, ok2 := branchOf[m.L2]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("mna: coupling %q references non-inductor elements", m.Name)
+		}
+		s.c.Add(j1, j2, -m.M)
+		s.c.Add(j2, j1, -m.M)
+	}
+	s.computeOrdering()
+	return s, nil
+}
+
+// stamp2 applies the standard two-terminal conductance/capacitance stamp.
+// ia, ib are unknown indices (or negative via ground check using raw node
+// numbers a, b).
+func stamp2(m *numeric.Matrix, ia, ib int, v float64, a, b int) {
+	if a != circuit.Ground {
+		m.Add(ia, ia, v)
+	}
+	if b != circuit.Ground {
+		m.Add(ib, ib, v)
+	}
+	if a != circuit.Ground && b != circuit.Ground {
+		m.Add(ia, ib, -v)
+		m.Add(ib, ia, -v)
+	}
+}
+
+// computeOrdering runs reverse Cuthill–McKee on the structure of |G|+|C|
+// to minimize bandwidth, then records the band widths.
+func (s *system) computeOrdering() {
+	n := s.n
+	adj := make([][]int, n)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && (s.g.At(i, j) != 0 || s.c.At(i, j) != 0 ||
+				s.g.At(j, i) != 0 || s.c.At(j, i) != 0) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		deg[i] = len(adj[i])
+	}
+	for i := range adj {
+		sort.Slice(adj[i], func(a, b int) bool { return deg[adj[i][a]] < deg[adj[i][b]] })
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		// Start from the unvisited node of minimum degree.
+		start, best := -1, math.MaxInt
+		for i := 0; i < n; i++ {
+			if !visited[i] && deg[i] < best {
+				start, best = i, deg[i]
+			}
+		}
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	s.inv = order // inv[new] = orig
+	s.perm = make([]int, n)
+	for newIdx, orig := range order {
+		s.perm[orig] = newIdx
+	}
+	// Bandwidths in the permuted ordering.
+	kl, ku := 0, 0
+	for i := 0; i < n; i++ {
+		for _, j := range adj[i] {
+			pi, pj := s.perm[i], s.perm[j]
+			if d := pi - pj; d > kl {
+				kl = d
+			}
+			if d := pj - pi; d > ku {
+				ku = d
+			}
+		}
+	}
+	s.kl, s.ku = kl, ku
+}
+
+// permuted returns band copies of G and C in the RCM ordering.
+func (s *system) permuted() (gb, cb *numeric.BandMatrix) {
+	kl, ku := s.kl, s.ku
+	if kl >= s.n {
+		kl = s.n - 1
+	}
+	if ku >= s.n {
+		ku = s.n - 1
+	}
+	gb = numeric.NewBandMatrix(s.n, kl, ku)
+	cb = numeric.NewBandMatrix(s.n, kl, ku)
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			if v := s.g.At(i, j); v != 0 {
+				gb.Add(s.perm[i], s.perm[j], v)
+			}
+			if v := s.c.At(i, j); v != 0 {
+				cb.Add(s.perm[i], s.perm[j], v)
+			}
+		}
+	}
+	return gb, cb
+}
+
+// bvec fills b(t) in permuted ordering.
+func (s *system) bvec(t float64, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, e := range s.sources {
+		dst[s.perm[e.row]] += e.sgn * e.src.V(t)
+	}
+}
+
+// Simulate runs a fixed-step transient analysis.
+func Simulate(ckt *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.Dt <= 0 {
+		return nil, errors.New("mna: Options.Dt must be positive")
+	}
+	if opts.TEnd <= opts.Dt {
+		return nil, fmt.Errorf("mna: TEnd (%g) must exceed Dt (%g)", opts.TEnd, opts.Dt)
+	}
+	sys, err := assemble(ckt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range opts.Probes {
+		if p <= 0 || p >= ckt.Nodes() {
+			return nil, fmt.Errorf("mna: probe node %d out of range (ground cannot be probed)", p)
+		}
+	}
+	gb, cb := sys.permuted()
+	h := opts.Dt
+	steps := int(math.Ceil(opts.TEnd / h))
+	n := sys.n
+
+	// Left matrix A and right matrix Bm per method:
+	//   trapezoidal: A = C/h + G/2,  rhs = (C/h − G/2)x + (b_n + b_{n+1})/2
+	//   BE:          A = C/h + G,    rhs = (C/h)x + b_{n+1}
+	A := numeric.NewBandMatrix(n, gb.KL, gb.KU)
+	Bm := numeric.NewBandMatrix(n, gb.KL, gb.KU)
+	for i := 0; i < n; i++ {
+		lo := i - gb.KL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + gb.KU
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			g := gb.At(i, j)
+			c := cb.At(i, j)
+			switch opts.Method {
+			case BackwardEuler:
+				A.Set(i, j, c/h+g)
+				Bm.Set(i, j, c/h)
+			default:
+				A.Set(i, j, c/h+g/2)
+				Bm.Set(i, j, c/h-g/2)
+			}
+		}
+	}
+	lu, err := numeric.FactorBandLU(A)
+	if err != nil {
+		return nil, fmt.Errorf("mna: transient matrix is singular (dt=%g): %w", h, err)
+	}
+
+	// Initial condition: DC operating point at t=0 when G is nonsingular;
+	// otherwise start from rest.
+	x := make([]float64, n)
+	b0 := make([]float64, n)
+	sys.bvec(0, b0)
+	if guLU, err := numeric.FactorBandLU(gb); err == nil {
+		x = guLU.Solve(b0)
+	}
+
+	res := &Result{
+		Time:  make([]float64, 0, steps+1),
+		probe: make(map[int][]float64, len(opts.Probes)),
+	}
+	for _, p := range opts.Probes {
+		res.probe[p] = make([]float64, 0, steps+1)
+	}
+	record := func(t float64) {
+		res.Time = append(res.Time, t)
+		for _, p := range opts.Probes {
+			res.probe[p] = append(res.probe[p], x[sys.perm[p-1]])
+		}
+	}
+	record(0)
+
+	bn := make([]float64, n)
+	bn1 := make([]float64, n)
+	rhs := make([]float64, n)
+	sys.bvec(0, bn)
+	t := 0.0
+	for s := 0; s < steps; s++ {
+		t1 := t + h
+		sys.bvec(t1, bn1)
+		bmx := Bm.MulVec(x)
+		switch opts.Method {
+		case BackwardEuler:
+			for i := range rhs {
+				rhs[i] = bmx[i] + bn1[i]
+			}
+		default:
+			for i := range rhs {
+				rhs[i] = bmx[i] + (bn[i]+bn1[i])/2
+			}
+		}
+		x = lu.Solve(rhs)
+		copy(bn, bn1)
+		t = t1
+		record(t)
+	}
+
+	// Final state in original ordering.
+	res.Final = make([]float64, n)
+	for newIdx, orig := range sys.inv {
+		res.Final[orig] = x[newIdx]
+	}
+	return res, nil
+}
+
+// Bandwidth reports the (kl, ku) band widths the RCM ordering achieves
+// for the circuit — an observability hook for the ladder benchmarks.
+func Bandwidth(ckt *circuit.Circuit) (kl, ku int, err error) {
+	sys, err := assemble(ckt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sys.kl, sys.ku, nil
+}

@@ -1,0 +1,476 @@
+package mna
+
+import (
+	"math"
+	"testing"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/waveform"
+)
+
+// buildRC returns a series RC (vin —R— out —C— gnd) driven by an ideal
+// step delayed by delay. The delay lets the t=0 DC operating point start
+// the line at rest; the response is the ideal-step response shifted by
+// exactly delay.
+func buildRC(r, c, delay float64) (*circuit.Circuit, int) {
+	ckt := circuit.New()
+	in := ckt.Node()
+	out := ckt.Node()
+	must(ckt.AddV("vin", in, circuit.Ground, circuit.Step{Amplitude: 1, Delay: delay}))
+	must(ckt.AddR("r", in, out, r))
+	must(ckt.AddC("c", out, circuit.Ground, c))
+	return ckt, out
+}
+
+// buildSeriesRLC returns a delayed-step-driven series RLC with output
+// across C.
+func buildSeriesRLC(r, l, c, delay float64) (*circuit.Circuit, int) {
+	ckt := circuit.New()
+	in := ckt.Node()
+	mid := ckt.Node()
+	out := ckt.Node()
+	must(ckt.AddV("vin", in, circuit.Ground, circuit.Step{Amplitude: 1, Delay: delay}))
+	must(ckt.AddR("r", in, mid, r))
+	must(ckt.AddL("l", mid, out, l))
+	must(ckt.AddC("c", out, circuit.Ground, c))
+	return ckt, out
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func TestRCStepMatchesAnalytic(t *testing.T) {
+	r, c := 1000.0, 1e-12 // τ = 1 ns
+	tau := r * c
+	dt := tau / 200
+	// Trapezoidal integration treats the ideal jump as a one-step ramp,
+	// i.e. an effective step at delay − dt/2.
+	delay := tau/40 - dt/2
+	ckt, out := buildRC(r, c, tau/40)
+	res, err := Simulate(ckt, Options{Dt: dt, TEnd: 8 * tau, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Waveform(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5 * tau, tau, 2 * tau, 5 * tau} {
+		want := 1 - math.Exp(-tt/tau)
+		if got := w.At(tt + delay); math.Abs(got-want) > 2e-4 {
+			t.Errorf("v(%g) = %g, want %g", tt, got, want)
+		}
+	}
+	d, err := w.Delay50(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tau * math.Ln2; math.Abs(d-delay-want) > 1e-3*want {
+		t.Errorf("delay50 = %g, want %g", d-delay, want)
+	}
+}
+
+func TestSeriesRLCUnderdampedMatchesAnalytic(t *testing.T) {
+	r, l, c := 20.0, 1e-9, 1e-12
+	wn := 1 / math.Sqrt(l*c)
+	zeta := r / 2 * math.Sqrt(c/l) // 0.316
+	wd := wn * math.Sqrt(1-zeta*zeta)
+	analytic := func(tt float64) float64 {
+		e := math.Exp(-zeta * wn * tt)
+		return 1 - e*(math.Cos(wd*tt)+zeta/math.Sqrt(1-zeta*zeta)*math.Sin(wd*tt))
+	}
+	period := 2 * math.Pi / wn
+	delay := period / 50
+	ckt, out := buildSeriesRLC(r, l, c, delay)
+	res, err := Simulate(ckt, Options{Dt: period / 2000, TEnd: 12 * period, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Waveform(out)
+	for _, tt := range []float64{0.3 * period, period, 3 * period, 8 * period} {
+		want := analytic(tt)
+		if got := w.At(tt + delay); math.Abs(got-want) > 5e-3 {
+			t.Errorf("v(%g) = %g, want %g", tt, got, want)
+		}
+	}
+	// Overshoot should match e^{−πζ/√(1−ζ²)}.
+	wantOS := math.Exp(-math.Pi * zeta / math.Sqrt(1-zeta*zeta))
+	if got := w.Overshoot(1); math.Abs(got-wantOS) > 5e-3 {
+		t.Errorf("overshoot = %g, want %g", got, wantOS)
+	}
+}
+
+func TestSeriesRLCOverdamped(t *testing.T) {
+	// ζ = 5: no overshoot, settles to 1.
+	l, c := 1e-9, 1e-12
+	r := 2 * 5 * math.Sqrt(l/c)
+	tau := r * c * 1.5
+	ckt, out := buildSeriesRLC(r, l, c, tau/20)
+	res, err := Simulate(ckt, Options{Dt: tau / 400, TEnd: 30 * tau, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Waveform(out)
+	if os := w.Overshoot(1); os > 1e-6 {
+		t.Errorf("overdamped overshoot = %g", os)
+	}
+	if f := w.Final(); math.Abs(f-1) > 1e-3 {
+		t.Errorf("final = %g", f)
+	}
+}
+
+func TestBackwardEulerConvergesToTrapezoidal(t *testing.T) {
+	r, c := 1000.0, 1e-12
+	tau := r * c
+	ckt, out := buildRC(r, c, tau/50)
+	rtz, err := Simulate(ckt, Options{Dt: tau / 400, TEnd: 6 * tau, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbe, err := Simulate(ckt, Options{Method: BackwardEuler, Dt: tau / 4000, TEnd: 6 * tau, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, _ := rtz.Waveform(out)
+	wb, _ := rbe.Waveform(out)
+	if d := waveform.MaxAbsDiff(wt, wb); d > 2e-3 {
+		t.Errorf("methods disagree by %g", d)
+	}
+}
+
+func TestDCOperatingPointDivider(t *testing.T) {
+	// DC source into R-R divider: output must start at the divided value.
+	ckt := circuit.New()
+	in := ckt.Node()
+	out := ckt.Node()
+	must(ckt.AddV("v", in, circuit.Ground, circuit.DC(2)))
+	must(ckt.AddR("r1", in, out, 1000))
+	must(ckt.AddR("r2", out, circuit.Ground, 3000))
+	res, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.V(out)
+	for _, s := range []int{0, len(v) / 2, len(v) - 1} {
+		if math.Abs(v[s]-1.5) > 1e-9 {
+			t.Errorf("divider sample %d = %g, want 1.5", s, v[s])
+		}
+	}
+}
+
+func TestSourcePolarity(t *testing.T) {
+	// Source with negative terminal at the circuit node drives −1 V.
+	ckt := circuit.New()
+	n := ckt.Node()
+	must(ckt.AddV("v", circuit.Ground, n, circuit.DC(1)))
+	must(ckt.AddR("r", n, circuit.Ground, 100))
+	res, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.V(n)
+	if math.Abs(v[len(v)-1]+1) > 1e-9 {
+		t.Errorf("got %g, want -1", v[len(v)-1])
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	ckt, out := buildRC(1000, 1e-12, 1e-13)
+	if _, err := Simulate(ckt, Options{Dt: 0, TEnd: 1}); err == nil {
+		t.Error("Dt=0 accepted")
+	}
+	if _, err := Simulate(ckt, Options{Dt: 1, TEnd: 0.5}); err == nil {
+		t.Error("TEnd<Dt accepted")
+	}
+	if _, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{99}}); err == nil {
+		t.Error("bad probe accepted")
+	}
+	if _, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{0}}); err == nil {
+		t.Error("ground probe accepted")
+	}
+	res, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.V(out + 55); err == nil {
+		t.Error("unprobed node read accepted")
+	}
+	if _, err := res.Waveform(out + 55); err == nil {
+		t.Error("unprobed waveform accepted")
+	}
+}
+
+func TestInvalidCircuitRejected(t *testing.T) {
+	ckt := circuit.New()
+	_ = ckt.Node()
+	if _, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-9}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestBandwidthLadderIsNarrow(t *testing.T) {
+	// A 50-segment RLC ladder must have bandwidth much smaller than n.
+	ckt := circuit.New()
+	in := ckt.Node()
+	must(ckt.AddV("vin", in, circuit.Ground, circuit.Step{Amplitude: 1}))
+	prev := in
+	for i := 0; i < 50; i++ {
+		mid := ckt.Node()
+		n := ckt.Node()
+		must(ckt.AddR("r", prev, mid, 1))
+		must(ckt.AddL("l", mid, n, 1e-9))
+		must(ckt.AddC("c", n, circuit.Ground, 1e-15))
+		prev = n
+	}
+	kl, ku, err := Bandwidth(ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl > 6 || ku > 6 {
+		t.Errorf("RCM bandwidth too wide: kl=%d ku=%d", kl, ku)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Trapezoidal.String() != "trapezoidal" || BackwardEuler.String() != "backward-euler" {
+		t.Error("method strings")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method string")
+	}
+}
+
+func TestEnergyConservationLC(t *testing.T) {
+	// Lossless LC ring driven by a step through a tiny resistor: with
+	// trapezoidal integration the oscillation amplitude must not grow.
+	ckt := circuit.New()
+	in := ckt.Node()
+	out := ckt.Node()
+	l, c := 1e-9, 1e-12
+	must(ckt.AddV("vin", in, circuit.Ground,
+		circuit.Step{Amplitude: 1, Delay: math.Sqrt(l * c)}))
+	must(ckt.AddR("r", in, out, 1e-3)) // nearly lossless
+	mid := ckt.Node()
+	must(ckt.AddL("l", out, mid, l))
+	must(ckt.AddC("c", mid, circuit.Ground, c))
+	period := 2 * math.Pi * math.Sqrt(l*c)
+	res, err := Simulate(ckt, Options{Dt: period / 500, TEnd: 50 * period, Probes: []int{mid}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.V(mid)
+	// Peak in the first 10 periods vs peak in the last 10: must not grow.
+	n := len(v)
+	peak := func(seg []float64) float64 {
+		m := 0.0
+		for _, x := range seg {
+			if a := math.Abs(x - 1); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	early := peak(v[:n/5])
+	late := peak(v[4*n/5:])
+	if late > early*1.01 {
+		t.Errorf("oscillation grows: early %g late %g", early, late)
+	}
+}
+
+func TestCurrentSourceIntoResistor(t *testing.T) {
+	// 1 mA DC into 1 kΩ to ground: node voltage = 1 V.
+	ckt := circuit.New()
+	n := ckt.Node()
+	must(ckt.AddI("i1", n, circuit.Ground, circuit.DC(1e-3)))
+	must(ckt.AddR("r1", n, circuit.Ground, 1000))
+	res, err := Simulate(ckt, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.V(n)
+	if math.Abs(v[len(v)-1]-1) > 1e-9 {
+		t.Errorf("V = %g, want 1", v[len(v)-1])
+	}
+	// Reversed terminals: −1 V.
+	ckt2 := circuit.New()
+	m := ckt2.Node()
+	must(ckt2.AddI("i1", circuit.Ground, m, circuit.DC(1e-3)))
+	must(ckt2.AddR("r1", m, circuit.Ground, 1000))
+	res2, err := Simulate(ckt2, Options{Dt: 1e-12, TEnd: 1e-10, Probes: []int{m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := res2.V(m)
+	if math.Abs(v2[len(v2)-1]+1) > 1e-9 {
+		t.Errorf("V = %g, want -1", v2[len(v2)-1])
+	}
+}
+
+func TestCurrentStepIntoRC(t *testing.T) {
+	// Current step I into parallel RC: v(t) = I·R·(1 − e^{−t/RC}).
+	r, c := 2000.0, 1e-12
+	tau := r * c
+	ckt := circuit.New()
+	n := ckt.Node()
+	must(ckt.AddI("i1", n, circuit.Ground, circuit.Step{Amplitude: 5e-4, Delay: tau / 50}))
+	must(ckt.AddR("r1", n, circuit.Ground, r))
+	must(ckt.AddC("c1", n, circuit.Ground, c))
+	dt := tau / 400
+	res, err := Simulate(ckt, Options{Dt: dt, TEnd: 10 * tau, Probes: []int{n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Waveform(n)
+	eff := tau/50 - dt/2
+	for _, tt := range []float64{tau, 3 * tau, 8 * tau} {
+		want := 1 * (1 - math.Exp(-tt/tau))
+		if got := w.At(tt + eff); math.Abs(got-want) > 2e-3 {
+			t.Errorf("v(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestACWithCurrentSource(t *testing.T) {
+	// Unit AC current into parallel RC: |Z| at the pole = R/√2.
+	r, c := 1000.0, 1e-12
+	ckt := circuit.New()
+	n := ckt.Node()
+	must(ckt.AddI("i1", n, circuit.Ground, circuit.DC(1)))
+	must(ckt.AddR("r1", n, circuit.Ground, r))
+	must(ckt.AddC("c1", n, circuit.Ground, c))
+	fPole := 1 / (2 * math.Pi * r * c)
+	res, err := AC(ckt, []float64{fPole / 1000, fPole}, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := res.H(n)
+	if math.Abs(real(h[0])-r) > 0.01*r {
+		t.Errorf("low-f impedance %v, want %g", h[0], r)
+	}
+	if m := math.Hypot(real(h[1]), imag(h[1])); math.Abs(m-r/math.Sqrt2) > 0.01*r {
+		t.Errorf("pole impedance %g, want %g", m, r/math.Sqrt2)
+	}
+}
+
+func TestMutualInductanceModeSplitting(t *testing.T) {
+	// Two identical LC tanks coupled by k: the even/odd modes resonate at
+	// ω± = 1/sqrt((L ± M)·C). Drive one tank; its response contains both
+	// modes. Check via AC analysis that the transfer peaks near both
+	// split frequencies rather than the uncoupled 1/sqrt(LC).
+	l, c, k := 1e-9, 1e-12, 0.3
+	m := k * l
+	build := func() (*circuit.Circuit, int, int) {
+		ckt := circuit.New()
+		in := ckt.Node()
+		a := ckt.Node()
+		b := ckt.Node()
+		must(ckt.AddV("vin", in, circuit.Ground, circuit.Step{Amplitude: 1, Delay: 1e-12}))
+		// Weak (high-impedance) drive so both tanks oscillate freely and
+		// the coupled system shows its split even/odd modes.
+		must(ckt.AddR("rs", in, a, 2e3))
+		must(ckt.AddL("l1", a, circuit.Ground, l))
+		must(ckt.AddC("c1", a, circuit.Ground, c))
+		must(ckt.AddL("l2", b, circuit.Ground, l))
+		must(ckt.AddC("c2", b, circuit.Ground, c))
+		must(ckt.AddR("rl", b, circuit.Ground, 1e5)) // keep b grounded at DC
+		must(ckt.AddK("k12", "l1", "l2", k))
+		return ckt, a, b
+	}
+	ckt, _, b := build()
+	fPlus := 1 / (2 * math.Pi * math.Sqrt((l+m)*c))  // even mode
+	fMinus := 1 / (2 * math.Pi * math.Sqrt((l-m)*c)) // odd mode
+	f0 := 1 / (2 * math.Pi * math.Sqrt(l*c))
+	res, err := AC(ckt, []float64{fPlus, f0, fMinus}, []int{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := res.H(b)
+	magAt := func(i int) float64 { return math.Hypot(real(h[i]), imag(h[i])) }
+	// The victim transfer must be much larger at the split modes than at
+	// the uncoupled resonance (which is now off-resonance for both modes).
+	if magAt(0) < 3*magAt(1) || magAt(2) < 3*magAt(1) {
+		t.Errorf("mode splitting not visible: |H| = %.3g, %.3g, %.3g at f+, f0, f-",
+			magAt(0), magAt(1), magAt(2))
+	}
+}
+
+func TestMutualInductanceEnergyCoupling(t *testing.T) {
+	// Transient: with k > 0 the victim tank acquires energy; with the
+	// coupling absent it stays quiet.
+	l, c := 1e-9, 1e-12
+	build := func(k float64) (*circuit.Circuit, int) {
+		ckt := circuit.New()
+		in := ckt.Node()
+		a := ckt.Node()
+		b := ckt.Node()
+		must(ckt.AddV("vin", in, circuit.Ground, circuit.Step{Amplitude: 1, Delay: 1e-12}))
+		must(ckt.AddR("rs", in, a, 30))
+		must(ckt.AddL("l1", a, circuit.Ground, l))
+		must(ckt.AddC("c1", a, circuit.Ground, c))
+		must(ckt.AddL("l2", b, circuit.Ground, l))
+		must(ckt.AddC("c2", b, circuit.Ground, c))
+		must(ckt.AddR("rl", b, circuit.Ground, 1e5))
+		if k > 0 {
+			must(ckt.AddK("k12", "l1", "l2", k))
+		}
+		return ckt, b
+	}
+	period := 2 * math.Pi * math.Sqrt(l*c)
+	run := func(k float64) float64 {
+		ckt, b := build(k)
+		res, err := Simulate(ckt, Options{Dt: period / 400, TEnd: 20 * period, Probes: []int{b}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := res.V(b)
+		peak := 0.0
+		for _, x := range v {
+			if a := math.Abs(x); a > peak {
+				peak = a
+			}
+		}
+		return peak
+	}
+	coupled := run(0.3)
+	uncoupled := run(0)
+	if coupled < 0.05 {
+		t.Errorf("coupled victim peak %.4g, expected visible coupling", coupled)
+	}
+	if uncoupled > coupled/10 {
+		t.Errorf("uncoupled victim peak %.4g vs coupled %.4g", uncoupled, coupled)
+	}
+}
+
+func TestAddKValidation(t *testing.T) {
+	ckt := circuit.New()
+	a := ckt.Node()
+	b := ckt.Node()
+	must(ckt.AddV("v", a, circuit.Ground, circuit.DC(1)))
+	must(ckt.AddL("l1", a, b, 1e-9))
+	must(ckt.AddL("l2", b, circuit.Ground, 1e-9))
+	if err := ckt.AddK("k", "l1", "l2", 1.0); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if err := ckt.AddK("k", "l1", "l2", -0.1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if err := ckt.AddK("k", "l1", "zz", 0.5); err == nil {
+		t.Error("unknown inductor accepted")
+	}
+	if err := ckt.AddK("k", "l1", "l1", 0.5); err == nil {
+		t.Error("self-coupling accepted")
+	}
+	if err := ckt.AddK("k", "l1", "l2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(ckt.Mutuals()) != 1 {
+		t.Error("mutual not recorded")
+	}
+	want := 0.5 * 1e-9
+	if m := ckt.Mutuals()[0].M; math.Abs(m-want) > 1e-15 {
+		t.Errorf("M = %g, want %g", m, want)
+	}
+}

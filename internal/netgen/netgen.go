@@ -1,0 +1,152 @@
+// Package netgen generates interconnect workloads for benchmarks and
+// stress tests: random driven nets with realistic parameter ranges,
+// parameter sweeps pinned to the paper's experiments, and named scenario
+// nets (clock spine, global bus) motivated by the paper's introduction
+// ("wide wires are frequently encountered in clock distribution
+// networks and in upper metal layers").
+package netgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rlckit/internal/tech"
+	"rlckit/internal/tline"
+)
+
+// Net is one driven interconnect instance.
+type Net struct {
+	Name  string
+	Line  tline.Line
+	Drive tline.Drive
+}
+
+// RandomNet draws a random physically plausible driven net: wire
+// geometry scaled around the node's global wire, length 1–20 mm, driver
+// 5–50× minimum, load 1–20× minimum. The same seed reproduces the same
+// net.
+func RandomNet(rng *rand.Rand, node tech.Node) (Net, error) {
+	w := node.GlobalWire
+	w.Width *= lognorm(rng, 0.6)
+	w.Thickness *= lognorm(rng, 0.3)
+	w.Height *= lognorm(rng, 0.3)
+	length := (1 + 19*rng.Float64()) * 1e-3
+	ln, err := w.Line(length)
+	if err != nil {
+		return Net{}, err
+	}
+	h := 5 + 45*rng.Float64()
+	hl := 1 + 19*rng.Float64()
+	return Net{
+		Name:  fmt.Sprintf("rand-%s-%.1fmm", node.Name, length*1e3),
+		Line:  ln,
+		Drive: node.Gate(h, hl),
+	}, nil
+}
+
+// lognorm returns a log-normal factor with the given σ of log, clamped
+// to [1/4, 4] to keep geometries manufacturable.
+func lognorm(rng *rand.Rand, sigma float64) float64 {
+	f := math.Exp(rng.NormFloat64() * sigma)
+	if f < 0.25 {
+		f = 0.25
+	}
+	if f > 4 {
+		f = 4
+	}
+	return f
+}
+
+// RandomBatch draws n reproducible random nets.
+func RandomBatch(seed int64, node tech.Node, n int) ([]Net, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Net, 0, n)
+	for i := 0; i < n; i++ {
+		net, err := RandomNet(rng, node)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, net)
+	}
+	return out, nil
+}
+
+// ClockSpine returns a wide, low-resistance clock distribution wire —
+// the paper's canonical significant-inductance net.
+func ClockSpine(node tech.Node, length float64) (Net, error) {
+	w := node.GlobalWire
+	w.Width *= 6
+	w.Thickness *= 1.5
+	ln, err := w.Line(length)
+	if err != nil {
+		return Net{}, err
+	}
+	return Net{
+		Name:  fmt.Sprintf("clock-spine-%s-%.0fmm", node.Name, length*1e3),
+		Line:  ln,
+		Drive: node.Gate(60, 30),
+	}, nil
+}
+
+// GlobalBus returns a minimum-pitch upper-layer bus bit of the given
+// length — resistive, RC-leaning.
+func GlobalBus(node tech.Node, length float64) (Net, error) {
+	ln, err := node.GlobalWire.Line(length)
+	if err != nil {
+		return Net{}, err
+	}
+	return Net{
+		Name:  fmt.Sprintf("global-bus-%s-%.0fmm", node.Name, length*1e3),
+		Line:  ln,
+		Drive: node.Gate(20, 10),
+	}, nil
+}
+
+// Table1Cell reproduces the paper's Table 1 parameterization: Ct = 1 pF
+// over 10 mm, CL = cT pF, and (Rt, Rtr) chosen by rt/rtr directly.
+func Table1Cell(rt, rtr, cT, lt float64) Net {
+	return Net{
+		Name:  fmt.Sprintf("table1-rt%.0f-ct%.1f-lt%.0e", rt, cT, lt),
+		Line:  tline.FromTotals(rt, lt, 1e-12, 0.01),
+		Drive: tline.Drive{Rtr: rtr, CL: cT * 1e-12},
+	}
+}
+
+// LengthSweep returns copies of the wire at geometrically spaced lengths
+// in [lo, hi].
+func LengthSweep(w tech.Wire, d tline.Drive, lo, hi float64, n int) ([]Net, error) {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("netgen: bad sweep (lo=%g hi=%g n=%d)", lo, hi, n)
+	}
+	out := make([]Net, 0, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	l := lo
+	for i := 0; i < n; i++ {
+		ln, err := w.Line(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Net{Name: fmt.Sprintf("len-%.2fmm", l*1e3), Line: ln, Drive: d})
+		l *= ratio
+	}
+	return out, nil
+}
+
+// TLRSweep returns nets with fixed Rt = 1 kΩ, Ct = 1 pF over 10 mm and
+// Lt chosen so T_{L/R} takes each requested value against R0·C0.
+func TLRSweep(r0c0 float64, tlrs []float64) []Net {
+	out := make([]Net, 0, len(tlrs))
+	for _, t := range tlrs {
+		rt := 1000.0
+		lt := t * r0c0 * rt
+		if lt <= 0 {
+			lt = 1e-15
+		}
+		out = append(out, Net{
+			Name: fmt.Sprintf("tlr-%.2g", t),
+			Line: tline.FromTotals(rt, lt, 1e-12, 0.01),
+		})
+	}
+	return out
+}

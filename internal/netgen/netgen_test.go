@@ -1,0 +1,149 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlckit/internal/core"
+	"rlckit/internal/tech"
+)
+
+func TestRandomBatchReproducible(t *testing.T) {
+	a, err := RandomBatch(42, tech.Default(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomBatch(42, tech.Default(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Line != b[i].Line || a[i].Drive != b[i].Drive {
+			t.Fatalf("net %d differs between identical seeds", i)
+		}
+	}
+	c, err := RandomBatch(43, tech.Default(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Line == c[i].Line {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("different seeds produced identical batches")
+	}
+}
+
+func TestRandomNetsAreAnalyzable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		n, err := RandomNet(rng, tech.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Line.Validate(); err != nil {
+			t.Fatalf("net %d line: %v", i, err)
+		}
+		p, err := core.Analyze(n.Line, n.Drive)
+		if err != nil {
+			t.Fatalf("net %d analyze: %v", i, err)
+		}
+		if p.Zeta <= 0 || p.OmegaN <= 0 {
+			t.Fatalf("net %d: ζ=%g ωn=%g", i, p.Zeta, p.OmegaN)
+		}
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	node := tech.Default()
+	cs, err := ClockSpine(node, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := GlobalBus(node, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clock spine is wider, hence less resistive per meter.
+	if cs.Line.R >= gb.Line.R {
+		t.Errorf("clock spine R/m %g not below bus %g", cs.Line.R, gb.Line.R)
+	}
+	// The clock spine must be the more inductance-significant net:
+	// smaller ζ for the same length.
+	pc, err := core.Analyze(cs.Line, cs.Drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := core.Analyze(gb.Line, gb.Drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Zeta >= pb.Zeta {
+		t.Errorf("clock ζ=%g not below bus ζ=%g", pc.Zeta, pb.Zeta)
+	}
+	if cs.Name == "" || gb.Name == "" {
+		t.Error("unnamed scenario nets")
+	}
+}
+
+func TestTable1Cell(t *testing.T) {
+	n := Table1Cell(1000, 500, 0.5, 1e-7)
+	rt, lt, ct := n.Line.Totals()
+	if rt != 1000 || lt != 1e-7 || ct != 1e-12 {
+		t.Errorf("totals %g %g %g", rt, lt, ct)
+	}
+	if n.Drive.Rtr != 500 || n.Drive.CL != 0.5e-12 {
+		t.Errorf("drive %+v", n.Drive)
+	}
+}
+
+func TestLengthSweep(t *testing.T) {
+	w := tech.Default().GlobalWire
+	nets, err := LengthSweep(w, tech.Default().Gate(20, 10), 1e-3, 2e-2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 7 {
+		t.Fatalf("%d nets", len(nets))
+	}
+	for i := 1; i < len(nets); i++ {
+		if nets[i].Line.Length <= nets[i-1].Line.Length {
+			t.Error("lengths not increasing")
+		}
+	}
+	if nets[0].Line.Length != 1e-3 {
+		t.Errorf("first length %g", nets[0].Line.Length)
+	}
+	last := nets[len(nets)-1].Line.Length
+	if last < 1.99e-2 || last > 2.01e-2 {
+		t.Errorf("last length %g", last)
+	}
+	if _, err := LengthSweep(w, tech.Default().Gate(20, 10), 0, 1, 5); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := LengthSweep(w, tech.Default().Gate(20, 10), 1e-3, 2e-2, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestTLRSweep(t *testing.T) {
+	nets := TLRSweep(1e-12, []float64{0, 1, 5})
+	if len(nets) != 3 {
+		t.Fatalf("%d nets", len(nets))
+	}
+	// Check the middle net's T_{L/R} reconstruction.
+	rt, lt, _ := nets[1].Line.Totals()
+	if got := (lt / rt) / 1e-12; got < 0.99 || got > 1.01 {
+		t.Errorf("TLR = %g, want 1", got)
+	}
+	// T=0 entry must still be a valid line.
+	if err := nets[0].Line.Validate(); err != nil {
+		t.Error(err)
+	}
+}

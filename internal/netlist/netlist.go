@@ -1,0 +1,255 @@
+// Package netlist parses a small SPICE-like circuit deck format for the
+// netsim command-line tool:
+//
+//   - comment
+//     R<name> <nodeA> <nodeB> <value>      resistor (ohms)
+//     C<name> <nodeA> <nodeB> <value>      capacitor (farads)
+//     L<name> <nodeA> <nodeB> <value>      inductor (henries)
+//     V<name> <node+> <node-> DC <v>       constant source
+//     V<name> <node+> <node-> STEP <v> [delay] [rise]
+//     V<name> <node+> <node-> PULSE <v> <delay> <rise> <width> <fall> [period]
+//     V<name> <node+> <node-> SIN <ampl> <freq> [phase] [offset]
+//     I<name> <node+> <node-> <same source kinds as V, current in amperes>
+//     .tran <dt> <tend>                    transient analysis directive
+//     .ac <f0> <f1> <npoints>              log-spaced AC sweep (optional)
+//     .probe <node> [node...]              nodes to record
+//
+// Node "0" (or "gnd") is ground; other node names are arbitrary
+// identifiers. Values accept engineering notation ("1k", "2.2p", "10n").
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/mna"
+	"rlckit/internal/units"
+)
+
+// mnaLogSpace aliases the simulator's sweep helper so deck parsing and
+// analysis agree on grid semantics.
+var mnaLogSpace = mna.LogSpace
+
+// Deck is a parsed netlist plus its analysis directives.
+type Deck struct {
+	Ckt    *circuit.Circuit
+	Probes []int
+	Dt     float64
+	TEnd   float64
+	// ACFreqs is the optional log-spaced AC sweep (empty when the deck
+	// has no .ac directive).
+	ACFreqs []float64
+	// Names maps node names to circuit node IDs.
+	Names map[string]int
+}
+
+// Parse reads a deck from r.
+func Parse(r io.Reader) (*Deck, error) {
+	d := &Deck{
+		Ckt:   circuit.New(),
+		Names: map[string]int{"0": circuit.Ground, "gnd": circuit.Ground},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if err := d.parseLine(line); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %w", err)
+	}
+	if (d.Dt == 0 || d.TEnd == 0) && len(d.ACFreqs) == 0 {
+		return nil, fmt.Errorf("netlist: missing .tran or .ac directive")
+	}
+	if len(d.Probes) == 0 {
+		return nil, fmt.Errorf("netlist: missing .probe directive")
+	}
+	if err := d.Ckt.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Deck) node(name string) int {
+	key := strings.ToLower(name)
+	if id, ok := d.Names[key]; ok {
+		return id
+	}
+	id := d.Ckt.Node()
+	d.Names[key] = id
+	return id
+}
+
+func (d *Deck) parseLine(line string) error {
+	fields := strings.Fields(line)
+	head := fields[0]
+	switch {
+	case strings.HasPrefix(head, "."):
+		return d.parseDirective(fields)
+	case len(head) >= 2 || len(head) == 1:
+		kind := strings.ToUpper(head[:1])
+		switch kind {
+		case "R", "C", "L":
+			if len(fields) != 4 {
+				return fmt.Errorf("%s element needs 4 fields, got %d", kind, len(fields))
+			}
+			v, err := units.Parse(fields[3])
+			if err != nil {
+				return err
+			}
+			a, b := d.node(fields[1]), d.node(fields[2])
+			switch kind {
+			case "R":
+				return d.Ckt.AddR(head, a, b, v)
+			case "C":
+				return d.Ckt.AddC(head, a, b, v)
+			default:
+				return d.Ckt.AddL(head, a, b, v)
+			}
+		case "V", "I":
+			return d.parseSource(head, fields, kind == "I")
+		}
+	}
+	return fmt.Errorf("unrecognized element %q", head)
+}
+
+func (d *Deck) parseSource(name string, fields []string, isCurrent bool) error {
+	if len(fields) < 5 {
+		return fmt.Errorf("source needs at least 5 fields, got %d", len(fields))
+	}
+	a, b := d.node(fields[1]), d.node(fields[2])
+	kind := strings.ToUpper(fields[3])
+	args := make([]float64, 0, len(fields)-4)
+	for _, f := range fields[4:] {
+		v, err := units.Parse(f)
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+	}
+	var src circuit.Source
+	switch kind {
+	case "DC":
+		src = circuit.DC(args[0])
+	case "STEP":
+		s := circuit.Step{Amplitude: args[0]}
+		if len(args) > 1 {
+			s.Delay = args[1]
+		}
+		if len(args) > 2 {
+			s.Rise = args[2]
+		}
+		src = s
+	case "PULSE":
+		if len(args) < 5 {
+			return fmt.Errorf("PULSE needs 5-6 values, got %d", len(args))
+		}
+		p := circuit.Pulse{
+			Amplitude: args[0], Delay: args[1], Rise: args[2],
+			Width: args[3], Fall: args[4],
+		}
+		if len(args) > 5 {
+			p.Period = args[5]
+		}
+		src = p
+	case "SIN":
+		if len(args) < 2 {
+			return fmt.Errorf("SIN needs 2-4 values, got %d", len(args))
+		}
+		s := circuit.Sine{Amplitude: args[0], Freq: args[1]}
+		if len(args) > 2 {
+			s.Phase = args[2]
+		}
+		if len(args) > 3 {
+			s.Offset = args[3]
+		}
+		src = s
+	default:
+		return fmt.Errorf("unknown source kind %q", kind)
+	}
+	if isCurrent {
+		return d.Ckt.AddI(name, a, b, src)
+	}
+	return d.Ckt.AddV(name, a, b, src)
+}
+
+func (d *Deck) parseDirective(fields []string) error {
+	switch strings.ToLower(fields[0]) {
+	case ".tran":
+		if len(fields) != 3 {
+			return fmt.Errorf(".tran needs <dt> <tend>")
+		}
+		dt, err := units.Parse(fields[1])
+		if err != nil {
+			return err
+		}
+		tend, err := units.Parse(fields[2])
+		if err != nil {
+			return err
+		}
+		if dt <= 0 || tend <= dt {
+			return fmt.Errorf(".tran needs 0 < dt < tend (got %g, %g)", dt, tend)
+		}
+		d.Dt, d.TEnd = dt, tend
+		return nil
+	case ".ac":
+		if len(fields) != 4 {
+			return fmt.Errorf(".ac needs <f0> <f1> <npoints>")
+		}
+		f0, err := units.Parse(fields[1])
+		if err != nil {
+			return err
+		}
+		f1, err := units.Parse(fields[2])
+		if err != nil {
+			return err
+		}
+		np, err := units.Parse(fields[3])
+		if err != nil {
+			return err
+		}
+		freqs, err := mnaLogSpace(f0, f1, int(np))
+		if err != nil {
+			return err
+		}
+		d.ACFreqs = freqs
+		return nil
+	case ".probe":
+		if len(fields) < 2 {
+			return fmt.Errorf(".probe needs at least one node")
+		}
+		for _, n := range fields[1:] {
+			key := strings.ToLower(n)
+			id, ok := d.Names[key]
+			if !ok {
+				return fmt.Errorf(".probe references unknown node %q (declare elements first)", n)
+			}
+			if id == circuit.Ground {
+				return fmt.Errorf("cannot probe ground")
+			}
+			d.Probes = append(d.Probes, id)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+// NodeName returns the name of a circuit node ID (for output headers).
+func (d *Deck) NodeName(id int) string {
+	for name, nid := range d.Names {
+		if nid == id && name != "gnd" {
+			return name
+		}
+	}
+	return fmt.Sprintf("n%d", id)
+}

@@ -1,0 +1,157 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rlckit/internal/mna"
+)
+
+const rcDeck = `
+* simple RC lowpass
+Vin in 0 STEP 1 10p
+R1 in out 1k
+C1 out 0 1p
+.tran 5p 8n
+.probe out
+`
+
+func TestParseAndSimulateRC(t *testing.T) {
+	d, err := Parse(strings.NewReader(rcDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dt != 5e-12 || d.TEnd != 8e-9 {
+		t.Errorf("tran %g %g", d.Dt, d.TEnd)
+	}
+	if len(d.Probes) != 1 {
+		t.Fatalf("probes %v", d.Probes)
+	}
+	res, err := mna.Simulate(d.Ckt, mna.Options{Dt: d.Dt, TEnd: d.TEnd, Probes: d.Probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Waveform(d.Probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, err := w.Delay50(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-9*math.Ln2 + 10e-12 - 2.5e-12 // τln2 + delay − dt/2 smear
+	if math.Abs(delay-want) > 5e-12 {
+		t.Errorf("delay %g, want %g", delay, want)
+	}
+	if d.NodeName(d.Probes[0]) != "out" {
+		t.Errorf("node name %q", d.NodeName(d.Probes[0]))
+	}
+}
+
+func TestParseRLCWithAllSources(t *testing.T) {
+	deck := `
+* all source kinds
+Vdc a 0 DC 1
+Vstep b 0 STEP 1 1n 10p
+Vpulse c 0 PULSE 1 0 10p 1n 10p 4n
+Vsin d 0 SIN 0.5 1e9 0 0.5
+Ra a 0 1k
+Rb b 0 1k
+Rc c 0 1k
+Rd d 0 1k
+L1 a e 1n
+Ce e 0 10f
+.tran 1p 10n
+.probe a b c d e
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Ckt.Stats()
+	if st.V != 4 || st.R != 4 || st.L != 1 || st.C != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if len(d.Probes) != 5 {
+		t.Errorf("probes %v", d.Probes)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	deck := `
+* star comment
+// slash comment
+
+V1 in 0 DC 1
+R1 in 0 1k
+.tran 1p 1n
+.probe in
+`
+	if _, err := Parse(strings.NewReader(deck)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, deck string }{
+		{"no tran", "V1 a 0 DC 1\nR1 a 0 1k\n.probe a\n"},
+		{"no probe", "V1 a 0 DC 1\nR1 a 0 1k\n.tran 1p 1n\n"},
+		{"bad element", "Q1 a 0 5\n.tran 1p 1n\n.probe a\n"},
+		{"bad value", "R1 a 0 abc\n"},
+		{"short R", "R1 a 0\n"},
+		{"bad tran", ".tran 1p\n"},
+		{"tran order", "V1 a 0 DC 1\nR1 a 0 1k\n.tran 1n 1p\n.probe a\n"},
+		{"probe unknown", "V1 a 0 DC 1\nR1 a 0 1k\n.tran 1p 1n\n.probe zz\n"},
+		{"probe ground", "V1 a 0 DC 1\nR1 a 0 1k\n.tran 1p 1n\n.probe 0\n"},
+		{"bad directive", ".wave 1\n"},
+		{"short source", "V1 a 0 DC\n"},
+		{"bad source kind", "V1 a 0 RAMP 1\nR1 a 0 1\n.tran 1p 1n\n.probe a\n"},
+		{"short pulse", "V1 a 0 PULSE 1 0\nR1 a 0 1\n.tran 1p 1n\n.probe a\n"},
+		{"short sin", "V1 a 0 SIN 1\nR1 a 0 1\n.tran 1p 1n\n.probe a\n"},
+		{"invalid circuit", "V1 a 0 DC 1\nR1 a a 1k\n.tran 1p 1n\n.probe a\n"},
+		{"floating node", "V1 a 0 DC 1\nR1 a 0 1k\nRf x y 1k\n.tran 1p 1n\n.probe a\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.deck)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGroundAliases(t *testing.T) {
+	deck := "V1 a gnd DC 1\nR1 a 0 1k\n.tran 1p 1n\n.probe a\n"
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ckt.Nodes() != 2 { // ground + a
+		t.Errorf("nodes %d", d.Ckt.Nodes())
+	}
+}
+
+func TestCurrentSourceDeck(t *testing.T) {
+	deck := `
+* current source driving parallel RC
+I1 out 0 STEP 1m 10p
+R1 out 0 1k
+C1 out 0 1p
+.tran 2p 8n
+.probe out
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mna.Simulate(d.Ckt, mna.Options{Dt: d.Dt, TEnd: d.TEnd, Probes: d.Probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Waveform(d.Probes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := w.Final(); math.Abs(f-1) > 1e-3 {
+		t.Errorf("final %g, want 1 V", f)
+	}
+}

@@ -1,0 +1,177 @@
+package numeric
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CBandMatrix is a square banded complex matrix with kl sub-diagonals
+// and ku super-diagonals, stored like BandMatrix. It exists so AC
+// analysis of long interconnect ladders factors in O(n·band²) instead
+// of O(n³) per frequency point.
+type CBandMatrix struct {
+	N, KL, KU int
+	data      []complex128
+	ld        int
+}
+
+// NewCBandMatrix returns a zero n×n complex band matrix.
+func NewCBandMatrix(n, kl, ku int) *CBandMatrix {
+	if n <= 0 || kl < 0 || ku < 0 || kl >= n || ku >= n {
+		panic(fmt.Sprintf("numeric: invalid cband dims n=%d kl=%d ku=%d", n, kl, ku))
+	}
+	ld := 2*kl + ku + 1
+	return &CBandMatrix{N: n, KL: kl, KU: ku, ld: ld, data: make([]complex128, ld*n)}
+}
+
+func (b *CBandMatrix) idx(i, j int) int { return (b.KU+b.KL+i-j)*b.N + j }
+
+// InBand reports whether (i, j) lies within the declared bandwidth.
+func (b *CBandMatrix) InBand(i, j int) bool {
+	return i >= 0 && j >= 0 && i < b.N && j < b.N && j-i <= b.KU && i-j <= b.KL
+}
+
+// At returns element (i, j); outside the band it is zero.
+func (b *CBandMatrix) At(i, j int) complex128 {
+	if !b.InBand(i, j) {
+		return 0
+	}
+	return b.data[b.idx(i, j)]
+}
+
+// Set assigns element (i, j); it panics outside the band.
+func (b *CBandMatrix) Set(i, j int, v complex128) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("numeric: cband element (%d,%d) outside kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.data[b.idx(i, j)] = v
+}
+
+// Add accumulates v into element (i, j); it panics outside the band.
+func (b *CBandMatrix) Add(i, j int, v complex128) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("numeric: cband element (%d,%d) outside kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.data[b.idx(i, j)] += v
+}
+
+// Zero resets all stored elements.
+func (b *CBandMatrix) Zero() {
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// MulVec computes y = b·x.
+func (b *CBandMatrix) MulVec(x []complex128) []complex128 {
+	if len(x) != b.N {
+		panic("numeric: cband MulVec dimension mismatch")
+	}
+	y := make([]complex128, b.N)
+	for i := 0; i < b.N; i++ {
+		lo := i - b.KL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + b.KU
+		if hi >= b.N {
+			hi = b.N - 1
+		}
+		var s complex128
+		for j := lo; j <= hi; j++ {
+			s += b.At(i, j) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// CBandLU is a complex band LU factorization with partial pivoting.
+type CBandLU struct {
+	n, kl, ku int
+	data      []complex128
+	piv       []int
+}
+
+// FactorCBandLU factors the complex band matrix; a is not modified.
+func FactorCBandLU(a *CBandMatrix) (*CBandLU, error) {
+	n, kl, ku := a.N, a.KL, a.KU
+	f := &CBandLU{n: n, kl: kl, ku: ku, data: make([]complex128, len(a.data)), piv: make([]int, n)}
+	copy(f.data, a.data)
+	at := func(i, j int) complex128 { return f.data[(ku+kl+i-j)*n+j] }
+	set := func(i, j int, v complex128) { f.data[(ku+kl+i-j)*n+j] = v }
+	for k := 0; k < n; k++ {
+		p, maxv := k, cmplx.Abs(at(k, k))
+		iMax := k + kl
+		if iMax >= n {
+			iMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			if v := cmplx.Abs(at(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		f.piv[k] = p
+		jMax := k + ku + kl
+		if jMax >= n {
+			jMax = n - 1
+		}
+		if p != k {
+			for j := k; j <= jMax; j++ {
+				vp, vk := at(p, j), at(k, j)
+				set(p, j, vk)
+				set(k, j, vp)
+			}
+		}
+		pivot := at(k, k)
+		for i := k + 1; i <= iMax; i++ {
+			m := at(i, k) / pivot
+			set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j <= jMax; j++ {
+				set(i, j, at(i, j)-m*at(k, j))
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b from the factorization; b is not modified.
+func (f *CBandLU) Solve(b []complex128) []complex128 {
+	if len(b) != f.n {
+		panic("numeric: CBandLU.Solve dimension mismatch")
+	}
+	n, kl, ku := f.n, f.kl, f.ku
+	at := func(i, j int) complex128 { return f.data[(ku+kl+i-j)*n+j] }
+	x := make([]complex128, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[p], x[k] = x[k], x[p]
+		}
+		iMax := k + kl
+		if iMax >= n {
+			iMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			x[i] -= at(i, k) * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		jMax := i + ku + kl
+		if jMax >= n {
+			jMax = n - 1
+		}
+		s := x[i]
+		for j := i + 1; j <= jMax; j++ {
+			s -= at(i, j) * x[j]
+		}
+		x[i] = s / at(i, i)
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+package numeric
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randCBand(rng *rand.Rand, n, kl, ku int) *CBandMatrix {
+	bm := NewCBandMatrix(n, kl, ku)
+	for i := 0; i < n; i++ {
+		for j := i - kl; j <= i+ku; j++ {
+			if bm.InBand(i, j) {
+				bm.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+		bm.Add(i, i, complex(float64(2*n), 0))
+	}
+	return bm
+}
+
+func TestCBandAgainstDenseComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(30)
+		kl := rng.Intn(3)
+		ku := rng.Intn(3)
+		if kl >= n {
+			kl = n - 1
+		}
+		if ku >= n {
+			ku = n - 1
+		}
+		bm := randCBand(rng, n, kl, ku)
+		xTrue := make([]complex128, n)
+		for i := range xTrue {
+			xTrue[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := bm.MulVec(xTrue)
+		f, err := FactorCBandLU(bm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := f.Solve(b)
+		// Dense reference.
+		dm := NewCMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dm.Set(i, j, bm.At(i, j))
+			}
+		}
+		xd, err := SolveCDense(dm, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-xTrue[i]) > 1e-9 || cmplx.Abs(x[i]-xd[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] band %v dense %v true %v", trial, i, x[i], xd[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCBandSingular(t *testing.T) {
+	bm := NewCBandMatrix(3, 1, 1)
+	bm.Set(0, 0, 1)
+	bm.Set(1, 1, 1)
+	// Row 2 left zero.
+	if _, err := FactorCBandLU(bm); err == nil {
+		t.Error("singular accepted")
+	}
+}
+
+func TestCBandAccessors(t *testing.T) {
+	bm := NewCBandMatrix(5, 1, 1)
+	bm.Set(2, 2, complex(1, 1))
+	bm.Add(2, 2, complex(0, 1))
+	if bm.At(2, 2) != complex(1, 2) {
+		t.Error("Set/Add/At")
+	}
+	if bm.At(0, 4) != 0 {
+		t.Error("out-of-band read should be 0")
+	}
+	bm.Zero()
+	if bm.At(2, 2) != 0 {
+		t.Error("Zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-band Set did not panic")
+		}
+	}()
+	bm.Set(0, 4, 1)
+}
+
+func TestCBandLargeTridiagonal(t *testing.T) {
+	// jω-shifted discrete Laplacian: typical AC system shape.
+	n := 1500
+	bm := NewCBandMatrix(n, 1, 1)
+	for i := 0; i < n; i++ {
+		bm.Set(i, i, complex(2, 0.3))
+		if i > 0 {
+			bm.Set(i, i-1, complex(-1, 0))
+		}
+		if i < n-1 {
+			bm.Set(i, i+1, complex(-1, 0))
+		}
+	}
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = 1
+	}
+	f, err := FactorCBandLU(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(b)
+	r := bm.MulVec(x)
+	for i := range r {
+		if cmplx.Abs(r[i]-1) > 1e-8 {
+			t.Fatalf("residual at %d: %g", i, cmplx.Abs(r[i]-1))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package numeric
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix, used by AC (frequency-
+// domain) circuit analysis.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zero Rows×Cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("numeric: invalid cmatrix dims %dx%d", rows, cols))
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets all elements.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes y = m·x.
+func (m *CMatrix) MulVec(x []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic("numeric: CMatrix.MulVec dimension mismatch")
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// CLU is an LU factorization with partial pivoting of a complex matrix.
+type CLU struct {
+	n   int
+	lu  []complex128
+	piv []int
+}
+
+// FactorCLU computes the complex LU factorization of square a; a is not
+// modified.
+func FactorCLU(a *CMatrix) (*CLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("numeric: FactorCLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		p, maxv := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b; b is not modified.
+func (f *CLU) Solve(b []complex128) []complex128 {
+	if len(b) != f.n {
+		panic("numeric: CLU.Solve dimension mismatch")
+	}
+	n := f.n
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// SolveCDense solves a complex system for one right-hand side.
+func SolveCDense(a *CMatrix, b []complex128) ([]complex128, error) {
+	f, err := FactorCLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,83 @@
+package numeric
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestCLUKnownSystem(t *testing.T) {
+	// (1+i)x + y = 3+i ; x − y = i  →  solve and verify residual.
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, -1)
+	b := []complex128{complex(3, 1), complex(0, 1)}
+	x, err := SolveCDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.MulVec(x)
+	for i := range r {
+		if cmplx.Abs(r[i]-b[i]) > 1e-12 {
+			t.Errorf("residual[%d] = %v", i, r[i]-b[i])
+		}
+	}
+}
+
+func TestCLURandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		a := NewCMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+			a.Add(i, i, complex(float64(2*n), 0))
+		}
+		xTrue := make([]complex128, n)
+		for i := range xTrue {
+			xTrue[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveCDense(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-xTrue[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d] off by %g", trial, i, cmplx.Abs(x[i]-xTrue[i]))
+			}
+		}
+	}
+}
+
+func TestCLUSingular(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, complex(2, 0))
+	a.Set(1, 1, complex(4, 0))
+	if _, err := FactorCLU(a); err == nil {
+		t.Error("singular matrix accepted")
+	}
+	r := NewCMatrix(2, 3)
+	if _, err := FactorCLU(r); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestCMatrixOps(t *testing.T) {
+	m := NewCMatrix(2, 2)
+	m.Set(0, 0, complex(1, 2))
+	m.Add(0, 0, complex(1, -1))
+	if m.At(0, 0) != complex(2, 1) {
+		t.Error("Set/Add/At")
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 {
+		t.Error("Zero")
+	}
+}

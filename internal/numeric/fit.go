@@ -1,0 +1,118 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolyFit fits a least-squares polynomial of the given degree to the data
+// (xs, ys) by solving the normal equations. Suitable for the low-degree
+// curve fits used in the paper's model construction.
+func PolyFit(xs, ys []float64, degree int) (Poly, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return Poly{}, fmt.Errorf("numeric: PolyFit length mismatch %d vs %d", n, len(ys))
+	}
+	if degree < 0 || n < degree+1 {
+		return Poly{}, fmt.Errorf("numeric: PolyFit needs >= degree+1 points (n=%d, degree=%d)", n, degree)
+	}
+	m := degree + 1
+	// Normal equations: (VᵀV) c = Vᵀ y with Vandermonde V.
+	ata := NewMatrix(m, m)
+	atb := make([]float64, m)
+	pow := make([]float64, 2*m-1)
+	for _, x := range xs {
+		p := 1.0
+		for k := range pow {
+			pow[k] = p
+			p *= x
+		}
+		_ = pow
+		// accumulate
+		p = 1.0
+		xp := make([]float64, m)
+		for k := 0; k < m; k++ {
+			xp[k] = p
+			p *= x
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				ata.Add(i, j, xp[i]*xp[j])
+			}
+		}
+	}
+	for idx, x := range xs {
+		p := 1.0
+		for k := 0; k < m; k++ {
+			atb[k] += p * ys[idx]
+			p *= x
+		}
+	}
+	c, err := SolveDense(ata, atb)
+	if err != nil {
+		return Poly{}, fmt.Errorf("numeric: PolyFit normal equations: %w", err)
+	}
+	return NewPoly(c...), nil
+}
+
+// LinFit fits y ≈ a + b·x, returning (a, b).
+func LinFit(xs, ys []float64) (a, b float64, err error) {
+	p, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	a = p.Eval(0)
+	b = 0
+	if len(p.Coef) > 1 {
+		b = p.Coef[1]
+	}
+	return a, b, nil
+}
+
+// PowerLawFit fits y ≈ k·x^p on positive data by linear regression in
+// log-log space, returning (k, p). Points with non-positive x or y are
+// rejected.
+func PowerLawFit(xs, ys []float64) (k, p float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("numeric: PowerLawFit needs >=2 matched points")
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("numeric: PowerLawFit requires positive data (point %d: %g, %g)", i, xs[i], ys[i])
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	a, b, err := LinFit(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(a), b, nil
+}
+
+// RSquared returns the coefficient of determination of model values fs
+// against observations ys.
+func RSquared(ys, fs []float64) float64 {
+	if len(ys) != len(fs) || len(ys) == 0 {
+		panic("numeric: RSquared length mismatch")
+	}
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	ssTot, ssRes := 0.0, 0.0
+	for i := range ys {
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+		ssRes += (ys[i] - fs[i]) * (ys[i] - fs[i])
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

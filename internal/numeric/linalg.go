@@ -1,0 +1,425 @@
+// Package numeric is rlckit's from-scratch numerical substrate: dense and
+// banded linear algebra, scalar root finding, polynomial arithmetic and
+// root finding, 1-D and simplex minimization, quadrature, interpolation,
+// least-squares fitting, and ODE integration.
+//
+// Everything is written against the Go standard library only. The routines
+// favor robustness on the moderately sized, well-conditioned problems that
+// arise in interconnect analysis (matrices up to a few thousand unknowns,
+// polynomials up to degree ~100) over asymptotic performance.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("numeric: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j); the natural operation for
+// MNA stamping.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes y = m·x. It panics if dimensions mismatch.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("numeric: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// ErrSingular reports a numerically singular matrix during factorization.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U with unit-diagonal L stored below the diagonal of LU.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of the square matrix a.
+// a is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("numeric: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivot: find max |lu[i][k]| for i >= k.
+		p, maxv := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("numeric: LU.Solve dimension mismatch")
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense solves A·x = b for a single right-hand side.
+func SolveDense(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// BandMatrix is a square banded matrix with kl sub-diagonals and ku
+// super-diagonals, stored in the LAPACK-style band layout augmented with
+// kl extra rows for pivoting fill-in. Interconnect ladders produce
+// tridiagonal-ish MNA systems; the band solver keeps large segment counts
+// cheap.
+type BandMatrix struct {
+	N, KL, KU int
+	// data[(kl+ku+kl) rows][n cols]: element (i,j) with
+	// max(0,j-ku-kl? ) — we use storage row index = ku+kl+i-j.
+	data []float64
+	ld   int // leading dimension = 2*kl+ku+1
+}
+
+// NewBandMatrix returns a zero n×n band matrix with bandwidths kl, ku.
+func NewBandMatrix(n, kl, ku int) *BandMatrix {
+	if n <= 0 || kl < 0 || ku < 0 || kl >= n || ku >= n {
+		panic(fmt.Sprintf("numeric: invalid band dims n=%d kl=%d ku=%d", n, kl, ku))
+	}
+	ld := 2*kl + ku + 1
+	return &BandMatrix{N: n, KL: kl, KU: ku, ld: ld, data: make([]float64, ld*n)}
+}
+
+func (b *BandMatrix) idx(i, j int) int {
+	// Stored at row (ku+kl + i - j), column j.
+	return (b.KU+b.KL+i-j)*b.N + j
+}
+
+// InBand reports whether (i,j) lies within the declared bandwidth.
+func (b *BandMatrix) InBand(i, j int) bool {
+	return i >= 0 && j >= 0 && i < b.N && j < b.N && j-i <= b.KU && i-j <= b.KL
+}
+
+// At returns element (i,j); elements outside the band are zero.
+func (b *BandMatrix) At(i, j int) float64 {
+	if !b.InBand(i, j) {
+		return 0
+	}
+	return b.data[b.idx(i, j)]
+}
+
+// Set assigns element (i,j); it panics outside the band.
+func (b *BandMatrix) Set(i, j int, v float64) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("numeric: band element (%d,%d) outside kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.data[b.idx(i, j)] = v
+}
+
+// Add accumulates v into element (i,j); it panics outside the band.
+func (b *BandMatrix) Add(i, j int, v float64) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("numeric: band element (%d,%d) outside kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.data[b.idx(i, j)] += v
+}
+
+// Zero resets all stored elements.
+func (b *BandMatrix) Zero() {
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (b *BandMatrix) Clone() *BandMatrix {
+	c := NewBandMatrix(b.N, b.KL, b.KU)
+	copy(c.data, b.data)
+	return c
+}
+
+// Dense expands the band matrix to a dense Matrix (for tests and small n).
+func (b *BandMatrix) Dense() *Matrix {
+	m := NewMatrix(b.N, b.N)
+	for i := 0; i < b.N; i++ {
+		lo := i - b.KL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + b.KU
+		if hi >= b.N {
+			hi = b.N - 1
+		}
+		for j := lo; j <= hi; j++ {
+			m.Set(i, j, b.At(i, j))
+		}
+	}
+	return m
+}
+
+// MulVec computes y = b·x.
+func (b *BandMatrix) MulVec(x []float64) []float64 {
+	if len(x) != b.N {
+		panic("numeric: band MulVec dimension mismatch")
+	}
+	y := make([]float64, b.N)
+	for i := 0; i < b.N; i++ {
+		lo := i - b.KL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + b.KU
+		if hi >= b.N {
+			hi = b.N - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += b.At(i, j) * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// BandLU is an LU factorization with partial pivoting of a BandMatrix.
+type BandLU struct {
+	n, kl, ku int
+	ld        int
+	data      []float64
+	piv       []int
+}
+
+// FactorBandLU factors the band matrix; a is not modified.
+func FactorBandLU(a *BandMatrix) (*BandLU, error) {
+	n, kl, ku := a.N, a.KL, a.KU
+	f := &BandLU{n: n, kl: kl, ku: ku, ld: a.ld, data: make([]float64, len(a.data)), piv: make([]int, n)}
+	copy(f.data, a.data)
+	at := func(i, j int) float64 { return f.data[(ku+kl+i-j)*n+j] }
+	set := func(i, j int, v float64) { f.data[(ku+kl+i-j)*n+j] = v }
+	for k := 0; k < n; k++ {
+		// Pivot search within the kl sub-diagonals.
+		p, maxv := k, math.Abs(at(k, k))
+		iMax := k + kl
+		if iMax >= n {
+			iMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			if v := math.Abs(at(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		f.piv[k] = p
+		jMax := k + ku + kl // fill-in can extend ku+kl to the right
+		if jMax >= n {
+			jMax = n - 1
+		}
+		if p != k {
+			for j := k; j <= jMax; j++ {
+				vp, vk := 0.0, 0.0
+				if p-j <= kl && j-p <= ku+kl {
+					vp = at(p, j)
+				}
+				if k-j <= kl && j-k <= ku+kl {
+					vk = at(k, j)
+				}
+				if p-j <= kl && j-p <= ku+kl {
+					set(p, j, vk)
+				}
+				if k-j <= kl && j-k <= ku+kl {
+					set(k, j, vp)
+				}
+			}
+		}
+		pivot := at(k, k)
+		for i := k + 1; i <= iMax; i++ {
+			m := at(i, k) / pivot
+			set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j <= jMax; j++ {
+				set(i, j, at(i, j)-m*at(k, j))
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b from the band factorization; b is not modified.
+func (f *BandLU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("numeric: BandLU.Solve dimension mismatch")
+	}
+	n, kl, ku := f.n, f.kl, f.ku
+	at := func(i, j int) float64 { return f.data[(ku+kl+i-j)*n+j] }
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply row interchanges and forward substitution.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[p], x[k] = x[k], x[p]
+		}
+		iMax := k + kl
+		if iMax >= n {
+			iMax = n - 1
+		}
+		for i := k + 1; i <= iMax; i++ {
+			x[i] -= at(i, k) * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		jMax := i + ku + kl
+		if jMax >= n {
+			jMax = n - 1
+		}
+		s := x[i]
+		for j := i + 1; j <= jMax; j++ {
+			s -= at(i, j) * x[j]
+		}
+		x[i] = s / at(i, i)
+	}
+	return x
+}
+
+// VecNormInf returns max_i |x[i]|.
+func VecNormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// VecNorm2 returns the Euclidean norm of x.
+func VecNorm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: Dot dimension mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,256 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b))+tol
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-12) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 8)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 6)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -14, 1e-12) {
+		t.Errorf("det = %g, want -14", f.Det())
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorLU(a); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorLU(a); err == nil {
+		t.Error("expected error on non-square matrix")
+	}
+}
+
+func TestLURandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(30)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance for conditioning
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-9) {
+				t.Fatalf("n=%d x[%d]=%g want %g", n, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Add(0, 0, 2)
+	if m.At(0, 0) != 3 {
+		t.Error("Set/Add/At")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 3 {
+		t.Error("Clone aliases storage")
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 {
+		t.Error("Zero")
+	}
+}
+
+func TestBandMatrixAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(40)
+		kl := rng.Intn(3)
+		ku := rng.Intn(3)
+		if kl >= n {
+			kl = n - 1
+		}
+		if ku >= n {
+			ku = n - 1
+		}
+		bm := NewBandMatrix(n, kl, ku)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if bm.InBand(i, j) {
+					bm.Set(i, j, rng.NormFloat64())
+				}
+			}
+			bm.Add(i, i, float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := bm.MulVec(xTrue)
+		// Band solve.
+		f, err := FactorBandLU(bm)
+		if err != nil {
+			t.Fatalf("band factor n=%d kl=%d ku=%d: %v", n, kl, ku, err)
+		}
+		x := f.Solve(b)
+		// Dense reference.
+		xd, err := SolveDense(bm.Dense(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !almostEq(x[i], xd[i], 1e-8) || !almostEq(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d]=%g dense=%g true=%g", trial, i, x[i], xd[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestBandMatrixTridiagonalLarge(t *testing.T) {
+	// -u'' discretization: classic tridiagonal [−1 2 −1] system.
+	n := 2000
+	bm := NewBandMatrix(n, 1, 1)
+	for i := 0; i < n; i++ {
+		bm.Set(i, i, 2)
+		if i > 0 {
+			bm.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			bm.Set(i, i+1, -1)
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	f, err := FactorBandLU(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(b)
+	// Residual check.
+	r := bm.MulVec(x)
+	for i := range r {
+		if math.Abs(r[i]-1) > 1e-7 {
+			t.Fatalf("residual at %d: %g", i, r[i]-1)
+		}
+	}
+}
+
+func TestBandOutOfBandPanics(t *testing.T) {
+	bm := NewBandMatrix(5, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Set outside band did not panic")
+		}
+	}()
+	bm.Set(0, 4, 1)
+}
+
+func TestBandClone(t *testing.T) {
+	bm := NewBandMatrix(4, 1, 1)
+	bm.Set(1, 1, 5)
+	c := bm.Clone()
+	c.Set(1, 1, 7)
+	if bm.At(1, 1) != 5 {
+		t.Error("band Clone aliases storage")
+	}
+	bm.Zero()
+	if bm.At(1, 1) != 0 {
+		t.Error("band Zero")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if VecNormInf([]float64{1, -3, 2}) != 3 {
+		t.Error("VecNormInf")
+	}
+	if !almostEq(VecNorm2([]float64{3, 4}), 5, 1e-15) {
+		t.Error("VecNorm2")
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot")
+	}
+}
+
+func TestLUSolvePropertyRoundTrip(t *testing.T) {
+	// Property: for random well-conditioned A and x, Solve(A, A·x) ≈ x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64()-0.5)
+			}
+			a.Add(i, i, 5)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		got, err := SolveDense(a, a.MulVec(x))
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

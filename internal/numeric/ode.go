@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// ODEFunc is the right-hand side of dy/dt = f(t, y). It writes the
+// derivative into dst (len(dst) == len(y)) to avoid per-step allocation.
+type ODEFunc func(t float64, y, dst []float64)
+
+// RK4 integrates dy/dt = f from t0 to t1 with n fixed classical
+// Runge-Kutta steps, returning the final state.
+func RK4(f ODEFunc, y0 []float64, t0, t1 float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	dim := len(y0)
+	y := append([]float64(nil), y0...)
+	k1 := make([]float64, dim)
+	k2 := make([]float64, dim)
+	k3 := make([]float64, dim)
+	k4 := make([]float64, dim)
+	tmp := make([]float64, dim)
+	h := (t1 - t0) / float64(n)
+	t := t0
+	for s := 0; s < n; s++ {
+		f(t, y, k1)
+		for i := range tmp {
+			tmp[i] = y[i] + h/2*k1[i]
+		}
+		f(t+h/2, tmp, k2)
+		for i := range tmp {
+			tmp[i] = y[i] + h/2*k2[i]
+		}
+		f(t+h/2, tmp, k3)
+		for i := range tmp {
+			tmp[i] = y[i] + h*k3[i]
+		}
+		f(t+h, tmp, k4)
+		for i := range y {
+			y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += h
+	}
+	return y
+}
+
+// RKF45Result carries one accepted adaptive step's output.
+type RKF45Result struct {
+	T float64
+	Y []float64
+}
+
+// RKF45 integrates dy/dt = f from t0 to t1 with the Runge–Kutta–Fehlberg
+// 4(5) adaptive method, calling observe (if non-nil) after each accepted
+// step. tol is a per-component absolute error target per step.
+func RKF45(f ODEFunc, y0 []float64, t0, t1, tol float64, observe func(RKF45Result)) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	dim := len(y0)
+	y := append([]float64(nil), y0...)
+	t := t0
+	h := (t1 - t0) / 100
+	if h == 0 {
+		return y, nil
+	}
+	hMin := (t1 - t0) * 1e-14
+	k := make([][]float64, 6)
+	for i := range k {
+		k[i] = make([]float64, dim)
+	}
+	tmp := make([]float64, dim)
+	y4 := make([]float64, dim)
+	y5 := make([]float64, dim)
+	// Fehlberg tableau.
+	var (
+		a = [6]float64{0, 1.0 / 4, 3.0 / 8, 12.0 / 13, 1, 1.0 / 2}
+		b = [6][5]float64{
+			{},
+			{1.0 / 4},
+			{3.0 / 32, 9.0 / 32},
+			{1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197},
+			{439.0 / 216, -8, 3680.0 / 513, -845.0 / 4104},
+			{-8.0 / 27, 2, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40},
+		}
+		c4 = [6]float64{25.0 / 216, 0, 1408.0 / 2565, 2197.0 / 4104, -1.0 / 5, 0}
+		c5 = [6]float64{16.0 / 135, 0, 6656.0 / 12825, 28561.0 / 56430, -9.0 / 50, 2.0 / 55}
+	)
+	for steps := 0; t < t1; steps++ {
+		if steps > 20_000_000 {
+			return y, fmt.Errorf("numeric: RKF45 exceeded step budget at t=%g", t)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		for s := 0; s < 6; s++ {
+			copy(tmp, y)
+			for j := 0; j < s; j++ {
+				if b[s][j] != 0 {
+					for i := range tmp {
+						tmp[i] += h * b[s][j] * k[j][i]
+					}
+				}
+			}
+			f(t+a[s]*h, tmp, k[s])
+		}
+		errMax := 0.0
+		for i := range y {
+			s4, s5 := 0.0, 0.0
+			for s := 0; s < 6; s++ {
+				s4 += c4[s] * k[s][i]
+				s5 += c5[s] * k[s][i]
+			}
+			y4[i] = y[i] + h*s4
+			y5[i] = y[i] + h*s5
+			if e := math.Abs(y5[i] - y4[i]); e > errMax {
+				errMax = e
+			}
+		}
+		if errMax <= tol || h <= hMin {
+			t += h
+			copy(y, y5)
+			if observe != nil {
+				observe(RKF45Result{T: t, Y: append([]float64(nil), y...)})
+			}
+		}
+		// Step-size controller.
+		if errMax == 0 {
+			h *= 4
+		} else {
+			fac := 0.9 * math.Pow(tol/errMax, 0.2)
+			if fac > 4 {
+				fac = 4
+			}
+			if fac < 0.1 {
+				fac = 0.1
+			}
+			h *= fac
+			if h < hMin {
+				h = hMin
+			}
+		}
+	}
+	return y, nil
+}

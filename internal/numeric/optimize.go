@@ -1,0 +1,170 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+)
+
+// GoldenSection minimizes a unimodal function f on [a, b] to x tolerance
+// tol, returning the minimizer. It is derivative-free and robust.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10 * (math.Abs(a) + math.Abs(b) + 1)
+	}
+	const invPhi = 0.6180339887498949  // 1/φ
+	const invPhi2 = 0.3819660112501051 // 1/φ²
+	h := b - a
+	if h <= tol {
+		return (a + b) / 2
+	}
+	c := a + invPhi2*h
+	d := a + invPhi*h
+	fc, fd := f(c), f(d)
+	n := int(math.Ceil(math.Log(tol/h) / math.Log(invPhi)))
+	for i := 0; i < n; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			h *= invPhi
+			c = a + invPhi2*h
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			h *= invPhi
+			d = a + invPhi*h
+			fd = f(d)
+		}
+	}
+	if fc < fd {
+		return (a + d) / 2
+	}
+	return (c + b) / 2
+}
+
+// MinimizeScalar brackets then golden-sections a minimum of f starting
+// from the interval [lo, hi], expanding downhill if the minimum sits at an
+// edge. It returns the minimizer and minimum value.
+func MinimizeScalar(f func(float64) float64, lo, hi, tol float64) (xmin, fmin float64) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Expand while the edge is the best point (up to 60 doublings).
+	for i := 0; i < 60; i++ {
+		m := (lo + hi) / 2
+		fl, fm, fh := f(lo), f(m), f(hi)
+		if fm <= fl && fm <= fh {
+			break
+		}
+		w := hi - lo
+		if fl < fh {
+			lo -= w
+			if lo < 0 && hi > 0 {
+				lo = math.SmallestNonzeroFloat64 // delay problems live on x>0
+			}
+		} else {
+			hi += w
+		}
+	}
+	x := GoldenSection(f, lo, hi, tol)
+	return x, f(x)
+}
+
+// NelderMead minimizes f: Rⁿ → R starting from x0 with initial simplex
+// scale step. It returns the best point found after maxIter iterations or
+// simplex collapse below tol.
+func NelderMead(f func([]float64) float64, x0 []float64, step, tol float64, maxIter int) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	if step <= 0 {
+		step = 0.1
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			d := step * (math.Abs(x[i-1]) + 1)
+			x[i-1] += d
+		}
+		simplex[i] = vertex{x: x, f: f(x)}
+	}
+	centroid := make([]float64, n)
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		// Convergence: simplex diameter and value spread.
+		diam := 0.0
+		for i := 1; i <= n; i++ {
+			for j := 0; j < n; j++ {
+				if d := math.Abs(simplex[i].x[j] - simplex[0].x[j]); d > diam {
+					diam = d
+				}
+			}
+		}
+		if diam < tol && math.Abs(simplex[n].f-simplex[0].f) < tol*(math.Abs(simplex[0].f)+1) {
+			break
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ { // exclude the worst
+				s += simplex[i].x[j]
+			}
+			centroid[j] = s / float64(n)
+		}
+		worst := simplex[n]
+		refl := make([]float64, n)
+		for j := 0; j < n; j++ {
+			refl[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := f(refl)
+		switch {
+		case fr < simplex[0].f:
+			exp := make([]float64, n)
+			for j := 0; j < n; j++ {
+				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			if fe := f(exp); fe < fr {
+				simplex[n] = vertex{x: exp, f: fe}
+			} else {
+				simplex[n] = vertex{x: refl, f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: refl, f: fr}
+		default:
+			con := make([]float64, n)
+			for j := 0; j < n; j++ {
+				con[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			if fc := f(con); fc < worst.f {
+				simplex[n] = vertex{x: con, f: fc}
+			} else {
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return simplex[0].x, simplex[0].f
+}

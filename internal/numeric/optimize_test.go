@@ -1,0 +1,276 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.7) * (x - 3.7) }
+	x := GoldenSection(f, 0, 10, 1e-10)
+	if !almostEq(x, 3.7, 1e-7) {
+		t.Errorf("got %g", x)
+	}
+}
+
+func TestGoldenSectionSwappedInterval(t *testing.T) {
+	f := func(x float64) float64 { return math.Cosh(x - 1) }
+	x := GoldenSection(f, 5, -5, 1e-10)
+	if !almostEq(x, 1, 1e-6) {
+		t.Errorf("got %g", x)
+	}
+}
+
+func TestMinimizeScalarExpandsDownhill(t *testing.T) {
+	// Minimum at x = 40, far outside the initial [0, 1] interval.
+	f := func(x float64) float64 { return (x - 40) * (x - 40) }
+	x, fx := MinimizeScalar(f, 0, 1, 1e-9)
+	if !almostEq(x, 40, 1e-5) || fx > 1e-8 {
+		t.Errorf("got x=%g f=%g", x, fx)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fx := NelderMead(f, []float64{-1.2, 1}, 0.5, 1e-12, 10000)
+	if !almostEq(x[0], 1, 1e-4) || !almostEq(x[1], 1, 1e-4) || fx > 1e-7 {
+		t.Errorf("got %v f=%g", x, fx)
+	}
+}
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + (x[1]+3)*(x[1]+3) + 5
+	}
+	x, fx := NelderMead(f, []float64{0, 0}, 1, 1e-12, 5000)
+	if !almostEq(x[0], 2, 1e-5) || !almostEq(x[1], -3, 1e-5) || !almostEq(fx, 5, 1e-9) {
+		t.Errorf("got %v f=%g", x, fx)
+	}
+}
+
+func TestNelderMeadEmpty(t *testing.T) {
+	x, fx := NelderMead(func(x []float64) float64 { return 7 }, nil, 1, 1e-9, 10)
+	if x != nil || fx != 7 {
+		t.Errorf("got %v %g", x, fx)
+	}
+}
+
+func TestIntegrateKnown(t *testing.T) {
+	got := Integrate(math.Sin, 0, math.Pi, 1e-12)
+	if !almostEq(got, 2, 1e-9) {
+		t.Errorf("∫sin = %g", got)
+	}
+	got = Integrate(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if !almostEq(got, 1.0/3, 1e-10) {
+		t.Errorf("∫x² = %g", got)
+	}
+}
+
+func TestIntegrateReversedAndEmpty(t *testing.T) {
+	if Integrate(math.Exp, 1, 1, 1e-9) != 0 {
+		t.Error("empty interval")
+	}
+	a := Integrate(math.Exp, 0, 1, 1e-12)
+	b := Integrate(math.Exp, 1, 0, 1e-12)
+	if !almostEq(a, -b, 1e-12) {
+		t.Errorf("reversal: %g vs %g", a, b)
+	}
+	if !almostEq(a, math.E-1, 1e-9) {
+		t.Errorf("∫exp = %g", a)
+	}
+}
+
+func TestTrapz(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	if got := Trapz(xs, ys); !almostEq(got, 4.5, 1e-14) {
+		t.Errorf("Trapz = %g", got)
+	}
+	if got := TrapzUniform(ys, 1); !almostEq(got, 4.5, 1e-14) {
+		t.Errorf("TrapzUniform = %g", got)
+	}
+	if TrapzUniform([]float64{5}, 1) != 0 {
+		t.Error("single sample")
+	}
+}
+
+func TestLinearInterpAndCrossing(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 20}
+	if got := LinearInterp(xs, ys, 0.5); !almostEq(got, 5, 1e-14) {
+		t.Errorf("interp %g", got)
+	}
+	if got := LinearInterp(xs, ys, -5); got != 0 {
+		t.Errorf("clamp low %g", got)
+	}
+	if got := LinearInterp(xs, ys, 99); got != 20 {
+		t.Errorf("clamp high %g", got)
+	}
+	x, err := InvLinearCrossing(xs, ys, 15)
+	if err != nil || !almostEq(x, 1.5, 1e-14) {
+		t.Errorf("crossing %g %v", x, err)
+	}
+	if _, err := InvLinearCrossing(xs, ys, 99); err == nil {
+		t.Error("expected no-crossing error")
+	}
+}
+
+func TestInvLinearCrossingExactSample(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 0.5, 1}
+	x, err := InvLinearCrossing(xs, ys, 0.5)
+	if err != nil || !almostEq(x, 1, 1e-14) {
+		t.Errorf("got %g %v", x, err)
+	}
+}
+
+func TestSplineReproducesCubic(t *testing.T) {
+	// A natural spline won't exactly reproduce a cubic, but on dense knots
+	// it must be close; on a parabola sampled densely it is very close.
+	g := func(x float64) float64 { return 2 + 3*x - x*x }
+	var xs, ys []float64
+	for x := -2.0; x <= 2.0001; x += 0.1 {
+		xs = append(xs, x)
+		ys = append(ys, g(x))
+	}
+	s, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -1.9; x < 1.9; x += 0.037 {
+		if math.Abs(s.Eval(x)-g(x)) > 1e-3 {
+			t.Fatalf("spline(%g) = %g, want %g", x, s.Eval(x), g(x))
+		}
+	}
+}
+
+func TestSplineTwoPointsIsLinear(t *testing.T) {
+	s, err := NewSpline([]float64{0, 2}, []float64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Eval(1), 2, 1e-14) {
+		t.Errorf("got %g", s.Eval(1))
+	}
+}
+
+func TestSplineErrors(t *testing.T) {
+	if _, err := NewSpline([]float64{0}, []float64{1}); err == nil {
+		t.Error("short data")
+	}
+	if _, err := NewSpline([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing knots")
+	}
+	if _, err := NewSpline([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch")
+	}
+}
+
+func TestPolyFit(t *testing.T) {
+	// Exact fit of a quadratic.
+	var xs, ys []float64
+	for x := -3.0; x <= 3; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, 1-2*x+0.5*x*x)
+	}
+	p, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 0.5}
+	for i, w := range want {
+		if !almostEq(p.Coef[i], w, 1e-9) {
+			t.Errorf("coef[%d] = %g want %g", i, p.Coef[i], w)
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 5); err == nil {
+		t.Error("underdetermined")
+	}
+}
+
+func TestLinFitAndPowerLaw(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // 1 + 2x
+	a, b, err := LinFit(xs, ys)
+	if err != nil || !almostEq(a, 1, 1e-9) || !almostEq(b, 2, 1e-9) {
+		t.Errorf("LinFit a=%g b=%g err=%v", a, b, err)
+	}
+	// y = 4 x^1.7
+	var px, py []float64
+	for x := 0.5; x < 20; x *= 1.5 {
+		px = append(px, x)
+		py = append(py, 4*math.Pow(x, 1.7))
+	}
+	k, p, err := PowerLawFit(px, py)
+	if err != nil || !almostEq(k, 4, 1e-9) || !almostEq(p, 1.7, 1e-9) {
+		t.Errorf("PowerLawFit k=%g p=%g err=%v", k, p, err)
+	}
+	if _, _, err := PowerLawFit([]float64{-1, 1}, []float64{1, 1}); err == nil {
+		t.Error("negative data accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	ys := []float64{1, 2, 3}
+	if RSquared(ys, ys) != 1 {
+		t.Error("perfect fit should be 1")
+	}
+	if r := RSquared(ys, []float64{2, 2, 2}); r != 0 {
+		t.Errorf("mean model should be 0, got %g", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{5, 5}); r != 1 {
+		t.Errorf("constant data perfect fit: %g", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{4, 6}); r != 0 {
+		t.Errorf("constant data misfit: %g", r)
+	}
+}
+
+func TestRK4Exponential(t *testing.T) {
+	// dy/dt = -y, y(0)=1 → e^{-t}.
+	f := func(t float64, y, dst []float64) { dst[0] = -y[0] }
+	y := RK4(f, []float64{1}, 0, 2, 2000)
+	if !almostEq(y[0], math.Exp(-2), 1e-9) {
+		t.Errorf("got %g", y[0])
+	}
+}
+
+func TestRKF45Oscillator(t *testing.T) {
+	// Harmonic oscillator: y'' = -y → (y, v). At t=2π returns to start.
+	f := func(t float64, y, dst []float64) {
+		dst[0] = y[1]
+		dst[1] = -y[0]
+	}
+	calls := 0
+	y, err := RKF45(f, []float64{1, 0}, 0, 2*math.Pi, 1e-11, func(r RKF45Result) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("observer never called")
+	}
+	if !almostEq(y[0], 1, 1e-6) || math.Abs(y[1]) > 1e-6 {
+		t.Errorf("got %v", y)
+	}
+}
+
+func TestRKF45ZeroSpan(t *testing.T) {
+	f := func(t float64, y, dst []float64) { dst[0] = 1 }
+	y, err := RKF45(f, []float64{3}, 1, 1, 1e-9, nil)
+	if err != nil || y[0] != 3 {
+		t.Errorf("got %v %v", y, err)
+	}
+}

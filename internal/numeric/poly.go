@@ -1,0 +1,311 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Poly is a real polynomial stored by ascending power:
+// p(x) = Coef[0] + Coef[1]·x + ... + Coef[n]·xⁿ.
+// The zero value is the zero polynomial.
+type Poly struct {
+	Coef []float64
+}
+
+// NewPoly returns a polynomial with the given ascending coefficients,
+// trimmed of trailing (near-)zero leading terms.
+func NewPoly(coef ...float64) Poly {
+	p := Poly{Coef: append([]float64(nil), coef...)}
+	return p.trim()
+}
+
+func (p Poly) trim() Poly {
+	n := len(p.Coef)
+	for n > 1 && p.Coef[n-1] == 0 {
+		n--
+	}
+	p.Coef = p.Coef[:n]
+	return p
+}
+
+// Degree returns the polynomial degree; the zero polynomial has degree 0.
+func (p Poly) Degree() int {
+	if len(p.Coef) == 0 {
+		return 0
+	}
+	return len(p.Coef) - 1
+}
+
+// IsZero reports whether p is identically zero.
+func (p Poly) IsZero() bool {
+	for _, c := range p.Coef {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates p at real x by Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	s := 0.0
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		s = s*x + p.Coef[i]
+	}
+	return s
+}
+
+// EvalC evaluates p at complex z by Horner's rule.
+func (p Poly) EvalC(z complex128) complex128 {
+	s := complex(0, 0)
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		s = s*z + complex(p.Coef[i], 0)
+	}
+	return s
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p.Coef)
+	if len(q.Coef) > n {
+		n = len(q.Coef)
+	}
+	c := make([]float64, n)
+	for i := range c {
+		if i < len(p.Coef) {
+			c[i] += p.Coef[i]
+		}
+		if i < len(q.Coef) {
+			c[i] += q.Coef[i]
+		}
+	}
+	return Poly{Coef: c}.trim()
+}
+
+// Scale returns k·p.
+func (p Poly) Scale(k float64) Poly {
+	c := make([]float64, len(p.Coef))
+	for i, v := range p.Coef {
+		c[i] = k * v
+	}
+	return Poly{Coef: c}.trim()
+}
+
+// Mul returns p·q by convolution.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return NewPoly(0)
+	}
+	c := make([]float64, len(p.Coef)+len(q.Coef)-1)
+	for i, a := range p.Coef {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q.Coef {
+			c[i+j] += a * b
+		}
+	}
+	return Poly{Coef: c}.trim()
+}
+
+// Derivative returns dp/dx.
+func (p Poly) Derivative() Poly {
+	if len(p.Coef) <= 1 {
+		return NewPoly(0)
+	}
+	c := make([]float64, len(p.Coef)-1)
+	for i := 1; i < len(p.Coef); i++ {
+		c[i-1] = float64(i) * p.Coef[i]
+	}
+	return Poly{Coef: c}.trim()
+}
+
+// ShiftScaleArg returns q(x) = p(a·x), the polynomial with its argument
+// scaled. Used to apply the paper's time-scaling t → t/ωn in the
+// S-domain (S → ωn·S′).
+func (p Poly) ShiftScaleArg(a float64) Poly {
+	c := make([]float64, len(p.Coef))
+	f := 1.0
+	for i, v := range p.Coef {
+		c[i] = v * f
+		f *= a
+	}
+	return Poly{Coef: c}.trim()
+}
+
+// String renders the polynomial for diagnostics, lowest power first.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i, c := range p.Coef {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		first = false
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%g", c)
+		case 1:
+			fmt.Fprintf(&b, "%g*s", c)
+		default:
+			fmt.Fprintf(&b, "%g*s^%d", c, i)
+		}
+	}
+	return b.String()
+}
+
+// Roots returns all complex roots of p using the Aberth–Ehrlich
+// simultaneous iteration with Newton corrections. The leading coefficient
+// must be nonzero (guaranteed by trim unless p is constant, which returns
+// no roots).
+func (p Poly) Roots() []complex128 {
+	q := p.trim()
+	n := q.Degree()
+	if n < 1 {
+		return nil
+	}
+	// Factor out roots at the origin (trailing zero coefficients).
+	zeroRoots := 0
+	coefAll := append([]float64(nil), q.Coef...)
+	for zeroRoots < n && coefAll[zeroRoots] == 0 {
+		zeroRoots++
+	}
+	coef := coefAll[zeroRoots:]
+	n -= zeroRoots
+	out := make([]complex128, 0, n+zeroRoots)
+	for i := 0; i < zeroRoots; i++ {
+		out = append(out, 0)
+	}
+	if n == 0 {
+		return out
+	}
+	// Lead-normalize, then rescale the variable x = r·y with r chosen as
+	// the geometric mean root magnitude (|c0/cn|)^(1/n). This keeps the
+	// working coefficients bounded for polynomials whose roots span many
+	// orders of magnitude (high-order ladder networks), where a naive
+	// Cauchy-bound start circle overflows.
+	lead := coef[n]
+	work := make([]float64, n+1)
+	for i := range work {
+		work[i] = coef[i] / lead
+	}
+	r := math.Pow(math.Abs(work[0]), 1/float64(n))
+	if r == 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		r = 1
+	}
+	scale := 1.0
+	for i := range work {
+		work[i] *= scale // multiply c_i by r^i
+		scale *= r
+	}
+	// Re-normalize by the max coefficient for safety.
+	maxc := 0.0
+	for _, c := range work {
+		if a := math.Abs(c); a > maxc {
+			maxc = a
+		}
+	}
+	if maxc > 0 {
+		for i := range work {
+			work[i] /= maxc
+		}
+	}
+	z := make([]complex128, n)
+	for k := range z {
+		theta := 2*math.Pi*float64(k)/float64(n) + 0.3923
+		z[k] = cmplx.Rect(math.Pow(1.8, 2*float64(k)/float64(n)-1), theta)
+	}
+	pc := Poly{Coef: work}
+	dp := pc.Derivative()
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for k := range z {
+			fz := pc.EvalC(z[k])
+			dz := dp.EvalC(z[k])
+			if fz == 0 {
+				continue
+			}
+			var newton complex128
+			if dz != 0 {
+				newton = fz / dz
+			} else {
+				newton = complex(1e-8, 1e-8)
+			}
+			// Aberth correction: subtract repulsion from other roots.
+			sum := complex(0, 0)
+			for j := range z {
+				if j != k {
+					d := z[k] - z[j]
+					if d == 0 {
+						d = complex(1e-12, 1e-12)
+					}
+					sum += 1 / d
+				}
+			}
+			denom := 1 - newton*sum
+			if denom == 0 {
+				denom = complex(1e-12, 0)
+			}
+			step := newton / denom
+			z[k] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		scale := 0.0
+		for _, zz := range z {
+			if a := cmplx.Abs(zz); a > scale {
+				scale = a
+			}
+		}
+		if maxStep <= 1e-14*(scale+1) {
+			break
+		}
+	}
+	// Polish with a few pure Newton steps, unscale, and snap near-real
+	// roots: real polynomials have conjugate-symmetric root sets.
+	for k := range z {
+		for it := 0; it < 8; it++ {
+			fz := pc.EvalC(z[k])
+			dz := dp.EvalC(z[k])
+			if dz == 0 || cmplx.Abs(fz) == 0 {
+				break
+			}
+			z[k] -= fz / dz
+		}
+		z[k] *= complex(r, 0)
+		if math.Abs(imag(z[k])) < 1e-9*(math.Abs(real(z[k]))+1e-30) {
+			z[k] = complex(real(z[k]), 0)
+		}
+	}
+	return append(out, z...)
+}
+
+// PolyFromRoots builds the monic real polynomial with the given complex
+// roots; complex roots must come in conjugate pairs (imaginary residue is
+// dropped after pairing).
+func PolyFromRoots(roots []complex128) Poly {
+	c := []complex128{1}
+	for _, r := range roots {
+		nc := make([]complex128, len(c)+1)
+		for i, v := range c {
+			nc[i] -= v * r
+			nc[i+1] += v
+		}
+		c = nc
+	}
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return Poly{Coef: out}.trim()
+}

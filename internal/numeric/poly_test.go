@@ -1,0 +1,192 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEval(t *testing.T) {
+	p := NewPoly(1, 2, 3) // 1 + 2x + 3x²
+	if got := p.Eval(2); got != 17 {
+		t.Errorf("Eval(2) = %g", got)
+	}
+	if got := p.EvalC(complex(0, 1)); !almostEq(real(got), -2, 1e-15) || !almostEq(imag(got), 2, 1e-15) {
+		t.Errorf("EvalC(i) = %v", got)
+	}
+}
+
+func TestPolyArithmetic(t *testing.T) {
+	p := NewPoly(1, 1)  // 1 + x
+	q := NewPoly(-1, 1) // -1 + x
+	prod := p.Mul(q)    // x² - 1
+	if prod.Degree() != 2 || prod.Eval(3) != 8 {
+		t.Errorf("Mul: %v", prod)
+	}
+	sum := p.Add(q) // 2x
+	if sum.Degree() != 1 || sum.Eval(5) != 10 {
+		t.Errorf("Add: %v", sum)
+	}
+	sc := p.Scale(3)
+	if sc.Eval(1) != 6 {
+		t.Errorf("Scale: %v", sc)
+	}
+	d := NewPoly(1, 2, 3).Derivative() // 2 + 6x
+	if d.Eval(1) != 8 {
+		t.Errorf("Derivative: %v", d)
+	}
+}
+
+func TestPolyTrimAndZero(t *testing.T) {
+	p := NewPoly(1, 0, 0)
+	if p.Degree() != 0 {
+		t.Errorf("trim failed: degree %d", p.Degree())
+	}
+	z := NewPoly(0)
+	if !z.IsZero() || z.Degree() != 0 {
+		t.Error("zero poly")
+	}
+	if !z.Mul(p).IsZero() {
+		t.Error("0*p != 0")
+	}
+	if z.Derivative().Eval(3) != 0 {
+		t.Error("d0/dx")
+	}
+}
+
+func TestPolyShiftScaleArg(t *testing.T) {
+	p := NewPoly(1, 2, 3) // 1 + 2x + 3x²
+	q := p.ShiftScaleArg(2)
+	for _, x := range []float64{-1, 0, 0.5, 2} {
+		if !almostEq(q.Eval(x), p.Eval(2*x), 1e-13) {
+			t.Fatalf("q(%g) != p(2*%g)", x, x)
+		}
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	s := NewPoly(1, 0, 2).String()
+	if !strings.Contains(s, "s^2") || !strings.Contains(s, "1") {
+		t.Errorf("String: %q", s)
+	}
+	if NewPoly(0).String() != "0" {
+		t.Error("zero String")
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	// (x-3)(x+5) = x² + 2x − 15
+	p := NewPoly(-15, 2, 1)
+	roots := p.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	re := []float64{real(roots[0]), real(roots[1])}
+	sort.Float64s(re)
+	if !almostEq(re[0], -5, 1e-9) || !almostEq(re[1], 3, 1e-9) {
+		t.Errorf("roots %v", roots)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	// x² + 1 → ±i
+	roots := NewPoly(1, 0, 1).Roots()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	for _, r := range roots {
+		if !almostEq(real(r), 0, 1e-9) || !almostEq(math.Abs(imag(r)), 1, 1e-9) {
+			t.Errorf("root %v", r)
+		}
+	}
+}
+
+func TestRootsReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		deg := 1 + rng.Intn(8)
+		roots := make([]complex128, 0, deg)
+		for len(roots) < deg {
+			if deg-len(roots) >= 2 && rng.Float64() < 0.5 {
+				re := rng.NormFloat64() * 2
+				im := math.Abs(rng.NormFloat64())*2 + 0.1
+				roots = append(roots, complex(re, im), complex(re, -im))
+			} else {
+				roots = append(roots, complex(rng.NormFloat64()*3, 0))
+			}
+		}
+		p := PolyFromRoots(roots)
+		found := p.Roots()
+		if len(found) != deg {
+			t.Fatalf("trial %d: %d roots found, want %d", trial, len(found), deg)
+		}
+		// Each true root must be near some found root.
+		for _, r := range roots {
+			best := math.Inf(1)
+			for _, f := range found {
+				if d := cmplx.Abs(f - r); d < best {
+					best = d
+				}
+			}
+			if best > 1e-6*(cmplx.Abs(r)+1) {
+				t.Fatalf("trial %d: root %v unmatched (best %g); poly %v", trial, r, best, p)
+			}
+		}
+	}
+}
+
+func TestRootsHighDegreeLadderLike(t *testing.T) {
+	// Characteristic polynomials of RC ladders have real negative,
+	// closely spaced roots — a stress case for root finders.
+	roots := make([]complex128, 12)
+	for i := range roots {
+		roots[i] = complex(-float64(i+1)*0.37, 0)
+	}
+	p := PolyFromRoots(roots)
+	found := p.Roots()
+	for _, r := range roots {
+		best := math.Inf(1)
+		for _, f := range found {
+			if d := cmplx.Abs(f - r); d < best {
+				best = d
+			}
+		}
+		if best > 1e-4 {
+			t.Fatalf("root %v unmatched, best dist %g", r, best)
+		}
+	}
+}
+
+func TestPolyFromRootsRealCoefficients(t *testing.T) {
+	p := PolyFromRoots([]complex128{complex(-1, 2), complex(-1, -2)})
+	// (x+1-2i)(x+1+2i) = x² + 2x + 5
+	want := []float64{5, 2, 1}
+	for i, w := range want {
+		if !almostEq(p.Coef[i], w, 1e-12) {
+			t.Errorf("coef[%d] = %g, want %g", i, p.Coef[i], w)
+		}
+	}
+}
+
+func TestRootsPropertyEvalNearZero(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		a = math.Mod(math.Abs(a), 5) + 0.2
+		b = math.Mod(b, 5)
+		c = math.Mod(c, 5)
+		p := NewPoly(c, b, a) // a x² + b x + c with a > 0
+		for _, r := range p.Roots() {
+			scale := math.Abs(a)*cmplx.Abs(r*r) + math.Abs(b)*cmplx.Abs(r) + math.Abs(c) + 1
+			if cmplx.Abs(p.EvalC(r)) > 1e-7*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

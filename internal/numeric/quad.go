@@ -1,0 +1,68 @@
+package numeric
+
+import "math"
+
+// Integrate computes ∫f over [a,b] with adaptive Simpson quadrature to
+// absolute tolerance tol. It recurses to a bounded depth, so it always
+// terminates; pathological integrands degrade to best-effort accuracy.
+func Integrate(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	sign := 1.0
+	if a > b {
+		a, b = b, a
+		sign = -1
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	return sign * adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm := (a + m) / 2
+	rm := (m + b) / 2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// TrapzUniform integrates uniformly sampled values y with spacing h.
+func TrapzUniform(y []float64, h float64) float64 {
+	if len(y) < 2 {
+		return 0
+	}
+	s := (y[0] + y[len(y)-1]) / 2
+	for _, v := range y[1 : len(y)-1] {
+		s += v
+	}
+	return s * h
+}
+
+// Trapz integrates samples (x[i], y[i]) with the trapezoid rule; x must be
+// non-decreasing.
+func Trapz(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("numeric: Trapz length mismatch")
+	}
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		s += (x[i] - x[i-1]) * (y[i] + y[i-1]) / 2
+	}
+	return s
+}

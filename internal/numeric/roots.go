@@ -1,0 +1,175 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket reports that a root bracket could not be established.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrMaxIter reports iteration-limit exhaustion without convergence.
+var ErrMaxIter = errors.New("numeric: iteration limit exceeded")
+
+// Bisect finds a root of f in [a, b] by bisection to absolute x tolerance
+// tol. f(a) and f(b) must have opposite signs (or one endpoint is a root).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-12 * (math.Abs(a) + math.Abs(b) + 1)
+	}
+	for i := 0; i < 200; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, ErrMaxIter
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must bracket a root.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if tol <= 0 {
+		tol = 1e-14
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 300; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			b += math.Copysign(tol1, xm)
+		}
+		fb = f(b)
+		if math.Signbit(fb) != math.Signbit(fc) {
+			// keep bracket [b, c]
+		} else {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, ErrMaxIter
+}
+
+// Newton finds a root of f near x0 using derivative df, falling back to a
+// secant step when df vanishes. It converges quadratically near simple roots.
+func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-14
+	}
+	x := x0
+	fx := f(x)
+	for i := 0; i < 100; i++ {
+		if math.Abs(fx) == 0 {
+			return x, nil
+		}
+		d := df(x)
+		var step float64
+		if d != 0 && !math.IsNaN(d) && !math.IsInf(d, 0) {
+			step = fx / d
+		} else {
+			h := 1e-7 * (math.Abs(x) + 1)
+			d2 := (f(x+h) - fx) / h
+			if d2 == 0 {
+				return x, fmt.Errorf("numeric: Newton stalled at x=%g (zero derivative)", x)
+			}
+			step = fx / d2
+		}
+		xn := x - step
+		if math.Abs(xn-x) <= tol*(math.Abs(xn)+1) {
+			return xn, nil
+		}
+		x = xn
+		fx = f(x)
+	}
+	return x, ErrMaxIter
+}
+
+// FindBracket expands outward from [a, b] geometrically until f changes
+// sign, returning a bracketing interval. It fails after maxExpand doublings.
+func FindBracket(f func(float64) float64, a, b float64, maxExpand int) (float64, float64, error) {
+	if a == b {
+		b = a + 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+			return a, b, nil
+		}
+		w := b - a
+		if math.Abs(fa) < math.Abs(fb) {
+			a -= w
+			fa = f(a)
+		} else {
+			b += w
+			fb = f(b)
+		}
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,118 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, math.Sqrt2, 1e-10) {
+		t.Errorf("got %g", x)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-12); err != nil || x != 0 {
+		t.Errorf("endpoint a root: %g, %v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-12); err != nil || x != 0 {
+		t.Errorf("endpoint b root: %g, %v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-12); err == nil {
+		t.Error("expected no-bracket error")
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// cos x = x near 0.739085...
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	x, err := Brent(f, 0, 1, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 0.7390851332151607, 1e-12) {
+		t.Errorf("got %.16g", x)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	f := func(seed float64) bool {
+		c := math.Mod(math.Abs(seed), 9) + 0.5 // root location in (0.5, 9.5)
+		g := func(x float64) float64 { return math.Expm1(x - c) }
+		xb, err1 := Bisect(g, 0, 10, 1e-13)
+		xr, err2 := Brent(g, 0, 10, 1e-13)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEq(xb, c, 1e-9) && almostEq(xr, c, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -3, 3, 0); err == nil {
+		t.Error("expected no-bracket error")
+	}
+}
+
+func TestNewton(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 8 }
+	df := func(x float64) float64 { return 3 * x * x }
+	x, err := Newton(f, df, 3, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 2, 1e-12) {
+		t.Errorf("got %g", x)
+	}
+}
+
+func TestNewtonSecantFallback(t *testing.T) {
+	f := func(x float64) float64 { return x - 5 }
+	df := func(x float64) float64 { return 0 } // force fallback
+	x, err := Newton(f, df, 0, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x, 5, 1e-9) {
+		t.Errorf("got %g", x)
+	}
+}
+
+func TestFindBracket(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	a, b, err := FindBracket(f, 0, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f(a) <= 0 && f(b) >= 0) {
+		t.Errorf("not a bracket: [%g, %g]", a, b)
+	}
+	if _, _, err := FindBracket(func(x float64) float64 { return 1 }, 0, 1, 10); err == nil {
+		t.Error("expected failure on sign-definite function")
+	}
+}
+
+func TestFindBracketSwappedArgs(t *testing.T) {
+	f := func(x float64) float64 { return x - 2 }
+	a, b, err := FindBracket(f, 5, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a > b || f(a)*f(b) > 0 {
+		t.Errorf("bad bracket [%g,%g]", a, b)
+	}
+}

@@ -1,0 +1,146 @@
+package paper
+
+import (
+	"fmt"
+	"math"
+
+	"rlckit/internal/core"
+	"rlckit/internal/netgen"
+	"rlckit/internal/numeric"
+	"rlckit/internal/ratfun"
+	"rlckit/internal/report"
+	"rlckit/internal/screen"
+	"rlckit/internal/tech"
+	"rlckit/internal/tline"
+)
+
+// RiseTimePoint is one sample of experiment E11: the 50% delay of the
+// driven line under a finite input rise time, relative to the ideal-step
+// delay the paper assumes ("a fast rising signal that can be
+// approximated by a step signal").
+type RiseTimePoint struct {
+	// RiseOverStep is tr / t_pd(step).
+	RiseOverStep float64
+	// DelayRatio is t_pd(tr) / t_pd(step), measuring from the input's
+	// own 50% point (tr/2).
+	DelayRatio float64
+}
+
+// RiseTimeSensitivity quantifies when the paper's step-input assumption
+// holds (E11): it drives the canonical Table-1 line with saturating
+// ramps of increasing rise time and reports the delay inflation.
+func RiseTimeSensitivity(ratios []float64) ([]RiseTimePoint, *report.Table, error) {
+	if ratios == nil {
+		ratios = []float64{0.05, 0.25, 0.5, 1, 2, 4}
+	}
+	ln := tline.FromTotals(1000, 1e-7, 1e-12, 0.01)
+	d := tline.Drive{Rtr: 500, CL: 5e-13}
+	p, err := core.Analyze(ln, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	t0 := 1 / p.OmegaN
+	num, den, err := tline.LadderTF(ln, d, 24, tline.Pi, t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := ratfun.New(num, den)
+	if err != nil {
+		return nil, nil, err
+	}
+	step, err := h.StepResponse()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Normalized step delay of the ladder model.
+	cross := func(f func(float64) float64, lo, hi float64) (float64, error) {
+		const scan = 1200
+		prev := lo
+		for i := 1; i <= scan; i++ {
+			tn := lo + (hi-lo)*float64(i)/scan
+			if f(tn) >= 0.5 {
+				return numeric.Bisect(func(u float64) float64 { return f(u) - 0.5 }, prev, tn, hi*1e-12)
+			}
+			prev = tn
+		}
+		return 0, fmt.Errorf("paper: no 0.5 crossing in [%g, %g]", lo, hi)
+	}
+	rt, lt, ct := ln.Totals()
+	horizonN := (4*(rt+d.Rtr)*(ct+d.CL) + 8*math.Sqrt(lt*(ct+d.CL))) / t0
+	stepDelayN, err := cross(step, 1e-9, horizonN)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := report.NewTable("E11 — validity of the step-input assumption (Table-1 canonical line)",
+		"tr / tpd(step)", "tpd(tr) / tpd(step)")
+	var out []RiseTimePoint
+	for _, ratio := range ratios {
+		if ratio <= 0 {
+			return nil, nil, fmt.Errorf("paper: rise ratio must be positive, got %g", ratio)
+		}
+		trN := ratio * stepDelayN
+		ramp, err := h.RampResponse(trN)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := cross(ramp, 1e-9, horizonN+2*trN)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt := RiseTimePoint{
+			RiseOverStep: ratio,
+			DelayRatio:   (c - trN/2) / stepDelayN,
+		}
+		out = append(out, pt)
+		tb.AddRow(pt.RiseOverStep, pt.DelayRatio)
+	}
+	return out, tb, nil
+}
+
+// ScreenCensusPoint is one technology node of experiment E12: what
+// fraction of a realistic net population needs RLC analysis.
+type ScreenCensusPoint struct {
+	Node        string
+	RiseTimePs  float64
+	FractionRLC float64
+	Stats       screen.Stats
+}
+
+// ScreenCensus screens a reproducible random net population at every
+// technology node (E12). Edge rates track the node's gate speed
+// (tr = 8·R0·C0), so the fraction of inductance-significant nets grows
+// as technology scales — the paper's conclusion, measured on a
+// population instead of a single wire.
+func ScreenCensus(seed int64, netsPerNode int) ([]ScreenCensusPoint, *report.Table, error) {
+	if netsPerNode <= 0 {
+		netsPerNode = 150
+	}
+	tb := report.NewTable("E12 — fraction of random nets needing RLC analysis, by node",
+		"node", "rise(ps)", "nets", "in window", "underdamped", "needs RLC", "fraction")
+	var out []ScreenCensusPoint
+	for _, node := range tech.All() {
+		nets, err := netgen.RandomBatch(seed, node, netsPerNode)
+		if err != nil {
+			return nil, nil, err
+		}
+		lines := make([]tline.Line, len(nets))
+		drives := make([]tline.Drive, len(nets))
+		for i, n := range nets {
+			lines[i] = n.Line
+			drives[i] = n.Drive
+		}
+		tr := 8 * node.R0 * node.C0
+		st, err := screen.Batch(lines, drives, tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("paper: census at %s: %w", node.Name, err)
+		}
+		pt := ScreenCensusPoint{
+			Node: node.Name, RiseTimePs: tr * 1e12,
+			FractionRLC: st.FractionRLC(), Stats: st,
+		}
+		out = append(out, pt)
+		tb.AddRow(pt.Node, pt.RiseTimePs, st.Total, st.InWindow, st.Underdamped,
+			st.NeedsRLC, math.Round(pt.FractionRLC*1000)/10)
+	}
+	return out, tb, nil
+}

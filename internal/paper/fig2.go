@@ -1,0 +1,89 @@
+package paper
+
+import (
+	"fmt"
+	"math"
+
+	"rlckit/internal/core"
+	"rlckit/internal/report"
+	"rlckit/internal/tline"
+)
+
+// Fig2Point is one simulated point of Figure 2: the scaled 50% delay
+// t′pd = t_pd·ωn at a given ζ for a given (RT, CT) family.
+type Fig2Point struct {
+	RTCT        float64 // RT = CT value of the family
+	Zeta        float64
+	TpdScaled   float64 // simulated
+	Eq9Scaled   float64 // model curve value at the same ζ
+	ErrPctVsEq9 float64
+}
+
+// fig2Line builds a driven line with the requested (RT = CT = v, ζ):
+// Rt = 1 kΩ and Ct = 1 pF over 10 mm are fixed; Rtr = v·Rt, CL = v·Ct,
+// and Lt is solved from Eq. 6.
+func fig2Line(v, zeta float64) (tline.Line, tline.Drive, error) {
+	const (
+		rt = 1000.0
+		ct = 1e-12
+	)
+	f := v + v + v*v + 0.5
+	// ζ = (Rt/2)·sqrt(Ct/Lt)·f/sqrt(1+v)  ⇒  Lt = Ct·(Rt·f/(2ζ·sqrt(1+v)))².
+	root := rt * f / (2 * zeta * math.Sqrt(1+v))
+	lt := ct * root * root
+	ln := tline.FromTotals(rt, lt, ct, 0.01)
+	d := tline.Drive{Rtr: v * rt, CL: v * ct}
+	return ln, d, ln.Validate()
+}
+
+// Fig2 regenerates Figure 2 (experiment E2): simulated t′pd versus ζ
+// for RT = CT ∈ {0, 1, 5}, against the Eq. 9 curve. zetas selects the
+// sample points (nil for the default sweep).
+func Fig2(zetas []float64) ([]Fig2Point, *report.Plot, error) {
+	if zetas == nil {
+		zetas = linSpace(0.2, 2.4, 12)
+	}
+	families := []float64{0, 1, 5}
+	var pts []Fig2Point
+	plot := report.NewPlot("Fig. 2 — scaled 50% delay t'pd vs ζ", 64, 18)
+	plot.XLabel, plot.YLabel = "zeta", "t'pd"
+	for _, v := range families {
+		xs := make([]float64, 0, len(zetas))
+		ys := make([]float64, 0, len(zetas))
+		for _, z := range zetas {
+			ln, d, err := fig2Line(v, z)
+			if err != nil {
+				return nil, nil, fmt.Errorf("paper: fig2 line (v=%g ζ=%g): %w", v, z, err)
+			}
+			sim, err := simulate(ln, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("paper: fig2 sim (v=%g ζ=%g): %w", v, z, err)
+			}
+			p, err := core.Analyze(ln, d)
+			if err != nil {
+				return nil, nil, err
+			}
+			scaled := sim * p.OmegaN
+			eq9 := core.ScaledDelay(p.Zeta)
+			pts = append(pts, Fig2Point{
+				RTCT: v, Zeta: p.Zeta, TpdScaled: scaled, Eq9Scaled: eq9,
+				ErrPctVsEq9: pct(eq9, scaled),
+			})
+			xs = append(xs, p.Zeta)
+			ys = append(ys, scaled)
+		}
+		if err := plot.Add(report.Series{Name: fmt.Sprintf("sim RT=CT=%g", v), X: xs, Y: ys}); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Eq. 9 curve, densely sampled.
+	cx := linSpace(zetas[0], zetas[len(zetas)-1], 48)
+	cy := make([]float64, len(cx))
+	for i, z := range cx {
+		cy[i] = core.ScaledDelay(z)
+	}
+	if err := plot.Add(report.Series{Name: "Eq. 9", X: cx, Y: cy}); err != nil {
+		return nil, nil, err
+	}
+	return pts, plot, nil
+}

@@ -1,0 +1,130 @@
+package paper
+
+import (
+	"fmt"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/repeater"
+	"rlckit/internal/report"
+)
+
+// paperBuffer is the repeater experiments' minimum buffer: R0·C0 = 1 ps,
+// the scale at which the paper's T_{L/R} = 0..10 sweep maps onto
+// realistic global wires (Rt = 1 kΩ, Ct = 1 pF, 10 mm).
+var paperBuffer = repeater.Buffer{R0: 1000, C0: 1e-15, Amin: 1, Vdd: 1.8}
+
+// Fig4Point is one T_{L/R} sample of Figure 4: the closed-form error
+// factors h′, k′ against numerically optimized ratios.
+type Fig4Point struct {
+	TLR float64
+	// HpClosed, KpClosed are Eq. 14/15's factors.
+	HpClosed, KpClosed float64
+	// HpEq9, KpEq9 are from minimizing the paper's Eq. 9-based objective.
+	HpEq9, KpEq9 float64
+	// HpTrue, KpTrue are from minimizing the exact-engine objective
+	// (zero when the true optimization is skipped).
+	HpTrue, KpTrue float64
+}
+
+// Fig4 regenerates Figure 4 (experiments E3/E4): h′(T) and k′(T) from
+// the closed forms versus numerical optimization. tlrs selects sample
+// points (nil for the default sweep). includeTrue additionally runs the
+// exact-engine optimizer (slower; the scientifically decisive one).
+func Fig4(tlrs []float64, includeTrue bool) ([]Fig4Point, *report.Plot, error) {
+	if tlrs == nil {
+		tlrs = []float64{0.25, 0.5, 1, 2, 3, 5, 7, 10}
+	}
+	var pts []Fig4Point
+	plot := report.NewPlot("Fig. 4 — repeater error factors h'(T), k'(T)", 64, 18)
+	plot.XLabel, plot.YLabel = "T_{L/R}", "factor"
+	var hx, hy, kx, ky, htx, hty, ktx, kty []float64
+	for _, t := range tlrs {
+		net := netgen.TLRSweep(paperBuffer.R0*paperBuffer.C0, []float64{t})[0]
+		hB, kB, err := repeater.BakogluHK(net.Line, paperBuffer)
+		if err != nil {
+			return nil, nil, fmt.Errorf("paper: fig4 Bakoglu at T=%g: %w", t, err)
+		}
+		hp, kp := repeater.ErrorFactors(t)
+		pt := Fig4Point{TLR: t, HpClosed: hp, KpClosed: kp}
+		hEq9, kEq9, _, err := repeater.OptimizeEq9(net.Line, paperBuffer)
+		if err != nil {
+			return nil, nil, fmt.Errorf("paper: fig4 Eq.9 optimum at T=%g: %w", t, err)
+		}
+		pt.HpEq9, pt.KpEq9 = hEq9/hB, kEq9/kB
+		if includeTrue {
+			hT, kT, _, err := repeater.OptimizeTrue(net.Line, paperBuffer)
+			if err != nil {
+				return nil, nil, fmt.Errorf("paper: fig4 true optimum at T=%g: %w", t, err)
+			}
+			pt.HpTrue, pt.KpTrue = hT/hB, kT/kB
+			htx, hty = append(htx, t), append(hty, pt.HpTrue)
+			ktx, kty = append(ktx, t), append(kty, pt.KpTrue)
+		}
+		pts = append(pts, pt)
+		hx, hy = append(hx, t), append(hy, hp)
+		kx, ky = append(kx, t), append(ky, kp)
+	}
+	if err := plot.Add(report.Series{Name: "h' closed form (Eq. 14)", X: hx, Y: hy}); err != nil {
+		return nil, nil, err
+	}
+	if err := plot.Add(report.Series{Name: "k' closed form (Eq. 15)", X: kx, Y: ky}); err != nil {
+		return nil, nil, err
+	}
+	if includeTrue {
+		if err := plot.Add(report.Series{Name: "h' true optimum", X: htx, Y: hty}); err != nil {
+			return nil, nil, err
+		}
+		if err := plot.Add(report.Series{Name: "k' true optimum", X: ktx, Y: kty}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return pts, plot, nil
+}
+
+// OptimalityGap quantifies the Section III claim that the closed forms
+// are near-optimal (experiment E8): the total-delay penalty of the
+// closed-form plan versus the optimizer, under both objectives.
+type OptimalityGap struct {
+	TLR float64
+	// Eq9GapPct: closed form vs the Eq. 9-objective optimum.
+	Eq9GapPct float64
+	// TrueGapPct: closed form vs the exact-engine optimum.
+	TrueGapPct float64
+}
+
+// Optimality computes the E8 gaps over the given T_{L/R} values.
+func Optimality(tlrs []float64) ([]OptimalityGap, *report.Table, error) {
+	if tlrs == nil {
+		tlrs = []float64{0.5, 1, 2, 3, 5}
+	}
+	tb := report.NewTable("E8 — closed-form repeater plan vs numerical optimum",
+		"T_{L/R}", "gap vs Eq.9 objective (%)", "gap vs exact engine (%)")
+	var out []OptimalityGap
+	for _, t := range tlrs {
+		net := netgen.TLRSweep(paperBuffer.R0*paperBuffer.C0, []float64{t})[0]
+		h, k, err := repeater.ClosedFormHK(net.Line, paperBuffer)
+		if err != nil {
+			return nil, nil, err
+		}
+		dEq9, err := repeater.TotalDelay(net.Line, paperBuffer, h, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, _, oEq9, err := repeater.OptimizeEq9(net.Line, paperBuffer)
+		if err != nil {
+			return nil, nil, err
+		}
+		dTrue, err := repeater.TrueTotalDelay(net.Line, paperBuffer, h, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, _, oTrue, err := repeater.OptimizeTrue(net.Line, paperBuffer)
+		if err != nil {
+			return nil, nil, err
+		}
+		g := OptimalityGap{TLR: t, Eq9GapPct: pct(dEq9, oEq9), TrueGapPct: pct(dTrue, oTrue)}
+		out = append(out, g)
+		tb.AddRow(t, g.Eq9GapPct, g.TrueGapPct)
+	}
+	return out, tb, nil
+}

@@ -1,0 +1,65 @@
+package paper
+
+import (
+	"rlckit/internal/netgen"
+	"rlckit/internal/repeater"
+	"rlckit/internal/report"
+)
+
+// IncreasePoint is one T_{L/R} sample of the Eq. 16-18 cost-of-ignoring-
+// inductance curves.
+type IncreasePoint struct {
+	TLR float64
+	// DelayEq16Pct is Eq. 16 with the exact engine: RC design vs the
+	// paper's closed-form RLC design.
+	DelayEq16Pct float64
+	// DelayVsOptPct is RC design vs the exact-engine optimum.
+	DelayVsOptPct float64
+	// DelayApproxPct is the paper's Eq. 17 closed-form fit.
+	DelayApproxPct float64
+	// AreaPct is Eq. 18; EnergyPct the switching-energy counterpart.
+	AreaPct, EnergyPct float64
+	// PaperDelayPct is the paper's stated anchor (0 when none given).
+	PaperDelayPct float64
+}
+
+// paperDelayAnchors are the %delay increases the paper states.
+var paperDelayAnchors = map[float64]float64{3: 10, 5: 20, 10: 30}
+
+// Increases regenerates the Eq. 16-18 curves (experiments E5/E6) over
+// the given T_{L/R} values (nil for the default sweep). vsOptimum also
+// runs the exact-engine optimizer per point (slower).
+func Increases(tlrs []float64, vsOptimum bool) ([]IncreasePoint, *report.Table, error) {
+	if tlrs == nil {
+		tlrs = []float64{0.5, 1, 2, 3, 5, 7, 10}
+	}
+	tb := report.NewTable("E5/E6 — cost of designing repeaters with an RC model",
+		"T_{L/R}", "delay inc Eq.16 (%)", "delay inc vs optimum (%)",
+		"Eq.17 fit (%)", "area inc Eq.18 (%)", "energy inc (%)", "paper (%)")
+	var out []IncreasePoint
+	for _, t := range tlrs {
+		net := netgen.TLRSweep(paperBuffer.R0*paperBuffer.C0, []float64{t})[0]
+		p := IncreasePoint{
+			TLR:            t,
+			DelayApproxPct: repeater.DelayIncreaseApprox(t),
+			AreaPct:        repeater.AreaIncrease(t),
+			PaperDelayPct:  paperDelayAnchors[t],
+		}
+		var err error
+		if p.DelayEq16Pct, err = repeater.DelayIncrease(net.Line, paperBuffer); err != nil {
+			return nil, nil, err
+		}
+		if p.EnergyPct, err = repeater.EnergyIncrease(net.Line, paperBuffer); err != nil {
+			return nil, nil, err
+		}
+		if vsOptimum {
+			if p.DelayVsOptPct, err = repeater.DelayIncreaseVsOptimum(net.Line, paperBuffer); err != nil {
+				return nil, nil, err
+			}
+		}
+		out = append(out, p)
+		tb.AddRow(t, p.DelayEq16Pct, p.DelayVsOptPct, p.DelayApproxPct,
+			p.AreaPct, p.EnergyPct, p.PaperDelayPct)
+	}
+	return out, tb, nil
+}

@@ -1,0 +1,65 @@
+package paper
+
+import (
+	"fmt"
+
+	"rlckit/internal/core"
+	"rlckit/internal/report"
+)
+
+// RefitResult is experiment E10: the paper's own curve-fitting step,
+// redone against our simulator.
+type RefitResult struct {
+	// Fitted are the constants recovered from our simulation data;
+	// the paper's are (2.9, 1.35, 1.48).
+	Fitted core.FitCoefficients
+	// FitRMSPct/FitMaxPct: the refit curve's error on the sample set.
+	FitRMSPct, FitMaxPct float64
+	// PaperRMSPct/PaperMaxPct: the published constants' error on the
+	// same samples.
+	PaperRMSPct, PaperMaxPct float64
+	Samples                  int
+}
+
+// Refit regenerates the Eq. 9 constants from scratch (E10): it sweeps
+// ζ across the paper's fitting domain (RT, CT ∈ [0, 1]), measures the
+// scaled delay with the exact line engine, and fits t′ = e^(−Aζ^B)+Cζ.
+func Refit() (RefitResult, *report.Table, error) {
+	// Families inside the accuracy domain plus high-ζ anchors to pin C.
+	families := []float64{0, 0.3, 0.7, 1.0}
+	zetas := append(linSpace(0.25, 2.5, 8), 4, 6, 9)
+	var samples []core.FitSample
+	for _, v := range families {
+		for _, z := range zetas {
+			ln, d, err := fig2Line(v, z)
+			if err != nil {
+				return RefitResult{}, nil, err
+			}
+			sim, err := simulate(ln, d)
+			if err != nil {
+				return RefitResult{}, nil, fmt.Errorf("paper: refit sim (v=%g ζ=%g): %w", v, z, err)
+			}
+			p, err := core.Analyze(ln, d)
+			if err != nil {
+				return RefitResult{}, nil, err
+			}
+			samples = append(samples, core.FitSample{Zeta: p.Zeta, TpdScaled: sim * p.OmegaN})
+		}
+	}
+	fit, err := core.FitDelayModel(samples)
+	if err != nil {
+		return RefitResult{}, nil, err
+	}
+	res := RefitResult{
+		Fitted:    fit.Coeff,
+		FitRMSPct: fit.RMSPct, FitMaxPct: fit.MaxPct,
+		Samples: len(samples),
+	}
+	res.PaperRMSPct, res.PaperMaxPct = core.ErrorVsSamples(core.PaperCoefficients, samples)
+	tb := report.NewTable("E10 — re-deriving the Eq. 9 constants from our simulator",
+		"constants", "A", "B", "C", "rms err %", "max err %")
+	tb.AddRow("paper (2.9, 1.35, 1.48)", core.PaperCoefficients.A, core.PaperCoefficients.B,
+		core.PaperCoefficients.C, res.PaperRMSPct, res.PaperMaxPct)
+	tb.AddRow("refit", res.Fitted.A, res.Fitted.B, res.Fitted.C, res.FitRMSPct, res.FitMaxPct)
+	return res, tb, nil
+}

@@ -1,0 +1,56 @@
+package paper
+
+import (
+	"fmt"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/repeater"
+	"rlckit/internal/report"
+	"rlckit/internal/tech"
+)
+
+// ScalingPoint is one technology node of the Section IV trend
+// (experiment E9): the same physical clock wire re-evaluated with each
+// node's drivers.
+type ScalingPoint struct {
+	Node string
+	// R0C0Ps is the node's gate time constant in picoseconds.
+	R0C0Ps float64
+	TLR    float64
+	// DelayIncPct is Eq. 16 (exact engine); AreaIncPct Eq. 18.
+	DelayIncPct, AreaIncPct float64
+}
+
+// ScalingTrend regenerates the paper's conclusion that the error of the
+// RC model grows as gate parasitics shrink: a fixed 10 mm clock spine
+// (250nm geometry) driven by the buffers of successive nodes.
+func ScalingTrend() ([]ScalingPoint, *report.Table, error) {
+	spine, err := netgen.ClockSpine(tech.Default(), 0.01)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := report.NewTable("E9 — scaling trend: shrinking R0·C0 raises T_{L/R} and the RC model's cost",
+		"node", "R0C0(ps)", "T_{L/R}", "delay inc Eq.16 (%)", "area inc Eq.18 (%)")
+	var out []ScalingPoint
+	for _, n := range tech.All() {
+		b := n.Buffer()
+		tlr, err := repeater.TLR(spine.Line, b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("paper: scaling at %s: %w", n.Name, err)
+		}
+		di, err := repeater.DelayIncrease(spine.Line, b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("paper: scaling delay increase at %s: %w", n.Name, err)
+		}
+		p := ScalingPoint{
+			Node:        n.Name,
+			R0C0Ps:      n.R0 * n.C0 * 1e12,
+			TLR:         tlr,
+			DelayIncPct: di,
+			AreaIncPct:  repeater.AreaIncrease(tlr),
+		}
+		out = append(out, p)
+		tb.AddRow(p.Node, p.R0C0Ps, p.TLR, p.DelayIncPct, p.AreaIncPct)
+	}
+	return out, tb, nil
+}

@@ -1,0 +1,78 @@
+package ratfun
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// RampResponse returns the exact response of H to a unit saturating ramp
+// input (0 at t ≤ 0, rising linearly to 1 at t = rise, then flat) — the
+// finite-rise-time "step" the paper approximates as ideal. It is built
+// from the integral response g(t) = L⁻¹[H(s)/s²](t):
+//
+//	v(t) = (g(t) − g(t − rise)) / rise
+//
+// with the same validity conditions as StepResponse (strictly proper,
+// simple poles, no pole at the origin). A zero rise returns the plain
+// step response.
+func (r R) RampResponse(rise float64) (func(t float64) float64, error) {
+	if rise < 0 {
+		return nil, fmt.Errorf("ratfun: negative rise time %g", rise)
+	}
+	if rise == 0 {
+		return r.StepResponse()
+	}
+	if r.Num.Degree() >= r.Den.Degree() {
+		return nil, fmt.Errorf("ratfun: ramp response needs strictly proper H (num degree %d, den degree %d)",
+			r.Num.Degree(), r.Den.Degree())
+	}
+	h0, err := r.DCGain()
+	if err != nil {
+		return nil, err
+	}
+	// H(s)/s² = h0/s² + h1/s + Σ_k r2_k/(s − p_k), with
+	// h1 = H′(0) and r2_k = Num(p_k)/(p_k²·Den′(p_k)).
+	d0 := r.Den.Eval(0)
+	n0 := r.Num.Eval(0)
+	n1 := r.Num.Derivative().Eval(0)
+	d1 := r.Den.Derivative().Eval(0)
+	h1 := (n1*d0 - n0*d1) / (d0 * d0)
+	poles := r.Poles()
+	scale := 0.0
+	for _, p := range poles {
+		if a := cmplx.Abs(p); a > scale {
+			scale = a
+		}
+	}
+	for i := 0; i < len(poles); i++ {
+		for j := i + 1; j < len(poles); j++ {
+			if cmplx.Abs(poles[i]-poles[j]) < 1e-8*(scale+1) {
+				return nil, fmt.Errorf("ratfun: repeated pole near %v; ramp response needs simple poles", poles[i])
+			}
+		}
+	}
+	dden := r.Den.Derivative()
+	type term struct{ res, p complex128 }
+	terms := make([]term, 0, len(poles))
+	for _, p := range poles {
+		dp := dden.EvalC(p)
+		if dp == 0 || p == 0 {
+			return nil, errors.New("ratfun: degenerate pole in ramp response")
+		}
+		terms = append(terms, term{res: r.Num.EvalC(p) / (p * p * dp), p: p})
+	}
+	g := func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		s := complex(h0*t+h1, 0)
+		for _, tm := range terms {
+			s += tm.res * cmplx.Exp(tm.p*complex(t, 0))
+		}
+		return real(s)
+	}
+	return func(t float64) float64 {
+		return (g(t) - g(t-rise)) / rise
+	}, nil
+}

@@ -1,0 +1,148 @@
+// Package ratfun analyzes rational transfer functions H(s) = num/den:
+// pole extraction, partial fractions, and exact step responses.
+//
+// Together with internal/laplace it forms the second and third
+// independent reference engines that rlckit validates its transient
+// simulator (and ultimately the paper's closed-form delay model)
+// against: a lumped ladder's rational H(s) is solved here *exactly* —
+// no time stepping — via pole/residue decomposition.
+package ratfun
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rlckit/internal/numeric"
+)
+
+// R is a rational function num(s)/den(s).
+type R struct {
+	Num, Den numeric.Poly
+}
+
+// New validates and builds a rational function. The denominator must be
+// nonzero; for step-response analysis the system must also be strictly
+// proper, but that is checked by StepResponse, not here.
+func New(num, den numeric.Poly) (R, error) {
+	if den.IsZero() {
+		return R{}, errors.New("ratfun: zero denominator")
+	}
+	return R{Num: num, Den: den}, nil
+}
+
+// Eval evaluates H at complex s.
+func (r R) Eval(s complex128) complex128 {
+	return r.Num.EvalC(s) / r.Den.EvalC(s)
+}
+
+// DCGain returns H(0). It errors if den(0) = 0 (pole at the origin).
+func (r R) DCGain() (float64, error) {
+	d := r.Den.Eval(0)
+	if d == 0 {
+		return 0, errors.New("ratfun: pole at s = 0")
+	}
+	return r.Num.Eval(0) / d, nil
+}
+
+// Poles returns the denominator roots.
+func (r R) Poles() []complex128 {
+	return r.Den.Roots()
+}
+
+// IsStable reports whether every pole has negative real part. tol is the
+// acceptance band for roundoff (poles with Re p < tol·scale pass); pass
+// 0 for a sensible default.
+func (r R) IsStable(tol float64) bool {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	for _, p := range r.Poles() {
+		scale := cmplx.Abs(p) + 1
+		if real(p) > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// StepResponse returns the exact unit-step response
+//
+//	v(t) = L⁻¹[H(s)/s](t) = H(0) + Σ_k Num(p_k)/(p_k·Den′(p_k)) · e^{p_k t}
+//
+// valid for strictly proper H with simple poles and no pole at the
+// origin. The returned function is real (conjugate pole pairs cancel
+// imaginary parts; any residual imaginary part is discarded).
+func (r R) StepResponse() (func(t float64) float64, error) {
+	if r.Num.Degree() >= r.Den.Degree() {
+		return nil, fmt.Errorf("ratfun: step response needs strictly proper H (num degree %d, den degree %d)",
+			r.Num.Degree(), r.Den.Degree())
+	}
+	h0, err := r.DCGain()
+	if err != nil {
+		return nil, err
+	}
+	poles := r.Poles()
+	// Simple-pole check: minimum pairwise distance relative to scale.
+	scale := 0.0
+	for _, p := range poles {
+		if a := cmplx.Abs(p); a > scale {
+			scale = a
+		}
+	}
+	for i := 0; i < len(poles); i++ {
+		for j := i + 1; j < len(poles); j++ {
+			if cmplx.Abs(poles[i]-poles[j]) < 1e-8*(scale+1) {
+				return nil, fmt.Errorf("ratfun: repeated pole near %v; partial fractions need simple poles", poles[i])
+			}
+		}
+	}
+	dden := r.Den.Derivative()
+	type term struct {
+		res, p complex128
+	}
+	terms := make([]term, 0, len(poles))
+	for _, p := range poles {
+		dp := dden.EvalC(p)
+		if dp == 0 {
+			return nil, fmt.Errorf("ratfun: Den′(p) = 0 at pole %v", p)
+		}
+		res := r.Num.EvalC(p) / (p * dp)
+		terms = append(terms, term{res: res, p: p})
+	}
+	return func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		s := complex(h0, 0)
+		for _, tm := range terms {
+			s += tm.res * cmplx.Exp(tm.p*complex(t, 0))
+		}
+		return real(s)
+	}, nil
+}
+
+// SettleTime estimates the time for the slowest pole's transient to decay
+// to the given fraction (e.g. 1e-3): max_k (−ln frac / |Re p_k|). It
+// errors on unstable or marginal systems, and is the horizon-picking
+// helper for sampling step responses.
+func (r R) SettleTime(frac float64) (float64, error) {
+	if frac <= 0 || frac >= 1 {
+		return 0, fmt.Errorf("ratfun: settle fraction must be in (0,1), got %g", frac)
+	}
+	worst := 0.0
+	for _, p := range r.Poles() {
+		re := -real(p)
+		if re <= 0 {
+			return 0, fmt.Errorf("ratfun: non-decaying pole %v", p)
+		}
+		if t := -math.Log(frac) / re; t > worst {
+			worst = t
+		}
+	}
+	if worst == 0 {
+		return 0, errors.New("ratfun: no poles")
+	}
+	return worst, nil
+}

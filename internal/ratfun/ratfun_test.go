@@ -1,0 +1,224 @@
+package ratfun
+
+import (
+	"math"
+	"testing"
+
+	"rlckit/internal/numeric"
+)
+
+func TestNewRejectsZeroDen(t *testing.T) {
+	if _, err := New(numeric.NewPoly(1), numeric.NewPoly(0)); err == nil {
+		t.Error("zero denominator accepted")
+	}
+}
+
+func TestFirstOrderStepResponse(t *testing.T) {
+	// H = 1/(1 + τs): step response 1 − e^{−t/τ}.
+	tau := 2.0
+	r, err := New(numeric.NewPoly(1), numeric.NewPoly(1, tau))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := r.StepResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.1, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-tt/tau)
+		if got := step(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("v(%g) = %.15g, want %.15g", tt, got, want)
+		}
+	}
+	if step(-1) != 0 {
+		t.Error("negative time should be 0")
+	}
+}
+
+func TestSecondOrderUnderdampedStepResponse(t *testing.T) {
+	// H = 1/(1 + 2ζ s/ωn + s²/ωn²), ζ = 0.25, ωn = 3.
+	zeta, wn := 0.25, 3.0
+	r, err := New(numeric.NewPoly(1), numeric.NewPoly(1, 2*zeta/wn, 1/(wn*wn)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := r.StepResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := wn * math.Sqrt(1-zeta*zeta)
+	analytic := func(tt float64) float64 {
+		e := math.Exp(-zeta * wn * tt)
+		return 1 - e*(math.Cos(wd*tt)+zeta/math.Sqrt(1-zeta*zeta)*math.Sin(wd*tt))
+	}
+	for tt := 0.05; tt < 8; tt += 0.31 {
+		if got, want := step(tt), analytic(tt); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("v(%g) = %.12g, want %.12g", tt, got, want)
+		}
+	}
+}
+
+func TestDCGainAndEval(t *testing.T) {
+	r, _ := New(numeric.NewPoly(2, 1), numeric.NewPoly(4, 0, 1))
+	g, err := r.DCGain()
+	if err != nil || g != 0.5 {
+		t.Errorf("DCGain = %g, %v", g, err)
+	}
+	v := r.Eval(complex(1, 0)) // (2+1)/(4+1)
+	if math.Abs(real(v)-0.6) > 1e-14 || imag(v) != 0 {
+		t.Errorf("Eval = %v", v)
+	}
+	rp, _ := New(numeric.NewPoly(1), numeric.NewPoly(0, 1))
+	if _, err := rp.DCGain(); err == nil {
+		t.Error("pole at origin accepted")
+	}
+}
+
+func TestStability(t *testing.T) {
+	stable, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 2, 1)) // poles at −1,−1... repeated; use distinct
+	stable, _ = New(numeric.NewPoly(1), numeric.NewPoly(2, 3, 1))  // (s+1)(s+2)
+	if !stable.IsStable(0) {
+		t.Error("stable system reported unstable")
+	}
+	unstable, _ := New(numeric.NewPoly(1), numeric.NewPoly(-1, 0, 1)) // poles ±1
+	if unstable.IsStable(0) {
+		t.Error("unstable system reported stable")
+	}
+}
+
+func TestStepResponseErrors(t *testing.T) {
+	// Improper.
+	r, _ := New(numeric.NewPoly(0, 0, 1), numeric.NewPoly(1, 1))
+	if _, err := r.StepResponse(); err == nil {
+		t.Error("improper H accepted")
+	}
+	// Pole at origin.
+	r2, _ := New(numeric.NewPoly(1), numeric.NewPoly(0, 1, 1))
+	if _, err := r2.StepResponse(); err == nil {
+		t.Error("pole at origin accepted")
+	}
+	// Repeated pole: (1+s)².
+	r3, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 2, 1))
+	if _, err := r3.StepResponse(); err == nil {
+		t.Error("repeated pole accepted")
+	}
+}
+
+func TestSettleTime(t *testing.T) {
+	// Slowest pole at −0.5 → settle(1e-3) = ln(1000)/0.5.
+	r, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 3, 2)) // poles −0.5, −1
+	ts, err := r.SettleTime(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1000) / 0.5
+	if math.Abs(ts-want) > 1e-6*want {
+		t.Errorf("SettleTime = %g, want %g", ts, want)
+	}
+	if _, err := r.SettleTime(0); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	un, _ := New(numeric.NewPoly(1), numeric.NewPoly(-1, 0, 1))
+	if _, err := un.SettleTime(1e-3); err == nil {
+		t.Error("unstable settle accepted")
+	}
+}
+
+func TestHighOrderLadderChebyshevLike(t *testing.T) {
+	// Product of well-separated real poles: step response must go from 0
+	// to DC gain monotonically-ish; check endpoints and sanity.
+	den := numeric.NewPoly(1)
+	for i := 1; i <= 8; i++ {
+		den = den.Mul(numeric.NewPoly(1, 1/float64(i))) // (1 + s/i)
+	}
+	r, _ := New(numeric.NewPoly(1), den)
+	step, err := r.StepResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := step(0); math.Abs(v) > 1e-7 {
+		t.Errorf("v(0) = %g, want 0", v)
+	}
+	if v := step(60); math.Abs(v-1) > 1e-9 {
+		t.Errorf("v(∞) = %g, want 1", v)
+	}
+}
+
+func TestRampResponseFirstOrder(t *testing.T) {
+	// H = 1/(1+τs) driven by a ramp of duration tr: textbook result
+	// v(t) = (t − τ(1 − e^{−t/τ}))/tr for t ≤ tr.
+	tau, tr := 1.0, 2.0
+	r, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, tau))
+	ramp, err := r.RampResponse(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := func(tt float64) float64 {
+		g := func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			return x - tau*(1-math.Exp(-x/tau))
+		}
+		return (g(tt) - g(tt-tr)) / tr
+	}
+	for tt := 0.1; tt < 10; tt += 0.37 {
+		if got, want := ramp(tt), analytic(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("v(%g) = %.14g, want %.14g", tt, got, want)
+		}
+	}
+	if ramp(0) != 0 {
+		t.Error("v(0) != 0")
+	}
+	if v := ramp(60); math.Abs(v-1) > 1e-9 {
+		t.Errorf("v(∞) = %g", v)
+	}
+}
+
+func TestRampResponseZeroRiseIsStep(t *testing.T) {
+	r, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 2))
+	ramp, err := r.RampResponse(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, _ := r.StepResponse()
+	for tt := 0.2; tt < 6; tt += 0.5 {
+		if math.Abs(ramp(tt)-step(tt)) > 1e-12 {
+			t.Fatalf("mismatch at %g", tt)
+		}
+	}
+}
+
+func TestRampResponseConvergesToStepAsRiseShrinks(t *testing.T) {
+	// Second-order underdamped: tiny rise time ≈ step response.
+	r, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 0.4, 1))
+	step, _ := r.StepResponse()
+	ramp, err := r.RampResponse(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0.3; tt < 12; tt += 0.7 {
+		if math.Abs(ramp(tt)-step(tt)) > 1e-3 {
+			t.Fatalf("rise→0 limit broken at t=%g: %g vs %g", tt, ramp(tt), step(tt))
+		}
+	}
+}
+
+func TestRampResponseErrors(t *testing.T) {
+	r, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 2))
+	if _, err := r.RampResponse(-1); err == nil {
+		t.Error("negative rise accepted")
+	}
+	improper, _ := New(numeric.NewPoly(0, 0, 1), numeric.NewPoly(1, 1))
+	if _, err := improper.RampResponse(1); err == nil {
+		t.Error("improper accepted")
+	}
+	atOrigin, _ := New(numeric.NewPoly(1), numeric.NewPoly(0, 1, 1))
+	if _, err := atOrigin.RampResponse(1); err == nil {
+		t.Error("origin pole accepted")
+	}
+	repeated, _ := New(numeric.NewPoly(1), numeric.NewPoly(1, 2, 1))
+	if _, err := repeated.RampResponse(1); err == nil {
+		t.Error("repeated pole accepted")
+	}
+}

@@ -1,0 +1,221 @@
+// Package report renders experiment results: fixed-width ASCII tables
+// (the paper's tables), CSV export, and ASCII line plots (the paper's
+// figures) — all plain text so every artifact regenerates in a terminal
+// with no plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table as CSV (quotes only when needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named (x, y) sequence for plotting.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders one or more series as an ASCII scatter/line chart of the
+// given character dimensions. Each series uses its own marker rune.
+type Plot struct {
+	Title, XLabel, YLabel string
+	Width, Height         int
+	series                []Series
+}
+
+// NewPlot creates a plot; width/height are clamped to sensible minimums.
+func NewPlot(title string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	return &Plot{Title: title, Width: width, Height: height}
+}
+
+// Add appends a series; X and Y must be the same length.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q length mismatch (%d vs %d)", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("report: series %q empty", s.Name)
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%'}
+
+// Render writes the chart to w.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("report: plot %q has no series", p.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			if v := s.X[i]; !math.IsNaN(v) {
+				xmin, xmax = math.Min(xmin, v), math.Max(xmax, v)
+			}
+			if v := s.Y[i]; !math.IsNaN(v) {
+				ymin, ymax = math.Min(ymin, v), math.Max(ymax, v)
+			}
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, s := range p.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(p.Width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(p.Height-1))
+			row := p.Height - 1 - cy
+			if row >= 0 && row < p.Height && cx >= 0 && cx < p.Width {
+				grid[row][cx] = m
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "%-12s %.4g\n", p.YLabel, ymax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", p.Width))
+	fmt.Fprintf(&b, "   %-.4g%*s%.4g  (%s)\n", xmin, p.Width-18, "", xmax, p.XLabel)
+	fmt.Fprintf(&b, "%-12s %.4g\n", "", ymin)
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "   %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

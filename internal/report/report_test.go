@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X", "name", "value", "err")
+	tb.AddRow("case-a", 1234.5, "3.3%")
+	tb.AddRow("case-b", 7.0, "0.1%")
+	tb.AddRow("tiny", 1e-12, "ok")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table X", "name", "case-a", "1234", "1e-12", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + sep + 3 rows
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", 1.5)
+	tb.AddRow(`has"quote`, 2)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := NewPlot("delay vs ζ", 40, 10)
+	if err := p.Add(Series{Name: "model", X: []float64{0, 1, 2}, Y: []float64{1, 2.5, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "sim", X: []float64{0, 1, 2}, Y: []float64{1.1, 2.4, 4.1}}); err != nil {
+		t.Fatal(err)
+	}
+	p.XLabel, p.YLabel = "zeta", "t'pd"
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"delay vs ζ", "model", "sim", "*", "o", "zeta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	p := NewPlot("x", 0, 0) // clamped dims
+	if err := p.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{}}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if err := p.Add(Series{Name: "empty"}); err == nil {
+		t.Error("empty series accepted")
+	}
+	var b strings.Builder
+	if err := p.Render(&b); err == nil {
+		t.Error("empty plot rendered")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	p := NewPlot("const", 30, 8)
+	if err := p.Add(Series{Name: "c", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Error("marker missing on degenerate plot")
+	}
+}
+
+func TestPlotSkipsNaN(t *testing.T) {
+	p := NewPlot("nan", 30, 8)
+	if err := p.Add(Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, mathNaN(), 3}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Error("valid points missing")
+	}
+}
+
+func mathNaN() float64 {
+	var z float64
+	return z / z
+}
+
+func TestTableEmptyRender(t *testing.T) {
+	tb := NewTable("empty", "a")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 0 {
+		t.Error("rows")
+	}
+}

@@ -1,0 +1,126 @@
+// Package screen decides which nets need inductance-aware (RLC) timing
+// analysis and which are safely RC — implementing the figure-of-merit
+// criteria the paper cites from Ismail, Friedman & Neves ("Figures of
+// Merit to Characterize the Importance of On-Chip Inductance", DAC'98,
+// reference [8]).
+//
+// A line of length l with per-unit-length R, L, C exhibits significant
+// inductive behaviour when
+//
+//	tr/(2·sqrt(LC))  <  l  <  2/R·sqrt(L/C)
+//
+// The lower bound says the input rise time tr must be comparable to or
+// faster than the round-trip time of flight (otherwise the wave nature
+// is invisible); the upper bound says the line must not be so long that
+// resistive attenuation dissipates the wave (the RC regime). The damping
+// factor ζ of the driven line provides a complementary check: ζ ≲ 1
+// implies overshoot and ringing no RC model can produce.
+package screen
+
+import (
+	"fmt"
+	"math"
+
+	"rlckit/internal/core"
+	"rlckit/internal/tline"
+)
+
+// Result is the screening verdict for one net.
+type Result struct {
+	// LMin and LMax are the bounds of the inductance-significant length
+	// window in meters (LMin from the rise time, LMax from attenuation).
+	LMin, LMax float64
+	// InWindow reports l ∈ (LMin, LMax).
+	InWindow bool
+	// Zeta is the driven-line damping factor; Underdamped flags ζ < 1.
+	Zeta        float64
+	Underdamped bool
+	// NeedsRLC is the overall verdict: the length window criterion, or
+	// an underdamped driven response.
+	NeedsRLC bool
+}
+
+// Check screens a driven line with the given input rise time (seconds).
+func Check(ln tline.Line, d tline.Drive, riseTime float64) (Result, error) {
+	if err := ln.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if riseTime <= 0 || math.IsNaN(riseTime) || math.IsInf(riseTime, 0) {
+		return Result{}, fmt.Errorf("screen: rise time must be positive, got %g", riseTime)
+	}
+	var res Result
+	res.LMin = riseTime / (2 * math.Sqrt(ln.L*ln.C))
+	if ln.R > 0 {
+		res.LMax = 2 / ln.R * math.Sqrt(ln.L/ln.C)
+	} else {
+		res.LMax = math.Inf(1)
+	}
+	res.InWindow = ln.Length > res.LMin && ln.Length < res.LMax
+	p, err := core.Analyze(ln, d)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Zeta = p.Zeta
+	res.Underdamped = p.Zeta < 1
+	res.NeedsRLC = res.InWindow || res.Underdamped
+	return res, nil
+}
+
+// WindowForWire returns just the (LMin, LMax) length window of a wire's
+// per-unit-length parameters for a given rise time, without a driver.
+func WindowForWire(perMeterR, perMeterL, perMeterC, riseTime float64) (lMin, lMax float64, err error) {
+	if perMeterL <= 0 || perMeterC <= 0 {
+		return 0, 0, fmt.Errorf("screen: need positive L and C per meter (got %g, %g)", perMeterL, perMeterC)
+	}
+	if riseTime <= 0 {
+		return 0, 0, fmt.Errorf("screen: rise time must be positive, got %g", riseTime)
+	}
+	lMin = riseTime / (2 * math.Sqrt(perMeterL*perMeterC))
+	if perMeterR > 0 {
+		lMax = 2 / perMeterR * math.Sqrt(perMeterL/perMeterC)
+	} else {
+		lMax = math.Inf(1)
+	}
+	return lMin, lMax, nil
+}
+
+// Stats summarizes screening over a batch of nets.
+type Stats struct {
+	Total, NeedsRLC, InWindow, Underdamped int
+}
+
+// FractionRLC returns the fraction of nets needing RLC analysis.
+func (s Stats) FractionRLC() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.NeedsRLC) / float64(s.Total)
+}
+
+// Batch screens many driven lines with a common rise time.
+func Batch(lines []tline.Line, drives []tline.Drive, riseTime float64) (Stats, error) {
+	if len(lines) != len(drives) {
+		return Stats{}, fmt.Errorf("screen: %d lines vs %d drives", len(lines), len(drives))
+	}
+	var st Stats
+	for i := range lines {
+		r, err := Check(lines[i], drives[i], riseTime)
+		if err != nil {
+			return Stats{}, fmt.Errorf("screen: net %d: %w", i, err)
+		}
+		st.Total++
+		if r.NeedsRLC {
+			st.NeedsRLC++
+		}
+		if r.InWindow {
+			st.InWindow++
+		}
+		if r.Underdamped {
+			st.Underdamped++
+		}
+	}
+	return st, nil
+}

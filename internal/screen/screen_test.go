@@ -1,0 +1,164 @@
+package screen
+
+import (
+	"math"
+	"testing"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/tech"
+	"rlckit/internal/tline"
+)
+
+// wideWire is a low-loss clock-style conductor: inductance should matter
+// at cm lengths with fast edges.
+var wideWire = tline.Line{R: 4e3, L: 3e-7, C: 1.5e-10, Length: 0.01}
+
+// thinWire is a minimum-pitch resistive signal wire: RC territory.
+var thinWire = tline.Line{R: 2e5, L: 6e-7, C: 1.5e-10, Length: 0.01}
+
+func TestWideFastLineNeedsRLC(t *testing.T) {
+	d := tline.Drive{Rtr: 20, CL: 1e-14}
+	r, err := Check(wideWire, d, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NeedsRLC || !r.InWindow {
+		t.Errorf("wide fast line screened RC-adequate: %+v", r)
+	}
+}
+
+func TestResistiveLineIsRCAdequate(t *testing.T) {
+	d := tline.Drive{Rtr: 500, CL: 1e-13}
+	r, err := Check(thinWire, d, 100e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InWindow {
+		t.Errorf("thin resistive wire in inductance window: %+v", r)
+	}
+	if r.NeedsRLC {
+		t.Errorf("thin resistive wire flagged RLC: ζ=%.2f", r.Zeta)
+	}
+}
+
+func TestSlowEdgeSuppressesInductance(t *testing.T) {
+	// Same wide wire, but a very slow input edge: the window's lower
+	// bound moves past the line length.
+	d := tline.Drive{Rtr: 200, CL: 1e-13}
+	fast, err := Check(wideWire, d, 10e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Check(wideWire, d, 10e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.InWindow {
+		t.Error("fast edge should be in window")
+	}
+	if slow.InWindow {
+		t.Error("slow edge should fall out of the window")
+	}
+	if slow.LMin <= fast.LMin {
+		t.Error("LMin must grow with rise time")
+	}
+}
+
+func TestWindowBoundsFormula(t *testing.T) {
+	lMin, lMax, err := WindowForWire(4e3, 3e-7, 1.5e-10, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := 20e-12 / (2 * math.Sqrt(3e-7*1.5e-10))
+	wantMax := 2.0 / 4e3 * math.Sqrt(3e-7/1.5e-10)
+	if math.Abs(lMin-wantMin) > 1e-12*wantMin {
+		t.Errorf("LMin %g want %g", lMin, wantMin)
+	}
+	if math.Abs(lMax-wantMax) > 1e-12*wantMax {
+		t.Errorf("LMax %g want %g", lMax, wantMax)
+	}
+	// Lossless wire: infinite upper bound.
+	_, lMaxInf, err := WindowForWire(0, 3e-7, 1.5e-10, 20e-12)
+	if err != nil || !math.IsInf(lMaxInf, 1) {
+		t.Errorf("lossless LMax %g, %v", lMaxInf, err)
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	d := tline.Drive{}
+	if _, err := Check(tline.Line{}, d, 1e-12); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, err := Check(wideWire, tline.Drive{Rtr: -1}, 1e-12); err == nil {
+		t.Error("bad drive accepted")
+	}
+	if _, err := Check(wideWire, d, 0); err == nil {
+		t.Error("zero rise time accepted")
+	}
+	if _, _, err := WindowForWire(1, 0, 1, 1e-12); err == nil {
+		t.Error("zero L accepted")
+	}
+	if _, _, err := WindowForWire(1, 1e-7, 1e-10, -1); err == nil {
+		t.Error("negative tr accepted")
+	}
+}
+
+func TestBatchAndStats(t *testing.T) {
+	node := tech.Default()
+	nets, err := netgen.RandomBatch(19, node, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]tline.Line, len(nets))
+	drives := make([]tline.Drive, len(nets))
+	for i, n := range nets {
+		lines[i] = n.Line
+		drives[i] = n.Drive
+	}
+	st, err := Batch(lines, drives, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 60 {
+		t.Errorf("total %d", st.Total)
+	}
+	if st.NeedsRLC < st.InWindow || st.NeedsRLC < st.Underdamped {
+		t.Errorf("inconsistent counts %+v", st)
+	}
+	if f := st.FractionRLC(); f < 0 || f > 1 {
+		t.Errorf("fraction %g", f)
+	}
+	if (Stats{}).FractionRLC() != 0 {
+		t.Error("empty fraction")
+	}
+	if _, err := Batch(lines[:2], drives[:1], 1e-12); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFasterEdgesFlagMoreNets(t *testing.T) {
+	// Scaling story: the same net population with faster edges must not
+	// reduce the RLC-needed fraction.
+	node := tech.Default()
+	nets, err := netgen.RandomBatch(7, node, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]tline.Line, len(nets))
+	drives := make([]tline.Drive, len(nets))
+	for i, n := range nets {
+		lines[i] = n.Line
+		drives[i] = n.Drive
+	}
+	slow, err := Batch(lines, drives, 200e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Batch(lines, drives, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.NeedsRLC < slow.NeedsRLC {
+		t.Errorf("faster edges flagged fewer nets: %d vs %d", fast.NeedsRLC, slow.NeedsRLC)
+	}
+}

@@ -1,0 +1,179 @@
+// Package tech provides technology parameter models: per-unit-length
+// wire impedances from geometry, and per-node device parameters
+// (minimum-buffer R0, C0), replacing the proprietary 0.25 µm impedance
+// data the paper takes from Deutsch et al. [7].
+//
+// Only ratios enter the paper's theory (RT, CT, ζ, T_{L/R}); the tables
+// here are built from standard microstrip/parallel-plate approximations
+// and published-range constants so that realistic global wires land in
+// the same T_{L/R} ≈ 0–10 range the paper sweeps, with T_{L/R} ≈ 5
+// reachable at 0.25 µm exactly as the paper states.
+package tech
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rlckit/internal/repeater"
+	"rlckit/internal/tline"
+)
+
+// Physical constants.
+const (
+	// Mu0 is the vacuum permeability in H/m.
+	Mu0 = 4 * math.Pi * 1e-7
+	// Eps0 is the vacuum permittivity in F/m.
+	Eps0 = 8.8541878128e-12
+	// RhoCu and RhoAl are copper and aluminum resistivities in Ω·m.
+	RhoCu = 1.72e-8
+	RhoAl = 2.82e-8
+)
+
+// Wire is a rectangular on-chip wire above a ground plane.
+type Wire struct {
+	// Width and Thickness are the conductor cross-section in meters.
+	Width, Thickness float64
+	// Height is the dielectric height above the return plane in meters.
+	Height float64
+	// Rho is the metal resistivity in Ω·m (RhoCu, RhoAl, ...).
+	Rho float64
+	// EpsR is the relative permittivity of the dielectric.
+	EpsR float64
+}
+
+// Validate checks wire geometry.
+func (w Wire) Validate() error {
+	if w.Width <= 0 || w.Thickness <= 0 || w.Height <= 0 {
+		return fmt.Errorf("tech: wire dimensions must be positive (%g, %g, %g)", w.Width, w.Thickness, w.Height)
+	}
+	if w.Rho <= 0 {
+		return fmt.Errorf("tech: resistivity must be positive, got %g", w.Rho)
+	}
+	if w.EpsR < 1 {
+		return fmt.Errorf("tech: relative permittivity must be >= 1, got %g", w.EpsR)
+	}
+	return nil
+}
+
+// RPerMeter returns the DC resistance per meter: ρ/(w·t).
+func (w Wire) RPerMeter() float64 {
+	return w.Rho / (w.Width * w.Thickness)
+}
+
+// CPerMeter returns the capacitance per meter using the parallel-plate
+// term plus a fringing correction (Sakurai–Tamaru-style constant):
+// C ≈ ε(1.15·w/h + 2.80·(t/h)^0.222).
+func (w Wire) CPerMeter() float64 {
+	eps := Eps0 * w.EpsR
+	return eps * (1.15*w.Width/w.Height + 2.80*math.Pow(w.Thickness/w.Height, 0.222))
+}
+
+// LPerMeter returns the loop inductance per meter of the microstrip
+// approximation L ≈ (µ0/2π)·ln(8h/w + w/(4h)), floored at a
+// quasi-TEM-consistent minimum so that L·C ≥ µ0·ε0·εr (signals cannot
+// travel faster than light in the dielectric).
+func (w Wire) LPerMeter() float64 {
+	l := Mu0 / (2 * math.Pi) * math.Log(8*w.Height/w.Width+w.Width/(4*w.Height))
+	if lMin := Mu0 * Eps0 * w.EpsR / w.CPerMeter(); l < lMin {
+		l = lMin
+	}
+	return l
+}
+
+// Line builds a tline.Line of the given length from the wire geometry.
+func (w Wire) Line(length float64) (tline.Line, error) {
+	if err := w.Validate(); err != nil {
+		return tline.Line{}, err
+	}
+	ln := tline.Line{R: w.RPerMeter(), L: w.LPerMeter(), C: w.CPerMeter(), Length: length}
+	return ln, ln.Validate()
+}
+
+// Node is a technology node's device and default-wire parameters.
+type Node struct {
+	// Name is the node label, e.g. "250nm".
+	Name string
+	// Feature is the drawn feature size in meters.
+	Feature float64
+	// R0, C0 are the minimum-size buffer output resistance and input
+	// capacitance.
+	R0, C0 float64
+	// Vdd is the nominal supply.
+	Vdd float64
+	// GlobalWire is a representative global-layer wire geometry.
+	GlobalWire Wire
+}
+
+// Buffer returns the node's minimum repeater for the repeater package.
+func (n Node) Buffer() repeater.Buffer {
+	return repeater.Buffer{R0: n.R0, C0: n.C0, Amin: 1, Vdd: n.Vdd}
+}
+
+// Gate returns a driver/load model with a buffer h times minimum driving
+// a line, loaded by an identical gate of size hLoad.
+func (n Node) Gate(h, hLoad float64) tline.Drive {
+	return tline.Drive{Rtr: n.R0 / h, CL: hLoad * n.C0, V: n.Vdd}
+}
+
+// Nodes is the built-in technology table, ordered by decreasing feature
+// size. R0·C0 shrinks with scaling, which is precisely the trend that
+// makes T_{L/R} grow and inductance matter more (the paper's Section IV
+// conclusion).
+var nodes = []Node{
+	{
+		Name: "500nm", Feature: 500e-9, R0: 6000, C0: 4.0e-15, Vdd: 3.3,
+		GlobalWire: Wire{Width: 1.2e-6, Thickness: 0.9e-6, Height: 1.5e-6, Rho: RhoAl, EpsR: 3.9},
+	},
+	{
+		Name: "350nm", Feature: 350e-9, R0: 4500, C0: 3.0e-15, Vdd: 2.5,
+		GlobalWire: Wire{Width: 1.0e-6, Thickness: 0.8e-6, Height: 1.3e-6, Rho: RhoAl, EpsR: 3.9},
+	},
+	{
+		Name: "250nm", Feature: 250e-9, R0: 3000, C0: 2.0e-15, Vdd: 1.8,
+		GlobalWire: Wire{Width: 0.8e-6, Thickness: 0.7e-6, Height: 1.1e-6, Rho: RhoCu, EpsR: 3.9},
+	},
+	{
+		Name: "180nm", Feature: 180e-9, R0: 2300, C0: 1.4e-15, Vdd: 1.5,
+		GlobalWire: Wire{Width: 0.7e-6, Thickness: 0.65e-6, Height: 1.0e-6, Rho: RhoCu, EpsR: 3.6},
+	},
+	{
+		Name: "130nm", Feature: 130e-9, R0: 1700, C0: 1.0e-15, Vdd: 1.2,
+		GlobalWire: Wire{Width: 0.6e-6, Thickness: 0.6e-6, Height: 0.9e-6, Rho: RhoCu, EpsR: 3.3},
+	},
+}
+
+// Lookup returns the named technology node.
+func Lookup(name string) (Node, error) {
+	for _, n := range nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("tech: unknown node %q (have %v)", name, Names())
+}
+
+// Names lists available node names in table order.
+func Names() []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// All returns the technology table ordered by decreasing feature size.
+func All() []Node {
+	out := append([]Node(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Feature > out[j].Feature })
+	return out
+}
+
+// Default returns the paper's reference 0.25 µm node.
+func Default() Node {
+	n, err := Lookup("250nm")
+	if err != nil {
+		panic("tech: built-in 250nm node missing")
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package tech
+
+import (
+	"math"
+	"testing"
+
+	"rlckit/internal/repeater"
+	"rlckit/internal/tline"
+)
+
+func TestWireValidate(t *testing.T) {
+	good := Default().GlobalWire
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Wire{
+		{Width: 0, Thickness: 1e-6, Height: 1e-6, Rho: RhoCu, EpsR: 3.9},
+		{Width: 1e-6, Thickness: 1e-6, Height: 1e-6, Rho: 0, EpsR: 3.9},
+		{Width: 1e-6, Thickness: 1e-6, Height: 1e-6, Rho: RhoCu, EpsR: 0.5},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad wire %d accepted", i)
+		}
+	}
+}
+
+func TestWireRPerMeter(t *testing.T) {
+	w := Wire{Width: 1e-6, Thickness: 1e-6, Height: 1e-6, Rho: RhoCu, EpsR: 3.9}
+	want := RhoCu / 1e-12
+	if math.Abs(w.RPerMeter()-want) > 1e-9*want {
+		t.Errorf("R/m = %g, want %g", w.RPerMeter(), want)
+	}
+}
+
+func TestWirePlausibleRanges(t *testing.T) {
+	// Every built-in global wire must land in textbook on-chip ranges:
+	// R: 10 Ω/mm .. 1 MΩ/m, C: 50–500 pF/m, L: 100 nH/m – 3 µH/m.
+	for _, n := range All() {
+		w := n.GlobalWire
+		r, l, c := w.RPerMeter(), w.LPerMeter(), w.CPerMeter()
+		if r < 1e3 || r > 1e6 {
+			t.Errorf("%s: R/m = %g out of range", n.Name, r)
+		}
+		if c < 5e-11 || c > 5e-10 {
+			t.Errorf("%s: C/m = %g out of range", n.Name, c)
+		}
+		if l < 1e-7 || l > 3e-6 {
+			t.Errorf("%s: L/m = %g out of range", n.Name, l)
+		}
+	}
+}
+
+func TestSpeedOfLightBound(t *testing.T) {
+	// 1/sqrt(LC) must not exceed c/sqrt(εr): the quasi-TEM floor.
+	for _, n := range All() {
+		w := n.GlobalWire
+		v := 1 / math.Sqrt(w.LPerMeter()*w.CPerMeter())
+		cLight := 1 / math.Sqrt(Mu0*Eps0*w.EpsR)
+		if v > cLight*1.0001 {
+			t.Errorf("%s: wave velocity %g exceeds medium light speed %g", n.Name, v, cLight)
+		}
+	}
+}
+
+func TestWireLine(t *testing.T) {
+	w := Default().GlobalWire
+	ln, err := w.Line(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rt, lt, ct := ln.Totals()
+	if rt <= 0 || lt <= 0 || ct <= 0 {
+		t.Errorf("totals %g %g %g", rt, lt, ct)
+	}
+	if _, err := (Wire{}).Line(0.01); err == nil {
+		t.Error("invalid wire accepted")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	if _, err := Lookup("250nm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("9000nm"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	names := Names()
+	if len(names) != 5 {
+		t.Errorf("names: %v", names)
+	}
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i].Feature >= all[i-1].Feature {
+			t.Error("All() not ordered by decreasing feature")
+		}
+	}
+}
+
+func TestScalingTrendR0C0(t *testing.T) {
+	// The gate time constant R0·C0 must shrink monotonically with
+	// scaling — the driver of the paper's "inductance will matter more"
+	// conclusion.
+	all := All()
+	for i := 1; i < len(all); i++ {
+		prev := all[i-1].R0 * all[i-1].C0
+		cur := all[i].R0 * all[i].C0
+		if cur >= prev {
+			t.Errorf("R0C0 did not shrink from %s to %s (%g → %g)",
+				all[i-1].Name, all[i].Name, prev, cur)
+		}
+	}
+}
+
+func TestTLRGrowsWithScaling(t *testing.T) {
+	// Same global wire analyzed across nodes: T_{L/R} must grow as the
+	// technology scales (paper Section IV).
+	wire := Default().GlobalWire
+	prev := -1.0
+	for _, n := range All() {
+		ln, err := wire.Line(0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tlr, err := repeater.TLR(ln, n.Buffer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tlr <= prev {
+			t.Errorf("T_{L/R} did not grow at %s: %g after %g", n.Name, tlr, prev)
+		}
+		prev = tlr
+	}
+}
+
+func TestPaperTLRReachableAt250nm(t *testing.T) {
+	// Paper: "TL/R = 5 is common for a current 0.25 µm technology."
+	// A wide/low-R clock-style global wire at 250nm must be able to
+	// reach T_{L/R} ≈ 5.
+	n := Default()
+	wide := n.GlobalWire
+	wide.Width *= 4 // wide clock spine
+	ln, err := wide.Line(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlr, err := repeater.TLR(ln, n.Buffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlr < 3 || tlr > 40 {
+		t.Errorf("wide-wire T_{L/R} at 250nm = %g, expected O(5)", tlr)
+	}
+}
+
+func TestGateDrive(t *testing.T) {
+	n := Default()
+	d := n.Gate(10, 10)
+	if d.Rtr != n.R0/10 || d.CL != 10*n.C0 || d.V != n.Vdd {
+		t.Errorf("Gate drive %+v", d)
+	}
+	var zero tline.Drive
+	if d == zero {
+		t.Error("zero drive")
+	}
+}
+
+func TestBufferFromNode(t *testing.T) {
+	b := Default().Buffer()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Vdd != Default().Vdd {
+		t.Error("Vdd not propagated")
+	}
+}
+
+func TestWireLineScalesLinearly(t *testing.T) {
+	// Property: totals scale linearly with length for any built-in wire.
+	for _, n := range All() {
+		w := n.GlobalWire
+		a, err := w.Line(0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.Line(0.015)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, la, ca := a.Totals()
+		rb, lb, cb := b.Totals()
+		if math.Abs(rb-3*ra) > 1e-9*rb || math.Abs(lb-3*la) > 1e-9*lb || math.Abs(cb-3*ca) > 1e-9*cb {
+			t.Errorf("%s: totals not linear in length", n.Name)
+		}
+	}
+}
+
+func TestDefaultIs250nm(t *testing.T) {
+	if Default().Name != "250nm" {
+		t.Errorf("default node %s", Default().Name)
+	}
+}

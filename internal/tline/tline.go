@@ -1,0 +1,486 @@
+// Package tline models distributed RLC interconnect lines: the physical
+// object at the center of the paper.
+//
+// A Line is described by per-unit-length resistance, inductance and
+// capacitance plus a length (Fig. 1 of the paper). The package offers
+// three views of the same line, used to cross-validate one another:
+//
+//  1. Lumped N-segment ladder circuits (for the internal/mna transient
+//     simulator), in Γ, T, or Π segment styles.
+//  2. The exact transmission-line transfer function Vout/Vin(s) of
+//     Eq. (1)-(2), evaluated at complex frequencies for numerical
+//     Laplace inversion (internal/laplace).
+//  3. Rational (polynomial) transfer functions of the lumped ladders via
+//     two-port ABCD polynomial composition, solved exactly by pole/
+//     residue decomposition (internal/ratfun).
+package tline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/numeric"
+)
+
+// Line is a uniform distributed RLC interconnect.
+type Line struct {
+	// R, L, C are per-unit-length resistance (Ω/m), inductance (H/m)
+	// and capacitance (F/m).
+	R, L, C float64
+	// Length is the line length in meters.
+	Length float64
+}
+
+// Validate checks the line parameters are physical. R may be zero (the
+// paper's lossless LC limit) but L and C must be positive, as must Length.
+func (ln Line) Validate() error {
+	if ln.R < 0 || math.IsNaN(ln.R) || math.IsInf(ln.R, 0) {
+		return fmt.Errorf("tline: R must be finite and non-negative, got %g", ln.R)
+	}
+	if ln.L <= 0 || math.IsNaN(ln.L) || math.IsInf(ln.L, 0) {
+		return fmt.Errorf("tline: L must be positive, got %g", ln.L)
+	}
+	if ln.C <= 0 || math.IsNaN(ln.C) || math.IsInf(ln.C, 0) {
+		return fmt.Errorf("tline: C must be positive, got %g", ln.C)
+	}
+	if ln.Length <= 0 || math.IsNaN(ln.Length) || math.IsInf(ln.Length, 0) {
+		return fmt.Errorf("tline: Length must be positive, got %g", ln.Length)
+	}
+	return nil
+}
+
+// Totals returns the total line impedances Rt = R·l, Lt = L·l, Ct = C·l.
+func (ln Line) Totals() (rt, lt, ct float64) {
+	return ln.R * ln.Length, ln.L * ln.Length, ln.C * ln.Length
+}
+
+// FromTotals builds a Line of the given length from total impedances.
+func FromTotals(rt, lt, ct, length float64) Line {
+	return Line{R: rt / length, L: lt / length, C: ct / length, Length: length}
+}
+
+// Z0Lossless returns the lossless characteristic impedance sqrt(L/C).
+func (ln Line) Z0Lossless() float64 { return math.Sqrt(ln.L / ln.C) }
+
+// TimeOfFlight returns l·sqrt(LC), the paper's R→0 propagation delay.
+func (ln Line) TimeOfFlight() float64 {
+	return ln.Length * math.Sqrt(ln.L*ln.C)
+}
+
+// Drive is the paper's gate model around the line (Fig. 1): a step source
+// behind resistance Rtr driving the line, loaded by capacitance CL.
+type Drive struct {
+	// Rtr is the driver's equivalent output resistance in ohms.
+	Rtr float64
+	// CL is the far-end load capacitance in farads.
+	CL float64
+	// V is the step amplitude in volts (defaults to 1 if zero).
+	V float64
+}
+
+// Validate checks the drive. Rtr and CL may be zero (the paper's
+// "unloaded line" special case) but not negative.
+func (d Drive) Validate() error {
+	if d.Rtr < 0 || math.IsNaN(d.Rtr) || math.IsInf(d.Rtr, 0) {
+		return fmt.Errorf("tline: Rtr must be finite and non-negative, got %g", d.Rtr)
+	}
+	if d.CL < 0 || math.IsNaN(d.CL) || math.IsInf(d.CL, 0) {
+		return fmt.Errorf("tline: CL must be finite and non-negative, got %g", d.CL)
+	}
+	return nil
+}
+
+// Amplitude returns the effective step amplitude (1 V default).
+func (d Drive) Amplitude() float64 {
+	if d.V == 0 {
+		return 1
+	}
+	return d.V
+}
+
+// SegmentStyle selects the lumped approximation of one line segment.
+type SegmentStyle int
+
+// Segment styles.
+const (
+	// Gamma: series R,L then shunt C (the textbook ladder).
+	Gamma SegmentStyle = iota
+	// Tee: half the series impedance, shunt C, half the series impedance.
+	Tee
+	// Pi: half the shunt C, full series impedance, half the shunt C.
+	Pi
+)
+
+func (s SegmentStyle) String() string {
+	switch s {
+	case Gamma:
+		return "gamma"
+	case Tee:
+		return "tee"
+	case Pi:
+		return "pi"
+	default:
+		return fmt.Sprintf("SegmentStyle(%d)", int(s))
+	}
+}
+
+// Ladder is a lumped approximation of a driven line, ready to simulate.
+type Ladder struct {
+	Ckt *circuit.Circuit
+	// In is the node at the driver output (near end of the line);
+	// Out is the far end where CL sits.
+	In, Out int
+	// Segments and Style record how the ladder was built.
+	Segments int
+	Style    SegmentStyle
+}
+
+// BuildLadder constructs an N-segment lumped ladder for the driven line.
+// The source is an ideal step of d.Amplitude() volts delayed by delay
+// (use a positive delay so the simulation starts from rest; the response
+// is shifted by exactly delay).
+//
+// A zero d.Rtr is replaced by a negligible series resistance (the MNA
+// formulation needs the source separated from the first reactive node;
+// 1e-6 Ω is ~9 orders below any line resistance of interest). A zero
+// d.CL simply omits the load capacitor.
+func BuildLadder(ln Line, d Drive, n int, style SegmentStyle, delay float64) (*Ladder, error) {
+	if err := ln.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tline: ladder needs n >= 1 segments, got %d", n)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("tline: negative source delay %g", delay)
+	}
+	rt, lt, ct := ln.Totals()
+	rSeg, lSeg, cSeg := rt/float64(n), lt/float64(n), ct/float64(n)
+
+	ckt := circuit.New()
+	src := ckt.Node()
+	if err := ckt.AddV("vin", src, circuit.Ground,
+		circuit.Step{Amplitude: d.Amplitude(), Delay: delay}); err != nil {
+		return nil, err
+	}
+	in := ckt.Node()
+	rtr := d.Rtr
+	if rtr == 0 {
+		rtr = 1e-6
+	}
+	if err := ckt.AddR("rtr", src, in, rtr); err != nil {
+		return nil, err
+	}
+
+	addSeries := func(name string, from int, r, l float64) (int, error) {
+		// r may be zero (lossless line): skip the resistor node.
+		cur := from
+		if r > 0 {
+			mid := ckt.Node()
+			if err := ckt.AddR(name+".r", cur, mid, r); err != nil {
+				return 0, err
+			}
+			cur = mid
+		}
+		next := ckt.Node()
+		if err := ckt.AddL(name+".l", cur, next, l); err != nil {
+			return 0, err
+		}
+		return next, nil
+	}
+	addShunt := func(name string, at int, c float64) error {
+		if c <= 0 {
+			return nil
+		}
+		return ckt.AddC(name+".c", at, circuit.Ground, c)
+	}
+
+	node := in
+	var err error
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("seg%d", i)
+		switch style {
+		case Gamma:
+			node, err = addSeries(name, node, rSeg, lSeg)
+			if err != nil {
+				return nil, err
+			}
+			if err = addShunt(name, node, cSeg); err != nil {
+				return nil, err
+			}
+		case Tee:
+			node, err = addSeries(name+".a", node, rSeg/2, lSeg/2)
+			if err != nil {
+				return nil, err
+			}
+			if err = addShunt(name, node, cSeg); err != nil {
+				return nil, err
+			}
+			node, err = addSeries(name+".b", node, rSeg/2, lSeg/2)
+			if err != nil {
+				return nil, err
+			}
+		case Pi:
+			if err = addShunt(name+".a", node, cSeg/2); err != nil {
+				return nil, err
+			}
+			node, err = addSeries(name, node, rSeg, lSeg)
+			if err != nil {
+				return nil, err
+			}
+			if err = addShunt(name+".b", node, cSeg/2); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("tline: unknown segment style %v", style)
+		}
+	}
+	if d.CL > 0 {
+		if err := ckt.AddC("cload", node, circuit.Ground, d.CL); err != nil {
+			return nil, err
+		}
+	}
+	return &Ladder{Ckt: ckt, In: in, Out: node, Segments: n, Style: style}, nil
+}
+
+// ExactTF returns the exact transmission-line transfer function
+// Vout(s)/Vs(s) of the driven line (Eq. (1) in ABCD form):
+//
+//	H(s) = 1 / (cosh(γl) + Z0·sinh(γl)·YL + Rtr·(sinh(γl)/Z0 + cosh(γl)·YL))
+//
+// with γl = sqrt((Rt + s·Lt)·s·Ct), Z0 = sqrt((Rt + s·Lt)/(s·Ct)) and
+// YL = s·CL. The combination is even in γ, so the sqrt branch choice is
+// immaterial and H is single-valued.
+func ExactTF(ln Line, d Drive) (func(s complex128) complex128, error) {
+	if err := ln.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	rt, lt, ct := ln.Totals()
+	rtr, cl := d.Rtr, d.CL
+	return func(s complex128) complex128 {
+		zs := complex(rt, 0) + s*complex(lt, 0) // total series impedance
+		ys := s * complex(ct, 0)                // total shunt admittance
+		gl := cmplx.Sqrt(zs * ys)               // γ·l
+		// Z0·sinh and sinh/Z0 computed stably via sinh(γl)/γl which is
+		// analytic (even) in γl:
+		//   Z0·sinh(γl)   = zs · sinhc(γl)
+		//   sinh(γl)/Z0   = ys · sinhc(γl)
+		// where sinhc(x) = sinh(x)/x.
+		sc := sinhc(gl)
+		ch := cmplx.Cosh(gl)
+		yl := s * complex(cl, 0)
+		den := ch + zs*sc*yl + complex(rtr, 0)*(ys*sc+ch*yl)
+		return 1 / den
+	}, nil
+}
+
+// sinhc returns sinh(x)/x, using the series for small |x|.
+func sinhc(x complex128) complex128 {
+	if cmplx.Abs(x) < 1e-4 {
+		x2 := x * x
+		return 1 + x2/6 + x2*x2/120
+	}
+	return cmplx.Sinh(x) / x
+}
+
+// LadderTF returns the rational transfer function num(s′)/den(s′) of the
+// N-segment ladder (same topology BuildLadder simulates) in the
+// normalized frequency variable s′ = s·t0. Pass t0 = 1/ωn (Eq. (3)) to
+// keep coefficients O(1); t0 must be positive.
+//
+// For these ladders the numerator is the constant 1 and den(0) = 1
+// (unit DC gain), so the result is fully described by den, but both are
+// returned for a conventional rational-function interface.
+func LadderTF(ln Line, d Drive, n int, style SegmentStyle, t0 float64) (num, den numeric.Poly, err error) {
+	if err := ln.Validate(); err != nil {
+		return numeric.Poly{}, numeric.Poly{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return numeric.Poly{}, numeric.Poly{}, err
+	}
+	if n < 1 {
+		return numeric.Poly{}, numeric.Poly{}, fmt.Errorf("tline: LadderTF needs n >= 1, got %d", n)
+	}
+	if t0 <= 0 || math.IsNaN(t0) || math.IsInf(t0, 0) {
+		return numeric.Poly{}, numeric.Poly{}, errors.New("tline: LadderTF needs positive normalization time t0")
+	}
+	rt, lt, ct := ln.Totals()
+	nf := float64(n)
+	// Per-segment impedances in normalized s′: s = s′/t0.
+	zSeg := numeric.NewPoly(rt/nf, lt/nf/t0) // R + sL
+	ySeg := numeric.NewPoly(0, ct/nf/t0)     // sC
+	yLoad := numeric.NewPoly(0, d.CL/t0)     // s·CL
+	zSrc := numeric.NewPoly(d.Rtr)           // Rtr
+
+	// ABCD as polynomial 2×2: start with identity, multiply per element.
+	a := numeric.NewPoly(1)
+	b := numeric.NewPoly(0)
+	c := numeric.NewPoly(0)
+	dd := numeric.NewPoly(1)
+	mulSeries := func(z numeric.Poly) {
+		// [A B; C D] · [1 z; 0 1]
+		b = a.Mul(z).Add(b)
+		dd = c.Mul(z).Add(dd)
+	}
+	mulShunt := func(y numeric.Poly) {
+		// [A B; C D] · [1 0; y 1]
+		a = a.Add(b.Mul(y))
+		c = c.Add(dd.Mul(y))
+	}
+	mulSeries(zSrc)
+	half := func(p numeric.Poly) numeric.Poly { return p.Scale(0.5) }
+	for i := 0; i < n; i++ {
+		switch style {
+		case Gamma:
+			mulSeries(zSeg)
+			mulShunt(ySeg)
+		case Tee:
+			mulSeries(half(zSeg))
+			mulShunt(ySeg)
+			mulSeries(half(zSeg))
+		case Pi:
+			mulShunt(half(ySeg))
+			mulSeries(zSeg)
+			mulShunt(half(ySeg))
+		default:
+			return numeric.Poly{}, numeric.Poly{}, fmt.Errorf("tline: unknown segment style %v", style)
+		}
+	}
+	// Vs = A·Vout + B·Iout with Iout = YL·Vout → H = 1/(A + B·YL).
+	den = a.Add(b.Mul(yLoad))
+	return numeric.NewPoly(1), den, nil
+}
+
+// Attenuation returns the DC attenuation factor of the matched line,
+// e^{−(Rt/2)·sqrt(Ct/Lt)} — the paper's measure of how lossy the line is
+// relative to its inductive behavior (small exponent = LC-like).
+func (ln Line) Attenuation() float64 {
+	rt, lt, ct := ln.Totals()
+	return math.Exp(-rt / 2 * math.Sqrt(ct/lt))
+}
+
+// CoupledPair is two parallel driven lines with capacitive and
+// inductive coupling — the aggressor/victim configuration used for
+// crosstalk analysis, the natural next question once on-chip inductance
+// matters (the follow-on literature to this paper).
+type CoupledPair struct {
+	Ckt *circuit.Circuit
+	// AggressorIn/Out and VictimIn/Out are the near/far-end nodes.
+	AggressorIn, AggressorOut int
+	VictimIn, VictimOut       int
+	Segments                  int
+}
+
+// BuildCoupledLadders constructs two identical N-segment Gamma ladders
+// of the line, with coupling capacitance cc (farads per meter) between
+// corresponding nodes and magnetic coupling coefficient kL between
+// corresponding segment inductors. The aggressor is driven by a step
+// (delayed by delay); the victim's driver holds its near end quiet
+// through the same Rtr. Both far ends carry CL.
+func BuildCoupledLadders(ln Line, d Drive, n int, cc, kL, delay float64) (*CoupledPair, error) {
+	if err := ln.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tline: coupled ladders need n >= 1, got %d", n)
+	}
+	if cc < 0 || math.IsNaN(cc) {
+		return nil, fmt.Errorf("tline: coupling capacitance must be >= 0, got %g", cc)
+	}
+	if kL < 0 || kL >= 1 || math.IsNaN(kL) {
+		return nil, fmt.Errorf("tline: magnetic coupling must be in [0, 1), got %g", kL)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("tline: negative source delay %g", delay)
+	}
+	rt, lt, ct := ln.Totals()
+	nf := float64(n)
+	rSeg, lSeg, cSeg := rt/nf, lt/nf, ct/nf
+	ccSeg := cc * ln.Length / nf
+	rtr := d.Rtr
+	if rtr == 0 {
+		rtr = 1e-6
+	}
+
+	ckt := circuit.New()
+	src := ckt.Node()
+	if err := ckt.AddV("vin", src, circuit.Ground,
+		circuit.Step{Amplitude: d.Amplitude(), Delay: delay}); err != nil {
+		return nil, err
+	}
+	aIn := ckt.Node()
+	vIn := ckt.Node()
+	if err := ckt.AddR("rtr.a", src, aIn, rtr); err != nil {
+		return nil, err
+	}
+	// The victim's gate holds its input low: Rtr to ground.
+	if err := ckt.AddR("rtr.v", vIn, circuit.Ground, rtr); err != nil {
+		return nil, err
+	}
+	addSeg := func(tag string, from int, i int) (int, string, error) {
+		cur := from
+		if rSeg > 0 {
+			mid := ckt.Node()
+			if err := ckt.AddR(fmt.Sprintf("%s%d.r", tag, i), cur, mid, rSeg); err != nil {
+				return 0, "", err
+			}
+			cur = mid
+		}
+		next := ckt.Node()
+		lName := fmt.Sprintf("%s%d.l", tag, i)
+		if err := ckt.AddL(lName, cur, next, lSeg); err != nil {
+			return 0, "", err
+		}
+		if err := ckt.AddC(fmt.Sprintf("%s%d.c", tag, i), next, circuit.Ground, cSeg); err != nil {
+			return 0, "", err
+		}
+		return next, lName, nil
+	}
+	aNode, vNode := aIn, vIn
+	for i := 0; i < n; i++ {
+		var aL, vL string
+		var err error
+		if aNode, aL, err = addSeg("a", aNode, i); err != nil {
+			return nil, err
+		}
+		if vNode, vL, err = addSeg("v", vNode, i); err != nil {
+			return nil, err
+		}
+		if ccSeg > 0 {
+			if err := ckt.AddC(fmt.Sprintf("cc%d", i), aNode, vNode, ccSeg); err != nil {
+				return nil, err
+			}
+		}
+		if kL > 0 {
+			if err := ckt.AddK(fmt.Sprintf("k%d", i), aL, vL, kL); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.CL > 0 {
+		if err := ckt.AddC("cl.a", aNode, circuit.Ground, d.CL); err != nil {
+			return nil, err
+		}
+		if err := ckt.AddC("cl.v", vNode, circuit.Ground, d.CL); err != nil {
+			return nil, err
+		}
+	}
+	return &CoupledPair{
+		Ckt:         ckt,
+		AggressorIn: aIn, AggressorOut: aNode,
+		VictimIn: vIn, VictimOut: vNode,
+		Segments: n,
+	}, nil
+}

@@ -1,0 +1,398 @@
+package tline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/mna"
+	"rlckit/internal/numeric"
+)
+
+// table1Line builds a line with the paper's Table 1 shape: Ct = 1 pF and
+// chosen Rt, Lt over 10 mm.
+func table1Line(rt, lt float64) Line {
+	return FromTotals(rt, lt, 1e-12, 0.01)
+}
+
+func TestValidate(t *testing.T) {
+	good := Line{R: 10, L: 1e-7, C: 1e-10, Length: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lossless := Line{R: 0, L: 1e-7, C: 1e-10, Length: 0.01}
+	if err := lossless.Validate(); err != nil {
+		t.Errorf("lossless line rejected: %v", err)
+	}
+	bad := []Line{
+		{R: -1, L: 1e-7, C: 1e-10, Length: 1},
+		{R: 1, L: 0, C: 1e-10, Length: 1},
+		{R: 1, L: 1e-7, C: 0, Length: 1},
+		{R: 1, L: 1e-7, C: 1e-10, Length: 0},
+		{R: math.NaN(), L: 1e-7, C: 1e-10, Length: 1},
+	}
+	for i, ln := range bad {
+		if err := ln.Validate(); err == nil {
+			t.Errorf("bad line %d accepted", i)
+		}
+	}
+	if err := (Drive{Rtr: -1}).Validate(); err == nil {
+		t.Error("negative Rtr accepted")
+	}
+	if err := (Drive{CL: math.Inf(1)}).Validate(); err == nil {
+		t.Error("infinite CL accepted")
+	}
+	if err := (Drive{}).Validate(); err != nil {
+		t.Errorf("zero drive rejected: %v", err)
+	}
+}
+
+func TestTotalsRoundTrip(t *testing.T) {
+	ln := FromTotals(1000, 1e-7, 1e-12, 0.01)
+	rt, lt, ct := ln.Totals()
+	if !close3(rt, 1000) || !close3(lt, 1e-7) || !close3(ct, 1e-12) {
+		t.Errorf("totals: %g %g %g", rt, lt, ct)
+	}
+}
+
+func close3(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Abs(b) }
+
+func TestDerivedQuantities(t *testing.T) {
+	ln := Line{R: 0, L: 4e-7, C: 1e-10, Length: 0.02}
+	if z := ln.Z0Lossless(); !close3(z, math.Sqrt(4e-7/1e-10)) {
+		t.Errorf("Z0 = %g", z)
+	}
+	want := 0.02 * math.Sqrt(4e-7*1e-10)
+	if tof := ln.TimeOfFlight(); !close3(tof, want) {
+		t.Errorf("TimeOfFlight = %g, want %g", tof, want)
+	}
+	// Attenuation: e^{−(Rt/2)√(Ct/Lt)}.
+	ln2 := table1Line(1000, 1e-7)
+	rt, lt, ct := ln2.Totals()
+	if a := ln2.Attenuation(); !close3(a, math.Exp(-rt/2*math.Sqrt(ct/lt))) {
+		t.Errorf("Attenuation = %g", a)
+	}
+}
+
+func TestDriveAmplitude(t *testing.T) {
+	if (Drive{}).Amplitude() != 1 {
+		t.Error("default amplitude")
+	}
+	if (Drive{V: 2.5}).Amplitude() != 2.5 {
+		t.Error("explicit amplitude")
+	}
+}
+
+func TestBuildLadderStructure(t *testing.T) {
+	ln := table1Line(1000, 1e-7)
+	d := Drive{Rtr: 500, CL: 5e-13}
+	for _, style := range []SegmentStyle{Gamma, Tee, Pi} {
+		lad, err := BuildLadder(ln, d, 10, style, 1e-12)
+		if err != nil {
+			t.Fatalf("%v: %v", style, err)
+		}
+		if err := lad.Ckt.Validate(); err != nil {
+			t.Fatalf("%v: invalid circuit: %v", style, err)
+		}
+		st := lad.Ckt.Stats()
+		if st.V != 1 {
+			t.Errorf("%v: %d sources", style, st.V)
+		}
+		// Total R must equal Rtr + Rt, total C must equal Ct + CL,
+		// total L must equal Lt — conservation across styles.
+		rt, lt, ct := ln.Totals()
+		if got := lad.Ckt.TotalOfKind(circuit.KindResistor); !close3(got, rt+d.Rtr) {
+			t.Errorf("%v: total R = %g, want %g", style, got, rt+d.Rtr)
+		}
+		if got := lad.Ckt.TotalOfKind(circuit.KindInductor); !close3(got, lt) {
+			t.Errorf("%v: total L = %g, want %g", style, got, lt)
+		}
+		if got := lad.Ckt.TotalOfKind(circuit.KindCapacitor); !close3(got, ct+d.CL) {
+			t.Errorf("%v: total C = %g, want %g", style, got, ct+d.CL)
+		}
+		if lad.Segments != 10 || lad.Style != style {
+			t.Errorf("%v: metadata %+v", style, lad)
+		}
+	}
+}
+
+func TestBuildLadderErrors(t *testing.T) {
+	ln := table1Line(1000, 1e-7)
+	if _, err := BuildLadder(ln, Drive{}, 0, Pi, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BuildLadder(ln, Drive{}, 5, Pi, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := BuildLadder(Line{}, Drive{}, 5, Pi, 0); err == nil {
+		t.Error("invalid line accepted")
+	}
+	if _, err := BuildLadder(ln, Drive{Rtr: -1}, 5, Pi, 0); err == nil {
+		t.Error("invalid drive accepted")
+	}
+	if _, err := BuildLadder(ln, Drive{}, 5, SegmentStyle(9), 0); err == nil {
+		t.Error("unknown style accepted")
+	}
+}
+
+func TestBuildLadderLosslessAndUnloaded(t *testing.T) {
+	ln := Line{R: 0, L: 1e-7 / 0.01, C: 1e-12 / 0.01, Length: 0.01}
+	lad, err := BuildLadder(ln, Drive{}, 8, Gamma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := lad.Ckt.Stats()
+	if st.L != 8 || st.C != 8 {
+		t.Errorf("lossless ladder stats %+v", st)
+	}
+	// Only the driver's placeholder resistance should exist.
+	if st.R != 1 {
+		t.Errorf("lossless ladder has %d resistors", st.R)
+	}
+}
+
+func TestSegmentStyleString(t *testing.T) {
+	if Gamma.String() != "gamma" || Tee.String() != "tee" || Pi.String() != "pi" {
+		t.Error("style strings")
+	}
+	if SegmentStyle(7).String() == "" {
+		t.Error("unknown style")
+	}
+}
+
+func TestExactTFDCGainIsUnity(t *testing.T) {
+	f, err := ExactTF(table1Line(1000, 1e-7), Drive{Rtr: 500, CL: 5e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// As s → 0 along the real axis the gain must approach 1 (the line is
+	// a through-path at DC).
+	for _, s := range []float64{1, 100, 1e4} {
+		g := f(complex(s, 0))
+		if math.Abs(real(g)-1) > 1e-3 || math.Abs(imag(g)) > 1e-3 {
+			t.Errorf("H(%g) = %v, want ≈1", s, g)
+		}
+	}
+}
+
+func TestExactTFMatchesLumpedAtLowFrequency(t *testing.T) {
+	// At frequencies well below the line resonance, a 40-segment Pi
+	// ladder's rational TF must match the exact hyperbolic TF closely.
+	ln := table1Line(1000, 1e-7)
+	d := Drive{Rtr: 500, CL: 5e-13}
+	exact, err := ExactTF(ln, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lt, ct := ln.Totals()
+	t0 := math.Sqrt(lt * (ct + d.CL))
+	num, den, err := LadderTF(ln, d, 40, Pi, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range []complex128{
+		complex(0.1, 0), complex(0.5, 0.5), complex(0, 1), complex(1, 2),
+	} {
+		s := sn / complex(t0, 0)
+		he := exact(s)
+		hl := num.EvalC(sn) / den.EvalC(sn)
+		if cmplx.Abs(he-hl) > 2e-3*(cmplx.Abs(he)+1e-3) {
+			t.Errorf("s′=%v: exact %v vs ladder %v", sn, he, hl)
+		}
+	}
+}
+
+func TestLadderTFBasics(t *testing.T) {
+	ln := table1Line(1000, 1e-7)
+	d := Drive{Rtr: 500, CL: 5e-13}
+	_, lt, ct := ln.Totals()
+	t0 := math.Sqrt(lt * (ct + d.CL))
+	num, den, err := LadderTF(ln, d, 6, Gamma, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Degree() != 0 || num.Eval(0) != 1 {
+		t.Errorf("numerator %v", num)
+	}
+	if den.Eval(0) != 1 {
+		t.Errorf("den(0) = %g, want 1 (unit DC gain)", den.Eval(0))
+	}
+	// Degree = number of independent reactive states: 6 L + 6 C, with CL
+	// merging into the last segment's shunt capacitor (same node pair).
+	if den.Degree() != 12 {
+		t.Errorf("den degree = %d, want 12", den.Degree())
+	}
+	// Error cases.
+	if _, _, err := LadderTF(ln, d, 0, Gamma, t0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := LadderTF(ln, d, 3, Gamma, 0); err == nil {
+		t.Error("t0=0 accepted")
+	}
+	if _, _, err := LadderTF(Line{}, d, 3, Gamma, t0); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, _, err := LadderTF(ln, Drive{CL: -1}, 3, Gamma, t0); err == nil {
+		t.Error("bad drive accepted")
+	}
+	if _, _, err := LadderTF(ln, d, 3, SegmentStyle(9), t0); err == nil {
+		t.Error("unknown style accepted")
+	}
+}
+
+func TestLadderTFStylesAgreeAtDC(t *testing.T) {
+	ln := table1Line(500, 1e-8)
+	d := Drive{Rtr: 100, CL: 1e-13}
+	_, lt, ct := ln.Totals()
+	t0 := math.Sqrt(lt * (ct + d.CL))
+	for _, style := range []SegmentStyle{Gamma, Tee, Pi} {
+		_, den, err := LadderTF(ln, d, 12, style, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(den.Eval(0)-1) > 1e-12 {
+			t.Errorf("%v: den(0) = %g", style, den.Eval(0))
+		}
+	}
+}
+
+func TestLadderTFStable(t *testing.T) {
+	// Every pole of a passive RLC ladder must lie in the left half-plane.
+	ln := table1Line(1000, 1e-6)
+	d := Drive{Rtr: 500, CL: 5e-13}
+	_, lt, ct := ln.Totals()
+	t0 := math.Sqrt(lt * (ct + d.CL))
+	_, den, err := LadderTF(ln, d, 10, Pi, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range den.Roots() {
+		if real(p) > 1e-7*(cmplx.Abs(p)+1) {
+			t.Errorf("unstable pole %v", p)
+		}
+	}
+}
+
+func TestFromTotalsProperty(t *testing.T) {
+	f := func(r, l, c, length float64) bool {
+		r = math.Abs(math.Mod(r, 1e4))
+		l = math.Abs(math.Mod(l, 1e-5)) + 1e-12
+		c = math.Abs(math.Mod(c, 1e-9)) + 1e-16
+		length = math.Abs(math.Mod(length, 0.1)) + 1e-4
+		ln := FromTotals(r, l, c, length)
+		rt, lt, ct := ln.Totals()
+		return close3(rt, r) && close3(lt, l) && close3(ct, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericImportUsed(t *testing.T) {
+	// Sanity: the normalized ladder polynomial has O(1) coefficients.
+	ln := table1Line(1000, 1e-7)
+	d := Drive{Rtr: 500, CL: 5e-13}
+	_, lt, ct := ln.Totals()
+	t0 := math.Sqrt(lt * (ct + d.CL))
+	_, den, err := LadderTF(ln, d, 8, Pi, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := numeric.VecNormInf(den.Coef); m > 1e6 || m < 1e-6 {
+		t.Errorf("normalized coefficients badly scaled: max |c| = %g", m)
+	}
+}
+
+func TestCoupledLaddersCrosstalk(t *testing.T) {
+	// Aggressor switching next to a quiet victim: coupling must inject
+	// measurable noise, more coupling → more noise, zero coupling → none.
+	ln := table1Line(300, 2e-8)
+	d := Drive{Rtr: 50, CL: 5e-14}
+	tof := ln.TimeOfFlight()
+	peakNoise := func(cc, kl float64) float64 {
+		cp, err := BuildCoupledLadders(ln, d, 40, cc, kl, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Ckt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := mna.Simulate(cp.Ckt, mna.Options{
+			Dt: tof / 600, TEnd: 20 * tof, Probes: []int{cp.VictimOut, cp.AggressorOut},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := res.V(cp.VictimOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak := 0.0
+		for _, x := range v {
+			if a := math.Abs(x); a > peak {
+				peak = a
+			}
+		}
+		// Sanity: the aggressor still switches to ~1.
+		a, _ := res.V(cp.AggressorOut)
+		if f := a[len(a)-1]; math.Abs(f-1) > 0.05 {
+			t.Fatalf("aggressor final %g", f)
+		}
+		return peak
+	}
+	quiet := peakNoise(0, 0)
+	capOnly := peakNoise(3e-11, 0) // ~30 pF/m coupling
+	indOnly := peakNoise(0, 0.4)
+	both := peakNoise(3e-11, 0.4)
+	if quiet > 1e-6 {
+		t.Errorf("uncoupled victim noise %g", quiet)
+	}
+	if capOnly < 0.01 {
+		t.Errorf("capacitive crosstalk only %.4g V", capOnly)
+	}
+	if indOnly < 0.01 {
+		t.Errorf("inductive crosstalk only %.4g V", indOnly)
+	}
+	// Classic coupled-line result: capacitive and inductive far-end
+	// crosstalk have opposite polarity (FEXT ∝ Cc/C − M/L), so combining
+	// them partially cancels — the combined noise must be below the sum
+	// and here below the capacitive-only noise.
+	if both >= capOnly {
+		t.Errorf("magnetic coupling did not cancel capacitive FEXT: %.4g vs %.4g", both, capOnly)
+	}
+	if both > 1 || indOnly > 1 {
+		t.Errorf("victim noise exceeds aggressor swing: %.4g / %.4g", both, indOnly)
+	}
+}
+
+func TestBuildCoupledLaddersValidation(t *testing.T) {
+	ln := table1Line(300, 2e-8)
+	d := Drive{Rtr: 50}
+	if _, err := BuildCoupledLadders(Line{}, d, 4, 0, 0, 0); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, err := BuildCoupledLadders(ln, Drive{Rtr: -1}, 4, 0, 0, 0); err == nil {
+		t.Error("bad drive accepted")
+	}
+	if _, err := BuildCoupledLadders(ln, d, 0, 0, 0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BuildCoupledLadders(ln, d, 4, -1, 0, 0); err == nil {
+		t.Error("negative cc accepted")
+	}
+	if _, err := BuildCoupledLadders(ln, d, 4, 0, 1.0, 0); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := BuildCoupledLadders(ln, d, 4, 0, 0, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	cp, err := BuildCoupledLadders(ln, d, 4, 1e-11, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Segments != 4 || cp.AggressorOut == cp.VictimOut {
+		t.Errorf("pair metadata %+v", cp)
+	}
+}

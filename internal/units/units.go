@@ -1,0 +1,205 @@
+// Package units provides SI engineering-notation parsing and formatting
+// used throughout rlckit for electrical quantities (ohms, henries, farads,
+// seconds, meters).
+//
+// The package deliberately works with bare float64 values in base SI units;
+// it exists to make CLI input/output and table rendering pleasant, not to
+// impose a unit system on the numerical core.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// siPrefix maps an exponent (multiple of 3) to its SI prefix symbol.
+var siPrefix = map[int]string{
+	-18: "a", -15: "f", -12: "p", -9: "n", -6: "u", -3: "m",
+	0: "", 3: "k", 6: "M", 9: "G", 12: "T",
+}
+
+// siValue maps prefix symbols (including unicode micro) to exponents.
+var siValue = map[string]int{
+	"a": -18, "f": -15, "p": -12, "n": -9, "u": -6, "µ": -6, "m": -3,
+	"": 0, "k": 3, "K": 3, "M": 6, "G": 9, "T": 12,
+}
+
+// Format renders v in engineering notation with the given unit suffix and
+// number of significant digits, e.g. Format(1.5e-12, "F", 3) == "1.50pF".
+// Zero renders as "0<unit>". Negative values keep their sign.
+func Format(v float64, unit string, sig int) string {
+	if sig < 1 {
+		sig = 3
+	}
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsNaN(v) {
+		return "NaN" + unit
+	}
+	if math.IsInf(v, 0) {
+		if v > 0 {
+			return "+Inf" + unit
+		}
+		return "-Inf" + unit
+	}
+	sign := ""
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := int(math.Floor(math.Log10(v)))
+	// Engineering exponent: round down to a multiple of 3.
+	eng := int(math.Floor(float64(exp) / 3.0))
+	e3 := eng * 3
+	if e3 < -18 {
+		e3 = -18
+	}
+	if e3 > 12 {
+		e3 = 12
+	}
+	mant := v / math.Pow(10, float64(e3))
+	// Guard against mantissa rounding to 1000 (e.g. 999.96 with 4 sig digits).
+	digits := sig - 1 - int(math.Floor(math.Log10(mant)))
+	if digits < 0 {
+		digits = 0
+	}
+	s := strconv.FormatFloat(mant, 'f', digits, 64)
+	if f, _ := strconv.ParseFloat(s, 64); f >= 1000 && e3 < 12 {
+		e3 += 3
+		mant = v / math.Pow(10, float64(e3))
+		digits = sig - 1 - int(math.Floor(math.Log10(mant)))
+		if digits < 0 {
+			digits = 0
+		}
+		s = strconv.FormatFloat(mant, 'f', digits, 64)
+	}
+	// Rounding may have promoted the mantissa across a power of ten
+	// (0.99996 → "1.0000"); recompute the digit count at the new magnitude.
+	if f, _ := strconv.ParseFloat(s, 64); f > 0 {
+		if nd := sig - 1 - int(math.Floor(math.Log10(f))); nd != digits && nd >= 0 {
+			s = strconv.FormatFloat(f, 'f', nd, 64)
+		}
+	}
+	return sign + s + siPrefix[e3] + unit
+}
+
+// Parse reads an engineering-notation quantity such as "1.5pF", "500", "2k",
+// "0.1uH" or "1e-12". A trailing unit string (letters after the prefix) is
+// accepted and ignored, so "10pF" and "10p" both parse to 1e-11.
+func Parse(s string) (float64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty quantity")
+	}
+	// Find the longest numeric head (digits, sign, dot, exponent).
+	i := 0
+	seenE := false
+	for i < len(t) {
+		c := t[i]
+		switch {
+		case c >= '0' && c <= '9', c == '.', c == '+', c == '-':
+			if (c == '+' || c == '-') && i > 0 && !(t[i-1] == 'e' || t[i-1] == 'E') {
+				goto done
+			}
+			i++
+		case (c == 'e' || c == 'E') && !seenE && i+1 < len(t) &&
+			(t[i+1] == '+' || t[i+1] == '-' || (t[i+1] >= '0' && t[i+1] <= '9')):
+			seenE = true
+			i++
+		default:
+			goto done
+		}
+	}
+done:
+	head, tail := t[:i], strings.TrimSpace(t[i:])
+	base, err := strconv.ParseFloat(head, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse %q: %v", s, err)
+	}
+	if tail == "" {
+		return base, nil
+	}
+	if tail == "e" || tail == "E" {
+		return 0, fmt.Errorf("units: dangling exponent in %q", s)
+	}
+	// First rune of the tail may be an SI prefix; the rest is a unit name.
+	// Disambiguate "m": treat as milli unless the tail is exactly a known
+	// bare unit ("m" for meters is ambiguous; engineering convention in EDA
+	// decks is milli, which we follow).
+	pr := string([]rune(tail)[0])
+	if exp, ok := siValue[pr]; ok {
+		rest := string([]rune(tail)[1:])
+		if isUnitWord(rest) {
+			return base * math.Pow(10, float64(exp)), nil
+		}
+	}
+	if isUnitWord(tail) {
+		return base, nil
+	}
+	return 0, fmt.Errorf("units: cannot parse suffix %q in %q", tail, s)
+}
+
+// isUnitWord reports whether s is empty or a plausible unit name
+// (letters, ohm sign, slash for per-unit-length units like "F/m").
+func isUnitWord(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r == 'Ω', r == 'Ω', r == '/', r == 'µ':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// MustParse is Parse that panics on error; for tests and literals in examples.
+func MustParse(s string) float64 {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Convenience constructors in base SI units. They make example code read
+// like a datasheet: Ohm(500), PicoFarad(1), MilliMeter(10).
+
+// Ohm returns v ohms.
+func Ohm(v float64) float64 { return v }
+
+// KiloOhm returns v kilo-ohms in ohms.
+func KiloOhm(v float64) float64 { return v * 1e3 }
+
+// Farad returns v farads.
+func Farad(v float64) float64 { return v }
+
+// PicoFarad returns v picofarads in farads.
+func PicoFarad(v float64) float64 { return v * 1e-12 }
+
+// FemtoFarad returns v femtofarads in farads.
+func FemtoFarad(v float64) float64 { return v * 1e-15 }
+
+// Henry returns v henries.
+func Henry(v float64) float64 { return v }
+
+// NanoHenry returns v nanohenries in henries.
+func NanoHenry(v float64) float64 { return v * 1e-9 }
+
+// PicoSecond returns v picoseconds in seconds.
+func PicoSecond(v float64) float64 { return v * 1e-12 }
+
+// NanoSecond returns v nanoseconds in seconds.
+func NanoSecond(v float64) float64 { return v * 1e-9 }
+
+// MilliMeter returns v millimeters in meters.
+func MilliMeter(v float64) float64 { return v * 1e-3 }
+
+// MicroMeter returns v micrometers in meters.
+func MicroMeter(v float64) float64 { return v * 1e-6 }
+
+// CentiMeter returns v centimeters in meters.
+func CentiMeter(v float64) float64 { return v * 1e-2 }

@@ -1,0 +1,161 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBasics(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		sig  int
+		want string
+	}{
+		{1.5e-12, "F", 3, "1.50pF"},
+		{500, "Ohm", 3, "500Ohm"},
+		{0, "s", 3, "0s"},
+		{1e-9, "s", 2, "1.0ns"},
+		{2.5e3, "Ohm", 3, "2.50kOhm"},
+		{-3.3e-6, "H", 2, "-3.3uH"},
+		{1e-5, "H", 3, "10.0uH"},
+		{1e-8, "H", 3, "10.0nH"},
+		{0.12, "V", 2, "120mV"},
+		{999.96, "Ohm", 4, "1.000kOhm"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v, c.unit, c.sig); got != c.want {
+			t.Errorf("Format(%g,%q,%d) = %q, want %q", c.v, c.unit, c.sig, got, c.want)
+		}
+	}
+}
+
+func TestFormatSpecials(t *testing.T) {
+	if got := Format(math.NaN(), "s", 3); got != "NaNs" {
+		t.Errorf("NaN: got %q", got)
+	}
+	if got := Format(math.Inf(1), "s", 3); got != "+Infs" {
+		t.Errorf("+Inf: got %q", got)
+	}
+	if got := Format(math.Inf(-1), "s", 3); got != "-Infs" {
+		t.Errorf("-Inf: got %q", got)
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1.5pF", 1.5e-12},
+		{"500", 500},
+		{"2k", 2000},
+		{"0.1uH", 1e-7},
+		{"1e-12", 1e-12},
+		{"10p", 1e-11},
+		{"3.3nH", 3.3e-9},
+		{"  42 Ohm ", 42},
+		{"-7mV", -7e-3},
+		{"1.2e3k", 1.2e6},
+		{"100µ", 1e-4},
+		{"5M", 5e6},
+		{"1m", 1e-3},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-15*math.Abs(c.want)+1e-30 {
+			t.Errorf("Parse(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1.2.3", "10!!", "--5", "1e", "5 %%"} {
+		if v, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %g, want error", in, v)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	f := func(mant float64, e int) bool {
+		e = ((e % 12) + 12) % 12 // 0..11
+		v := math.Abs(mant)
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		// Normalize mantissa into [1,10) then scale to a printable range.
+		for v >= 10 {
+			v /= 10
+		}
+		for v < 1 {
+			v *= 10
+		}
+		val := v * math.Pow(10, float64(e-6)) // 1e-6 .. 1e5 range
+		s := Format(val, "F", 6)
+		got, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-val) <= 1e-4*val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("not-a-number")
+}
+
+func TestConstructors(t *testing.T) {
+	if PicoFarad(1) != 1e-12 {
+		t.Error("PicoFarad")
+	}
+	if NanoHenry(2) != 2e-9 {
+		t.Error("NanoHenry")
+	}
+	if KiloOhm(3) != 3000 {
+		t.Error("KiloOhm")
+	}
+	if MilliMeter(10) != 0.01 {
+		t.Error("MilliMeter")
+	}
+	if CentiMeter(2) != 0.02 {
+		t.Error("CentiMeter")
+	}
+	if math.Abs(MicroMeter(5)-5e-6) > 1e-20 {
+		t.Error("MicroMeter")
+	}
+	if FemtoFarad(7) != 7e-15 {
+		t.Error("FemtoFarad")
+	}
+	if PicoSecond(1) != 1e-12 || NanoSecond(1) != 1e-9 {
+		t.Error("seconds")
+	}
+	if Ohm(9) != 9 || Farad(1) != 1 || Henry(1) != 1 {
+		t.Error("identity constructors")
+	}
+}
+
+func TestFormatParseUnitsWithSlash(t *testing.T) {
+	s := Format(25e-12, "F/m", 3)
+	if !strings.HasSuffix(s, "pF/m") {
+		t.Fatalf("got %q", s)
+	}
+	v, err := Parse(s)
+	if err != nil || math.Abs(v-25e-12) > 1e-18 {
+		t.Fatalf("round trip %q -> %g, %v", s, v, err)
+	}
+}

@@ -1,0 +1,81 @@
+package waveform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the waveform as two-column CSV with the given value
+// header (the time column is always "time").
+func (w *W) WriteCSV(out io.Writer, name string) error {
+	if name == "" {
+		name = "v"
+	}
+	bw := bufio.NewWriter(out)
+	if _, err := fmt.Fprintf(bw, "time,%s\n", name); err != nil {
+		return err
+	}
+	for i := range w.T {
+		if _, err := fmt.Fprintf(bw, "%.9e,%.9e\n", w.T[i], w.Y[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a waveform from two-column CSV written by WriteCSV or
+// by cmd/netsim (first column time, chosen column by header name; pass
+// "" for the first value column). Extra columns are ignored.
+func ReadCSV(in io.Reader, column string) (*W, error) {
+	sc := bufio.NewScanner(in)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("waveform: empty CSV")
+	}
+	headers := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(headers) < 2 {
+		return nil, fmt.Errorf("waveform: CSV needs >= 2 columns, header %q", sc.Text())
+	}
+	col := 1
+	if column != "" {
+		col = -1
+		for i, h := range headers {
+			if strings.TrimSpace(h) == column {
+				col = i
+				break
+			}
+		}
+		if col <= 0 {
+			return nil, fmt.Errorf("waveform: column %q not found in %v", column, headers)
+		}
+	}
+	var ts, ys []float64
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) <= col {
+			return nil, fmt.Errorf("waveform: line %d has %d columns, need > %d", lineNo, len(fields), col)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("waveform: line %d time: %v", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(fields[col]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("waveform: line %d value: %v", lineNo, err)
+		}
+		ts = append(ts, t)
+		ys = append(ys, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(ts, ys)
+}

@@ -1,0 +1,274 @@
+// Package waveform represents sampled time-domain signals and the
+// measurements interconnect analysis needs from them: 50% propagation
+// delay, rise time, overshoot, ringing and settling metrics.
+//
+// Waveforms are the common currency between the transient simulator
+// (internal/mna), the analytic solvers (internal/ratfun,
+// internal/laplace), and the benchmark harness.
+package waveform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rlckit/internal/numeric"
+)
+
+// W is a sampled waveform: value Y[i] at time T[i], with T strictly
+// increasing.
+type W struct {
+	T []float64
+	Y []float64
+}
+
+// New validates and wraps parallel time/value slices into a waveform.
+func New(t, y []float64) (*W, error) {
+	if len(t) != len(y) {
+		return nil, fmt.Errorf("waveform: length mismatch %d vs %d", len(t), len(y))
+	}
+	if len(t) < 2 {
+		return nil, errors.New("waveform: need at least 2 samples")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return nil, fmt.Errorf("waveform: time not strictly increasing at index %d (%g, %g)", i, t[i-1], t[i])
+		}
+	}
+	return &W{T: t, Y: y}, nil
+}
+
+// FromFunc samples f at n uniformly spaced points on [t0, t1].
+func FromFunc(f func(float64) float64, t0, t1 float64, n int) (*W, error) {
+	if n < 2 {
+		return nil, errors.New("waveform: FromFunc needs n >= 2")
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("waveform: bad span [%g, %g]", t0, t1)
+	}
+	t := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t[i] = t0 + (t1-t0)*float64(i)/float64(n-1)
+		y[i] = f(t[i])
+	}
+	return &W{T: t, Y: y}, nil
+}
+
+// Len returns the number of samples.
+func (w *W) Len() int { return len(w.T) }
+
+// At evaluates the waveform at time t by linear interpolation, clamped at
+// the ends.
+func (w *W) At(t float64) float64 {
+	return numeric.LinearInterp(w.T, w.Y, t)
+}
+
+// Final returns the last sampled value (used as the settled value for
+// step responses that have converged).
+func (w *W) Final() float64 { return w.Y[len(w.Y)-1] }
+
+// Peak returns the maximum value and its time.
+func (w *W) Peak() (float64, float64) {
+	best, bt := w.Y[0], w.T[0]
+	for i, v := range w.Y {
+		if v > best {
+			best, bt = v, w.T[i]
+		}
+	}
+	return best, bt
+}
+
+// CrossUp returns the first time the waveform crosses level going up.
+func (w *W) CrossUp(level float64) (float64, error) {
+	return numeric.InvLinearCrossing(w.T, w.Y, level)
+}
+
+// Delay50 returns the 50% propagation delay of a step response that
+// settles to final value vFinal: the first upward crossing of vFinal/2.
+// This is the paper's t_pd measurement.
+func (w *W) Delay50(vFinal float64) (float64, error) {
+	return w.CrossUp(vFinal / 2)
+}
+
+// RiseTime returns the 10%–90% rise time relative to final value vFinal.
+func (w *W) RiseTime(vFinal float64) (float64, error) {
+	t10, err := w.CrossUp(0.1 * vFinal)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: 10%% crossing: %w", err)
+	}
+	t90, err := w.CrossUp(0.9 * vFinal)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: 90%% crossing: %w", err)
+	}
+	return t90 - t10, nil
+}
+
+// Overshoot returns the fractional overshoot (peak−final)/final of a step
+// response; 0 if the response never exceeds its final value (overdamped).
+func (w *W) Overshoot(vFinal float64) float64 {
+	if vFinal == 0 {
+		return 0
+	}
+	peak, _ := w.Peak()
+	os := (peak - vFinal) / vFinal
+	if os < 0 {
+		return 0
+	}
+	return os
+}
+
+// SettlingTime returns the earliest time after which the waveform stays
+// within ±frac·vFinal of vFinal until the end of the record.
+func (w *W) SettlingTime(vFinal, frac float64) (float64, error) {
+	if frac <= 0 {
+		return 0, errors.New("waveform: settling fraction must be positive")
+	}
+	band := math.Abs(frac * vFinal)
+	last := -1
+	for i := len(w.Y) - 1; i >= 0; i-- {
+		if math.Abs(w.Y[i]-vFinal) > band {
+			last = i
+			break
+		}
+	}
+	if last == -1 {
+		return w.T[0], nil
+	}
+	if last == len(w.Y)-1 {
+		return 0, fmt.Errorf("waveform: does not settle within ±%g%% by t=%g", frac*100, w.T[last])
+	}
+	// Interpolate the band crossing between samples last and last+1.
+	y0, y1 := w.Y[last], w.Y[last+1]
+	target := vFinal + math.Copysign(band, y0-vFinal)
+	if y1 == y0 {
+		return w.T[last+1], nil
+	}
+	a := (target - y0) / (y1 - y0)
+	if a < 0 {
+		a = 0
+	}
+	if a > 1 {
+		a = 1
+	}
+	return w.T[last] + a*(w.T[last+1]-w.T[last]), nil
+}
+
+// Resample returns the waveform linearly resampled onto n uniform points
+// spanning the original record.
+func (w *W) Resample(n int) (*W, error) {
+	if n < 2 {
+		return nil, errors.New("waveform: Resample needs n >= 2")
+	}
+	return FromFunc(w.At, w.T[0], w.T[len(w.T)-1], n)
+}
+
+// Slice returns the sub-waveform with t in [t0, t1] (inclusive of the
+// nearest enclosing samples).
+func (w *W) Slice(t0, t1 float64) (*W, error) {
+	if t1 <= t0 {
+		return nil, fmt.Errorf("waveform: bad slice span [%g, %g]", t0, t1)
+	}
+	i := sort.SearchFloat64s(w.T, t0)
+	if i > 0 {
+		i--
+	}
+	j := sort.SearchFloat64s(w.T, t1)
+	if j < len(w.T) {
+		j++
+	}
+	if j-i < 2 {
+		return nil, errors.New("waveform: slice too narrow")
+	}
+	return New(append([]float64(nil), w.T[i:j]...), append([]float64(nil), w.Y[i:j]...))
+}
+
+// MaxAbsDiff returns max_t |w(t) − v(t)| over the overlap of the two
+// records, sampled on the union of their time grids. It is the metric the
+// validation suite uses to compare independent engines.
+func MaxAbsDiff(w, v *W) float64 {
+	lo := math.Max(w.T[0], v.T[0])
+	hi := math.Min(w.T[len(w.T)-1], v.T[len(v.T)-1])
+	if hi <= lo {
+		return math.Inf(1)
+	}
+	grid := make([]float64, 0, len(w.T)+len(v.T))
+	for _, t := range w.T {
+		if t >= lo && t <= hi {
+			grid = append(grid, t)
+		}
+	}
+	for _, t := range v.T {
+		if t >= lo && t <= hi {
+			grid = append(grid, t)
+		}
+	}
+	sort.Float64s(grid)
+	m := 0.0
+	for _, t := range grid {
+		if d := math.Abs(w.At(t) - v.At(t)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Energy returns ∫ w(t)² dt over the record — used by passivity checks in
+// simulator validation.
+func (w *W) Energy() float64 {
+	y2 := make([]float64, len(w.Y))
+	for i, v := range w.Y {
+		y2[i] = v * v
+	}
+	return numeric.Trapz(w.T, y2)
+}
+
+// CrossDown returns the first time the waveform crosses level going
+// downward (the falling-edge counterpart of CrossUp).
+func (w *W) CrossDown(level float64) (float64, error) {
+	for i := 1; i < len(w.T); i++ {
+		if w.Y[i-1] > level && w.Y[i] <= level {
+			t := (level - w.Y[i-1]) / (w.Y[i] - w.Y[i-1])
+			return w.T[i-1] + t*(w.T[i]-w.T[i-1]), nil
+		}
+		if w.Y[i-1] == level && w.Y[i] < level {
+			return w.T[i-1], nil
+		}
+	}
+	return 0, fmt.Errorf("waveform: signal never falls through %g (range %g..%g)",
+		level, w.Y[0], w.Y[len(w.Y)-1])
+}
+
+// FallTime returns the 90%–10% fall time relative to the initial value
+// v0 of a falling transition.
+func (w *W) FallTime(v0 float64) (float64, error) {
+	t90, err := w.CrossDown(0.9 * v0)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: 90%% falling crossing: %w", err)
+	}
+	t10, err := w.CrossDown(0.1 * v0)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: 10%% falling crossing: %w", err)
+	}
+	return t10 - t90, nil
+}
+
+// Undershoot returns the fractional undershoot below zero of a falling
+// step response that settles to 0 from v0: |min|/v0, or 0 if the record
+// never goes negative.
+func (w *W) Undershoot(v0 float64) float64 {
+	if v0 == 0 {
+		return 0
+	}
+	min := w.Y[0]
+	for _, v := range w.Y {
+		if v < min {
+			min = v
+		}
+	}
+	if min >= 0 {
+		return 0
+	}
+	return -min / v0
+}

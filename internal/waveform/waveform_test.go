@@ -1,0 +1,302 @@
+package waveform
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// expStep is the canonical RC step response 1 − e^{−t/τ}.
+func expStep(tau float64) func(float64) float64 {
+	return func(t float64) float64 { return 1 - math.Exp(-t/tau) }
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := New([]float64{0}, []float64{0}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := New([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Error("non-increasing time accepted")
+	}
+	w, err := New([]float64{0, 1}, []float64{0, 1})
+	if err != nil || w.Len() != 2 {
+		t.Errorf("valid waveform rejected: %v", err)
+	}
+}
+
+func TestFromFuncErrors(t *testing.T) {
+	if _, err := FromFunc(math.Sin, 0, 1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := FromFunc(math.Sin, 1, 0, 10); err == nil {
+		t.Error("reversed span accepted")
+	}
+}
+
+func TestDelay50OfRCStep(t *testing.T) {
+	tau := 2e-9
+	w, err := FromFunc(expStep(tau), 0, 20*tau, 4001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := w.Delay50(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tau * math.Ln2
+	if math.Abs(d-want) > 1e-3*want {
+		t.Errorf("Delay50 = %g, want %g", d, want)
+	}
+}
+
+func TestRiseTimeOfRCStep(t *testing.T) {
+	tau := 1.0
+	w, _ := FromFunc(expStep(tau), 0, 20, 20001)
+	rt, err := w.RiseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tau * math.Log(9) // ln(0.9/0.1)
+	if math.Abs(rt-want) > 1e-3*want {
+		t.Errorf("RiseTime = %g, want %g", rt, want)
+	}
+}
+
+func TestOvershootUnderdamped(t *testing.T) {
+	// Standard 2nd-order step response with ζ=0.3: overshoot = e^{−πζ/√(1−ζ²)}.
+	zeta := 0.3
+	wn := 1.0
+	wd := wn * math.Sqrt(1-zeta*zeta)
+	f := func(t float64) float64 {
+		return 1 - math.Exp(-zeta*wn*t)*(math.Cos(wd*t)+zeta/math.Sqrt(1-zeta*zeta)*math.Sin(wd*t))
+	}
+	w, _ := FromFunc(f, 0, 40, 40001)
+	want := math.Exp(-math.Pi * zeta / math.Sqrt(1-zeta*zeta))
+	if got := w.Overshoot(1); math.Abs(got-want) > 1e-3 {
+		t.Errorf("Overshoot = %g, want %g", got, want)
+	}
+}
+
+func TestOvershootOverdampedIsZero(t *testing.T) {
+	w, _ := FromFunc(expStep(1), 0, 10, 1001)
+	if got := w.Overshoot(1); got != 0 {
+		t.Errorf("overdamped overshoot = %g", got)
+	}
+	if w.Overshoot(0) != 0 {
+		t.Error("zero final value")
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	w, _ := FromFunc(expStep(1), 0, 20, 20001)
+	ts, err := w.SettlingTime(1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log(0.02) // e^{−t} = 0.02
+	if math.Abs(ts-want) > 0.01 {
+		t.Errorf("SettlingTime = %g, want %g", ts, want)
+	}
+	if _, err := w.SettlingTime(1, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	// Never settles within the record.
+	w2, _ := FromFunc(expStep(1), 0, 0.5, 100)
+	if _, err := w2.SettlingTime(1, 0.02); err == nil {
+		t.Error("non-settling record accepted")
+	}
+	// Already settled from t=0.
+	w3, _ := FromFunc(func(t float64) float64 { return 1 }, 0, 1, 10)
+	ts3, err := w3.SettlingTime(1, 0.02)
+	if err != nil || ts3 != 0 {
+		t.Errorf("constant record: %g, %v", ts3, err)
+	}
+}
+
+func TestPeakAndFinal(t *testing.T) {
+	w, _ := New([]float64{0, 1, 2, 3}, []float64{0, 5, 3, 4})
+	p, pt := w.Peak()
+	if p != 5 || pt != 1 {
+		t.Errorf("Peak = %g at %g", p, pt)
+	}
+	if w.Final() != 4 {
+		t.Errorf("Final = %g", w.Final())
+	}
+}
+
+func TestResampleAndAt(t *testing.T) {
+	w, _ := FromFunc(math.Sin, 0, math.Pi, 101)
+	r, err := w.Resample(1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.3, 1.1, 2.9} {
+		if math.Abs(r.At(x)-math.Sin(x)) > 1e-3 {
+			t.Errorf("resample at %g: %g vs %g", x, r.At(x), math.Sin(x))
+		}
+	}
+	if _, err := w.Resample(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	w, _ := FromFunc(math.Sin, 0, 10, 101)
+	s, err := w.Slice(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T[0] > 2 || s.T[len(s.T)-1] < 4 {
+		t.Errorf("slice [%g, %g] does not cover [2,4]", s.T[0], s.T[len(s.T)-1])
+	}
+	if _, err := w.Slice(4, 2); err == nil {
+		t.Error("reversed slice accepted")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := FromFunc(math.Sin, 0, 5, 501)
+	b, _ := FromFunc(func(t float64) float64 { return math.Sin(t) + 0.01 }, 0, 5, 701)
+	d := MaxAbsDiff(a, b)
+	if math.Abs(d-0.01) > 1e-3 {
+		t.Errorf("MaxAbsDiff = %g, want ~0.01", d)
+	}
+	c, _ := FromFunc(math.Sin, 100, 101, 10)
+	if !math.IsInf(MaxAbsDiff(a, c), 1) {
+		t.Error("disjoint records should be +Inf")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// ∫₀^{2π} sin² = π.
+	w, _ := FromFunc(math.Sin, 0, 2*math.Pi, 10001)
+	if e := w.Energy(); math.Abs(e-math.Pi) > 1e-4 {
+		t.Errorf("Energy = %g, want π", e)
+	}
+}
+
+func TestDelay50MonotoneInTau(t *testing.T) {
+	// Property: slower RC time constants give larger 50% delays.
+	f := func(a, b float64) bool {
+		ta := math.Mod(math.Abs(a), 5) + 0.1
+		tb := math.Mod(math.Abs(b), 5) + 0.1
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if tb-ta < 1e-3 {
+			return true
+		}
+		wa, _ := FromFunc(expStep(ta), 0, 20*tb, 4001)
+		wb, _ := FromFunc(expStep(tb), 0, 20*tb, 4001)
+		da, err1 := wa.Delay50(1)
+		db, err2 := wb.Delay50(1)
+		return err1 == nil && err2 == nil && da < db
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	w, _ := FromFunc(math.Sin, 0, 1, 50)
+	var b strings.Builder
+	if err := w.WriteCSV(&b, "vout"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()), "vout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != w.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), w.Len())
+	}
+	for i := range w.T {
+		if math.Abs(got.Y[i]-w.Y[i]) > 1e-8 {
+			t.Fatalf("sample %d: %g vs %g", i, got.Y[i], w.Y[i])
+		}
+	}
+	// Default column selection and default header name.
+	var b2 strings.Builder
+	if err := w.WriteCSV(&b2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV(strings.NewReader(b2.String()), ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVMultiColumn(t *testing.T) {
+	csv := "time,a,b\n0,1,10\n1,2,20\n2,3,30\n"
+	w, err := ReadCSV(strings.NewReader(csv), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Y[2] != 30 {
+		t.Errorf("got %v", w.Y)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, csv, col string }{
+		{"empty", "", ""},
+		{"one column", "time\n1\n", ""},
+		{"missing column", "time,a\n0,1\n", "zzz"},
+		{"bad time", "time,a\nxx,1\n1,2\n", ""},
+		{"bad value", "time,a\n0,xx\n1,2\n", ""},
+		{"short row", "time,a,b\n0,1\n", "b"},
+		{"column is time", "time,a\n0,1\n", "time"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv), c.col); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestFallingEdgeMeasurements(t *testing.T) {
+	// Falling RC discharge from 1: v = e^{−t/τ}.
+	tau := 1.0
+	w, _ := FromFunc(func(t float64) float64 { return math.Exp(-t / tau) }, 0, 12, 12001)
+	x, err := w.CrossDown(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Ln2) > 1e-3 {
+		t.Errorf("CrossDown(0.5) = %g, want ln2", x)
+	}
+	ft, err := w.FallTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tau * math.Log(9); math.Abs(ft-want) > 1e-3*want {
+		t.Errorf("FallTime = %g, want %g", ft, want)
+	}
+	if w.Undershoot(1) != 0 {
+		t.Error("monotone discharge should have no undershoot")
+	}
+	// Rising signal: CrossDown must fail.
+	r, _ := FromFunc(expStep(1), 0, 10, 1001)
+	if _, err := r.CrossDown(0.5); err == nil {
+		t.Error("rising signal accepted")
+	}
+	// Ringing discharge: undershoot detected.
+	u, _ := FromFunc(func(t float64) float64 {
+		return math.Exp(-0.3*t) * math.Cos(2*t)
+	}, 0, 10, 5001)
+	if us := u.Undershoot(1); us < 0.3 {
+		t.Errorf("undershoot %g, want ≳0.5", us)
+	}
+	if u.Undershoot(0) != 0 {
+		t.Error("v0=0 should be 0")
+	}
+	// Exact-sample falling crossing.
+	e, _ := New([]float64{0, 1, 2}, []float64{1, 0.5, 0})
+	x2, err := e.CrossDown(0.5)
+	if err != nil || math.Abs(x2-1) > 1e-12 {
+		t.Errorf("exact-sample falling crossing %g, %v", x2, err)
+	}
+}
