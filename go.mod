@@ -1,0 +1,3 @@
+module rlckit
+
+go 1.24
