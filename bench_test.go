@@ -170,11 +170,20 @@ func BenchmarkAblationIntegrator(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for name, m := range map[string]mna.Method{"trapezoidal": mna.Trapezoidal, "backward-euler": mna.BackwardEuler} {
-		b.Run(name, func(b *testing.B) {
+	// A sorted slice, not a map: subtests must appear in a deterministic
+	// order so -bench output is comparable run to run.
+	methods := []struct {
+		name string
+		m    mna.Method
+	}{
+		{"backward-euler", mna.BackwardEuler},
+		{"trapezoidal", mna.Trapezoidal},
+	}
+	for _, mm := range methods {
+		b.Run(mm.name, func(b *testing.B) {
 			var got float64
 			for i := 0; i < b.N; i++ {
-				got, err = refeng.DelayMNA(under, d, refeng.MNAConfig{Method: m})
+				got, err = refeng.DelayMNA(under, d, refeng.MNAConfig{Method: mm.m})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -187,6 +196,7 @@ func BenchmarkAblationIntegrator(b *testing.B) {
 // --- Engine micro-benchmarks ---
 
 func BenchmarkEq9Delay(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Delay(benchLine, benchDrive); err != nil {
 			b.Fatal(err)
@@ -195,6 +205,7 @@ func BenchmarkEq9Delay(b *testing.B) {
 }
 
 func BenchmarkExactTFDelay(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := refeng.DelayExactTF(benchLine, benchDrive, 0); err != nil {
 			b.Fatal(err)
@@ -203,6 +214,7 @@ func BenchmarkExactTFDelay(b *testing.B) {
 }
 
 func BenchmarkRatfunDelay(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := refeng.DelayRatfun(benchLine, benchDrive, refeng.RatfunConfig{}); err != nil {
 			b.Fatal(err)
@@ -211,8 +223,34 @@ func BenchmarkRatfunDelay(b *testing.B) {
 }
 
 func BenchmarkMNADelay(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := refeng.DelayMNA(benchLine, benchDrive, refeng.MNAConfig{Segments: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateLadder1000 is the allocation watchdog for the MNA
+// step loop: a 1000-segment transient whose allocs/op — reported via
+// ReportAllocs — must stay independent of the step count, i.e. the
+// steady-state loop allocates nothing per timestep.
+func BenchmarkSimulateLadder1000(b *testing.B) {
+	lad, err := tline.BuildLadder(benchLine, benchDrive, 1000, tline.Pi, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, lt, ct := benchLine.Totals()
+	tLC := math.Sqrt(lt * (ct + benchDrive.CL))
+	dt := tLC / 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mna.Simulate(lad.Ckt, mna.Options{
+			Dt:     dt,
+			TEnd:   500 * dt,
+			Probes: []int{lad.Out},
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -225,6 +263,7 @@ func BenchmarkPolyRootsLadder(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if roots := den.Roots(); len(roots) == 0 {
@@ -249,6 +288,7 @@ func BenchmarkBandLUSolve(b *testing.B) {
 	for i := range rhs {
 		rhs[i] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := numeric.FactorBandLU(bm)
@@ -305,6 +345,7 @@ func BenchmarkACAnalysisLadder(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mna.AC(lad.Ckt, freqs, []int{lad.Out}); err != nil {

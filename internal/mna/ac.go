@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"rlckit/internal/circuit"
 	"rlckit/internal/numeric"
@@ -49,7 +52,11 @@ func (r *ACResult) MagDB(node int) ([]float64, error) {
 // frequencies (Hz), solving (G + jωC)·x = b with unit source phasors.
 // The system is solved in the reverse-Cuthill–McKee ordering with a
 // banded complex LU, so ladder-shaped circuits cost O(n·band²) per
-// frequency point.
+// frequency point. Each frequency's matrix is assembled straight from
+// the sparse triplets in O(nnz), and the points are solved in parallel
+// by a bounded worker pool (one complex band matrix plus factorization
+// scratch per worker); results are returned in input frequency order
+// regardless of worker scheduling.
 func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) {
 	if len(freqs) == 0 {
 		return nil, errors.New("mna: AC needs at least one frequency")
@@ -69,49 +76,67 @@ func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) 
 		}
 	}
 	n := sys.n
-	res := &ACResult{
-		Freq:  append([]float64(nil), freqs...),
-		probe: make(map[int][]complex128, len(probes)),
-	}
-	for _, p := range probes {
-		res.probe[p] = make([]complex128, 0, len(freqs))
-	}
-	// Unit-phasor right-hand side in the RCM (permuted) ordering.
+	// Unit-phasor right-hand side in the RCM (permuted) ordering, shared
+	// read-only by all workers.
 	b := make([]complex128, n)
 	for _, e := range sys.sources {
 		b[sys.perm[e.row]] += complex(e.sgn, 0)
 	}
-	gb, cb := sys.permuted()
-	kl, ku := gb.KL, gb.KU
-	a := numeric.NewCBandMatrix(n, kl, ku)
-	for _, f := range freqs {
-		w := 2 * math.Pi * f
-		a.Zero()
-		for i := 0; i < n; i++ {
-			lo := i - kl
-			if lo < 0 {
-				lo = 0
-			}
-			hi := i + ku
-			if hi >= n {
-				hi = n - 1
-			}
-			for j := lo; j <= hi; j++ {
-				g := gb.At(i, j)
-				c := cb.At(i, j)
-				if g != 0 || c != 0 {
-					a.Set(i, j, complex(g, w*c))
+	phasors := make([][]complex128, len(freqs)) // [freq index][probe index]
+	errs := make([]error, len(freqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := numeric.NewCBandMatrix(n, sys.kl, sys.ku)
+			var lu numeric.CBandLU
+			x := make([]complex128, n)
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(freqs) || failed.Load() {
+					return
 				}
+				f := freqs[k]
+				a.Zero()
+				sys.gt.AddScaledToCBand(a, sys.perm, 1)
+				sys.ct.AddScaledToCBand(a, sys.perm, complex(0, 2*math.Pi*f))
+				if err := numeric.FactorCBandLUInto(&lu, a); err != nil {
+					errs[k] = fmt.Errorf("mna: AC solve at %g Hz: %w", f, err)
+					failed.Store(true)
+					return
+				}
+				lu.SolveTo(x, b)
+				row := make([]complex128, len(probes))
+				for pi, p := range probes {
+					row[pi] = x[sys.perm[p-1]]
+				}
+				phasors[k] = row
 			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
 		}
-		lu, err := numeric.FactorCBandLU(a)
-		if err != nil {
-			return nil, fmt.Errorf("mna: AC solve at %g Hz: %w", f, err)
+	}
+	res := &ACResult{
+		Freq:  append([]float64(nil), freqs...),
+		probe: make(map[int][]complex128, len(probes)),
+	}
+	for pi, p := range probes {
+		col := make([]complex128, len(freqs))
+		for k := range phasors {
+			col[k] = phasors[k][pi]
 		}
-		x := lu.Solve(b)
-		for _, p := range probes {
-			res.probe[p] = append(res.probe[p], x[sys.perm[p-1]])
-		}
+		res.probe[p] = col
 	}
 	return res, nil
 }

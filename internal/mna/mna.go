@@ -15,13 +15,21 @@
 // Unknowns are reordered with reverse Cuthill–McKee so that ladder-style
 // interconnect circuits factor as narrow band matrices; a 1000-segment
 // RLC line steps in O(n) per timestep rather than O(n²).
+//
+// Complexity contract: the whole pipeline is linear in circuit size.
+// Assembly stamps the circuit into sparse triplets, the RCM ordering
+// runs on adjacency lists, and the band matrices are stamped directly
+// from the triplets — O(nnz) time and O(n·band) memory, with no n×n
+// intermediate ever materialized. The transient step loop reuses all
+// scratch (numeric.MulVecTo / BandLU.SolveInPlace) and performs zero
+// heap allocations per timestep, and AC sweeps solve frequency points
+// in parallel across a bounded worker pool.
 package mna
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"rlckit/internal/circuit"
 	"rlckit/internal/numeric"
@@ -87,11 +95,13 @@ func (r *Result) Waveform(node int) (*waveform.W, error) {
 	return waveform.New(r.Time, y)
 }
 
-// system is the assembled MNA description prior to integration.
+// system is the assembled MNA description prior to integration. G and C
+// are kept as sparse triplets — O(nnz) storage — and stamped straight
+// into band matrices on demand.
 type system struct {
 	n       int // total unknowns
 	nv      int // node-voltage unknowns (circuit nodes minus ground)
-	g, c    *numeric.Matrix
+	gt, ct  *numeric.Triplets
 	sources []srcEntry // contributions to b(t)
 	perm    []int      // perm[orig] = new index, after RCM
 	inv     []int      // inv[new] = orig
@@ -117,7 +127,7 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 		}
 	}
 	n := nv + nbr
-	s := &system{n: n, nv: nv, g: numeric.NewMatrix(n, n), c: numeric.NewMatrix(n, n)}
+	s := &system{n: n, nv: nv, gt: numeric.NewTriplets(n), ct: numeric.NewTriplets(n)}
 	// Node v index: node i (1-based) → i-1. Ground contributes nothing.
 	vi := func(node int) int { return node - 1 }
 	br := nv
@@ -129,42 +139,42 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 		switch e.Kind {
 		case circuit.KindResistor:
 			gg := 1 / e.Value
-			stamp2(s.g, vi(a), vi(b), gg, a, b)
+			stamp2(s.gt, vi(a), vi(b), gg, a, b)
 		case circuit.KindCapacitor:
-			stamp2(s.c, vi(a), vi(b), e.Value, a, b)
+			stamp2(s.ct, vi(a), vi(b), e.Value, a, b)
 		case circuit.KindInductor:
 			j := br
 			br++
 			branchOf[ei] = j
 			// KCL: current j leaves a, enters b.
 			if a != circuit.Ground {
-				s.g.Add(vi(a), j, 1)
+				s.gt.Add(vi(a), j, 1)
 			}
 			if b != circuit.Ground {
-				s.g.Add(vi(b), j, -1)
+				s.gt.Add(vi(b), j, -1)
 			}
 			// Branch: v_a − v_b − L·dj/dt = 0.
 			if a != circuit.Ground {
-				s.g.Add(j, vi(a), 1)
+				s.gt.Add(j, vi(a), 1)
 			}
 			if b != circuit.Ground {
-				s.g.Add(j, vi(b), -1)
+				s.gt.Add(j, vi(b), -1)
 			}
-			s.c.Add(j, j, -e.Value)
+			s.ct.Add(j, j, -e.Value)
 		case circuit.KindVSource:
 			j := br
 			br++
 			if a != circuit.Ground {
-				s.g.Add(vi(a), j, 1)
+				s.gt.Add(vi(a), j, 1)
 			}
 			if b != circuit.Ground {
-				s.g.Add(vi(b), j, -1)
+				s.gt.Add(vi(b), j, -1)
 			}
 			if a != circuit.Ground {
-				s.g.Add(j, vi(a), 1)
+				s.gt.Add(j, vi(a), 1)
 			}
 			if b != circuit.Ground {
-				s.g.Add(j, vi(b), -1)
+				s.gt.Add(j, vi(b), -1)
 			}
 			s.sources = append(s.sources, srcEntry{row: j, src: e.Src, sgn: 1})
 		case circuit.KindISource:
@@ -186,8 +196,8 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("mna: coupling %q references non-inductor elements", m.Name)
 		}
-		s.c.Add(j1, j2, -m.M)
-		s.c.Add(j2, j1, -m.M)
+		s.ct.Add(j1, j2, -m.M)
+		s.ct.Add(j2, j1, -m.M)
 	}
 	s.computeOrdering()
 	return s, nil
@@ -196,7 +206,7 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 // stamp2 applies the standard two-terminal conductance/capacitance stamp.
 // ia, ib are unknown indices (or negative via ground check using raw node
 // numbers a, b).
-func stamp2(m *numeric.Matrix, ia, ib int, v float64, a, b int) {
+func stamp2(m *numeric.Triplets, ia, ib int, v float64, a, b int) {
 	if a != circuit.Ground {
 		m.Add(ia, ia, v)
 	}
@@ -210,93 +220,26 @@ func stamp2(m *numeric.Matrix, ia, ib int, v float64, a, b int) {
 }
 
 // computeOrdering runs reverse Cuthill–McKee on the structure of |G|+|C|
-// to minimize bandwidth, then records the band widths.
+// to minimize bandwidth, then records the band widths. The adjacency
+// lists, the ordering, and the band widths are all derived from the
+// triplets in O(nnz) — no dense scan anywhere.
 func (s *system) computeOrdering() {
-	n := s.n
-	adj := make([][]int, n)
-	deg := make([]int, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j && (s.g.At(i, j) != 0 || s.c.At(i, j) != 0 ||
-				s.g.At(j, i) != 0 || s.c.At(j, i) != 0) {
-				adj[i] = append(adj[i], j)
-			}
-		}
-		deg[i] = len(adj[i])
-	}
-	for i := range adj {
-		sort.Slice(adj[i], func(a, b int) bool { return deg[adj[i][a]] < deg[adj[i][b]] })
-	}
-	visited := make([]bool, n)
-	order := make([]int, 0, n)
-	for len(order) < n {
-		// Start from the unvisited node of minimum degree.
-		start, best := -1, math.MaxInt
-		for i := 0; i < n; i++ {
-			if !visited[i] && deg[i] < best {
-				start, best = i, deg[i]
-			}
-		}
-		queue := []int{start}
-		visited[start] = true
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
-			for _, w := range adj[v] {
-				if !visited[w] {
-					visited[w] = true
-					queue = append(queue, w)
-				}
-			}
-		}
-	}
-	// Reverse.
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
-	}
-	s.inv = order // inv[new] = orig
-	s.perm = make([]int, n)
-	for newIdx, orig := range order {
+	adj := numeric.Adjacency(s.n, s.gt, s.ct)
+	s.inv = numeric.RCM(adj) // inv[new] = orig
+	s.perm = make([]int, s.n)
+	for newIdx, orig := range s.inv {
 		s.perm[orig] = newIdx
 	}
-	// Bandwidths in the permuted ordering.
-	kl, ku := 0, 0
-	for i := 0; i < n; i++ {
-		for _, j := range adj[i] {
-			pi, pj := s.perm[i], s.perm[j]
-			if d := pi - pj; d > kl {
-				kl = d
-			}
-			if d := pj - pi; d > ku {
-				ku = d
-			}
-		}
-	}
-	s.kl, s.ku = kl, ku
+	s.kl, s.ku = numeric.PermutedBandwidth(s.perm, s.gt, s.ct)
 }
 
-// permuted returns band copies of G and C in the RCM ordering.
+// permuted returns band copies of G and C in the RCM ordering, stamped
+// directly from the triplets in O(nnz).
 func (s *system) permuted() (gb, cb *numeric.BandMatrix) {
-	kl, ku := s.kl, s.ku
-	if kl >= s.n {
-		kl = s.n - 1
-	}
-	if ku >= s.n {
-		ku = s.n - 1
-	}
-	gb = numeric.NewBandMatrix(s.n, kl, ku)
-	cb = numeric.NewBandMatrix(s.n, kl, ku)
-	for i := 0; i < s.n; i++ {
-		for j := 0; j < s.n; j++ {
-			if v := s.g.At(i, j); v != 0 {
-				gb.Add(s.perm[i], s.perm[j], v)
-			}
-			if v := s.c.At(i, j); v != 0 {
-				cb.Add(s.perm[i], s.perm[j], v)
-			}
-		}
-	}
+	gb = numeric.NewBandMatrix(s.n, s.kl, s.ku)
+	cb = numeric.NewBandMatrix(s.n, s.kl, s.ku)
+	s.gt.AddScaledToBand(gb, s.perm, 1)
+	s.ct.AddScaledToBand(cb, s.perm, 1)
 	return gb, cb
 }
 
@@ -327,41 +270,51 @@ func Simulate(ckt *circuit.Circuit, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("mna: probe node %d out of range (ground cannot be probed)", p)
 		}
 	}
-	gb, cb := sys.permuted()
 	h := opts.Dt
 	steps := int(math.Ceil(opts.TEnd / h))
 	n := sys.n
+	be := opts.Method == BackwardEuler
 
-	// Left matrix A and right matrix Bm per method:
+	// Left matrix A per method, stamped directly from the sparse triplets
+	// in O(nnz):
 	//   trapezoidal: A = C/h + G/2,  rhs = (C/h − G/2)x + (b_n + b_{n+1})/2
 	//   BE:          A = C/h + G,    rhs = (C/h)x + b_{n+1}
-	A := numeric.NewBandMatrix(n, gb.KL, gb.KU)
-	Bm := numeric.NewBandMatrix(n, gb.KL, gb.KU)
-	for i := 0; i < n; i++ {
-		lo := i - gb.KL
-		if lo < 0 {
-			lo = 0
-		}
-		hi := i + gb.KU
-		if hi >= n {
-			hi = n - 1
-		}
-		for j := lo; j <= hi; j++ {
-			g := gb.At(i, j)
-			c := cb.At(i, j)
-			switch opts.Method {
-			case BackwardEuler:
-				A.Set(i, j, c/h+g)
-				Bm.Set(i, j, c/h)
-			default:
-				A.Set(i, j, c/h+g/2)
-				Bm.Set(i, j, c/h-g/2)
-			}
-		}
+	// The right matrix (C/h − G/2 resp. C/h) is never materialized: with
+	// Bm = 2C/h − A (trapezoidal) the step right-hand side is built from
+	// C alone — mostly diagonal in MNA, with off-diagonal entries only
+	// from floating capacitors and mutual inductances — and the previous
+	// step's right-hand side (= A·x).
+	A := numeric.NewBandMatrix(n, sys.kl, sys.ku)
+	sys.ct.AddScaledToBand(A, sys.perm, 1/h)
+	if be {
+		sys.gt.AddScaledToBand(A, sys.perm, 1)
+	} else {
+		sys.gt.AddScaledToBand(A, sys.perm, 0.5)
 	}
 	lu, err := numeric.FactorBandLU(A)
 	if err != nil {
 		return nil, fmt.Errorf("mna: transient matrix is singular (dt=%g): %w", h, err)
+	}
+	// Permuted C split into its diagonal and off-diagonal entries, scaled
+	// by 2/h (trapezoidal) or 1/h (BE).
+	cScale := 2 / h
+	if be {
+		cScale = 1 / h
+	}
+	cdiag := make([]float64, n)
+	type cOff struct {
+		i, j int
+		v    float64
+	}
+	var coff []cOff
+	for k, i := range sys.ct.I {
+		pi, pj := sys.perm[i], sys.perm[sys.ct.J[k]]
+		v := sys.ct.V[k] * cScale
+		if pi == pj {
+			cdiag[pi] += v
+		} else {
+			coff = append(coff, cOff{pi, pj, v})
+		}
 	}
 
 	// Initial condition: DC operating point at t=0 when G is nonsingular;
@@ -369,48 +322,84 @@ func Simulate(ckt *circuit.Circuit, opts Options) (*Result, error) {
 	x := make([]float64, n)
 	b0 := make([]float64, n)
 	sys.bvec(0, b0)
+	gb := numeric.NewBandMatrix(n, sys.kl, sys.ku)
+	sys.gt.AddScaledToBand(gb, sys.perm, 1)
 	if guLU, err := numeric.FactorBandLU(gb); err == nil {
-		x = guLU.Solve(b0)
+		guLU.SolveTo(x, b0)
 	}
 
 	res := &Result{
 		Time:  make([]float64, 0, steps+1),
 		probe: make(map[int][]float64, len(opts.Probes)),
 	}
-	for _, p := range opts.Probes {
-		res.probe[p] = make([]float64, 0, steps+1)
+	// Probe state is resolved up front (permuted index → sample slice) so
+	// the recording done every timestep touches no maps and, with the
+	// slices preallocated to full capacity, allocates nothing.
+	probeAt := make([]int, len(opts.Probes))
+	probeBuf := make([][]float64, len(opts.Probes))
+	for k, p := range opts.Probes {
+		probeAt[k] = sys.perm[p-1]
+		probeBuf[k] = make([]float64, 0, steps+1)
 	}
 	record := func(t float64) {
 		res.Time = append(res.Time, t)
-		for _, p := range opts.Probes {
-			res.probe[p] = append(res.probe[p], x[sys.perm[p-1]])
+		for k, pi := range probeAt {
+			probeBuf[k] = append(probeBuf[k], x[pi])
 		}
 	}
 	record(0)
 
-	bn := make([]float64, n)
-	bn1 := make([]float64, n)
+	// Steady-state step loop: every vector is reused, the solve writes
+	// over the state in place, and the source contributions touch only
+	// the source rows — O(#sources), not O(n) — so each timestep performs
+	// zero heap allocations. For the trapezoidal rule the right-hand side
+	// is rebuilt as 2(C/h)·x − rhs_prev + b̄, where rhs_prev (= A·x up to
+	// the solve's residual) is the vector the previous step solved with;
+	// for BE it is simply (C/h)·x + b.
 	rhs := make([]float64, n)
-	sys.bvec(0, bn)
+	rhsPrev := make([]float64, n)
+	srcRow := make([]int, len(sys.sources))
+	vPrev := make([]float64, len(sys.sources))
+	for k, e := range sys.sources {
+		srcRow[k] = sys.perm[e.row]
+		vPrev[k] = e.src.V(0)
+	}
+	if !be {
+		A.MulVecTo(rhsPrev, x)
+	}
 	t := 0.0
 	for s := 0; s < steps; s++ {
 		t1 := t + h
-		sys.bvec(t1, bn1)
-		bmx := Bm.MulVec(x)
-		switch opts.Method {
-		case BackwardEuler:
-			for i := range rhs {
-				rhs[i] = bmx[i] + bn1[i]
+		if be {
+			for i, c := range cdiag {
+				rhs[i] = c * x[i]
 			}
-		default:
-			for i := range rhs {
-				rhs[i] = bmx[i] + (bn[i]+bn1[i])/2
+		} else {
+			for i, c := range cdiag {
+				rhs[i] = math.FMA(c, x[i], -rhsPrev[i])
 			}
 		}
-		x = lu.Solve(rhs)
-		copy(bn, bn1)
+		for _, e := range coff {
+			rhs[e.i] += e.v * x[e.j]
+		}
+		if be {
+			for k, e := range sys.sources {
+				rhs[srcRow[k]] += e.sgn * e.src.V(t1)
+			}
+		} else {
+			for k, e := range sys.sources {
+				v1 := e.src.V(t1)
+				rhs[srcRow[k]] += e.sgn * (vPrev[k] + v1) / 2
+				vPrev[k] = v1
+			}
+		}
+		lu.SolveTo(x, rhs)
+		rhs, rhsPrev = rhsPrev, rhs
 		t = t1
 		record(t)
+	}
+	for k, p := range opts.Probes {
+		res.probe[p] = probeBuf[k]
 	}
 
 	// Final state in original ordering.

@@ -2,13 +2,14 @@ package numeric
 
 import (
 	"fmt"
-	"math/cmplx"
+	"math"
 )
 
 // CBandMatrix is a square banded complex matrix with kl sub-diagonals
-// and ku super-diagonals, stored like BandMatrix. It exists so AC
-// analysis of long interconnect ladders factors in O(n·band²) instead
-// of O(n³) per frequency point.
+// and ku super-diagonals, stored row-major like BandMatrix (row i holds
+// columns i−kl … i+ku+kl, the kl extra slots absorbing pivot fill-in).
+// It exists so AC analysis of long interconnect ladders factors in
+// O(n·band²) instead of O(n³) per frequency point.
 type CBandMatrix struct {
 	N, KL, KU int
 	data      []complex128
@@ -24,7 +25,7 @@ func NewCBandMatrix(n, kl, ku int) *CBandMatrix {
 	return &CBandMatrix{N: n, KL: kl, KU: ku, ld: ld, data: make([]complex128, ld*n)}
 }
 
-func (b *CBandMatrix) idx(i, j int) int { return (b.KU+b.KL+i-j)*b.N + j }
+func (b *CBandMatrix) idx(i, j int) int { return i*b.ld + j - i + b.KL }
 
 // InBand reports whether (i, j) lies within the declared bandwidth.
 func (b *CBandMatrix) InBand(i, j int) bool {
@@ -64,92 +65,172 @@ func (b *CBandMatrix) Zero() {
 
 // MulVec computes y = b·x.
 func (b *CBandMatrix) MulVec(x []complex128) []complex128 {
-	if len(x) != b.N {
-		panic("numeric: cband MulVec dimension mismatch")
-	}
 	y := make([]complex128, b.N)
-	for i := 0; i < b.N; i++ {
-		lo := i - b.KL
+	b.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes dst = b·x without allocating; dst must not alias x.
+func (b *CBandMatrix) MulVecTo(dst, x []complex128) {
+	if len(x) != b.N || len(dst) != b.N {
+		panic("numeric: cband MulVecTo dimension mismatch")
+	}
+	n, kl, ku, ld := b.N, b.KL, b.KU, b.ld
+	data := b.data
+	if kl == 1 && ku == 1 && n > 1 {
+		// Tridiagonal fast path; see BandMatrix.MulVecTo.
+		dst[0] = data[1]*x[0] + data[2]*x[1]
+		for i := 1; i < n-1; i++ {
+			d := data[i*ld : i*ld+3]
+			dst[i] = d[0]*x[i-1] + d[1]*x[i] + d[2]*x[i+1]
+		}
+		dst[n-1] = data[(n-1)*ld]*x[n-2] + data[(n-1)*ld+1]*x[n-1]
+		return
+	}
+	for i := 0; i < n; i++ {
+		lo := i - kl
 		if lo < 0 {
 			lo = 0
 		}
-		hi := i + b.KU
-		if hi >= b.N {
-			hi = b.N - 1
+		hi := i + ku
+		if hi >= n {
+			hi = n - 1
 		}
+		base := i*(ld-1) + kl
+		row := data[base+lo : base+hi+1]
+		xs := x[lo : hi+1]
+		xs = xs[:len(row)]
 		var s complex128
-		for j := lo; j <= hi; j++ {
-			s += b.At(i, j) * x[j]
+		for j, v := range row {
+			s += v * xs[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
 }
 
 // CBandLU is a complex band LU factorization with partial pivoting.
 type CBandLU struct {
 	n, kl, ku int
+	ld        int
+	ubw       int // actual U bandwidth: ku if no pivoting occurred, else ku+kl
 	data      []complex128
+	invd      []complex128 // reciprocals of the U diagonal
 	piv       []int
 }
 
+// cabs1 is the |re|+|im| pivot magnitude (LAPACK's CABS1): an exact
+// factor-of-√2 equivalent of the modulus that needs no square root.
+func cabs1(v complex128) float64 { return math.Abs(real(v)) + math.Abs(imag(v)) }
+
 // FactorCBandLU factors the complex band matrix; a is not modified.
 func FactorCBandLU(a *CBandMatrix) (*CBandLU, error) {
+	f := &CBandLU{}
+	if err := FactorCBandLUInto(f, a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorCBandLUInto factors the complex band matrix into f, reusing f's
+// storage when its shape matches a previous factorization of the same
+// dimensions — repeated factorizations (an AC sweep's per-frequency
+// solves) then allocate nothing. a is not modified.
+func FactorCBandLUInto(f *CBandLU, a *CBandMatrix) error {
 	n, kl, ku := a.N, a.KL, a.KU
-	f := &CBandLU{n: n, kl: kl, ku: ku, data: make([]complex128, len(a.data)), piv: make([]int, n)}
+	if len(f.data) != len(a.data) || len(f.piv) != n {
+		f.data = make([]complex128, len(a.data))
+		f.invd = make([]complex128, n)
+		f.piv = make([]int, n)
+	}
+	f.n, f.kl, f.ku, f.ld = n, kl, ku, a.ld
 	copy(f.data, a.data)
-	at := func(i, j int) complex128 { return f.data[(ku+kl+i-j)*n+j] }
-	set := func(i, j int, v complex128) { f.data[(ku+kl+i-j)*n+j] = v }
+	data, ld := f.data, f.ld
+	ubw := ku
 	for k := 0; k < n; k++ {
-		p, maxv := k, cmplx.Abs(at(k, k))
+		p, maxv := k, cabs1(data[k*ld+kl])
 		iMax := k + kl
 		if iMax >= n {
 			iMax = n - 1
 		}
 		for i := k + 1; i <= iMax; i++ {
-			if v := cmplx.Abs(at(i, k)); v > maxv {
+			if v := cabs1(data[i*(ld-1)+kl+k]); v > maxv {
 				p, maxv = i, v
 			}
 		}
 		if maxv == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		f.piv[k] = p
-		jMax := k + ku + kl
+		if p != k {
+			ubw = ku + kl
+		}
+		jMax := k + ubw
 		if jMax >= n {
 			jMax = n - 1
 		}
+		rowk := data[k*(ld-1)+kl:]
 		if p != k {
+			rowp := data[p*(ld-1)+kl:]
 			for j := k; j <= jMax; j++ {
-				vp, vk := at(p, j), at(k, j)
-				set(p, j, vk)
-				set(k, j, vp)
+				rowp[j], rowk[j] = rowk[j], rowp[j]
 			}
 		}
-		pivot := at(k, k)
+		pivot := rowk[k]
+		f.invd[k] = 1 / pivot
 		for i := k + 1; i <= iMax; i++ {
-			m := at(i, k) / pivot
-			set(i, k, m)
+			rowi := data[i*(ld-1)+kl:]
+			m := rowi[k] / pivot
+			rowi[k] = m
 			if m == 0 {
 				continue
 			}
 			for j := k + 1; j <= jMax; j++ {
-				set(i, j, at(i, j)-m*at(k, j))
+				rowi[j] -= m * rowk[j]
 			}
 		}
 	}
-	return f, nil
+	f.ubw = ubw
+	return nil
 }
 
 // Solve solves A·x = b from the factorization; b is not modified.
 func (f *CBandLU) Solve(b []complex128) []complex128 {
-	if len(b) != f.n {
-		panic("numeric: CBandLU.Solve dimension mismatch")
+	x := make([]complex128, f.n)
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A·x = b into dst without allocating; dst may alias b.
+func (f *CBandLU) SolveTo(dst, b []complex128) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("numeric: CBandLU.SolveTo dimension mismatch")
 	}
-	n, kl, ku := f.n, f.kl, f.ku
-	at := func(i, j int) complex128 { return f.data[(ku+kl+i-j)*n+j] }
-	x := make([]complex128, n)
-	copy(x, b)
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	f.SolveInPlace(dst)
+}
+
+// SolveInPlace solves A·x = b, overwriting the right-hand side x with
+// the solution. It performs no heap allocations.
+func (f *CBandLU) SolveInPlace(x []complex128) {
+	if len(x) != f.n {
+		panic("numeric: CBandLU.SolveInPlace dimension mismatch")
+	}
+	n, kl, ld := f.n, f.kl, f.ld
+	data := f.data
+	if kl == 1 && f.ku == 1 && f.ubw == 1 {
+		// Pivot-free tridiagonal fast path; see BandLU.SolveInPlace.
+		invd := f.invd
+		for k := 0; k+1 < n; k++ {
+			x[k+1] -= data[(k+1)*ld] * x[k]
+		}
+		x[n-1] *= invd[n-1]
+		for i := n - 2; i >= 0; i-- {
+			x[i] = (x[i] - data[i*ld+2]*x[i+1]) * invd[i]
+		}
+		return
+	}
 	for k := 0; k < n; k++ {
 		if p := f.piv[k]; p != k {
 			x[p], x[k] = x[k], x[p]
@@ -158,20 +239,30 @@ func (f *CBandLU) Solve(b []complex128) []complex128 {
 		if iMax >= n {
 			iMax = n - 1
 		}
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		off := (k+1)*(ld-1) + kl + k
 		for i := k + 1; i <= iMax; i++ {
-			x[i] -= at(i, k) * x[k]
+			x[i] -= data[off] * xk
+			off += ld - 1
 		}
 	}
+	ubw, invd := f.ubw, f.invd
 	for i := n - 1; i >= 0; i-- {
-		jMax := i + ku + kl
+		jMax := i + ubw
 		if jMax >= n {
 			jMax = n - 1
 		}
+		base := i*(ld-1) + kl
+		row := data[base+i+1 : base+jMax+1]
+		xs := x[i+1 : jMax+1]
+		xs = xs[:len(row)]
 		s := x[i]
-		for j := i + 1; j <= jMax; j++ {
-			s -= at(i, j) * x[j]
+		for j, v := range row {
+			s -= v * xs[j]
 		}
-		x[i] = s / at(i, i)
+		x[i] = s * invd[i]
 	}
-	return x
 }

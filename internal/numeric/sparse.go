@@ -1,0 +1,163 @@
+package numeric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplets is a coordinate-format (COO) accumulator for sparse matrix
+// assembly: each Add records one (i, j, v) contribution, and repeated
+// coordinates sum when the triplets are later stamped into a concrete
+// matrix. It is the natural target for MNA stamping — assembling a
+// circuit costs O(nnz) time and memory with no n×n storage ever
+// materialized.
+type Triplets struct {
+	N    int // matrix dimension (n×n)
+	I, J []int
+	V    []float64
+}
+
+// NewTriplets returns an empty n×n triplet accumulator.
+func NewTriplets(n int) *Triplets {
+	if n <= 0 {
+		panic(fmt.Sprintf("numeric: invalid triplet dim %d", n))
+	}
+	return &Triplets{N: n}
+}
+
+// Add records the contribution v at (i, j). Zero contributions are
+// dropped: they carry neither value nor structure.
+func (t *Triplets) Add(i, j int, v float64) {
+	if i < 0 || i >= t.N || j < 0 || j >= t.N {
+		panic(fmt.Sprintf("numeric: triplet index (%d,%d) outside %d×%d", i, j, t.N, t.N))
+	}
+	if v == 0 {
+		return
+	}
+	t.I = append(t.I, i)
+	t.J = append(t.J, j)
+	t.V = append(t.V, v)
+}
+
+// NNZ returns the number of recorded contributions (an upper bound on
+// the number of structurally distinct entries).
+func (t *Triplets) NNZ() int { return len(t.I) }
+
+// AddScaledToBand accumulates s·v at (perm[i], perm[j]) for every
+// recorded triplet — the O(nnz) stamp of a permuted sparse matrix into
+// band storage. The band must be wide enough for the permuted
+// structure (see PermutedBandwidth).
+func (t *Triplets) AddScaledToBand(b *BandMatrix, perm []int, s float64) {
+	for k, i := range t.I {
+		b.Add(perm[i], perm[t.J[k]], s*t.V[k])
+	}
+}
+
+// AddScaledToCBand is AddScaledToBand for a complex band target; the
+// complex scale lets real-valued structure assemble directly into
+// G + jωC style matrices (s = 1 for G, s = jω for C).
+func (t *Triplets) AddScaledToCBand(b *CBandMatrix, perm []int, s complex128) {
+	for k, i := range t.I {
+		b.Add(perm[i], perm[t.J[k]], s*complex(t.V[k], 0))
+	}
+}
+
+// Adjacency builds the undirected adjacency structure of the union of
+// the given triplet matrices: adj[i] lists the distinct off-diagonal
+// neighbors of i in increasing index order. Cost is O(nnz log nnz).
+func Adjacency(n int, ts ...*Triplets) [][]int {
+	adj := make([][]int, n)
+	for _, t := range ts {
+		for k, i := range t.I {
+			j := t.J[k]
+			if i != j {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	for i := range adj {
+		a := adj[i]
+		sort.Ints(a)
+		w := 0
+		for r := range a {
+			if r == 0 || a[r] != a[r-1] {
+				a[w] = a[r]
+				w++
+			}
+		}
+		adj[i] = a[:w]
+	}
+	return adj
+}
+
+// RCM returns the reverse Cuthill–McKee ordering of the undirected
+// graph adj as order[new] = orig. The ordering is deterministic:
+// within a BFS level neighbors are visited in increasing (degree,
+// index) order, and each connected component starts from its
+// unvisited node of minimum (degree, index). Cost is O(n + nnz log n).
+func RCM(adj [][]int) []int {
+	n := len(adj)
+	deg := make([]int, n)
+	for i := range adj {
+		deg[i] = len(adj[i])
+	}
+	// Neighbor visit order: increasing (degree, index). The rows from
+	// Adjacency are index-sorted, so a stable sort by degree preserves
+	// the index tie-break.
+	nbr := make([][]int, n)
+	for i := range adj {
+		nbr[i] = append([]int(nil), adj[i]...)
+		row := nbr[i]
+		sort.SliceStable(row, func(a, b int) bool { return deg[row[a]] < deg[row[b]] })
+	}
+	byDeg := make([]int, n)
+	for i := range byDeg {
+		byDeg[i] = i
+	}
+	sort.SliceStable(byDeg, func(a, b int) bool { return deg[byDeg[a]] < deg[byDeg[b]] })
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	next := 0
+	for len(order) < n {
+		for visited[byDeg[next]] {
+			next++
+		}
+		start := byDeg[next]
+		visited[start] = true
+		head := len(order)
+		order = append(order, start)
+		// The tail of order doubles as the BFS queue.
+		for head < len(order) {
+			v := order[head]
+			head++
+			for _, w := range nbr[v] {
+				if !visited[w] {
+					visited[w] = true
+					order = append(order, w)
+				}
+			}
+		}
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// PermutedBandwidth returns the band widths (kl, ku) of the union of
+// the given triplet matrices under the permutation perm[orig] = new,
+// in O(nnz).
+func PermutedBandwidth(perm []int, ts ...*Triplets) (kl, ku int) {
+	for _, t := range ts {
+		for k, i := range t.I {
+			d := perm[i] - perm[t.J[k]]
+			if d > kl {
+				kl = d
+			} else if -d > ku {
+				ku = -d
+			}
+		}
+	}
+	return kl, ku
+}

@@ -1,0 +1,267 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTripletsBasics(t *testing.T) {
+	tr := NewTriplets(4)
+	tr.Add(0, 0, 2)
+	tr.Add(0, 0, 3) // duplicate coordinates accumulate on stamp
+	tr.Add(2, 3, -1)
+	tr.Add(1, 2, 0) // zero contribution dropped
+	if tr.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", tr.NNZ())
+	}
+	perm := []int{0, 1, 2, 3}
+	kl, ku := PermutedBandwidth(perm, tr)
+	if kl != 0 || ku != 1 {
+		t.Fatalf("bandwidth (%d,%d), want (0,1)", kl, ku)
+	}
+	b := NewBandMatrix(4, kl, ku)
+	tr.AddScaledToBand(b, perm, 2)
+	if b.At(0, 0) != 10 || b.At(2, 3) != -2 {
+		t.Fatalf("stamped values %g %g", b.At(0, 0), b.At(2, 3))
+	}
+	cb := NewCBandMatrix(4, kl, ku)
+	tr.AddScaledToCBand(cb, perm, complex(0, 1))
+	if cb.At(0, 0) != complex(0, 5) || cb.At(2, 3) != complex(0, -1) {
+		t.Fatalf("complex stamped values %v %v", cb.At(0, 0), cb.At(2, 3))
+	}
+}
+
+func TestTripletsPanics(t *testing.T) {
+	tr := NewTriplets(2)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { tr.Add(2, 0, 1) })
+	mustPanic(func() { tr.Add(0, -1, 1) })
+	mustPanic(func() { NewTriplets(0) })
+}
+
+func TestAdjacencyDedupAndOrder(t *testing.T) {
+	a := NewTriplets(5)
+	a.Add(0, 1, 1)
+	a.Add(1, 0, 1) // same undirected edge
+	a.Add(0, 3, 2)
+	a.Add(2, 2, 5) // diagonal: no edge
+	b := NewTriplets(5)
+	b.Add(0, 1, -1) // duplicate across matrices
+	b.Add(4, 3, 1)
+	adj := Adjacency(5, a, b)
+	want := [][]int{{1, 3}, {0}, {}, {0, 4}, {3}}
+	for i := range want {
+		if len(adj[i]) != len(want[i]) {
+			t.Fatalf("adj[%d] = %v, want %v", i, adj[i], want[i])
+		}
+		for k := range want[i] {
+			if adj[i][k] != want[i][k] {
+				t.Fatalf("adj[%d] = %v, want %v", i, adj[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRCMChainReversesToUnitBandwidth(t *testing.T) {
+	// A path graph must order as a path: bandwidth 1 regardless of the
+	// input labeling.
+	n := 50
+	tr := NewTriplets(n)
+	labels := rand.New(rand.NewSource(7)).Perm(n)
+	for i := 0; i+1 < n; i++ {
+		tr.Add(labels[i], labels[i+1], 1)
+		tr.Add(labels[i+1], labels[i], 1)
+	}
+	order := RCM(Adjacency(n, tr))
+	perm := make([]int, n)
+	for newIdx, orig := range order {
+		perm[orig] = newIdx
+	}
+	kl, ku := PermutedBandwidth(perm, tr)
+	if kl != 1 || ku != 1 {
+		t.Fatalf("path graph RCM bandwidth (%d,%d), want (1,1)", kl, ku)
+	}
+}
+
+func TestRCMDisconnectedCoversAllNodes(t *testing.T) {
+	// Three components, one an isolated vertex.
+	tr := NewTriplets(7)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 2, 1)
+	tr.Add(4, 5, 1)
+	order := RCM(Adjacency(7, tr))
+	if len(order) != 7 {
+		t.Fatalf("order covers %d of 7 nodes", len(order))
+	}
+	seen := make([]bool, 7)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("node %d ordered twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+// randBand returns a random band matrix with the given shape; boost
+// controls diagonal dominance (0 forces frequent pivoting).
+func randBand(rng *rand.Rand, n, kl, ku int, boost float64) *BandMatrix {
+	b := NewBandMatrix(n, kl, ku)
+	for i := 0; i < n; i++ {
+		for j := i - kl; j <= i+ku; j++ {
+			if b.InBand(i, j) {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		b.Add(i, i, boost)
+	}
+	return b
+}
+
+func TestBandKernelsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		n, kl, ku int
+		boost     float64
+	}{
+		{1, 0, 0, 1},
+		{2, 1, 1, 0},
+		{3, 1, 1, 0},
+		{40, 1, 1, 0},  // tridiagonal, heavy pivoting
+		{40, 1, 1, 10}, // tridiagonal, no pivoting
+		{33, 2, 1, 0},
+		{29, 1, 3, 0.5},
+		{64, 3, 3, 0},
+	} {
+		for rep := 0; rep < 4; rep++ {
+			b := randBand(rng, tc.n, tc.kl, tc.ku, tc.boost)
+			x := make([]float64, tc.n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			// MulVecTo vs dense multiply.
+			dense := b.Dense()
+			wantY := dense.MulVec(x)
+			gotY := make([]float64, tc.n)
+			b.MulVecTo(gotY, x)
+			for i := range wantY {
+				if math.Abs(gotY[i]-wantY[i]) > 1e-12*(1+math.Abs(wantY[i])) {
+					t.Fatalf("n=%d kl=%d ku=%d: MulVecTo[%d] = %g, want %g",
+						tc.n, tc.kl, tc.ku, i, gotY[i], wantY[i])
+				}
+			}
+			// Band solve vs dense solve, via all three entry points.
+			want, err := SolveDense(dense, x)
+			if err != nil {
+				continue
+			}
+			f, err := FactorBandLU(b)
+			if err != nil {
+				t.Fatalf("band factor failed where dense succeeded: %v", err)
+			}
+			got := f.Solve(x)
+			got2 := make([]float64, tc.n)
+			f.SolveTo(got2, x)
+			got3 := append([]float64(nil), x...)
+			f.SolveInPlace(got3)
+			scale := VecNormInf(want) + 1
+			for i := range want {
+				for _, g := range []float64{got[i], got2[i], got3[i]} {
+					if math.Abs(g-want[i]) > 1e-9*scale {
+						t.Fatalf("n=%d kl=%d ku=%d boost=%g: solve[%d] = %g, want %g",
+							tc.n, tc.kl, tc.ku, tc.boost, i, g, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFactorBandLUIntoReusesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := randBand(rng, 200, 1, 1, 4)
+	rhs := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	var f BandLU
+	if err := FactorBandLUInto(&f, b); err != nil {
+		t.Fatal(err)
+	}
+	want := f.Solve(rhs)
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := FactorBandLUInto(&f, b); err != nil {
+			panic(err)
+		}
+		f.SolveInPlace(rhs)
+		copy(rhs, want) // restore
+	})
+	if allocs != 0 {
+		t.Errorf("refactor+solve allocates %v times, want 0", allocs)
+	}
+	// Factor a different shape into the same f: storage must adapt.
+	b2 := randBand(rng, 64, 2, 2, 4)
+	if err := FactorBandLUInto(&f, b2); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = 1
+	}
+	y := b2.MulVec(x)
+	got := f.Solve(y)
+	for i := range got {
+		if math.Abs(got[i]-1) > 1e-9 {
+			t.Fatalf("reshaped factor wrong: x[%d] = %g", i, got[i])
+		}
+	}
+}
+
+func TestCBandInPlaceKernelsMatchSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range []struct {
+		n, kl, ku int
+	}{{2, 1, 1}, {40, 1, 1}, {31, 2, 2}} {
+		a := NewCBandMatrix(tc.n, tc.kl, tc.ku)
+		for i := 0; i < tc.n; i++ {
+			for j := i - tc.kl; j <= i+tc.ku; j++ {
+				if a.InBand(i, j) {
+					a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+				}
+			}
+		}
+		b := make([]complex128, tc.n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		f, err := FactorCBandLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Solve(b)
+		var f2 CBandLU
+		if err := FactorCBandLUInto(&f2, a); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, tc.n)
+		f2.SolveTo(got, b)
+		// Residual check: A·x must reproduce b.
+		ax := a.MulVec(want)
+		for i := range b {
+			if d := ax[i] - b[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+				t.Fatalf("n=%d: residual %v at %d", tc.n, d, i)
+			}
+			if d := got[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-12 {
+				t.Fatalf("n=%d: SolveTo differs from Solve at %d by %v", tc.n, i, d)
+			}
+		}
+	}
+}

@@ -2,7 +2,10 @@
 // distributed RLC line via three independent engines:
 //
 //   - MNA: transient simulation of a fine lumped ladder (internal/mna) —
-//     rlckit's stand-in for the paper's AS/X dynamic simulations.
+//     rlckit's stand-in for the paper's AS/X dynamic simulations. The
+//     engine assembles and orders in O(nnz) and steps allocation-free,
+//     so fine ladders (hundreds of segments, tens of thousands of
+//     timesteps) are routine.
 //   - Ratfun: exact pole/residue step response of a moderate lumped
 //     ladder (internal/ratfun) — no time stepping at all.
 //   - ExactTF: numerical Laplace inversion of the exact hyperbolic
