@@ -10,9 +10,11 @@ package rlckit
 import (
 	"rlckit/internal/core"
 	"rlckit/internal/elmore"
+	"rlckit/internal/netgen"
 	"rlckit/internal/refeng"
 	"rlckit/internal/repeater"
 	"rlckit/internal/screen"
+	"rlckit/internal/sweep"
 	"rlckit/internal/tech"
 	"rlckit/internal/tline"
 )
@@ -107,4 +109,45 @@ func Technology(name string) (TechNode, error) {
 // Technologies lists the built-in node names.
 func Technologies() []string {
 	return tech.Names()
+}
+
+// Net is one named driven interconnect instance — the unit of a sweep
+// population. See netgen.Net.
+type Net = netgen.Net
+
+// SweepConfig tunes a chip-scale sweep: rise time for screening,
+// technology corners, Monte Carlo variation, worker count, optional
+// repeater analysis. See sweep.Config.
+type SweepConfig = sweep.Config
+
+// SweepCorner is a named technology corner (scale factors on wire
+// parasitics and driver strength).
+type SweepCorner = sweep.Corner
+
+// SweepMonteCarlo configures seeded process-variation sampling.
+type SweepMonteCarlo = sweep.MonteCarlo
+
+// SweepResult is a completed sweep: per-sample records plus population
+// statistics (percentiles, screening fractions, RC-vs-RLC error
+// distributions).
+type SweepResult = sweep.Result
+
+// SweepDelays runs delay, screening and (optionally) repeater analysis
+// over a population of nets × corners × Monte Carlo samples on a
+// bounded worker pool. Results are deterministic for a given seed
+// regardless of worker count.
+func SweepDelays(nets []Net, cfg SweepConfig) (*SweepResult, error) {
+	return sweep.Run(nets, cfg)
+}
+
+// DefaultCorners returns the standard typical/fast/slow corner set.
+func DefaultCorners() []SweepCorner {
+	return sweep.DefaultCorners()
+}
+
+// RandomNets draws n reproducible random driven nets at a technology
+// node — the standard way to build a sweep population. The same seed
+// yields byte-identical nets at any GOMAXPROCS setting.
+func RandomNets(seed int64, node TechNode, n int) ([]Net, error) {
+	return netgen.RandomBatch(seed, node, n)
 }

@@ -1,0 +1,91 @@
+package rlckit
+
+import (
+	"testing"
+)
+
+// TestPropertyDelayAutoTracksSimulation checks, over a random net
+// population, that the production estimator stays within a few percent
+// of the exact transmission-line engine whenever it trusts the closed
+// form (inside the validated accuracy domain, away from the reflection
+// plateau), and that it never errors on physically plausible nets.
+func TestPropertyDelayAutoTracksSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact-engine population check")
+	}
+	node, err := Technology("250nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := RandomNets(1234, node, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i, n := range nets {
+		auto, closedForm, err := DelayAuto(n.Line, n.Drive)
+		if err != nil {
+			t.Fatalf("net %d (%s): DelayAuto: %v", i, n.Name, err)
+		}
+		if !closedForm {
+			continue // estimator already used the exact engine
+		}
+		sim, err := DelaySimulated(n.Line, n.Drive)
+		if err != nil {
+			t.Fatalf("net %d (%s): DelaySimulated: %v", i, n.Name, err)
+		}
+		relErr := (auto - sim) / sim
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 0.05 {
+			t.Errorf("net %d (%s): closed form err %.2f%% vs simulation (auto=%g sim=%g)",
+				i, n.Name, 100*relErr, auto, sim)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("population exercised no closed-form nets")
+	}
+	t.Logf("closed form within 5%% of simulation on %d/%d nets", checked, len(nets))
+}
+
+// TestPropertyRCNeverExceedsRLCWhenUnderdamped checks the paper's
+// directional claim on a large population: for underdamped nets (ζ < 1,
+// inductive behavior), the RC-only delay underestimates — it never
+// exceeds the inductance-aware delay. Ignoring inductance can only make
+// predicted delay optimistic, never pessimistic.
+func TestPropertyRCNeverExceedsRLCWhenUnderdamped(t *testing.T) {
+	node, err := Technology("250nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := RandomNets(4321, node, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	underdamped := 0
+	for i, n := range nets {
+		p, err := Analyze(n.Line, n.Drive)
+		if err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		if p.Zeta >= 1 {
+			continue
+		}
+		underdamped++
+		rlc, err := Delay(n.Line, n.Drive)
+		if err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		rc := DelayRCOnly(n.Line, n.Drive)
+		if rc > rlc*(1+1e-12) {
+			t.Errorf("net %d (%s): ζ=%.3f but RC delay %g > RLC delay %g",
+				i, n.Name, p.Zeta, rc, rlc)
+		}
+	}
+	if underdamped == 0 {
+		t.Fatal("population had no underdamped nets")
+	}
+	t.Logf("RC ≤ RLC held on all %d underdamped nets of %d", underdamped, len(nets))
+}

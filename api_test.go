@@ -69,3 +69,35 @@ func TestPublicFacadeRepeatersAndScreening(t *testing.T) {
 		t.Errorf("window [%g, %g]", res.LMin, res.LMax)
 	}
 }
+
+func TestPublicFacadeSweep(t *testing.T) {
+	node, err := rlckit.Technology("250nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := rlckit.RandomNets(11, node, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rlckit.SweepDelays(nets, rlckit.SweepConfig{
+		RiseTime: 50e-12,
+		Corners:  rlckit.DefaultCorners(),
+		MC:       rlckit.SweepMonteCarlo{Samples: 2, Seed: 5, RSigma: 0.1, CSigma: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 50 * 3 * 2; len(res.Samples) != want {
+		t.Fatalf("%d samples, want %d", len(res.Samples), want)
+	}
+	if res.Screen.Total != len(res.Samples) {
+		t.Errorf("screen total %d", res.Screen.Total)
+	}
+	if res.Delay.Median <= 0 {
+		t.Errorf("median delay %g", res.Delay.Median)
+	}
+	// The RC model under-predicts on average across a random population.
+	if res.RCErr.Mean >= 0 {
+		t.Errorf("mean RC error %g%% not negative", res.RCErr.Mean)
+	}
+}

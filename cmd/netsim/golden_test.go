@@ -1,0 +1,37 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlckit/internal/golden"
+)
+
+// TestGoldenOutputs locks the full CSV/measure/AC output of run()
+// against checked-in files; refresh with `go test ./cmd/netsim -update`.
+func TestGoldenOutputs(t *testing.T) {
+	deck := filepath.Join("testdata", "rlc_ladder.cir")
+	cases := []struct {
+		name    string
+		method  string
+		measure bool
+		ac      bool
+		every   int
+		file    string
+	}{
+		{"transient CSV", "trap", false, false, 200, "rlc_ladder.tran.csv"},
+		{"backward Euler CSV", "be", false, false, 200, "rlc_ladder.be.csv"},
+		{"measurements", "trap", true, false, 1, "rlc_ladder.measure.txt"},
+		{"AC sweep", "trap", false, true, 1, "rlc_ladder.ac.csv"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(deck, tc.method, tc.measure, tc.ac, tc.every, &b); err != nil {
+				t.Fatal(err)
+			}
+			golden.Assert(t, tc.file, []byte(b.String()))
+		})
+	}
+}

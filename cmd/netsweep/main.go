@@ -1,0 +1,231 @@
+// Command netsweep runs a chip-scale Monte Carlo sweep: delay,
+// inductance screening and (optionally) repeater analysis over a
+// population of nets × technology corners × process-variation samples,
+// printing population summary tables (the paper's Table-1-style
+// statistics over a net population) and optionally writing every sample
+// as CSV.
+//
+// The population is either drawn at a technology node (-node/-nets) or
+// read from a net spec file (-spec): a CSV with one net per line,
+//
+//	name,rt,lt,ct,length,rtr,cl
+//
+// where values accept engineering notation ("1k", "100n", "1p", "10m").
+// Lines starting with '#' (and an optional header line starting with
+// "name,") are skipped.
+//
+// Usage:
+//
+//	netsweep -node 250nm -nets 1000 -samples 8 -seed 1 -csv out.csv
+//	netsweep -node 130nm -nets 10000 -corners tt,ff,ss -repeaters
+//	netsweep -spec nets.csv -rise 30p -sigma 0.15
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/sweep"
+	"rlckit/internal/tech"
+	"rlckit/internal/tline"
+	"rlckit/internal/units"
+)
+
+type options struct {
+	node     string
+	nets     int
+	spec     string
+	corners  string
+	samples  int
+	seed     int64
+	sigma    string
+	drvSigma string
+	rise     string
+	workers  int
+	csvPath  string
+	repeat   bool
+	exact    bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.node, "node", "250nm", "technology node for -nets and -repeaters")
+	flag.IntVar(&o.nets, "nets", 1000, "random net population size (ignored with -spec)")
+	flag.StringVar(&o.spec, "spec", "", "net spec CSV (name,rt,lt,ct,length,rtr,cl)")
+	flag.StringVar(&o.corners, "corners", "tt,ff,ss", "comma-separated corner names (tt, ff, ss)")
+	flag.IntVar(&o.samples, "samples", 4, "Monte Carlo draws per net and corner")
+	flag.Int64Var(&o.seed, "seed", 1, "sweep seed (population and Monte Carlo)")
+	flag.StringVar(&o.sigma, "sigma", "0.1", "log-normal sigma on per-unit-length R, L, C")
+	flag.StringVar(&o.drvSigma, "drive-sigma", "0.1", "log-normal sigma on driver resistance")
+	flag.StringVar(&o.rise, "rise", "50p", "input rise time for inductance screening")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.csvPath, "csv", "", "write per-sample CSV to this file")
+	flag.BoolVar(&o.repeat, "repeaters", false, "include repeater-insertion analysis")
+	flag.BoolVar(&o.exact, "exact", false, "use the exact-engine fallback outside the Eq. 9 domain (slow)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: netsweep [flags] (see -h)")
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	node, err := tech.Lookup(o.node)
+	if err != nil {
+		return err
+	}
+	rise, err := units.Parse(o.rise)
+	if err != nil {
+		return fmt.Errorf("-rise: %w", err)
+	}
+	sigma, err := units.Parse(o.sigma)
+	if err != nil {
+		return fmt.Errorf("-sigma: %w", err)
+	}
+	drvSigma, err := units.Parse(o.drvSigma)
+	if err != nil {
+		return fmt.Errorf("-drive-sigma: %w", err)
+	}
+	corners, err := parseCorners(o.corners)
+	if err != nil {
+		return err
+	}
+
+	var nets []netgen.Net
+	if o.spec != "" {
+		f, err := os.Open(o.spec)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if nets, err = parseSpec(f); err != nil {
+			return fmt.Errorf("%s: %w", o.spec, err)
+		}
+	} else {
+		if o.nets < 1 {
+			return fmt.Errorf("-nets must be positive, got %d", o.nets)
+		}
+		if nets, err = netgen.RandomBatch(o.seed, node, o.nets); err != nil {
+			return err
+		}
+	}
+
+	cfg := sweep.Config{
+		RiseTime: rise,
+		Corners:  corners,
+		MC: sweep.MonteCarlo{
+			Samples: o.samples, Seed: o.seed,
+			RSigma: sigma, LSigma: sigma, CSigma: sigma, DriveSigma: drvSigma,
+		},
+		Workers: o.workers,
+		Exact:   o.exact,
+	}
+	if o.repeat {
+		b := node.Buffer()
+		cfg.Buffer = &b
+	}
+	res, err := sweep.Run(nets, cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.RenderSummary(out); err != nil {
+		return err
+	}
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := res.WriteCSV(bw); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d samples to %s\n", len(res.Samples), o.csvPath)
+	}
+	return nil
+}
+
+// parseCorners resolves a comma-separated corner-name list against the
+// default corner set.
+func parseCorners(list string) ([]sweep.Corner, error) {
+	known := map[string]sweep.Corner{}
+	for _, c := range sweep.DefaultCorners() {
+		known[c.Name] = c
+	}
+	var out []sweep.Corner
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := known[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown corner %q (have tt, ff, ss)", name)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no corners in %q", list)
+	}
+	return out, nil
+}
+
+// parseSpec reads a net spec CSV: name,rt,lt,ct,length,rtr,cl.
+func parseSpec(r io.Reader) ([]netgen.Net, error) {
+	var nets []netgen.Net
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "name,") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("line %d: want 7 fields (name,rt,lt,ct,length,rtr,cl), got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 6)
+		for i, f := range fields[1:] {
+			v, err := units.Parse(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("line %d field %d: %w", lineNo, i+2, err)
+			}
+			vals[i] = v
+		}
+		rt, lt, ct, length, rtr, cl := vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+		ln := tline.FromTotals(rt, lt, ct, length)
+		if err := ln.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		nets = append(nets, netgen.Net{
+			Name:  strings.TrimSpace(fields[0]),
+			Line:  ln,
+			Drive: tline.Drive{Rtr: rtr, CL: cl},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("spec contains no nets")
+	}
+	return nets, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlckit/internal/golden"
+)
+
+func defaultOpts() options {
+	return options{
+		node: "250nm", nets: 40, corners: "tt,ff,ss", samples: 2, seed: 1,
+		sigma: "0.1", drvSigma: "0.1", rise: "50p",
+	}
+}
+
+// TestGoldenRandomPopulation locks the summary tables of a seeded
+// random-population sweep; the output is deterministic at every worker
+// count. Refresh with `go test ./cmd/netsweep -update`.
+func TestGoldenRandomPopulation(t *testing.T) {
+	o := defaultOpts()
+	o.repeat = true
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	golden.Assert(t, "random40.txt", []byte(b.String()))
+
+	// The identical sweep pinned to one worker must render the same
+	// bytes (aggregate statistics are worker-count invariant).
+	o.workers = 1
+	var b1 strings.Builder
+	if err := run(o, &b1); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b.String() {
+		t.Error("workers=1 output differs from default workers")
+	}
+}
+
+// TestGoldenSpecPopulation sweeps the checked-in net spec and locks
+// both the summary and the per-sample CSV.
+func TestGoldenSpecPopulation(t *testing.T) {
+	o := defaultOpts()
+	o.spec = filepath.Join("testdata", "busnets.csv")
+	o.csvPath = filepath.Join(t.TempDir(), "out.csv")
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.ReplaceAll(b.String(), o.csvPath, "OUT.csv")
+	golden.Assert(t, "busnets.txt", []byte(out))
+	csv, err := os.ReadFile(o.csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Assert(t, "busnets.samples.csv", csv)
+}
+
+func TestBadInputs(t *testing.T) {
+	var b strings.Builder
+	o := defaultOpts()
+	o.node = "90nm"
+	if err := run(o, &b); err == nil {
+		t.Error("unknown node accepted")
+	}
+	o = defaultOpts()
+	o.corners = "tt,weird"
+	if err := run(o, &b); err == nil {
+		t.Error("unknown corner accepted")
+	}
+	o = defaultOpts()
+	o.rise = "fast"
+	if err := run(o, &b); err == nil {
+		t.Error("bad rise time accepted")
+	}
+	o = defaultOpts()
+	o.nets = 0
+	if err := run(o, &b); err == nil {
+		t.Error("zero nets accepted")
+	}
+	o = defaultOpts()
+	o.spec = "/nonexistent/nets.csv"
+	if err := run(o, &b); err == nil {
+		t.Error("missing spec accepted")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"onlyname\n",
+		"n,1k,100n,1p,10m,250\n",
+		"n,1k,100n,1p,10m,250,zzz\n",
+		"n,-1k,100n,1p,10m,250,0.5p\n",
+	} {
+		if _, err := parseSpec(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	nets, err := parseSpec(strings.NewReader(
+		"# comment\nname,rt,lt,ct,length,rtr,cl\nn1,1k,100n,1p,10m,250,0.5p\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 1 || nets[0].Name != "n1" {
+		t.Fatalf("parsed %+v", nets)
+	}
+}

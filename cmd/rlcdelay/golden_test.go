@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rlckit/internal/golden"
+)
+
+// TestGoldenOutputs locks the full report text of run() against
+// checked-in files; refresh with `go test ./cmd/rlcdelay -update`.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name                        string
+		rt, lt, ct, length, rtr, cl string
+		sim                         bool
+		file                        string
+	}{
+		{"canonical line", "1k", "100n", "1p", "10m", "500", "0.5p", false, "canonical.txt"},
+		{"canonical with sim", "1k", "100n", "1p", "10m", "500", "0.5p", true, "canonical_sim.txt"},
+		{"out of domain", "100", "10n", "1p", "2m", "500", "0.1p", false, "out_of_domain.txt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tc.rt, tc.lt, tc.ct, tc.length, tc.rtr, tc.cl, tc.sim, &b); err != nil {
+				t.Fatal(err)
+			}
+			golden.Assert(t, tc.file, []byte(b.String()))
+		})
+	}
+}

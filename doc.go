@@ -8,17 +8,45 @@
 //   - repeater  — RLC-aware repeater insertion (Eqs. 11, 13-18)
 //   - tline     — distributed-line models (ladders, exact transfer fn)
 //   - mna       — transient circuit simulator (the AS/X stand-in)
+//   - sweep     — chip-scale batch engine: nets × corners × Monte Carlo
+//     samples on a worker pool, aggregated into population statistics
+//   - pool      — the shared bounded worker pool and deterministic
+//     per-index seed derivation under every batch layer
 //   - ratfun    — pole/residue analytic step responses
 //   - laplace   — numerical inverse Laplace (Euler, Talbot)
 //   - refeng    — the three cross-validated reference delay engines
 //   - elmore    — RC-tree Elmore/Sakurai baselines
 //   - tech      — technology nodes and wire-geometry parasitics
 //   - paper     — regeneration of every table/figure (E1-E9)
-//   - circuit, waveform, numeric, units, netgen, netlist, report — substrates
+//   - circuit, waveform, numeric, units, netgen, netlist, report,
+//     golden — substrates
 //
-// Executables: cmd/rlcdelay, cmd/repeaterplan, cmd/netsim, cmd/paperfigs.
+// # Chip-scale sweeps
+//
+// The paper's headline claim is statistical — across a population of
+// nets, ignoring inductance mis-predicts delay and mis-sizes repeaters
+// by double-digit percentages. SweepDelays reproduces that experiment
+// at production scale:
+//
+//	node, _ := rlckit.Technology("250nm")
+//	nets, _ := rlckit.RandomNets(1, node, 10000)
+//	res, _ := rlckit.SweepDelays(nets, rlckit.SweepConfig{
+//		RiseTime: 50e-12,
+//		Corners:  rlckit.DefaultCorners(),
+//		MC:       rlckit.SweepMonteCarlo{Samples: 8, Seed: 7, RSigma: 0.1},
+//	})
+//	res.RenderSummary(os.Stdout) // screening fractions, error percentiles
+//
+// Sweeps run on a bounded worker pool and are deterministic: the same
+// seed yields byte-identical samples and aggregates at every worker
+// count and GOMAXPROCS setting, because each (net, corner, draw) triple
+// derives its RNG from its own seed rather than from a shared stream.
+//
+// Executables: cmd/rlcdelay, cmd/repeaterplan, cmd/netsim,
+// cmd/paperfigs, cmd/netsweep (the sweep engine's CLI: population
+// summary tables plus per-sample CSV).
 // Runnable examples: examples/quickstart, examples/clocktree,
-// examples/busdesign, examples/techscaling.
+// examples/busdesign, examples/techscaling, examples/netaudit.
 //
 // The benchmark suite in bench_test.go regenerates each paper artifact;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for measured

@@ -4,9 +4,12 @@
 // nets should consider on-chip inductance have been described in [7]
 // and [8]").
 //
-// The example draws 200 reproducible random nets at 250 nm, screens
-// them, and for the flagged nets quantifies how wrong the RC-only delay
-// would have been.
+// The example draws 200 reproducible random nets at 250 nm and runs
+// them through the chip-scale sweep engine (internal/sweep): population
+// screening statistics, RC-vs-RLC delay-error percentiles and a process
+// corner breakdown come from one engine call. It then drills into the
+// most underdamped flagged nets and quantifies, against the exact
+// transmission-line engine, how wrong the RC-only delay would have been.
 //
 // Run with: go run ./examples/netaudit
 package main
@@ -22,7 +25,7 @@ import (
 	"rlckit/internal/netgen"
 	"rlckit/internal/refeng"
 	"rlckit/internal/report"
-	"rlckit/internal/screen"
+	"rlckit/internal/sweep"
 	"rlckit/internal/tech"
 	"rlckit/internal/units"
 )
@@ -35,56 +38,58 @@ func main() {
 	}
 	riseTime := 8 * node.R0 * node.C0
 
-	type flagged struct {
-		net  netgen.Net
-		res  screen.Result
-		zeta float64
-	}
-	var hits []flagged
-	for _, n := range nets {
-		r, err := screen.Check(n.Line, n.Drive, riseTime)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if r.NeedsRLC {
-			hits = append(hits, flagged{net: n, res: r, zeta: r.Zeta})
-		}
+	// One engine call replaces the hand-rolled screening loop: nominal
+	// corner, no Monte Carlo — the population itself is the experiment.
+	res, err := sweep.Run(nets, sweep.Config{RiseTime: riseTime})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("Screened %d nets at %s (input rise %s): %d need RLC analysis\n\n",
-		len(nets), node.Name, units.Format(riseTime, "s", 3), len(hits))
+		res.Screen.Total, node.Name, units.Format(riseTime, "s", 3), res.Screen.NeedsRLC)
+	if err := res.RenderSummary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
-	// Rank by damping factor (most underdamped first) and quantify the
-	// RC model's error on the worst few.
-	sort.Slice(hits, func(i, j int) bool { return hits[i].zeta < hits[j].zeta })
+	// Rank the flagged nets by damping factor (most underdamped first)
+	// and grade the closed forms against the exact engine on the worst
+	// few.
+	var hits []sweep.Sample
+	for _, s := range res.Samples {
+		if s.NeedsRLC {
+			hits = append(hits, s)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Zeta < hits[j].Zeta })
 	if len(hits) > 8 {
 		hits = hits[:8]
 	}
+	fmt.Println()
 	tb := report.NewTable("Most inductance-critical nets (closed-form timing errors vs simulation)",
 		"net", "zeta", "RT", "window", "in Eq.9 domain", "sim delay", "Eq.9 err%", "Sakurai-RC err%")
 	for _, h := range hits {
-		sim, err := refeng.DelayExactTF(h.net.Line, h.net.Drive, 0)
+		sim, err := refeng.DelayExactTF(h.Line, h.Drive, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rlc, err := core.Delay(h.net.Line, h.net.Drive)
+		rlc, err := core.Delay(h.Line, h.Drive)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := core.Analyze(h.net.Line, h.net.Drive)
+		p, err := core.Analyze(h.Line, h.Drive)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rt, _, ct := h.net.Line.Totals()
-		rc := elmore.Sakurai50(rt, ct, h.net.Drive.Rtr, h.net.Drive.CL)
+		rt, _, ct := h.Line.Totals()
+		rc := elmore.Sakurai50(rt, ct, h.Drive.Rtr, h.Drive.CL)
 		domain := "no"
 		if p.InAccuracyDomain() {
 			domain = "yes"
 		}
 		window := "no"
-		if h.res.InWindow {
+		if h.InWindow {
 			window = "yes"
 		}
-		tb.AddRow(h.net.Name, h.zeta, p.RT, window, domain, units.Format(sim, "s", 4),
+		tb.AddRow(res.NetNames[h.Net], h.Zeta, p.RT, window, domain, units.Format(sim, "s", 4),
 			100*(rlc-sim)/sim, 100*(rc-sim)/sim)
 	}
 	if err := tb.Render(os.Stdout); err != nil {

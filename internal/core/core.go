@@ -188,9 +188,13 @@ func (p Params) InAccuracyDomain() bool {
 // DelayPlateauRisk reports whether the configuration sits in the
 // measured reflection-plateau regime where 50% delays are
 // ill-conditioned and Eq. 9 errors can exceed 20%: near-critical
-// damping with a matched-order driver and a light load.
+// damping with a matched-order driver and a light load. The RT bound
+// was measured at 0.5 by population testing (see the property test in
+// api_property_test.go): random nets at RT ≈ 0.52-0.54, CT ≪ 1, ζ ≈ 1
+// still show 6-7% Eq. 9 error, so the guard starts at the RT = 0.5
+// boundary of the fitted domain's midpoint rather than 0.55.
 func (p Params) DelayPlateauRisk() bool {
-	return p.Zeta > 0.55 && p.Zeta < 1.35 && p.RT > 0.55 && p.CT < 0.3
+	return p.Zeta > 0.55 && p.Zeta < 1.35 && p.RT > 0.5 && p.CT < 0.3
 }
 
 // TwoPoleTF returns the second-order approximation of the line transfer

@@ -1,0 +1,81 @@
+// Package golden implements golden-file comparison for the command-line
+// tools: a test renders its full output, and Assert compares it against
+// a checked-in file under testdata/, rewriting the file instead when the
+// test binary runs with -update.
+//
+//	go test ./cmd/netsim -update   # refresh golden files after a change
+//
+// Everything the commands print is deterministic (fixed seeds, ordered
+// parallel results, explicit float formats), which is what makes whole
+// output files a stable contract.
+package golden
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Assert compares got against testdata/<name>. With -update it writes
+// the file and passes. The diff report shows the first mismatching line
+// to keep failures readable.
+func Assert(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(got) == string(want) {
+		return
+	}
+	line, gotLine, wantLine := firstDiff(string(got), string(want))
+	t.Errorf("output differs from %s at line %d:\n got: %q\nwant: %q\n(re-run with -update if the change is intended)",
+		path, line, gotLine, wantLine)
+}
+
+// firstDiff locates the first differing line (1-based).
+func firstDiff(got, want string) (line int, gotLine, wantLine string) {
+	g := splitLines(got)
+	w := splitLines(want)
+	for i := 0; i < len(g) || i < len(w); i++ {
+		var gl, wl string
+		if i < len(g) {
+			gl = g[i]
+		}
+		if i < len(w) {
+			wl = w[i]
+		}
+		if gl != wl {
+			return i + 1, gl, wl
+		}
+	}
+	return 0, "", ""
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

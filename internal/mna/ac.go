@@ -4,12 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"rlckit/internal/circuit"
 	"rlckit/internal/numeric"
+	"rlckit/internal/pool"
 )
 
 // ACResult holds a frequency sweep: for each probed node, the complex
@@ -54,9 +52,9 @@ func (r *ACResult) MagDB(node int) ([]float64, error) {
 // banded complex LU, so ladder-shaped circuits cost O(n·band²) per
 // frequency point. Each frequency's matrix is assembled straight from
 // the sparse triplets in O(nnz), and the points are solved in parallel
-// by a bounded worker pool (one complex band matrix plus factorization
-// scratch per worker); results are returned in input frequency order
-// regardless of worker scheduling.
+// by the module's shared bounded worker pool (internal/pool; one complex
+// band matrix plus factorization scratch per worker); results are
+// returned in input frequency order regardless of worker scheduling.
 func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) {
 	if len(freqs) == 0 {
 		return nil, errors.New("mna: AC needs at least one frequency")
@@ -83,49 +81,31 @@ func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) 
 		b[sys.perm[e.row]] += complex(e.sgn, 0)
 	}
 	phasors := make([][]complex128, len(freqs)) // [freq index][probe index]
-	errs := make([]error, len(freqs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(freqs) {
-		workers = len(freqs)
+	type scratch struct {
+		a  *numeric.CBandMatrix
+		lu numeric.CBandLU
+		x  []complex128
 	}
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			a := numeric.NewCBandMatrix(n, sys.kl, sys.ku)
-			var lu numeric.CBandLU
-			x := make([]complex128, n)
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= len(freqs) || failed.Load() {
-					return
-				}
-				f := freqs[k]
-				a.Zero()
-				sys.gt.AddScaledToCBand(a, sys.perm, 1)
-				sys.ct.AddScaledToCBand(a, sys.perm, complex(0, 2*math.Pi*f))
-				if err := numeric.FactorCBandLUInto(&lu, a); err != nil {
-					errs[k] = fmt.Errorf("mna: AC solve at %g Hz: %w", f, err)
-					failed.Store(true)
-					return
-				}
-				lu.SolveTo(x, b)
-				row := make([]complex128, len(probes))
-				for pi, p := range probes {
-					row[pi] = x[sys.perm[p-1]]
-				}
-				phasors[k] = row
-			}
-		}()
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
+	err = pool.Run(0, len(freqs), func() *scratch {
+		return &scratch{a: numeric.NewCBandMatrix(n, sys.kl, sys.ku), x: make([]complex128, n)}
+	}, func(sc *scratch, k int) error {
+		f := freqs[k]
+		sc.a.Zero()
+		sys.gt.AddScaledToCBand(sc.a, sys.perm, 1)
+		sys.ct.AddScaledToCBand(sc.a, sys.perm, complex(0, 2*math.Pi*f))
+		if err := numeric.FactorCBandLUInto(&sc.lu, sc.a); err != nil {
+			return fmt.Errorf("mna: AC solve at %g Hz: %w", f, err)
 		}
+		sc.lu.SolveTo(sc.x, b)
+		row := make([]complex128, len(probes))
+		for pi, p := range probes {
+			row[pi] = sc.x[sys.perm[p-1]]
+		}
+		phasors[k] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &ACResult{
 		Freq:  append([]float64(nil), freqs...),

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"rlckit/internal/pool"
 	"rlckit/internal/tech"
 	"rlckit/internal/tline"
 )
@@ -58,16 +59,24 @@ func lognorm(rng *rand.Rand, sigma float64) float64 {
 	return f
 }
 
-// RandomBatch draws n reproducible random nets.
+// RandomBatch draws n reproducible random nets. Generation runs in
+// parallel on the shared worker pool: net i is drawn from its own RNG
+// seeded by pool.Seed(seed, i), so the batch is byte-identical for the
+// same seed at every worker count and GOMAXPROCS setting (and net i of
+// a batch of 10k equals net i of a batch of 100).
 func RandomBatch(seed int64, node tech.Node, n int) ([]Net, error) {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]Net, 0, n)
-	for i := 0; i < n; i++ {
-		net, err := RandomNet(rng, node)
+	out := make([]Net, n)
+	err := pool.Run(0, n, pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
+		sc.Seed(pool.Seed(seed, int64(i)))
+		net, err := RandomNet(sc.Rand, node)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, net)
+		out[i] = net
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

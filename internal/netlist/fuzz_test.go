@@ -1,0 +1,103 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus: the decks the cmd/netsim tests and
+// golden files exercise, plus directive/source edge shapes.
+var fuzzSeeds = []string{
+	// The cmd/netsim test deck.
+	"Vin in 0 STEP 1 10p\nR1 in out 1k\nC1 out 0 1p\n.tran 5p 8n\n.ac 1e6 1e10 5\n.probe out\n",
+	// An RLC ladder with every element kind and a current source.
+	"* ladder\nVin in 0 PULSE 1 10p 5p 1n 5p 2n\nR1 in a 500\nL1 a b 10n\nC1 b 0 1p\nI1 b 0 SIN 1m 1e9 0 0\n.tran 1p 4n\n.probe a b\n",
+	// DC + comments + gnd alias + engineering notation.
+	"// comment\nV1 x gnd DC 3.3\nR1 x gnd 2.2k\n.tran 1n 1u\n.probe x\n",
+	// AC-only deck.
+	"Vs n1 0 SIN 1 1e9\nR1 n1 n2 50\nC2 n2 0 2p\n.ac 1k 1G 11\n.probe n2\n",
+	// Error-shaped inputs that must return (not panic).
+	"R1 a b\n",
+	"V1 a b WUMPUS 1\n",
+	".tran 0 0\n",
+	".ac 1 2 1e18\n",
+	".probe nowhere\n",
+	"L1 x x 1n\n.tran 1p 1n\n.probe x\n",
+	"Xfrob a b 12\n",
+	"R1 a b 1e400\n.tran 1p 1n\n.probe a\n",
+}
+
+// FuzzParse asserts the deck parser never panics, and that any accepted
+// deck round-trips: re-parsing the same text yields the same node,
+// element and probe counts (parsing is a pure function of the text).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return // rejected: fine, as long as we didn't panic
+		}
+		if d.Ckt == nil {
+			t.Fatal("accepted deck with nil circuit")
+		}
+		// Structural sanity of the accepted deck.
+		if d.Dt == 0 && len(d.ACFreqs) == 0 {
+			t.Fatal("accepted deck with neither .tran nor .ac")
+		}
+		if len(d.Probes) == 0 {
+			t.Fatal("accepted deck with no probes")
+		}
+		nodes := d.Ckt.Nodes()
+		for name, id := range d.Names {
+			if id < 0 || id >= nodes {
+				t.Fatalf("node %q has out-of-range id %d (nodes=%d)", name, id, nodes)
+			}
+		}
+		for _, p := range d.Probes {
+			if p <= 0 || p >= nodes {
+				t.Fatalf("probe id %d out of range (nodes=%d)", p, nodes)
+			}
+		}
+		// Round trip: same text, same structure.
+		d2, err := Parse(strings.NewReader(s))
+		if err != nil {
+			t.Fatalf("accepted deck rejected on re-parse: %v", err)
+		}
+		if d2.Ckt.Nodes() != nodes {
+			t.Fatalf("node count changed on re-parse: %d vs %d", nodes, d2.Ckt.Nodes())
+		}
+		if len(d2.Ckt.Elements()) != len(d.Ckt.Elements()) {
+			t.Fatalf("element count changed on re-parse: %d vs %d",
+				len(d.Ckt.Elements()), len(d2.Ckt.Elements()))
+		}
+		if len(d2.Probes) != len(d.Probes) {
+			t.Fatalf("probe count changed on re-parse: %d vs %d", len(d.Probes), len(d2.Probes))
+		}
+		if len(d2.ACFreqs) != len(d.ACFreqs) {
+			t.Fatalf("AC grid changed on re-parse: %d vs %d", len(d.ACFreqs), len(d2.ACFreqs))
+		}
+	})
+}
+
+func TestACPointCountGuard(t *testing.T) {
+	for _, bad := range []string{
+		"V1 a 0 DC 1\n.ac 1 2 1e18\n.probe a\n",
+		"V1 a 0 DC 1\n.ac 1 2 2.5\n.probe a\n",
+		"V1 a 0 DC 1\n.ac 1 2 1\n.probe a\n",
+		"V1 a 0 DC 1\n.ac 1 2 -4\n.probe a\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	ok := "V1 a 0 DC 1\n.ac 1 1e6 7\n.probe a\n"
+	d, err := Parse(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ACFreqs) != 7 {
+		t.Errorf("%d AC points", len(d.ACFreqs))
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"rlckit/internal/circuit"
@@ -216,6 +217,13 @@ func (d *Deck) parseDirective(fields []string) error {
 		np, err := units.Parse(fields[3])
 		if err != nil {
 			return err
+		}
+		// Guard the slice allocation: a huge or non-integral point count
+		// must be a parse error, not an out-of-memory crash (found by
+		// FuzzParse).
+		const maxACPoints = 1 << 20
+		if np != math.Trunc(np) || np < 2 || np > maxACPoints {
+			return fmt.Errorf(".ac npoints must be an integer in [2, %d], got %g", maxACPoints, np)
 		}
 		freqs, err := mnaLogSpace(f0, f1, int(np))
 		if err != nil {

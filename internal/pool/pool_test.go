@@ -1,0 +1,170 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		err := Run(workers, n, func() struct{} { return struct{}{} },
+			func(_ struct{}, i int) error {
+				atomic.AddInt32(&hits[i], 1)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func() int { return 0 }, func(int, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 100, func() struct{} { return struct{}{} },
+			func(_ struct{}, i int) error {
+				if i == 17 || i == 63 {
+					return boom(i)
+				}
+				return nil
+			})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		// With one worker the scan is sequential, so index 17 must win;
+		// with several workers any failing index may be reported, but the
+		// lowest *observed* failure wins and both candidates share text.
+		if workers == 1 && err.Error() != "task 17 failed" {
+			t.Fatalf("sequential error %q", err)
+		}
+	}
+}
+
+func TestRunStopsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	sentinel := errors.New("stop")
+	_ = Run(2, 100000, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error {
+			ran.Add(1)
+			if i == 0 {
+				return sentinel
+			}
+			return nil
+		})
+	if got := ran.Load(); got >= 100000 {
+		t.Errorf("pool did not stop early: ran %d tasks", got)
+	}
+}
+
+func TestWorkerScratchIsPrivate(t *testing.T) {
+	// Each worker's scratch must be its own: count setups and ensure the
+	// total work tallied through scratches equals n.
+	var setups atomic.Int64
+	type counter struct{ n int }
+	counters := make(chan *counter, 64)
+	n := 5000
+	err := Run(8, n, func() *counter {
+		setups.Add(1)
+		c := &counter{}
+		counters <- c
+		return c
+	}, func(c *counter, i int) error {
+		c.n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(counters)
+	total := 0
+	for c := range counters {
+		total += c.n
+	}
+	if total != n {
+		t.Errorf("scratch-tallied work %d, want %d", total, n)
+	}
+	if s := setups.Load(); s < 1 || s > 8 {
+		t.Errorf("%d setups for 8 workers", s)
+	}
+}
+
+func TestSeedDeterministicAndDecorrelated(t *testing.T) {
+	if Seed(42, 1, 2, 3) != Seed(42, 1, 2, 3) {
+		t.Fatal("Seed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		s := Seed(7, i)
+		if s < 0 {
+			t.Fatalf("negative seed %d", s)
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if Seed(7, 1, 0) == Seed(7, 0, 1) {
+		t.Error("index path order ignored")
+	}
+	if Seed(7, 5) == Seed(8, 5) {
+		t.Error("base seed ignored")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 10); w < 1 {
+		t.Errorf("Workers(0,10)=%d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8,3)=%d", w)
+	}
+	if w := Workers(-2, 0); w != 1 {
+		t.Errorf("Workers(-2,0)=%d", w)
+	}
+}
+
+func TestSourceSeedIsCheapAndDeterministic(t *testing.T) {
+	a, b := NewSource(5), NewSource(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+	a.Seed(9)
+	b.Seed(9)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("re-seed diverged")
+	}
+	if v := a.Int63(); v < 0 {
+		t.Errorf("Int63 returned negative %d", v)
+	}
+	// Different seeds must decorrelate immediately.
+	c, d := NewSource(1), NewSource(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between adjacent seeds", same)
+	}
+}

@@ -1,0 +1,221 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is an order-statistics description of a one-dimensional
+// sample: extremes, moments and the percentiles that population tables
+// quote. It is the aggregation currency of the sweep engine — summaries
+// are computed from index-ordered value slices, so they are
+// byte-identical regardless of how many workers produced the values.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, StdDev  float64
+	P1, P5, P25   float64
+	Median        float64
+	P75, P95, P99 float64
+}
+
+// Summarize computes a Summary of values. NaNs are dropped (they would
+// poison every statistic); an empty or all-NaN input returns a zero
+// Summary with N == 0. The input slice is not modified.
+func Summarize(values []float64) Summary {
+	clean := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	var s Summary
+	s.N = len(clean)
+	if s.N == 0 {
+		return s
+	}
+	sort.Float64s(clean)
+	s.Min, s.Max = clean[0], clean[s.N-1]
+	sum := 0.0
+	for _, v := range clean {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, v := range clean {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.P1 = Quantile(clean, 0.01)
+	s.P5 = Quantile(clean, 0.05)
+	s.P25 = Quantile(clean, 0.25)
+	s.Median = Quantile(clean, 0.50)
+	s.P75 = Quantile(clean, 0.75)
+	s.P95 = Quantile(clean, 0.95)
+	s.P99 = Quantile(clean, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// slice by linear interpolation between order statistics (the "type 7"
+// estimator most statistics packages default to). It panics on an empty
+// slice; callers summarizing possibly-empty data should use Summarize.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("report: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FractionAbove returns the fraction of values strictly above the
+// threshold, ignoring NaNs. An empty input returns 0.
+func FractionAbove(values []float64, threshold float64) float64 {
+	n, above := 0, 0
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		n++
+		if v > threshold {
+			above++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(above) / float64(n)
+}
+
+// AddSummaryRow appends a labelled distribution row to a table whose
+// headers are (label, n, mean, min, p5, median, p95, p99, max) — the
+// standard population-statistics row shape used by the sweep reports.
+func AddSummaryRow(t *Table, label string, s Summary) {
+	t.AddRow(label, s.N, s.Mean, s.Min, s.P5, s.Median, s.P95, s.P99, s.Max)
+}
+
+// SummaryHeaders returns the column headers matching AddSummaryRow.
+func SummaryHeaders(label string) []string {
+	return []string{label, "n", "mean", "min", "p5", "median", "p95", "p99", "max"}
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with explicit
+// underflow/overflow tallies, rendered as an ASCII bar chart.
+type Histogram struct {
+	Lo, Hi      float64
+	Counts      []int
+	Under, Over int
+}
+
+// NewHistogram builds a histogram of values with the given bin count
+// over [lo, hi). NaNs are ignored. bins is clamped to at least 1; lo/hi
+// are swapped if reversed, and a degenerate range is widened so every
+// finite value lands somewhere.
+func NewHistogram(values []float64, lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	for _, v := range values {
+		h.Add(v)
+	}
+	return h
+}
+
+// AutoHistogram builds a histogram spanning the finite range of values.
+// The upper edge is nudged up so the maximum value lands in the last
+// bin rather than in the half-open range's overflow.
+func AutoHistogram(values []float64, bins int) *Histogram {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo > hi { // no finite values
+		lo, hi = 0, 1
+	}
+	return NewHistogram(values, lo, math.Nextafter(hi, math.Inf(1)), bins)
+}
+
+// Add tallies one value.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case math.IsNaN(v):
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // guard the v ≈ Hi rounding edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i] += 1
+	}
+}
+
+// Total returns the number of tallied values including under/overflow.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Render writes the histogram as labelled ASCII bars of at most width
+// characters.
+func (h *Histogram) Render(title string, width int, w io.Writer) error {
+	if width < 10 {
+		width = 10
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "%14s  %6d\n", fmt.Sprintf("< %.4g", h.Lo), h.Under)
+	}
+	step := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "%14s  %6d  %s\n", fmt.Sprintf("%.4g", h.Lo+float64(i)*step), c, bar)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "%14s  %6d\n", fmt.Sprintf(">= %.4g", h.Hi), h.Over)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

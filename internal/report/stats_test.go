@@ -1,0 +1,133 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Mean != 3 || s.Median != 3 {
+		t.Errorf("mean %g median %g", s.Mean, s.Median)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev %g", s.StdDev)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("quartiles %g %g", s.P25, s.P75)
+	}
+	// Input must be untouched.
+	in := []float64{3, 1, 2}
+	_ = Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize reordered its input")
+	}
+}
+
+func TestSummarizeNaNAndEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty N=%d", s.N)
+	}
+	nan := math.NaN()
+	if s := Summarize([]float64{nan, nan}); s.N != 0 {
+		t.Errorf("all-NaN N=%d", s.N)
+	}
+	s := Summarize([]float64{nan, 2, 1})
+	if s.N != 2 || s.Min != 1 || s.Max != 2 {
+		t.Errorf("%+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 30}, {0.5, 15}, {0.25, 7.5}, {1.5, 30}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Quantile did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestFractionAbove(t *testing.T) {
+	vals := []float64{1, 5, 10, 20, math.NaN()}
+	if f := FractionAbove(vals, 9); f != 0.5 {
+		t.Errorf("FractionAbove = %g", f)
+	}
+	if f := FractionAbove(nil, 0); f != 0 {
+		t.Errorf("empty = %g", f)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{-5, 0, 1, 2.5, 9.99, 10, 42, math.NaN()}, 0, 10, 4)
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	wantCounts := []int{2, 1, 0, 1} // 0,1 in [0,2.5); 2.5 in [2.5,5); 9.99 in [7.5,10)
+	for i, c := range wantCounts {
+		if h.Counts[i] != c {
+			t.Errorf("bin %d = %d, want %d (%v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("total %d", h.Total())
+	}
+	var b strings.Builder
+	if err := h.Render("title", 40, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"title", "< 0", ">= 10", "###"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAutoHistogram(t *testing.T) {
+	h := AutoHistogram([]float64{1, 2, 3, math.Inf(1)}, 4)
+	if h.Lo != 1 || h.Hi < 3 {
+		t.Errorf("range [%g, %g)", h.Lo, h.Hi)
+	}
+	if h.Over != 1 { // the +Inf; the finite max must land in the last bin
+		t.Errorf("over=%d", h.Over)
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("max value not in last bin: %v", h.Counts)
+	}
+	// No finite values: still a usable range.
+	h = AutoHistogram(nil, 3)
+	if h.Lo >= h.Hi {
+		t.Errorf("degenerate range [%g, %g)", h.Lo, h.Hi)
+	}
+}
+
+func TestSummaryTableHelpers(t *testing.T) {
+	tb := NewTable("t", SummaryHeaders("metric")...)
+	AddSummaryRow(tb, "x", Summarize([]float64{1, 2, 3}))
+	if tb.Rows() != 1 {
+		t.Fatalf("%d rows", tb.Rows())
+	}
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "median") {
+		t.Errorf("missing header:\n%s", b.String())
+	}
+}

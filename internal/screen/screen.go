@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"rlckit/internal/core"
+	"rlckit/internal/pool"
 	"rlckit/internal/tline"
 )
 
@@ -100,27 +101,49 @@ func (s Stats) FractionRLC() float64 {
 	return float64(s.NeedsRLC) / float64(s.Total)
 }
 
-// Batch screens many driven lines with a common rise time.
+// Batch screens many driven lines with a common rise time. The nets are
+// checked in parallel on the shared worker pool (internal/pool); the
+// verdicts land in per-net slots and are folded in index order, so the
+// statistics are identical for every GOMAXPROCS setting.
 func Batch(lines []tline.Line, drives []tline.Drive, riseTime float64) (Stats, error) {
-	if len(lines) != len(drives) {
-		return Stats{}, fmt.Errorf("screen: %d lines vs %d drives", len(lines), len(drives))
+	res, err := BatchResults(lines, drives, riseTime)
+	if err != nil {
+		return Stats{}, err
 	}
 	var st Stats
-	for i := range lines {
-		r, err := Check(lines[i], drives[i], riseTime)
-		if err != nil {
-			return Stats{}, fmt.Errorf("screen: net %d: %w", i, err)
-		}
+	for i := range res {
 		st.Total++
-		if r.NeedsRLC {
+		if res[i].NeedsRLC {
 			st.NeedsRLC++
 		}
-		if r.InWindow {
+		if res[i].InWindow {
 			st.InWindow++
 		}
-		if r.Underdamped {
+		if res[i].Underdamped {
 			st.Underdamped++
 		}
 	}
 	return st, nil
+}
+
+// BatchResults screens many driven lines in parallel and returns the
+// per-net verdicts in input order.
+func BatchResults(lines []tline.Line, drives []tline.Drive, riseTime float64) ([]Result, error) {
+	if len(lines) != len(drives) {
+		return nil, fmt.Errorf("screen: %d lines vs %d drives", len(lines), len(drives))
+	}
+	out := make([]Result, len(lines))
+	err := pool.Run(0, len(lines), func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error {
+			r, err := Check(lines[i], drives[i], riseTime)
+			if err != nil {
+				return fmt.Errorf("screen: net %d: %w", i, err)
+			}
+			out[i] = r
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/tech"
+)
+
+// BenchmarkSweep10k is the acceptance benchmark: a 10k-net × 3-corner
+// Monte Carlo sweep. The workers=N sub-benchmarks expose the parallel
+// scaling; aggregate statistics are identical across them (enforced by
+// determinism_test.go).
+func BenchmarkSweep10k(b *testing.B) {
+	nets, err := netgen.RandomBatch(1, tech.Default(), 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		RiseTime: 50e-12,
+		Corners:  DefaultCorners(),
+		MC: MonteCarlo{
+			Samples: 1, Seed: 7,
+			RSigma: 0.1, LSigma: 0.05, CSigma: 0.08, DriveSigma: 0.12,
+		},
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(nets, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWithRepeaters adds the per-sample repeater closed forms.
+func BenchmarkSweepWithRepeaters(b *testing.B) {
+	nets, err := netgen.RandomBatch(1, tech.Default(), 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := tech.Default().Buffer()
+	cfg := Config{
+		RiseTime: 50e-12,
+		Corners:  DefaultCorners(),
+		MC:       MonteCarlo{Samples: 2, Seed: 7, RSigma: 0.1},
+		Buffer:   &buf,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(nets, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/tech"
+)
+
+// fingerprint renders every sample field to text; byte-for-byte equality
+// of fingerprints is the determinism contract.
+func fingerprint(r *Result) string {
+	return fmt.Sprintf("%+v|%+v|%+v|%+v|%+v|%+v|%v|%v",
+		r.Samples, r.Screen, r.Delay, r.DelayRC, r.RCErr, r.AbsRCErr,
+		r.FracErrOver10, r.FracErrOver20)
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	nets := testNets(t, 50)
+	cfg := testConfig()
+	cfg.Workers = 1
+	ref, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+	for _, w := range []int{2, 4, 16} {
+		cfg.Workers = w
+		got, err := Run(nets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(got) != want {
+			t.Fatalf("workers=%d produced different results", w)
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	nets := testNets(t, 40)
+	cfg := testConfig()
+	cfg.Workers = 0 // track GOMAXPROCS
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	a, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	b, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("GOMAXPROCS changed sweep results")
+	}
+}
+
+func TestSweepSeedChangesResults(t *testing.T) {
+	nets := testNets(t, 20)
+	cfg := testConfig()
+	a, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MC.Seed++
+	b, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("different seeds produced identical sweeps")
+	}
+}
+
+func TestRandomBatchDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	node := tech.Default()
+	runtime.GOMAXPROCS(1)
+	a, err := netgen.RandomBatch(99, node, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	b, err := netgen.RandomBatch(99, node, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatal("GOMAXPROCS changed RandomBatch output")
+	}
+	// Prefix stability: net i is a function of (seed, i), not of n.
+	c, err := netgen.RandomBatch(99, node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a[:10]) != fmt.Sprintf("%+v", c) {
+		t.Fatal("batch prefix depends on batch size")
+	}
+}

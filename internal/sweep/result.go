@@ -1,0 +1,236 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/report"
+	"rlckit/internal/screen"
+)
+
+// CornerStats aggregates one corner's slice of the sweep.
+type CornerStats struct {
+	Corner Corner
+	// Screen tallies the screening verdicts for the corner's samples.
+	Screen screen.Stats
+	// Delay summarizes the RLC delay in seconds; RCErr the signed
+	// RC-vs-RLC error percentage.
+	Delay, RCErr report.Summary
+}
+
+// Result is a completed sweep: the raw per-sample records (net-major
+// order) plus the population statistics computed from them. All
+// aggregates are computed from the index-ordered sample slice, so they
+// are identical for every worker count.
+type Result struct {
+	// NetNames records the population (index-aligned with Sample.Net).
+	NetNames []string
+	// Corners and Draws record the sweep dimensions.
+	Corners []Corner
+	Draws   int
+	// Samples holds every (net, corner, draw) record.
+	Samples []Sample
+	// Screen tallies screening verdicts over all samples.
+	Screen screen.Stats
+	// Delay and DelayRC summarize the RLC and RC-only delays (seconds).
+	Delay, DelayRC report.Summary
+	// RCErr and AbsRCErr summarize the signed and absolute RC-vs-RLC
+	// error percentage — the paper's headline population statistic.
+	RCErr, AbsRCErr report.Summary
+	// FracErrOver10, FracErrOver20 are the fractions of samples whose
+	// |RC error| exceeds 10% and 20%.
+	FracErrOver10, FracErrOver20 float64
+	// RepKRatio and RepDelayInc summarize repeater mis-sizing
+	// (kRC/kRLC) and the Eq. 17 delay increase percentage; populated
+	// only when the sweep ran with a Buffer.
+	RepKRatio, RepDelayInc report.Summary
+	// PerCorner breaks the population statistics out by corner.
+	PerCorner []CornerStats
+}
+
+func aggregate(nets []netgen.Net, corners []Corner, draws int, samples []Sample, cfg *Config) *Result {
+	res := &Result{
+		NetNames: make([]string, len(nets)),
+		Corners:  corners,
+		Draws:    draws,
+		Samples:  samples,
+	}
+	for i, n := range nets {
+		res.NetNames[i] = n.Name
+	}
+	n := len(samples)
+	delays := make([]float64, n)
+	delaysRC := make([]float64, n)
+	errs := make([]float64, n)
+	absErrs := make([]float64, n)
+	res.PerCorner = make([]CornerStats, len(corners))
+	perCorner := n / len(corners)
+	cornerDelays := make([][]float64, len(corners))
+	cornerErrs := make([][]float64, len(corners))
+	for ci := range corners {
+		res.PerCorner[ci].Corner = corners[ci]
+		cornerDelays[ci] = make([]float64, 0, perCorner)
+		cornerErrs[ci] = make([]float64, 0, perCorner)
+	}
+	for i := range samples {
+		s := &samples[i]
+		delays[i] = s.DelayRLC
+		delaysRC[i] = s.DelayRC
+		errs[i] = s.RCErrPct
+		absErrs[i] = math.Abs(s.RCErrPct)
+		tallyScreen(&res.Screen, s)
+		tallyScreen(&res.PerCorner[s.Corner].Screen, s)
+		cornerDelays[s.Corner] = append(cornerDelays[s.Corner], s.DelayRLC)
+		cornerErrs[s.Corner] = append(cornerErrs[s.Corner], s.RCErrPct)
+	}
+	for ci := range corners {
+		res.PerCorner[ci].Delay = report.Summarize(cornerDelays[ci])
+		res.PerCorner[ci].RCErr = report.Summarize(cornerErrs[ci])
+	}
+	res.Delay = report.Summarize(delays)
+	res.DelayRC = report.Summarize(delaysRC)
+	res.RCErr = report.Summarize(errs)
+	res.AbsRCErr = report.Summarize(absErrs)
+	res.FracErrOver10 = report.FractionAbove(absErrs, 10)
+	res.FracErrOver20 = report.FractionAbove(absErrs, 20)
+
+	if cfg.Buffer != nil {
+		ratios := make([]float64, 0, n)
+		incs := make([]float64, 0, n)
+		for i := range samples {
+			s := &samples[i]
+			if s.RepKRLC > 0 {
+				ratios = append(ratios, s.RepKRC/s.RepKRLC)
+				incs = append(incs, s.RepDelayIncPct)
+			}
+		}
+		res.RepKRatio = report.Summarize(ratios)
+		res.RepDelayInc = report.Summarize(incs)
+	}
+
+	return res
+}
+
+func tallyScreen(st *screen.Stats, s *Sample) {
+	st.Total++
+	if s.NeedsRLC {
+		st.NeedsRLC++
+	}
+	if s.InWindow {
+		st.InWindow++
+	}
+	if s.Underdamped {
+		st.Underdamped++
+	}
+}
+
+// SummaryTables renders the population statistics as report tables —
+// the Table-1-style artifact cmd/netsweep prints.
+func (r *Result) SummaryTables() []*report.Table {
+	var tables []*report.Table
+
+	pop := report.NewTable(
+		fmt.Sprintf("Population screening (%d nets × %d corners × %d draws = %d samples)",
+			len(r.NetNames), len(r.Corners), r.Draws, len(r.Samples)),
+		"corner", "samples", "needsRLC", "frac", "inWindow", "underdamped")
+	for _, cs := range r.PerCorner {
+		pop.AddRow(cs.Corner.Name, cs.Screen.Total, cs.Screen.NeedsRLC,
+			cs.Screen.FractionRLC(), cs.Screen.InWindow, cs.Screen.Underdamped)
+	}
+	pop.AddRow("all", r.Screen.Total, r.Screen.NeedsRLC,
+		r.Screen.FractionRLC(), r.Screen.InWindow, r.Screen.Underdamped)
+	tables = append(tables, pop)
+
+	dist := report.NewTable("Delay and RC-model error distributions",
+		report.SummaryHeaders("metric")...)
+	report.AddSummaryRow(dist, "delay RLC (s)", r.Delay)
+	report.AddSummaryRow(dist, "delay RC (s)", r.DelayRC)
+	report.AddSummaryRow(dist, "RC err (%)", r.RCErr)
+	report.AddSummaryRow(dist, "|RC err| (%)", r.AbsRCErr)
+	tables = append(tables, dist)
+
+	frac := report.NewTable("RC-only timing error exceedance",
+		"threshold", "fraction of samples")
+	frac.AddRow("|err| > 10%", r.FracErrOver10)
+	frac.AddRow("|err| > 20%", r.FracErrOver20)
+	tables = append(tables, frac)
+
+	byCorner := report.NewTable("RC error (%) by corner", report.SummaryHeaders("corner")...)
+	for _, cs := range r.PerCorner {
+		report.AddSummaryRow(byCorner, cs.Corner.Name, cs.RCErr)
+	}
+	tables = append(tables, byCorner)
+
+	if r.RepKRatio.N > 0 {
+		rep := report.NewTable("Repeater insertion: RC-only design cost",
+			report.SummaryHeaders("metric")...)
+		report.AddSummaryRow(rep, "k_RC/k_RLC", r.RepKRatio)
+		report.AddSummaryRow(rep, "delay incr (%)", r.RepDelayInc)
+		tables = append(tables, rep)
+	}
+	return tables
+}
+
+// RenderSummary writes every summary table (and an RC-error histogram)
+// to w.
+func (r *Result) RenderSummary(w io.Writer) error {
+	for _, t := range r.SummaryTables() {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	errsPct := make([]float64, len(r.Samples))
+	for i := range r.Samples {
+		errsPct[i] = r.Samples[i].RCErrPct
+	}
+	h := report.AutoHistogram(errsPct, 20)
+	return h.Render("RC-vs-RLC delay error histogram (%)", 50, w)
+}
+
+// WriteCSV streams every sample as one CSV row. net_idx is the unique
+// net identifier (netgen.RandomNet names collide heavily — group on the
+// index, not the name); name fields are quoted when they contain CSV
+// metacharacters.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"net_idx,net,corner,draw,length_m,r_per_m,l_per_m,c_per_m,rtr,cl,"+
+			"rt,ct,zeta,delay_rlc_s,delay_rc_s,rc_err_pct,"+
+			"needs_rlc,in_window,underdamped,tlr,k_rlc,k_rc,rep_delay_inc_pct\n"); err != nil {
+		return err
+	}
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		_, err := fmt.Fprintf(w,
+			"%d,%s,%s,%d,%.6e,%.6e,%.6e,%.6e,%.6e,%.6e,%.4f,%.4f,%.4f,%.6e,%.6e,%.3f,%d,%d,%d,%.4f,%.3f,%.3f,%.3f\n",
+			s.Net, csvField(r.NetNames[s.Net]), csvField(r.Corners[s.Corner].Name), s.Draw,
+			s.Line.Length, s.Line.R, s.Line.L, s.Line.C, s.Drive.Rtr, s.Drive.CL,
+			s.RT, s.CT, s.Zeta, s.DelayRLC, s.DelayRC, s.RCErrPct,
+			b01(s.NeedsRLC), b01(s.InWindow), b01(s.Underdamped),
+			s.TLR, s.RepKRLC, s.RepKRC, s.RepDelayIncPct)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField quotes a caller-controlled string when it contains CSV
+// metacharacters, matching report.Table.WriteCSV's convention.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+// Package sweep is rlckit's chip-scale batch analysis engine: it runs
+// delay, screening and repeater analysis over a population of nets ×
+// technology corners × Monte Carlo process-variation samples on a
+// bounded worker pool, and aggregates the results into the population
+// statistics the paper argues from (RC-vs-RLC delay error percentiles,
+// inductance-significance fractions, repeater mis-sizing).
+//
+// The paper's headline claim is statistical — across a population of
+// nets, ignoring inductance mis-predicts delay and mis-sizes repeaters
+// by double-digit percentages — so the unit of work here is the
+// population, not the net. A Run over 10k nets × 3 corners costs tens of
+// milliseconds and scales nearly linearly with workers (see
+// BenchmarkSweep10k).
+//
+// Determinism: every sample's perturbation is drawn from an RNG seeded
+// by pool.Seed(seed, net, corner, draw), and results land in per-index
+// slots, so a Run's output — including every aggregate statistic — is
+// byte-identical for every worker count and GOMAXPROCS setting. The
+// tests in determinism_test.go enforce this.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rlckit/internal/core"
+	"rlckit/internal/elmore"
+	"rlckit/internal/netgen"
+	"rlckit/internal/pool"
+	"rlckit/internal/refeng"
+	"rlckit/internal/repeater"
+	"rlckit/internal/screen"
+	"rlckit/internal/tline"
+)
+
+// Corner is a technology corner: named multiplicative shifts of the
+// wire parasitics and the driver resistance. The nominal corner is all
+// ones.
+type Corner struct {
+	Name string
+	// RScale, LScale, CScale multiply the line's per-unit-length R, L, C.
+	RScale, LScale, CScale float64
+	// DriveScale multiplies the driver output resistance Rtr (a strong
+	// process corner has DriveScale < 1).
+	DriveScale float64
+}
+
+// Nominal returns the typical-typical corner (all scale factors 1).
+func Nominal() Corner {
+	return Corner{Name: "tt", RScale: 1, LScale: 1, CScale: 1, DriveScale: 1}
+}
+
+// DefaultCorners returns the standard three-corner set: typical (tt),
+// fast (ff: thicker metal, stronger drivers, less capacitance) and slow
+// (ss: thinner metal, weaker drivers, more capacitance). The shifts are
+// representative magnitudes, not foundry data.
+func DefaultCorners() []Corner {
+	return []Corner{
+		Nominal(),
+		{Name: "ff", RScale: 0.85, LScale: 1, CScale: 0.92, DriveScale: 0.80},
+		{Name: "ss", RScale: 1.15, LScale: 1, CScale: 1.08, DriveScale: 1.25},
+	}
+}
+
+func (c Corner) validate() error {
+	if c.RScale <= 0 || c.LScale <= 0 || c.CScale <= 0 || c.DriveScale <= 0 {
+		return fmt.Errorf("sweep: corner %q needs positive scale factors (%g, %g, %g, %g)",
+			c.Name, c.RScale, c.LScale, c.CScale, c.DriveScale)
+	}
+	return nil
+}
+
+// MonteCarlo configures per-sample process-variation perturbation:
+// independent log-normal factors on the per-unit-length parasitics and
+// the driver strength. All sigmas are σ of the underlying normal; zero
+// sigma means that parameter is not varied.
+type MonteCarlo struct {
+	// Samples is the number of variation draws per (net, corner). 0 or 1
+	// means a single draw; with all sigmas zero that draw is nominal.
+	Samples int
+	// Seed is the reproducibility seed for the whole sweep.
+	Seed int64
+	// RSigma, LSigma, CSigma are log-normal sigmas on per-unit-length
+	// R, L, C.
+	RSigma, LSigma, CSigma float64
+	// DriveSigma is the log-normal sigma on the driver resistance Rtr.
+	DriveSigma float64
+}
+
+func (mc MonteCarlo) draws() int {
+	if mc.Samples < 1 {
+		return 1
+	}
+	return mc.Samples
+}
+
+func (mc MonteCarlo) validate() error {
+	for _, s := range []float64{mc.RSigma, mc.LSigma, mc.CSigma, mc.DriveSigma} {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("sweep: Monte Carlo sigmas must be finite and non-negative, got %g", s)
+		}
+	}
+	return nil
+}
+
+// Config tunes a sweep Run.
+type Config struct {
+	// RiseTime is the input rise time used for inductance screening
+	// (required, positive).
+	RiseTime float64
+	// Corners lists the technology corners to sweep; nil means nominal
+	// only.
+	Corners []Corner
+	// MC configures Monte Carlo perturbation.
+	MC MonteCarlo
+	// Workers bounds the pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Buffer, when non-nil, additionally runs repeater-insertion analysis
+	// per sample (RLC closed forms vs RC-only Bakoglu) with this
+	// technology buffer.
+	Buffer *repeater.Buffer
+	// Exact switches the RLC delay estimator from the pure closed form
+	// (Eq. 9) to refeng.DelaySmart, which falls back to the exact
+	// transmission-line engine outside the validated accuracy domain.
+	// Orders of magnitude slower per sample; use for small populations.
+	Exact bool
+}
+
+// Sample is the analysis of one (net, corner, draw) triple.
+type Sample struct {
+	// Net, Corner and Draw index into the Run inputs.
+	Net, Corner, Draw int
+	// Line and Drive are the perturbed instance actually analyzed.
+	Line  tline.Line
+	Drive tline.Drive
+	// RT, CT, Zeta are the paper's dimensionless parameters.
+	RT, CT, Zeta float64
+	// DelayRLC is the inductance-aware 50% delay; DelayRC is the
+	// RC-only (Sakurai) delay a classic timing flow would report.
+	DelayRLC, DelayRC float64
+	// RCErrPct is 100·(DelayRC − DelayRLC)/DelayRLC: the signed error of
+	// ignoring inductance.
+	RCErrPct float64
+	// NeedsRLC, InWindow, Underdamped are the screening verdicts.
+	NeedsRLC, InWindow, Underdamped bool
+	// UsedExact reports that the exact engine produced DelayRLC (only in
+	// Exact mode).
+	UsedExact bool
+	// TLR, RepKRLC, RepKRC, RepDelayIncPct are repeater-insertion
+	// results, populated only when Config.Buffer is set: the inductance
+	// figure of merit, the RLC- and RC-optimal section counts, and the
+	// Eq. 17 delay increase from using the RC design.
+	TLR, RepKRLC, RepKRC, RepDelayIncPct float64
+}
+
+// Run sweeps the net population through every corner and Monte Carlo
+// draw. Samples are ordered net-major: index = (net·len(corners) +
+// corner)·draws + draw.
+func Run(nets []netgen.Net, cfg Config) (*Result, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("sweep: empty net population")
+	}
+	if cfg.RiseTime <= 0 || math.IsNaN(cfg.RiseTime) || math.IsInf(cfg.RiseTime, 0) {
+		return nil, fmt.Errorf("sweep: rise time must be positive, got %g", cfg.RiseTime)
+	}
+	corners := cfg.Corners
+	if len(corners) == 0 {
+		corners = []Corner{Nominal()}
+	}
+	for _, c := range corners {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.MC.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Buffer != nil {
+		if err := cfg.Buffer.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	draws := cfg.MC.draws()
+	perNet := len(corners) * draws
+	samples := make([]Sample, len(nets)*perNet)
+
+	// One task per net: draws×corners of closed-form analysis amortize
+	// the pool's per-task atomic claim, and every sample still derives
+	// its RNG from its own (net, corner, draw) seed, so the task
+	// granularity is invisible in the output.
+	err := pool.Run(cfg.Workers, len(nets), pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
+		base := i * perNet
+		for ci, c := range corners {
+			for d := 0; d < draws; d++ {
+				sc.Seed(pool.Seed(cfg.MC.Seed, int64(i), int64(ci), int64(d)))
+				out := &samples[base+ci*draws+d]
+				out.Net, out.Corner, out.Draw = i, ci, d
+				if err := evalSample(nets[i], c, &cfg, sc.Rand, out); err != nil {
+					return fmt.Errorf("sweep: net %d (%s) corner %s draw %d: %w",
+						i, nets[i].Name, c.Name, d, err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(nets, corners, draws, samples, &cfg), nil
+}
+
+// lognormal returns exp(σ·N(0,1)). It always consumes exactly one
+// normal variate — even for σ = 0 — so the per-sample RNG stream layout
+// is independent of which sigmas are enabled.
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	n := rng.NormFloat64()
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma * n)
+}
+
+// evalSample analyzes one perturbed instance. The RNG draw order (R, L,
+// C, Rtr) is part of the determinism contract.
+func evalSample(net netgen.Net, c Corner, cfg *Config, rng *rand.Rand, out *Sample) error {
+	ln := net.Line
+	ln.R *= c.RScale * lognormal(rng, cfg.MC.RSigma)
+	ln.L *= c.LScale * lognormal(rng, cfg.MC.LSigma)
+	ln.C *= c.CScale * lognormal(rng, cfg.MC.CSigma)
+	drv := net.Drive
+	drv.Rtr *= c.DriveScale * lognormal(rng, cfg.MC.DriveSigma)
+	out.Line, out.Drive = ln, drv
+
+	scr, err := screen.Check(ln, drv, cfg.RiseTime)
+	if err != nil {
+		return err
+	}
+	out.NeedsRLC, out.InWindow, out.Underdamped = scr.NeedsRLC, scr.InWindow, scr.Underdamped
+
+	p, err := core.Analyze(ln, drv)
+	if err != nil {
+		return err
+	}
+	out.RT, out.CT, out.Zeta = p.RT, p.CT, p.Zeta
+
+	if cfg.Exact {
+		v, m, err := refeng.DelaySmart(ln, drv)
+		if err != nil {
+			return err
+		}
+		out.DelayRLC = v
+		out.UsedExact = m == refeng.MethodExact
+	} else {
+		out.DelayRLC = core.ScaledDelay(p.Zeta) / p.OmegaN
+	}
+	rt, _, ct := ln.Totals()
+	out.DelayRC = elmore.Sakurai50(rt, ct, drv.Rtr, drv.CL)
+	out.RCErrPct = 100 * (out.DelayRC - out.DelayRLC) / out.DelayRLC
+
+	if cfg.Buffer != nil {
+		b := *cfg.Buffer
+		tlr, err := repeater.TLR(ln, b)
+		if err != nil {
+			return err
+		}
+		out.TLR = tlr
+		if rt > 0 {
+			_, kRC, err := repeater.BakogluHK(ln, b)
+			if err != nil {
+				return err
+			}
+			_, kRLC, err := repeater.ClosedFormHK(ln, b)
+			if err != nil {
+				return err
+			}
+			out.RepKRC, out.RepKRLC = kRC, kRLC
+			out.RepDelayIncPct = repeater.DelayIncreaseApprox(tlr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/repeater"
+	"rlckit/internal/tech"
+)
+
+func testNets(t testing.TB, n int) []netgen.Net {
+	t.Helper()
+	nets, err := netgen.RandomBatch(2026, tech.Default(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nets
+}
+
+func testConfig() Config {
+	return Config{
+		RiseTime: 50e-12,
+		Corners:  DefaultCorners(),
+		MC: MonteCarlo{
+			Samples: 3, Seed: 7,
+			RSigma: 0.1, LSigma: 0.05, CSigma: 0.08, DriveSigma: 0.12,
+		},
+	}
+}
+
+func TestRunShapeAndOrdering(t *testing.T) {
+	nets := testNets(t, 40)
+	cfg := testConfig()
+	res, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40 * 3 * 3
+	if len(res.Samples) != want {
+		t.Fatalf("%d samples, want %d", len(res.Samples), want)
+	}
+	if res.Screen.Total != want {
+		t.Errorf("screen total %d", res.Screen.Total)
+	}
+	// Net-major ordering: index = (net*corners + corner)*draws + draw.
+	for i, s := range res.Samples {
+		wantIdx := (s.Net*3+s.Corner)*3 + s.Draw
+		if i != wantIdx {
+			t.Fatalf("sample %d carries indices (%d,%d,%d)", i, s.Net, s.Corner, s.Draw)
+		}
+	}
+	if len(res.NetNames) != 40 || res.NetNames[0] == "" {
+		t.Errorf("net names %v...", res.NetNames[:1])
+	}
+}
+
+func TestSamplesAreAnalyzed(t *testing.T) {
+	nets := testNets(t, 30)
+	res, err := Run(nets, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Samples {
+		if s.DelayRLC <= 0 || math.IsNaN(s.DelayRLC) {
+			t.Fatalf("sample %d: RLC delay %g", i, s.DelayRLC)
+		}
+		if s.DelayRC <= 0 || math.IsNaN(s.DelayRC) {
+			t.Fatalf("sample %d: RC delay %g", i, s.DelayRC)
+		}
+		if s.Zeta <= 0 {
+			t.Fatalf("sample %d: ζ=%g", i, s.Zeta)
+		}
+		if s.Line.R <= 0 || s.Line.L <= 0 || s.Line.C <= 0 {
+			t.Fatalf("sample %d: unphysical perturbed line %+v", i, s.Line)
+		}
+	}
+	if res.Delay.N == 0 || res.RCErr.N == 0 {
+		t.Error("empty aggregate summaries")
+	}
+	if res.AbsRCErr.Min < 0 {
+		t.Errorf("|err| min %g", res.AbsRCErr.Min)
+	}
+	if res.FracErrOver20 > res.FracErrOver10 {
+		t.Errorf("exceedance fractions inverted: %g > %g", res.FracErrOver20, res.FracErrOver10)
+	}
+}
+
+func TestCornersShiftTheDistribution(t *testing.T) {
+	nets := testNets(t, 60)
+	cfg := Config{RiseTime: 50e-12, Corners: DefaultCorners(), MC: MonteCarlo{Seed: 1}}
+	res, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tt, ss CornerStats
+	for _, cs := range res.PerCorner {
+		switch cs.Corner.Name {
+		case "tt":
+			tt = cs
+		case "ss":
+			ss = cs
+		}
+	}
+	// The slow corner (more R and C, weaker drivers) must be slower in
+	// the median.
+	if ss.Delay.Median <= tt.Delay.Median {
+		t.Errorf("ss median delay %g not above tt %g", ss.Delay.Median, tt.Delay.Median)
+	}
+}
+
+func TestRepeaterStats(t *testing.T) {
+	nets := testNets(t, 20)
+	cfg := testConfig()
+	b := tech.Default().Buffer()
+	cfg.Buffer = &b
+	res, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepKRatio.N == 0 {
+		t.Fatal("no repeater statistics")
+	}
+	// RC-only design always calls for at least as many repeaters
+	// (k' factor <= 1), so every ratio is >= 1.
+	if res.RepKRatio.Min < 1 {
+		t.Errorf("k_RC/k_RLC min %g < 1", res.RepKRatio.Min)
+	}
+	if res.RepDelayInc.Min < 0 {
+		t.Errorf("negative delay increase %g", res.RepDelayInc.Min)
+	}
+	for _, s := range res.Samples {
+		if s.RepKRLC <= 0 || s.RepKRC <= 0 {
+			t.Fatalf("sample missing repeater plan: %+v", s)
+		}
+	}
+}
+
+func TestExactModeFallsBackOutsideDomain(t *testing.T) {
+	// A small population in Exact mode: delays must stay positive and
+	// the UsedExact flag must appear for at least the out-of-domain nets
+	// of this seed (seed 2026 population has RT > 1 nets).
+	nets := testNets(t, 8)
+	cfg := Config{RiseTime: 50e-12, MC: MonteCarlo{Seed: 3}, Exact: true}
+	res, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Samples {
+		if s.DelayRLC <= 0 {
+			t.Fatalf("sample %d: exact delay %g", i, s.DelayRLC)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	nets := testNets(t, 3)
+	if _, err := Run(nil, testConfig()); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := Run(nets, Config{RiseTime: 0}); err == nil {
+		t.Error("zero rise time accepted")
+	}
+	if _, err := Run(nets, Config{RiseTime: 1e-12, Corners: []Corner{{Name: "bad"}}}); err == nil {
+		t.Error("zero-scale corner accepted")
+	}
+	if _, err := Run(nets, Config{RiseTime: 1e-12, MC: MonteCarlo{RSigma: -1}}); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	bad := repeater.Buffer{}
+	if _, err := Run(nets, Config{RiseTime: 1e-12, Buffer: &bad}); err == nil {
+		t.Error("invalid buffer accepted")
+	}
+}
+
+func TestSummaryAndCSVRendering(t *testing.T) {
+	nets := testNets(t, 15)
+	cfg := testConfig()
+	b := tech.Default().Buffer()
+	cfg.Buffer = &b
+	res, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.RenderSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Population screening", "needsRLC",
+		"Delay and RC-model error distributions",
+		"RC-only timing error exceedance",
+		"RC error (%) by corner",
+		"Repeater insertion", "histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(res.Samples) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(res.Samples))
+	}
+	if !strings.HasPrefix(lines[0], "net_idx,net,corner,draw,") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+	if cols := strings.Count(lines[0], ","); strings.Count(lines[1], ",") != cols {
+		t.Error("CSV row/header column mismatch")
+	}
+}
+
+func TestCSVFieldQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"a,b":        "\"a,b\"",
+		"x\"y":       "\"x\"\"y\"",
+		"line\nfeed": "\"line\nfeed\"",
+	}
+	for in, want := range cases {
+		if got := csvField(in); got != want {
+			t.Errorf("csvField(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
