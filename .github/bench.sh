@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the gated benchmark set and collects `go test -bench` output into
+# the file named by $1. Used by the CI bench job on both the PR head and
+# the base commit; packages that don't exist yet on the base commit are
+# skipped (benchgate treats their benchmarks as new).
+set -euo pipefail
+out=$1
+: > "$out"
+
+run_bench() {
+  local pattern=$1 pkg=$2
+  go test -bench "$pattern" -benchmem -count 6 -benchtime 0.3s -run '^$' "$pkg" | tee -a "$out"
+}
+
+run_bench 'BenchmarkMNADelay$' .
+run_bench 'BenchmarkSweep10k$' ./internal/sweep
+if [ -d internal/serve ]; then
+  run_bench 'BenchmarkServe(DelayHot|DelayCold|Sweep)$' ./internal/serve
+fi

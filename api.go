@@ -13,11 +13,16 @@ import (
 	"rlckit/internal/netgen"
 	"rlckit/internal/refeng"
 	"rlckit/internal/repeater"
+	"rlckit/internal/report"
 	"rlckit/internal/screen"
 	"rlckit/internal/sweep"
 	"rlckit/internal/tech"
 	"rlckit/internal/tline"
 )
+
+// Version identifies the module build; cmd/rlckitd reports it from
+// /healthz and expvar.
+const Version = "0.3.0"
 
 // Line is a uniform distributed RLC interconnect (per-unit-length R, L,
 // C plus a length). See tline.Line.
@@ -131,6 +136,13 @@ type SweepMonteCarlo = sweep.MonteCarlo
 // statistics (percentiles, screening fractions, RC-vs-RLC error
 // distributions).
 type SweepResult = sweep.Result
+
+// SweepSummary is a population statistic distribution (min/max, mean,
+// percentiles). See report.Summary.
+type SweepSummary = report.Summary
+
+// ScreenStats tallies screening verdicts over a population.
+type ScreenStats = screen.Stats
 
 // SweepDelays runs delay, screening and (optionally) repeater analysis
 // over a population of nets × corners × Monte Carlo samples on a

@@ -1,0 +1,227 @@
+// Command benchgate is the CI benchmark-regression gate: it parses two
+// `go test -bench` outputs (base and head, each typically -count 6),
+// compares per-benchmark median ns/op, and fails when any gated
+// benchmark regressed by more than the threshold.
+//
+//	go test -bench . -benchmem -count 6 ./... > head.txt   # on the PR
+//	git checkout $BASE && go test -bench ... > base.txt    # on the base
+//	benchgate -base base.txt -head head.txt \
+//	    -gate BenchmarkMNADelay,BenchmarkSweep10k,BenchmarkServeDelayHot \
+//	    -threshold 10 -json BENCH_$SHA.json
+//
+// Medians (not means) absorb the odd noisy run; benchstat's full
+// statistical report is printed alongside by the CI job for humans,
+// while benchgate provides the machine-checkable verdict and the JSON
+// artifact uploaded for later comparisons.
+//
+// Gated names match whole benchmarks: "BenchmarkServeDelayHot" matches
+// "BenchmarkServeDelayHot-8" and "BenchmarkServeDelayHot/sub-8" but not
+// "BenchmarkServeDelayHotter". A gated benchmark missing from the head
+// run fails the gate (a deleted benchmark must be de-listed
+// deliberately); one missing from the base run passes as "new".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's verdict in the JSON artifact.
+type Result struct {
+	Name       string  `json:"name"`
+	BaseNsOp   float64 `json:"base_ns_op,omitempty"`
+	HeadNsOp   float64 `json:"head_ns_op"`
+	DeltaPct   float64 `json:"delta_pct"`
+	Gated      bool    `json:"gated"`
+	Regression bool    `json:"regression"`
+	New        bool    `json:"new,omitempty"`
+}
+
+// Report is the BENCH_<sha>.json artifact schema.
+type Report struct {
+	SHA          string   `json:"sha,omitempty"`
+	ThresholdPct float64  `json:"threshold_pct"`
+	Benchmarks   []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "base branch `go test -bench` output")
+		headPath  = flag.String("head", "", "PR head `go test -bench` output")
+		gate      = flag.String("gate", "", "comma-separated benchmark names to gate")
+		threshold = flag.Float64("threshold", 10, "max allowed median regression in percent")
+		jsonPath  = flag.String("json", "", "write the full comparison as JSON to this file")
+		sha       = flag.String("sha", "", "head commit SHA recorded in the JSON artifact")
+	)
+	flag.Parse()
+	if *basePath == "" || *headPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -base base.txt -head head.txt [-gate Bench1,Bench2] [-threshold 10] [-json out.json]")
+		os.Exit(2)
+	}
+	if err := run(*basePath, *headPath, *gate, *threshold, *jsonPath, *sha, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, headPath, gate string, threshold float64, jsonPath, sha string, out io.Writer) error {
+	base, err := parseFile(basePath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	head, err := parseFile(headPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", headPath, err)
+	}
+	if len(head) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", headPath)
+	}
+	var gated []string
+	for _, g := range strings.Split(gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated = append(gated, g)
+		}
+	}
+	rep := Report{SHA: sha, ThresholdPct: threshold}
+	var regressions, missing []string
+
+	names := make([]string, 0, len(head))
+	for n := range head {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := Result{Name: n, HeadNsOp: median(head[n]), Gated: isGated(n, gated)}
+		if b, ok := base[n]; ok {
+			r.BaseNsOp = median(b)
+			r.DeltaPct = 100 * (r.HeadNsOp - r.BaseNsOp) / r.BaseNsOp
+			r.Regression = r.Gated && r.DeltaPct > threshold
+		} else {
+			r.New = true
+		}
+		if r.Regression {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
+				n, r.BaseNsOp, r.HeadNsOp, r.DeltaPct))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	// Every gated name must appear in the head run.
+	for _, g := range gated {
+		found := false
+		for n := range head {
+			if isGated(n, []string{g}) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, g)
+		}
+	}
+
+	for _, r := range rep.Benchmarks {
+		mark := " "
+		switch {
+		case r.Regression:
+			mark = "✗"
+		case r.New:
+			mark = "+"
+		case r.Gated:
+			mark = "✓"
+		}
+		if r.New {
+			fmt.Fprintf(out, "%s %-50s %12.1f ns/op  (new)\n", mark, r.Name, r.HeadNsOp)
+		} else {
+			fmt.Fprintf(out, "%s %-50s %12.1f ns/op  %+6.1f%%\n", mark, r.Name, r.HeadNsOp, r.DeltaPct)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("gated benchmarks missing from head run: %s", strings.Join(missing, ", "))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("median regression over %.0f%% threshold:\n  %s",
+			threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "gate passed: no gated benchmark regressed more than %.0f%%\n", threshold)
+	return nil
+}
+
+// isGated reports whether bench name n (as printed by go test, e.g.
+// "BenchmarkFoo-8" or "BenchmarkFoo/case-8") matches any gated name as
+// a whole benchmark identifier.
+func isGated(n string, gated []string) bool {
+	for _, g := range gated {
+		if n == g {
+			return true
+		}
+		if strings.HasPrefix(n, g) && (n[len(g)] == '-' || n[len(g)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// parseFile collects ns/op samples per benchmark name from `go test
+// -bench` output.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func parse(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  <iters>  <value> ns/op  [<x> B/op  <y> allocs/op]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		if fields[3] != "ns/op" {
+			continue
+		}
+		out[fields[0]] = append(out[fields[0]], v)
+	}
+	return out, sc.Err()
+}
+
+// median of samples (mean of middle two for even counts).
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+pkg: rlckit
+cpu: Intel(R) Xeon(R)
+BenchmarkMNADelay-8        	     100	  14000000 ns/op	 1000 B/op	 10 allocs/op
+BenchmarkMNADelay-8        	     100	  13900000 ns/op	 1000 B/op	 10 allocs/op
+BenchmarkMNADelay-8        	     100	  14100000 ns/op	 1000 B/op	 10 allocs/op
+BenchmarkSweep10k-8        	      30	  32000000 ns/op
+BenchmarkSweep10k-8        	      30	  33000000 ns/op
+BenchmarkSweep10k-8        	      30	  31000000 ns/op
+BenchmarkAblation/seg=10-8 	     500	    200000 ns/op
+PASS
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParse(t *testing.T) {
+	m, err := parse(strings.NewReader(baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m["BenchmarkMNADelay-8"]) != 3 {
+		t.Errorf("MNADelay samples = %v", m["BenchmarkMNADelay-8"])
+	}
+	if got := median(m["BenchmarkMNADelay-8"]); got != 14000000 {
+		t.Errorf("median = %g, want 14000000", got)
+	}
+	if len(m["BenchmarkAblation/seg=10-8"]) != 1 {
+		t.Error("sub-benchmark not parsed")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %g", got)
+	}
+}
+
+func TestIsGated(t *testing.T) {
+	gated := []string{"BenchmarkServeDelayHot", "BenchmarkSweep10k"}
+	for n, want := range map[string]bool{
+		"BenchmarkServeDelayHot-8":      true,
+		"BenchmarkServeDelayHot/x-8":    true,
+		"BenchmarkServeDelayHotter-8":   false,
+		"BenchmarkSweep10k-16":          true,
+		"BenchmarkSweep10kWithExtras-8": false,
+	} {
+		if got := isGated(n, gated); got != want {
+			t.Errorf("isGated(%q) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	// Head is 5% slower on MNADelay (under threshold) and 20% faster on
+	// Sweep10k: gate must pass.
+	head := strings.ReplaceAll(baseOut, "  14000000 ns/op", "  14700000 ns/op")
+	head = strings.ReplaceAll(head, "  32000000 ns/op", "  25600000 ns/op")
+	head = strings.ReplaceAll(head, "  33000000 ns/op", "  25700000 ns/op")
+	head = strings.ReplaceAll(head, "  31000000 ns/op", "  25500000 ns/op")
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", head),
+		"BenchmarkMNADelay,BenchmarkSweep10k", 10, "", "", &out)
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") {
+		t.Errorf("missing pass line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// All three Sweep10k samples 15% slower: median regression 15% > 10%.
+	head := strings.ReplaceAll(baseOut, "  32000000 ns/op", "  36800000 ns/op")
+	head = strings.ReplaceAll(head, "  33000000 ns/op", "  37950000 ns/op")
+	head = strings.ReplaceAll(head, "  31000000 ns/op", "  35650000 ns/op")
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", head),
+		"BenchmarkMNADelay,BenchmarkSweep10k", 10, "", "", &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkSweep10k") {
+		t.Fatalf("err = %v, want Sweep10k regression", err)
+	}
+}
+
+func TestUngatedRegressionPasses(t *testing.T) {
+	// A 50% regression on a bench that is not gated must not fail.
+	head := strings.ReplaceAll(baseOut, "    200000 ns/op", "    300000 ns/op")
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", head),
+		"BenchmarkMNADelay", 10, "", "", &out)
+	if err != nil {
+		t.Fatalf("ungated regression failed the gate: %v", err)
+	}
+}
+
+func TestNewBenchmarkPasses(t *testing.T) {
+	head := baseOut + "BenchmarkServeDelayHot-8   	   10000	     13000 ns/op\n"
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", head),
+		"BenchmarkMNADelay,BenchmarkServeDelayHot", 10, "", "", &out)
+	if err != nil {
+		t.Fatalf("new gated benchmark failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "(new)") {
+		t.Errorf("new benchmark not marked:\n%s", out.String())
+	}
+}
+
+func TestMissingGatedBenchFails(t *testing.T) {
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", baseOut),
+		"BenchmarkDoesNotExist", 10, "", "", &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkDoesNotExist") {
+		t.Fatalf("err = %v, want missing-bench failure", err)
+	}
+}
+
+func TestEmptyHeadFails(t *testing.T) {
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", "PASS\n"),
+		"", 10, "", "", &out)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark results") {
+		t.Fatalf("err = %v, want empty-head failure", err)
+	}
+}
+
+func TestJSONArtifact(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_abc123.json")
+	var out strings.Builder
+	err := run(write(t, "base.txt", baseOut), write(t, "head.txt", baseOut),
+		"BenchmarkMNADelay", 10, jsonPath, "abc123", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if rep.SHA != "abc123" || rep.ThresholdPct != 10 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Errorf("benchmarks in artifact = %d, want 3", len(rep.Benchmarks))
+	}
+	var gated int
+	for _, b := range rep.Benchmarks {
+		if b.Gated {
+			gated++
+			if b.DeltaPct != 0 || b.Regression {
+				t.Errorf("identical runs produced delta: %+v", b)
+			}
+		}
+	}
+	if gated != 1 {
+		t.Errorf("gated benchmarks = %d, want 1", gated)
+	}
+}

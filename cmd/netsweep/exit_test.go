@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the real netsweep binary:
+// with NETSWEEP_RUN_MAIN=1 it runs main() on its own os.Args, which is
+// how the exit-status regression tests below observe real exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("NETSWEEP_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// netsweep re-executes the test binary as netsweep with args.
+func netsweep(t *testing.T, args ...string) (exit int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "NETSWEEP_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		return ee.ExitCode(), out.String(), errb.String()
+	}
+	return 0, out.String(), errb.String()
+}
+
+// TestExitCodes is the regression test for the "empty table" bug class:
+// unknown flags, bad flag values and empty populations must exit
+// non-zero with a usage message, never print an empty summary.
+func TestExitCodes(t *testing.T) {
+	emptySpec := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(emptySpec, []byte("name,rt,lt,ct,length,rtr,cl\n# no nets\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badSpec := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(badSpec, []byte("n1,1k,100n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantErr  string // must appear on stderr
+	}{
+		{"unknown flag", []string{"-bogus"}, 2, "usage: netsweep"},
+		{"positional arg", []string{"extra"}, 2, "unexpected argument"},
+		{"zero nets", []string{"-nets", "0"}, 2, "-nets must be positive"},
+		{"negative nets", []string{"-nets", "-5"}, 2, "run 'netsweep -h' for usage"},
+		{"empty spec", []string{"-spec", emptySpec}, 2, "spec contains no nets"},
+		{"unknown corner", []string{"-corners", "xx"}, 2, "unknown corner"},
+		{"empty corners", []string{"-corners", ",,"}, 2, "no corners"},
+		{"bad rise", []string{"-rise", "oops"}, 2, "-rise"},
+		{"unknown node", []string{"-node", "9nm"}, 2, "run 'netsweep -h' for usage"},
+		{"malformed spec line", []string{"-spec", badSpec}, 1, "want 7 fields"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			exit, stdout, stderr := netsweep(t, c.args...)
+			if exit != c.wantExit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", exit, c.wantExit, stderr)
+			}
+			if !strings.Contains(stderr, c.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr, c.wantErr)
+			}
+			if strings.Contains(stdout, "Population screening") {
+				t.Errorf("failed invocation still printed a summary table:\n%s", stdout)
+			}
+		})
+	}
+}
+
+// TestExitZeroOnSuccess pins the success path of the same re-exec
+// harness, so the non-zero assertions above can't pass vacuously.
+func TestExitZeroOnSuccess(t *testing.T) {
+	exit, stdout, stderr := netsweep(t, "-nets", "5", "-samples", "1")
+	if exit != 0 {
+		t.Fatalf("exit = %d, stderr: %s", exit, stderr)
+	}
+	if !strings.Contains(stdout, "Population screening") {
+		t.Errorf("success run missing summary table:\n%s", stdout)
+	}
+}
+
+// TestUsageMentionsSpecFormat keeps -h self-documenting.
+func TestUsageMentionsSpecFormat(t *testing.T) {
+	exit, _, stderr := netsweep(t, "-h")
+	if exit != 0 && exit != 2 {
+		t.Fatalf("-h exit = %d", exit)
+	}
+	for _, want := range []string{"usage: netsweep", "name,rt,lt,ct,length,rtr,cl", "-corners"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage missing %q:\n%s", want, stderr)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,37 @@ import (
 	"rlckit/internal/tline"
 	"rlckit/internal/units"
 )
+
+// usageError marks failures caused by how the command was invoked (bad
+// flag values, an empty population) rather than by the analysis: main
+// reports them with a usage pointer and exit status 2, the convention
+// the flag package itself uses for unknown flags.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `usage: netsweep [flags]
+
+Runs delay, inductance-screening and (optionally) repeater analysis over
+a population of nets × technology corners × Monte Carlo samples, and
+prints population summary tables. The population is drawn at a
+technology node (-node/-nets) or read from a -spec CSV with lines of
+"name,rt,lt,ct,length,rtr,cl".
+
+  netsweep -node 250nm -nets 1000 -samples 8 -seed 1 -csv out.csv
+  netsweep -node 130nm -nets 10000 -corners tt,ff,ss -repeaters
+  netsweep -spec nets.csv -rise 30p -sigma 0.15
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
 
 type options struct {
 	node     string
@@ -67,13 +99,19 @@ func main() {
 	flag.StringVar(&o.csvPath, "csv", "", "write per-sample CSV to this file")
 	flag.BoolVar(&o.repeat, "repeaters", false, "include repeater-insertion analysis")
 	flag.BoolVar(&o.exact, "exact", false, "use the exact-engine fallback outside the Eq. 9 domain (slow)")
+	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: netsweep [flags] (see -h)")
+		fmt.Fprintf(os.Stderr, "netsweep: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
 		os.Exit(2)
 	}
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "netsweep:", err)
+		if errors.As(err, &usageError{}) {
+			fmt.Fprintln(os.Stderr, "run 'netsweep -h' for usage")
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -81,23 +119,23 @@ func main() {
 func run(o options, out io.Writer) error {
 	node, err := tech.Lookup(o.node)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	rise, err := units.Parse(o.rise)
 	if err != nil {
-		return fmt.Errorf("-rise: %w", err)
+		return usagef("-rise: %w", err)
 	}
 	sigma, err := units.Parse(o.sigma)
 	if err != nil {
-		return fmt.Errorf("-sigma: %w", err)
+		return usagef("-sigma: %w", err)
 	}
 	drvSigma, err := units.Parse(o.drvSigma)
 	if err != nil {
-		return fmt.Errorf("-drive-sigma: %w", err)
+		return usagef("-drive-sigma: %w", err)
 	}
 	corners, err := parseCorners(o.corners)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 
 	var nets []netgen.Net
@@ -112,7 +150,7 @@ func run(o options, out io.Writer) error {
 		}
 	} else {
 		if o.nets < 1 {
-			return fmt.Errorf("-nets must be positive, got %d", o.nets)
+			return usagef("-nets must be positive, got %d", o.nets)
 		}
 		if nets, err = netgen.RandomBatch(o.seed, node, o.nets); err != nil {
 			return err
@@ -225,7 +263,7 @@ func parseSpec(r io.Reader) ([]netgen.Net, error) {
 		return nil, err
 	}
 	if len(nets) == 0 {
-		return nil, fmt.Errorf("spec contains no nets")
+		return nil, usagef("spec contains no nets")
 	}
 	return nets, nil
 }

@@ -1,0 +1,135 @@
+// Command rlckitd serves rlckit's interconnect analysis over HTTP: the
+// paper as a design-time service. It answers delay, inductance
+// screening, repeater sizing and Monte Carlo population questions as
+// JSON POST endpoints, with a canonical-key response cache, micro-
+// batched compute on a bounded worker pool, and 429 backpressure when
+// the in-flight limit is reached.
+//
+//	rlckitd -addr :8080 -cache 8192 -max-inflight 512 -workers 8
+//
+// Endpoints:
+//
+//	POST /v1/delay      {"line":{"rt":..,"lt":..,"ct":..,"length":..},"drive":{"rtr":..,"cl":..}}
+//	POST /v1/screen     ... + "rise_s"
+//	POST /v1/repeaters  ... + "node" or "buffer", optional "model":"rc"
+//	POST /v1/sweep      {"node":..,"nets":..,"seed":..,"rise_s":..,...}
+//	GET  /healthz       liveness + version
+//	GET  /debug/vars    expvar metrics (rlckitd map: requests, cache, batching)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: listeners close,
+// in-flight requests get -grace to finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"rlckit"
+	"rlckit/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache", serve.DefaultCacheEntries, "response cache entries (negative disables)")
+		maxInflight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "max concurrently admitted requests; excess get 429 (negative = unlimited)")
+		workers     = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 64, "max coalesced single-net batch size")
+		batchWindow = flag.Duration("batch-window", 0, "hold the first request of a batch up to this long to let it fill (0 = no added latency)")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: rlckitd [flags] (see -h)")
+		os.Exit(2)
+	}
+	if err := run(*addr, serve.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheSize,
+		MaxInFlight:  *maxInflight,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *batchWindow,
+	}, *grace, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rlckitd:", err)
+		os.Exit(1)
+	}
+}
+
+// current points expvar at the active server: registration must happen
+// once (expvar panics on duplicate names) but run can be re-entered by
+// tests, so the registered Func dereferences this pointer instead of
+// capturing the first run's server.
+var (
+	current     atomic.Pointer[serve.Server]
+	publishOnce sync.Once
+)
+
+// run builds the server, publishes metrics, and serves until a
+// termination signal arrives. If ready is non-nil it receives the bound
+// listener address once the server is accepting connections (used by
+// tests to serve on port 0).
+func run(addr string, cfg serve.Config, grace time.Duration, ready chan<- net.Addr) error {
+	s := serve.New(cfg)
+	defer s.Close()
+	current.Store(s)
+
+	publishOnce.Do(func() {
+		expvar.Publish("rlckitd", expvar.Func(func() any { return current.Load().Stats() }))
+		expvar.NewString("rlckitd.version").Set(rlckit.Version)
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("rlckitd %s listening on %s (workers=%d cache=%d max-inflight=%d)",
+		rlckit.Version, ln.Addr(), cfg.Workers, cfg.CacheEntries, cfg.MaxInFlight)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("rlckitd: %v, shutting down", sig)
+	case err := <-errCh:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Print("rlckitd: drained, bye")
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rlckit/internal/serve"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a stop function that delivers SIGTERM and waits for the
+// graceful exit.
+func startDaemon(t *testing.T, cfg serve.Config) (string, func() error) {
+	t.Helper()
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run("127.0.0.1:0", cfg, 5*time.Second, ready) }()
+	select {
+	case addr := <-ready:
+		stop := func() error {
+			if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+				return err
+			}
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("daemon did not exit after SIGTERM")
+			}
+		}
+		return "http://" + addr.String(), stop
+	case err := <-errCh:
+		t.Fatalf("daemon failed to start: %v", err)
+		return "", nil
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDaemonEndToEnd boots the real daemon over TCP, exercises every
+// endpoint plus expvar and health, and shuts it down with SIGTERM —
+// the full production lifecycle in one test.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, stop := startDaemon(t, serve.Config{Workers: 2, CacheEntries: 128})
+
+	// Health.
+	code, body := get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+
+	// A delay request, twice: second must be a cache hit.
+	delayBody := `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13}}`
+	for i, wantCache := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/delay", "application/json", strings.NewReader(delayBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("delay %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Cache"); got != wantCache {
+			t.Errorf("delay %d: X-Cache = %q, want %q", i, got, wantCache)
+		}
+		var out struct {
+			DelayS float64 `json:"delay_s"`
+		}
+		if err := json.Unmarshal(b, &out); err != nil || out.DelayS <= 0 {
+			t.Errorf("delay %d: bad body %s (err %v)", i, b, err)
+		}
+	}
+
+	// The other endpoints answer 200.
+	for path, reqBody := range map[string]string{
+		"/v1/screen":    `{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13},"rise_s":5e-11}`,
+		"/v1/repeaters": `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"250nm"}`,
+		"/v1/sweep":     `{"node":"250nm","nets":20,"seed":1,"rise_s":5e-11,"samples":2}`,
+	} {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d: %s", path, resp.StatusCode, b)
+		}
+	}
+
+	// Malformed request → 400 with a JSON error.
+	resp, err := http.Post(base+"/v1/delay", "application/json", strings.NewReader(`{"nope`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 || !strings.Contains(string(b), `"error"`) {
+		t.Errorf("malformed: %d %s", resp.StatusCode, b)
+	}
+
+	// expvar exposes the rlckitd metrics map with our traffic counted.
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("debug/vars: %d", code)
+	}
+	var vars struct {
+		Rlckitd serve.Stats `json:"rlckitd"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("debug/vars not JSON: %v", err)
+	}
+	if vars.Rlckitd.Requests["delay"] < 2 || vars.Rlckitd.Cache.Hits < 1 {
+		t.Errorf("metrics don't reflect traffic: %+v", vars.Rlckitd)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}

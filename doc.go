@@ -4,6 +4,11 @@
 //
 // The library lives under internal/:
 //
+//   - serve     — the HTTP serving layer: /v1/{delay,screen,repeaters,
+//     sweep} JSON endpoints with a canonical-key response cache and
+//     micro-batched compute (wrapped by cmd/rlckitd)
+//   - cache     — sharded LRU under the serving layer, keyed by the
+//     canonical values of (Line, Drive, config)
 //   - core      — the paper's closed-form RLC delay model (ζ, ωn, Eq. 9)
 //   - repeater  — RLC-aware repeater insertion (Eqs. 11, 13-18)
 //   - tline     — distributed-line models (ladders, exact transfer fn)
@@ -42,11 +47,23 @@
 // count and GOMAXPROCS setting, because each (net, corner, draw) triple
 // derives its RNG from its own seed rather than from a shared stream.
 //
+// # Serving
+//
+// cmd/rlckitd exposes the same analyses over HTTP as JSON endpoints —
+// POST /v1/delay, /v1/screen, /v1/repeaters, /v1/sweep — with a
+// sharded LRU response cache keyed by canonical request values,
+// micro-batching of concurrent single-net requests onto the shared
+// worker pool, 429 backpressure, expvar metrics and graceful
+// shutdown. Responses are pure functions of the request body, so they
+// are byte-identical across worker counts and cache states.
+//
 // Executables: cmd/rlcdelay, cmd/repeaterplan, cmd/netsim,
 // cmd/paperfigs, cmd/netsweep (the sweep engine's CLI: population
-// summary tables plus per-sample CSV).
+// summary tables plus per-sample CSV), cmd/rlckitd (the HTTP serving
+// daemon), cmd/benchgate (CI's benchmark-regression gate).
 // Runnable examples: examples/quickstart, examples/clocktree,
-// examples/busdesign, examples/techscaling, examples/netaudit.
+// examples/busdesign, examples/techscaling, examples/netaudit,
+// examples/servedemo.
 //
 // The benchmark suite in bench_test.go regenerates each paper artifact;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for measured

@@ -1,0 +1,72 @@
+// Servedemo: rlckit as a design-time HTTP service.
+//
+// It boots the serving layer (the same one cmd/rlckitd wraps) on an
+// ephemeral port, then asks it the paper's three questions about a
+// 10 mm global wire — does inductance matter, what is the delay, how
+// do I size repeaters — and repeats the delay request to show the
+// response cache answering from memory.
+//
+// Run with: go run ./examples/servedemo
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"rlckit/internal/serve"
+)
+
+func post(base, path, body string) (string, string) {
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		log.Fatalf("%s: %d: %s", path, resp.StatusCode, b)
+	}
+	return strings.TrimSpace(string(b)), resp.Header.Get("X-Cache")
+}
+
+func main() {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, s.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	line := `"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01}`
+	drive := `"drive":{"rtr":500,"cl":5e-13}`
+
+	// Does inductance matter for this net at a 50 ps input rise time?
+	body, _ := post(base, "/v1/screen", `{`+line+`,`+drive+`,"rise_s":5e-11}`)
+	fmt.Println("\nscreen:   ", body)
+
+	// What is the delay — and what would an RC-only flow have said?
+	body, cache := post(base, "/v1/delay", `{`+line+`,`+drive+`}`)
+	fmt.Printf("\ndelay:     %s\n  (X-Cache: %s)\n", body, cache)
+
+	// The same question again: served from the canonical-key cache.
+	body, cache = post(base, "/v1/delay", `{`+drive+`,`+line+`}`)
+	fmt.Printf("  again:   %d bytes, X-Cache: %s\n", len(body), cache)
+
+	// How should this line be broken up with repeaters at 250 nm?
+	body, _ = post(base, "/v1/repeaters", `{`+line+`,"node":"250nm"}`)
+	fmt.Println("\nrepeaters:", body)
+
+	st := s.Stats()
+	fmt.Printf("\nserver stats: requests=%v cache hits=%d misses=%d\n",
+		st.Requests, st.Cache.Hits, st.Cache.Misses)
+}

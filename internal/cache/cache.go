@@ -1,0 +1,183 @@
+// Package cache is rlckit's serving-layer result cache: a sharded LRU
+// keyed by canonical request values. The serving layer (internal/serve)
+// stores fully rendered response bodies under a comparable key struct
+// built from the request's (Line, Drive, config) triple, so a repeated
+// analysis question costs one map lookup instead of a delay computation.
+//
+// Design notes:
+//
+//   - Keys are comparable structs, not pre-hashed integers: the shard
+//     index and map bucket both derive from hash/maphash.Comparable, but
+//     the map stores the full key, so two requests whose canonical
+//     values differ can never alias — a 64-bit digest alone could.
+//   - The cache is sharded to keep lock hold times short under
+//     concurrent serving traffic; each shard is an independent mutex +
+//     map + intrusive doubly-linked LRU list, and capacity is divided
+//     evenly across shards.
+//   - Hit/miss/eviction counters are lock-free atomics, cheap enough to
+//     leave on in production and exported by cmd/rlckitd via expvar.
+package cache
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the fixed shard fan-out. 16 shards keep contention
+// negligible for the worker counts the serving layer runs (the pool is
+// bounded by GOMAXPROCS) while wasting at most 15 entries of rounding.
+const shardCount = 16
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+// The JSON names match the serving layer's snake_case wire format
+// (cmd/rlckitd exports Stats through expvar).
+type Stats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// displaced by Put on a full shard.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Len is the current number of cached entries; Capacity the
+	// configured bound.
+	Len      int `json:"len"`
+	Capacity int `json:"capacity"`
+}
+
+// entry is one cached key/value pair, threaded on its shard's LRU list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// shard is one lock domain: a map for lookup plus a doubly-linked list
+// in recency order (head = most recent, tail = eviction victim). The
+// list uses a sentinel node so link/unlink needs no nil branches.
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	items    map[K]*entry[K, V]
+	sentinel entry[K, V] // sentinel.next = MRU, sentinel.prev = LRU
+	capacity int
+}
+
+func (s *shard[K, V]) init(capacity int) {
+	s.items = make(map[K]*entry[K, V], capacity)
+	s.sentinel.next = &s.sentinel
+	s.sentinel.prev = &s.sentinel
+	s.capacity = capacity
+}
+
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *shard[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = &s.sentinel
+	e.next = s.sentinel.next
+	e.next.prev = e
+	s.sentinel.next = e
+}
+
+// Cache is a sharded LRU from comparable keys to values. The zero value
+// is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	shards   [shardCount]shard[K, V]
+	seed     maphash.Seed
+	capacity int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	evicted  atomic.Uint64
+}
+
+// New returns a cache holding at most capacity entries (minimum
+// shardCount: every shard holds at least one entry so small caches
+// still cache).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < shardCount {
+		capacity = shardCount
+	}
+	c := &Cache[K, V]{seed: maphash.MakeSeed(), capacity: capacity}
+	per := capacity / shardCount
+	for i := range c.shards {
+		c.shards[i].init(per)
+	}
+	return c
+}
+
+func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
+	return &c.shards[maphash.Comparable(c.seed, k)%shardCount]
+}
+
+// Get returns the cached value for k, marking it most-recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or refreshes k's value, evicting the shard's
+// least-recently-used entry when the shard is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		e.val = v
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if len(s.items) >= s.capacity {
+		victim := s.sentinel.prev
+		s.unlink(victim)
+		delete(s.items, victim.key)
+		evicted = true
+	}
+	e := &entry[K, V]{key: k, val: v}
+	s.items[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted {
+		c.evicted.Add(1)
+	}
+}
+
+// Len returns the total number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the effectiveness counters. The counters are
+// independently atomic, so a snapshot taken under concurrent traffic is
+// approximate but each counter is exact.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicted.Load(),
+		Len:       c.Len(),
+		Capacity:  c.capacity,
+	}
+}

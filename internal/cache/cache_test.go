@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New[string, int](32)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("Put did not refresh: got %d, want 2", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss", st)
+	}
+	if st.Len != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len)
+	}
+}
+
+// TestEvictionOrder pins LRU semantics on a single shard: the
+// least-recently-*used* entry goes first, and Get refreshes recency.
+func TestEvictionOrder(t *testing.T) {
+	var s shard[string, int]
+	s.init(2)
+	put := func(k string, v int) {
+		if e, ok := s.items[k]; ok {
+			e.val = v
+			s.unlink(e)
+			s.pushFront(e)
+			return
+		}
+		if len(s.items) >= s.capacity {
+			victim := s.sentinel.prev
+			s.unlink(victim)
+			delete(s.items, victim.key)
+		}
+		e := &entry[string, int]{key: k, val: v}
+		s.items[k] = e
+		s.pushFront(e)
+	}
+	get := func(k string) bool {
+		e, ok := s.items[k]
+		if ok {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+		return ok
+	}
+
+	put("a", 1)
+	put("b", 2)
+	get("a") // a is now more recent than b
+	put("c", 3)
+	if get("b") {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if !get("a") || !get("c") {
+		t.Error("a and c should survive")
+	}
+}
+
+// TestCapacityBound fills far past capacity and checks the bound holds
+// and evictions are counted.
+func TestCapacityBound(t *testing.T) {
+	const capacity = 64
+	c := New[int, int](capacity)
+	const n = 10 * capacity
+	for i := 0; i < n; i++ {
+		c.Put(i, i)
+	}
+	if got := c.Len(); got > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", got, capacity)
+	}
+	st := c.Stats()
+	if int(st.Evictions)+st.Len != n {
+		t.Fatalf("evictions(%d) + len(%d) != inserts(%d)", st.Evictions, st.Len, n)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New[int, int](1)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() < 1 {
+		t.Fatal("tiny cache caches nothing")
+	}
+	if c.Len() > shardCount {
+		t.Fatalf("Len = %d, want <= %d", c.Len(), shardCount)
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines (run under
+// -race by the CI race job): values must never cross keys, the
+// capacity bound must hold, and the counters must balance exactly.
+func TestConcurrent(t *testing.T) {
+	const (
+		workers  = 8
+		rounds   = 2000
+		keyspace = 300
+		capacity = 128
+	)
+	c := New[int, int](capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w*31 + i*17) % keyspace
+				if v, ok := c.Get(k); ok && v != k*7 {
+					t.Errorf("Get(%d) = %d, want %d (cross-key aliasing)", k, v, k*7)
+					return
+				}
+				c.Put(k, k*7)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*rounds {
+		t.Errorf("hits(%d)+misses(%d) != gets(%d)", st.Hits, st.Misses, workers*rounds)
+	}
+	if st.Len > capacity {
+		t.Errorf("Len = %d exceeds capacity %d", st.Len, capacity)
+	}
+	if st.Hits == 0 {
+		t.Error("no hits at all over a keyspace ~2x capacity — LRU reuse broken")
+	}
+}
+
+// TestStructKeys uses a float-bearing struct key — the serving layer's
+// actual key shape — and checks that near-identical keys stay distinct.
+func TestStructKeys(t *testing.T) {
+	type key struct {
+		R, L, C, Length float64
+		Method          string
+	}
+	c := New[key, string](64)
+	a := key{R: 25e3, L: 5e-7, C: 1e-10, Length: 0.01, Method: "auto"}
+	b := a
+	b.Length = 0.010000000000001
+	c.Put(a, "A")
+	c.Put(b, "B")
+	if v, ok := c.Get(a); !ok || v != "A" {
+		t.Fatalf("Get(a) = %q, %v; want A", v, ok)
+	}
+	if v, ok := c.Get(b); !ok || v != "B" {
+		t.Fatalf("Get(b) = %q, %v; want B", v, ok)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	type key struct {
+		R, L, C, Length, Rtr, CL float64
+		Method                   uint8
+	}
+	c := New[key, []byte](1024)
+	k := key{R: 25e3, L: 5e-7, C: 1e-10, Length: 0.01, Rtr: 250, CL: 1e-13}
+	c.Put(k, []byte(`{"delay":1.23e-10}`))
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPutChurn(b *testing.B) {
+	c := New[int, int](1024)
+	b.ReportAllocs()
+	i := 0
+	for b.Loop() {
+		c.Put(i, i)
+		i++
+	}
+}
+
+func ExampleCache() {
+	c := New[string, int](128)
+	c.Put("net1/delay", 42)
+	if v, ok := c.Get("net1/delay"); ok {
+		fmt.Println(v)
+	}
+	// Output: 42
+}

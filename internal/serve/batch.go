@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlckit/internal/pool"
+)
+
+// errClosed is returned by batcher.do once the server is shutting down.
+var errClosed = errors.New("serve: server closed")
+
+// task is one unit of single-net compute waiting to be coalesced.
+type task struct {
+	fn   func()
+	done chan struct{}
+}
+
+// batcher coalesces concurrent single-net requests into batches that
+// run on the shared internal/pool worker pool, instead of letting every
+// HTTP connection goroutine compute independently. Under load this
+// bounds compute parallelism to the configured worker count (the
+// net/http goroutines just park on their task's done channel), and it
+// amortizes scheduling: one pool.Run dispatch per batch rather than per
+// request.
+//
+// With window == 0 the dispatcher drains whatever is already queued and
+// runs it immediately — zero added latency for a lone request, natural
+// batching under concurrency (while a batch computes, new arrivals
+// accumulate in the channel). A positive window instead holds the first
+// request up to that long to let a batch form, trading tail latency for
+// larger batches; it is a tuning flag on cmd/rlckitd, not the default.
+type batcher struct {
+	tasks    chan *task
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	workers  int
+	maxBatch int
+	window   time.Duration
+
+	batches atomic.Uint64 // pool dispatches
+	batched atomic.Uint64 // tasks across all dispatches
+}
+
+func newBatcher(workers, maxBatch int, window time.Duration) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 64
+	}
+	b := &batcher{
+		tasks:    make(chan *task, maxBatch),
+		quit:     make(chan struct{}),
+		workers:  workers,
+		maxBatch: maxBatch,
+		window:   window,
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// do schedules fn onto the batching pool and blocks until it has run.
+// It returns errClosed (without any guarantee about fn) once the
+// batcher is shut down.
+func (b *batcher) do(fn func()) error {
+	t := &task{fn: fn, done: make(chan struct{})}
+	select {
+	case b.tasks <- t:
+	case <-b.quit:
+		return errClosed
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-b.quit:
+		return errClosed
+	}
+}
+
+// close stops the dispatcher. Queued tasks that never ran are released
+// via the quit channel their submitters also select on.
+func (b *batcher) close() {
+	close(b.quit)
+	b.wg.Wait()
+}
+
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	for {
+		var first *task
+		select {
+		case first = <-b.tasks:
+		case <-b.quit:
+			return
+		}
+		batch := append(make([]*task, 0, b.maxBatch), first)
+		if b.window > 0 {
+			timer := time.NewTimer(b.window)
+		windowed:
+			for len(batch) < b.maxBatch {
+				select {
+				case t := <-b.tasks:
+					batch = append(batch, t)
+				case <-timer.C:
+					break windowed
+				case <-b.quit:
+					break windowed
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < b.maxBatch {
+				select {
+				case t := <-b.tasks:
+					batch = append(batch, t)
+				default:
+					break drain
+				}
+			}
+		}
+		b.batches.Add(1)
+		b.batched.Add(uint64(len(batch)))
+		// The pool bounds compute parallelism; results land in each
+		// task's own captured state, so batch composition is invisible
+		// in the responses.
+		_ = pool.Run(b.workers, len(batch), func() struct{} { return struct{}{} },
+			func(_ struct{}, i int) error {
+				defer close(batch[i].done)
+				batch[i].fn()
+				return nil
+			})
+		select {
+		case <-b.quit:
+			return
+		default:
+		}
+	}
+}

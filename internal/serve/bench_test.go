@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The benchmark net sits outside Eq. 9's validated accuracy domain, so
+// the default "auto" method pays the exact transmission-line engine on
+// a miss (~0.5 ms) — exactly the class of request a cache earns its
+// keep on. Hot and Cold run the identical handler path; the only
+// difference is whether the canonical key is already cached.
+
+func benchBody(i int) string {
+	// Perturb the length in the 15th digit: every i is a distinct
+	// canonical key, but all stay outside the Eq. 9 domain.
+	return fmt.Sprintf(
+		`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":%.15g},"drive":{"rtr":500,"cl":1e-13}}`,
+		0.002+float64(i)*1e-9)
+}
+
+func benchServe(b *testing.B, s *Server, path string, bodies []string) {
+	b.Helper()
+	h := s.Handler()
+	b.ReportAllocs()
+	i := 0
+	for b.Loop() {
+		body := bodies[i%len(bodies)]
+		i++
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}
+
+// BenchmarkServeDelayHot measures the cached hot path: the same
+// request repeated, served from the response cache after the first
+// computation.
+func BenchmarkServeDelayHot(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	bodies := []string{benchBody(0)}
+	// Prime the cache before the timed loop (b.Loop resets the timer on
+	// its first call) so every timed iteration is a hit.
+	rec := post(s.Handler(), "/v1/delay", bodies[0])
+	if rec.Code != 200 {
+		b.Fatalf("prime failed: %d", rec.Code)
+	}
+	benchServe(b, s, "/v1/delay", bodies)
+	if misses := s.Stats().Cache.Misses; misses > 1 {
+		b.Fatalf("hot benchmark missed the cache %d times", misses)
+	}
+}
+
+// BenchmarkServeDelayCold measures the uncached path: every request is
+// a distinct canonical key, and the key population (4× the cache) keeps
+// the LRU from ever serving a hit, so each iteration pays the full
+// exact-engine analysis.
+func BenchmarkServeDelayCold(b *testing.B) {
+	s := New(Config{CacheEntries: 1024})
+	defer s.Close()
+	bodies := make([]string, 4096)
+	for i := range bodies {
+		bodies[i] = benchBody(i)
+	}
+	benchServe(b, s, "/v1/delay", bodies)
+	if hits := s.Stats().Cache.Hits; hits > 0 {
+		b.Fatalf("cold benchmark hit the cache %d times", hits)
+	}
+}
+
+// BenchmarkServeDelayColdEq9 is the cold path for an in-domain net:
+// closed-form Eq. 9 compute plus JSON round trip — the floor a cache
+// hit competes with on easy requests.
+func BenchmarkServeDelayColdEq9(b *testing.B) {
+	s := New(Config{CacheEntries: 1024})
+	defer s.Close()
+	bodies := make([]string, 4096)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":%.15g},"drive":{"rtr":500,"cl":5e-13}}`,
+			0.01+float64(i)*1e-9)
+	}
+	benchServe(b, s, "/v1/delay", bodies)
+}
+
+// BenchmarkServeSweep measures a server-side population sweep request:
+// 200 nets × 3 corners × 2 draws, a fresh seed every iteration (never
+// cached).
+func BenchmarkServeSweep(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	b.ReportAllocs()
+	seed := 0
+	for b.Loop() {
+		seed++
+		body := fmt.Sprintf(
+			`{"node":"250nm","nets":200,"seed":%d,"rise_s":5e-11,"samples":2,"sigma":0.1,"drive_sigma":0.1}`, seed)
+		req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}

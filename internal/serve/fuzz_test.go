@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// requestSeeds feed all four request decoders: the golden-test bodies
+// plus malformed shapes (truncation, unknown fields, huge numbers,
+// wrong types, trailing objects).
+var requestSeeds = []string{
+	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13}}`,
+	`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13},"method":"exact"}`,
+	`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{},"rise_s":5e-11}`,
+	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"250nm","model":"rc"}`,
+	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"buffer":{"r0":250,"c0":5e-15}}`,
+	`{"node":"250nm","nets":40,"seed":1,"rise_s":5e-11,"samples":2,"sigma":0.1,"repeaters":true}`,
+	`{"node":"130nm","nets":999999999,"rise_s":1e-300,"corners":["tt","tt","zz"]}`,
+	`{"line":{"rt":1e400,"lt":-1,"ct":"nope","length":null}}`,
+	`{"line":{}}{"line":{}}`,
+	`{`,
+	``,
+	`[1,2,3]`,
+	`{"bogus":true}`,
+}
+
+// FuzzServeRequest asserts that none of the /v1/* request decoders
+// panic on arbitrary bytes, and that whatever they accept is
+// idempotent: re-parsing the same bytes yields the same canonical
+// cache key (decoding is a pure function of the body).
+func FuzzServeRequest(f *testing.F) {
+	for _, s := range requestSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if k1, err := parseDelayRequest(strings.NewReader(s)); err == nil {
+			k2, err2 := parseDelayRequest(strings.NewReader(s))
+			if err2 != nil || k1 != k2 {
+				t.Errorf("delay decode not idempotent: %v / %+v vs %+v", err2, k1, k2)
+			}
+		}
+		if k1, err := parseScreenRequest(strings.NewReader(s)); err == nil {
+			k2, _ := parseScreenRequest(strings.NewReader(s))
+			if k1 != k2 {
+				t.Errorf("screen decode not idempotent")
+			}
+		}
+		if k1, err := parseRepeatersRequest(strings.NewReader(s)); err == nil {
+			k2, _ := parseRepeatersRequest(strings.NewReader(s))
+			if k1 != k2 {
+				t.Errorf("repeaters decode not idempotent")
+			}
+		}
+		if _, k1, _, err := parseSweepRequest(strings.NewReader(s)); err == nil {
+			_, k2, _, _ := parseSweepRequest(strings.NewReader(s))
+			if k1 != k2 {
+				t.Errorf("sweep decode not idempotent")
+			}
+			if k1.nets > maxSweepNets || k1.samples > maxSweepSamples ||
+				k1.nets*k1.samples > maxSweepTotal {
+				t.Errorf("sweep guard let %+v through", k1)
+			}
+		}
+	})
+}

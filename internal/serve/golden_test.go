@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+
+	"rlckit/internal/golden"
+)
+
+// TestGoldenEndpoints locks the exact response bytes of every /v1/*
+// endpoint for fixed requests — the wire format is a contract, and
+// every float in it is a deterministic function of the request.
+// Refresh with `go test ./internal/serve -update`.
+func TestGoldenEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"delay_eq9.json", "/v1/delay",
+			`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13}}`},
+		{"delay_exact.json", "/v1/delay",
+			`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13}}`},
+		{"delay_method_eq9.json", "/v1/delay",
+			`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13},"method":"eq9"}`},
+		{"screen.json", "/v1/screen",
+			`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13},"rise_s":5e-11}`},
+		{"repeaters_node.json", "/v1/repeaters",
+			`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"250nm"}`},
+		{"repeaters_rc.json", "/v1/repeaters",
+			`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"buffer":{"r0":250,"c0":5e-15},"model":"rc"}`},
+		{"sweep.json", "/v1/sweep",
+			`{"node":"250nm","nets":40,"seed":1,"rise_s":5e-11,"samples":2,"sigma":0.1,"drive_sigma":0.1,"repeaters":true}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := post(s.Handler(), c.path, c.body)
+			if rec.Code != 200 {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+			golden.Assert(t, c.name, rec.Body.Bytes())
+		})
+	}
+}

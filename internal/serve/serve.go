@@ -1,0 +1,435 @@
+// Package serve is rlckit's HTTP serving layer: JSON endpoints that
+// answer the paper's design-time questions over a wire.
+//
+//	POST /v1/delay      → 50% propagation delay (RLC vs RC-only)
+//	POST /v1/screen     → does inductance matter for this net?
+//	POST /v1/repeaters  → optimum repeater insertion plan
+//	POST /v1/sweep      → seeded Monte Carlo population statistics
+//
+// Three serving mechanisms sit between the HTTP handlers and the
+// analysis facade:
+//
+//   - A sharded LRU cache (internal/cache) keyed by the canonical
+//     values of (Line, Drive, config) stores fully rendered response
+//     bodies, so a repeated question skips both compute and JSON
+//     encoding. The /v1/delay hot path is two orders of magnitude
+//     faster than a cold exact-engine analysis (BenchmarkServeDelayHot
+//     vs BenchmarkServeDelayCold).
+//   - A micro-batcher (batch.go) coalesces concurrent single-net
+//     requests onto the shared internal/pool worker pool, bounding
+//     compute parallelism at the configured worker count instead of
+//     goroutine-per-request.
+//   - An in-flight admission limit sheds excess load with 429 before
+//     any work is queued.
+//
+// Responses are pure functions of the request body (sweeps are seeded),
+// so they are byte-identical across worker counts, cache states and
+// batch compositions — the determinism tests enforce this.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"rlckit"
+	"rlckit/internal/cache"
+)
+
+// Config tunes a Server. The zero value serves with defaults.
+type Config struct {
+	// Workers bounds the compute pool for batched single-net requests
+	// and server-side sweeps; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the response cache; 0 means DefaultCacheEntries,
+	// negative disables caching.
+	CacheEntries int
+	// MaxInFlight bounds concurrently admitted requests; excess get 429.
+	// 0 means DefaultMaxInFlight, negative means unlimited.
+	MaxInFlight int
+	// MaxBatch bounds one coalesced batch (default 64).
+	MaxBatch int
+	// BatchWindow holds the first request of a batch up to this long to
+	// let the batch fill. 0 (the default) drains opportunistically with
+	// no added latency.
+	BatchWindow time.Duration
+}
+
+// Serving defaults.
+const (
+	DefaultCacheEntries = 4096
+	DefaultMaxInFlight  = 256
+)
+
+// Stats is a point-in-time snapshot of the server's counters, exported
+// by cmd/rlckitd through expvar.
+type Stats struct {
+	// Requests counts admitted requests per endpoint.
+	Requests map[string]uint64 `json:"requests"`
+	// Rejected counts 429 admission rejections; Errors counts non-2xx
+	// responses other than 429.
+	Rejected uint64 `json:"rejected"`
+	Errors   uint64 `json:"errors"`
+	// Batches and Batched count pool dispatches and the tasks they
+	// carried; Batched/Batches is the mean coalesced batch size.
+	Batches uint64 `json:"batches"`
+	Batched uint64 `json:"batched"`
+	// Cache is the response cache's hit/miss/eviction snapshot.
+	Cache cache.Stats `json:"cache"`
+}
+
+var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep"}
+
+// Server owns the serving state: cache, batcher, admission tokens and
+// the HTTP mux. Create with New, release with Close.
+type Server struct {
+	cfg      Config
+	cache    *cache.Cache[cacheKey, []byte]
+	batch    *batcher
+	sem      chan struct{}
+	mux      *http.ServeMux
+	requests [len(endpointNames)]atomic.Uint64
+	rejected atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg}
+	if cfg.CacheEntries >= 0 {
+		n := cfg.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		s.cache = cache.New[cacheKey, []byte](n)
+	}
+	inflight := cfg.MaxInFlight
+	if inflight == 0 {
+		inflight = DefaultMaxInFlight
+	}
+	if inflight > 0 {
+		s.sem = make(chan struct{}, inflight)
+	}
+	s.batch = newBatcher(cfg.Workers, cfg.MaxBatch, cfg.BatchWindow)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/delay", s.endpoint(kindDelay, s.handleDelay))
+	s.mux.HandleFunc("POST /v1/screen", s.endpoint(kindScreen, s.handleScreen))
+	s.mux.HandleFunc("POST /v1/repeaters", s.endpoint(kindRepeaters, s.handleRepeaters))
+	s.mux.HandleFunc("POST /v1/sweep", s.endpoint(kindSweep, s.handleSweep))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"version\":%q}\n", rlckit.Version)
+	})
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the batcher; in-flight batched requests get 503.
+func (s *Server) Close() { s.batch.close() }
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests: make(map[string]uint64, len(endpointNames)),
+		Rejected: s.rejected.Load(),
+		Errors:   s.errors.Load(),
+		Batches:  s.batch.batches.Load(),
+		Batched:  s.batch.batched.Load(),
+	}
+	for k, name := range endpointNames {
+		st.Requests[name] = s.requests[k].Load()
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+// endpoint wraps a handler with admission control and request counting.
+func (s *Server) endpoint(kind uint8, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("server at max in-flight requests"))
+				return
+			}
+		}
+		s.requests[kind].Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status != http.StatusTooManyRequests {
+		s.errors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(ErrorResponse{Error: err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// cached looks up key, returning (body, true) on a hit.
+func (s *Server) cached(key cacheKey) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.Get(key)
+}
+
+func (s *Server) store(key cacheKey, body []byte) {
+	if s.cache != nil {
+		s.cache.Put(key, body)
+	}
+}
+
+// compute runs fn on the micro-batching pool, converting fn's panics
+// into errors so a bad corner of the math never kills the daemon.
+func (s *Server) compute(fn func() error) error {
+	var err error
+	berr := s.batch.do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("internal error: %v", r)
+			}
+		}()
+		err = fn()
+	})
+	if berr != nil {
+		return berr
+	}
+	return err
+}
+
+// finish is the shared tail of every miss path: marshal the response
+// value, cache the body under its canonical key, send it.
+func (s *Server) finish(w http.ResponseWriter, key cacheKey, resp any) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	s.store(key, body)
+	s.writeJSON(w, body, false)
+}
+
+// respond handles the single-net miss path: run fn on the batch pool
+// to produce a response value, then finish. Compute errors map to 400
+// (they are rejections of the request's physics, not server faults),
+// batcher shutdown to 503.
+func respond[T any](s *Server, w http.ResponseWriter, key cacheKey, fn func() (T, error)) {
+	var resp T
+	err := s.compute(func() error {
+		var ferr error
+		resp, ferr = fn()
+		return ferr
+	})
+	switch {
+	case err == errClosed:
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, err)
+	default:
+		s.finish(w, key, resp)
+	}
+}
+
+func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
+	key, err := parseDelayRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cached(key); ok {
+		s.writeJSON(w, body, true)
+		return
+	}
+	ln, drv := key.line, key.drive
+	respond(s, w, key, func() (DelayResponse, error) {
+		var resp DelayResponse
+		p, err := rlckit.Analyze(ln, drv)
+		if err != nil {
+			return resp, err
+		}
+		resp.RT, resp.CT, resp.Zeta, resp.OmegaN = p.RT, p.CT, p.Zeta, p.OmegaN
+		switch key.method {
+		case methodEq9:
+			resp.DelayS, err = rlckit.Delay(ln, drv)
+			resp.Method = "eq9"
+		case methodExact:
+			resp.DelayS, err = rlckit.DelaySimulated(ln, drv)
+			resp.Method = "exact"
+		default:
+			var eq9 bool
+			resp.DelayS, eq9, err = rlckit.DelayAuto(ln, drv)
+			resp.Method = "exact"
+			if eq9 {
+				resp.Method = "eq9"
+			}
+		}
+		if err != nil {
+			return resp, err
+		}
+		resp.DelayRCS = rlckit.DelayRCOnly(ln, drv)
+		resp.RCErrPct = 100 * (resp.DelayRCS - resp.DelayS) / resp.DelayS
+		return resp, nil
+	})
+}
+
+func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
+	key, err := parseScreenRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cached(key); ok {
+		s.writeJSON(w, body, true)
+		return
+	}
+	ln, drv, rise := key.line, key.drive, key.rise
+	respond(s, w, key, func() (ScreenResponse, error) {
+		res, err := rlckit.NeedsInductance(ln, drv, rise)
+		if err != nil {
+			return ScreenResponse{}, err
+		}
+		return ScreenResponse{
+			NeedsRLC: res.NeedsRLC, InWindow: res.InWindow, Underdamped: res.Underdamped,
+			LMinM: res.LMin, LMaxM: res.LMax, Zeta: res.Zeta,
+		}, nil
+	})
+}
+
+func (s *Server) handleRepeaters(w http.ResponseWriter, r *http.Request) {
+	key, err := parseRepeatersRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cached(key); ok {
+		s.writeJSON(w, body, true)
+		return
+	}
+	ln, buf := key.line, key.buffer
+	rc := key.method == 1
+	respond(s, w, key, func() (RepeatersResponse, error) {
+		var plan rlckit.RepeaterPlan
+		var err error
+		model := "rlc"
+		if rc {
+			plan, err = rlckit.DesignRepeatersRC(ln, buf)
+			model = "rc"
+		} else {
+			plan, err = rlckit.DesignRepeaters(ln, buf)
+		}
+		if err != nil {
+			return RepeatersResponse{}, err
+		}
+		return RepeatersResponse{
+			Model: model, H: plan.H, K: plan.K, KInt: plan.KInt, HForKInt: plan.HForKInt,
+			TLR: plan.TLR, TotalDelayS: plan.TotalDelay, TotalDelayInt: plan.TotalDelayInt,
+			Area: plan.Area, AreaInt: plan.AreaInt, SwitchEnergyJ: plan.SwitchEnergy,
+		}, nil
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, key, corners, err := parseSweepRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cached(key); ok {
+		s.writeJSON(w, body, true)
+		return
+	}
+	// Sweeps parallelize internally on the same bounded pool size; they
+	// skip the single-net batcher but still hold an admission token.
+	resp, err := s.runSweep(req, corners)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.finish(w, key, resp)
+}
+
+func (s *Server) runSweep(req SweepRequest, corners []rlckit.SweepCorner) (SweepResponse, error) {
+	var resp SweepResponse
+	node, err := rlckit.Technology(req.Node)
+	if err != nil {
+		return resp, err
+	}
+	nets, err := rlckit.RandomNets(req.Seed, node, req.Nets)
+	if err != nil {
+		return resp, err
+	}
+	cfg := rlckit.SweepConfig{
+		RiseTime: req.RiseS,
+		Corners:  corners,
+		MC: rlckit.SweepMonteCarlo{
+			Samples: req.Samples, Seed: req.Seed,
+			RSigma: req.Sigma, LSigma: req.Sigma, CSigma: req.Sigma,
+			DriveSigma: req.DriveSigma,
+		},
+		Workers: s.cfg.Workers,
+	}
+	if req.Repeaters {
+		b := node.Buffer()
+		cfg.Buffer = &b
+	}
+	res, err := rlckit.SweepDelays(nets, cfg)
+	if err != nil {
+		return resp, err
+	}
+	resp = SweepResponse{
+		Nets:  len(res.NetNames),
+		Draws: res.Draws, Samples: len(res.Samples),
+		Screen: screenStatsJSON(res.Screen),
+		Delay:  summaryJSON(res.Delay), DelayRC: summaryJSON(res.DelayRC),
+		RCErr: summaryJSON(res.RCErr), AbsRCErr: summaryJSON(res.AbsRCErr),
+		FracErrOver10: res.FracErrOver10, FracErrOver20: res.FracErrOver20,
+	}
+	for _, c := range res.Corners {
+		resp.Corners = append(resp.Corners, c.Name)
+	}
+	if res.RepKRatio.N > 0 {
+		kr, di := summaryJSON(res.RepKRatio), summaryJSON(res.RepDelayInc)
+		resp.RepKRatio, resp.RepDelayInc = &kr, &di
+	}
+	for _, cs := range res.PerCorner {
+		resp.PerCorner = append(resp.PerCorner, SweepCornerJSON{
+			Name:   cs.Corner.Name,
+			Screen: screenStatsJSON(cs.Screen),
+			Delay:  summaryJSON(cs.Delay),
+			RCErr:  summaryJSON(cs.RCErr),
+		})
+	}
+	return resp, nil
+}
+
+func screenStatsJSON(st rlckit.ScreenStats) ScreenStatsJSON {
+	return ScreenStatsJSON{
+		Total: st.Total, NeedsRLC: st.NeedsRLC, InWindow: st.InWindow,
+		Underdamped: st.Underdamped, FracRLC: st.FractionRLC(),
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func post(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const delayBody = `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13}}`
+
+func TestDelayEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(s.Handler(), "/v1/delay", delayBody)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{`"delay_s":`, `"method":"eq9"`, `"delay_rc_s":`, `"zeta":2.25`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("response missing %s:\n%s", want, out)
+		}
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", got)
+	}
+}
+
+func TestDelayCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	first := post(s.Handler(), "/v1/delay", delayBody)
+	// Same canonical request, different JSON formatting.
+	reformatted := `{ "drive": {"cl":5e-13, "rtr":500},
+	  "line": {"rt":1e3, "lt":0.0000001, "ct":1e-12, "length":1e-2} }`
+	second := post(s.Handler(), "/v1/delay", reformatted)
+	if second.Header().Get("X-Cache") != "hit" {
+		t.Fatal("reformatted identical request missed the cache")
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Error("cache hit returned different bytes than the original response")
+	}
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit 1 miss", st.Cache)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := newTestServer(t, Config{CacheEntries: -1})
+	post(s.Handler(), "/v1/delay", delayBody)
+	rec := post(s.Handler(), "/v1/delay", delayBody)
+	if rec.Header().Get("X-Cache") != "miss" {
+		t.Error("disabled cache still produced a hit")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		path, body, wantErr string
+	}{
+		{"/v1/delay", `{`, "unexpected EOF"},
+		{"/v1/delay", `{"bogus":1}`, "unknown field"},
+		{"/v1/delay", delayBody + `{"again":true}`, "trailing data"},
+		{"/v1/delay", `{"line":{"rt":1000,"lt":0,"ct":1e-12,"length":0.01},"drive":{}}`, "L must be positive"},
+		{"/v1/delay", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":-5}}`, "Rtr must be"},
+		{"/v1/delay", strings.Replace(delayBody, `}}`, `},"method":"wumpus"}`, 1), "unknown method"},
+		{"/v1/screen", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{},"rise_s":0}`, "rise_s must be positive"},
+		{"/v1/repeaters", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01}}`, "missing buffer or node"},
+		{"/v1/repeaters", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"250nm","buffer":{"r0":1,"c0":1}}`, "not both"},
+		{"/v1/repeaters", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"9nm"}`, "unknown"},
+		{"/v1/repeaters", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"250nm","model":"lc"}`, "unknown model"},
+		{"/v1/sweep", `{"nets":10,"seed":1,"rise_s":5e-11}`, "missing node"},
+		{"/v1/sweep", `{"node":"250nm","nets":0,"rise_s":5e-11}`, "nets must be"},
+		{"/v1/sweep", `{"node":"250nm","nets":999999,"rise_s":5e-11}`, "nets must be"},
+		{"/v1/sweep", `{"node":"250nm","nets":50000,"samples":64,"rise_s":5e-11}`, "exceeds"},
+		{"/v1/sweep", `{"node":"250nm","nets":10,"rise_s":5e-11,"corners":["zz"]}`, "unknown corner"},
+		{"/v1/sweep", `{"node":"250nm","nets":10,"rise_s":5e-11,"sigma":3}`, "sigmas must be"},
+	}
+	for _, c := range cases {
+		rec := post(s.Handler(), c.path, c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s %q: status %d, want 400", c.path, c.body, rec.Code)
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), c.wantErr) {
+			t.Errorf("%s %q: error %q missing %q", c.path, c.body, rec.Body.String(), c.wantErr)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest("GET", "/v1/delay", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/delay status = %d, want 405", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBackpressure fills the admission semaphore directly and checks
+// the next request is shed with 429 + Retry-After.
+func TestBackpressure(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 2})
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	rec := post(s.Handler(), "/v1/delay", delayBody)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	<-s.sem
+	<-s.sem
+	if rec := post(s.Handler(), "/v1/delay", delayBody); rec.Code != 200 {
+		t.Fatalf("after release: status %d, want 200", rec.Code)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// TestResponsesIdenticalAcrossWorkers is the serving determinism
+// contract: the same request set, fired concurrently at servers with
+// different worker counts, batch windows and cache settings, produces
+// byte-identical bodies.
+func TestResponsesIdenticalAcrossWorkers(t *testing.T) {
+	type reqSpec struct{ path, body string }
+	var reqs []reqSpec
+	for i := 0; i < 8; i++ {
+		line := fmt.Sprintf(`{"rt":%d,"lt":1e-7,"ct":1e-12,"length":0.01}`, 500+100*i)
+		reqs = append(reqs,
+			reqSpec{"/v1/delay", `{"line":` + line + `,"drive":{"rtr":250,"cl":1e-13}}`},
+			reqSpec{"/v1/screen", `{"line":` + line + `,"drive":{"rtr":250,"cl":1e-13},"rise_s":5e-11}`},
+			reqSpec{"/v1/repeaters", `{"line":` + line + `,"node":"250nm"}`},
+		)
+	}
+	reqs = append(reqs, reqSpec{"/v1/sweep",
+		`{"node":"250nm","nets":50,"seed":7,"rise_s":5e-11,"samples":2,"sigma":0.1,"drive_sigma":0.1,"repeaters":true}`})
+
+	collect := func(cfg Config) []string {
+		s := newTestServer(t, cfg)
+		out := make([]string, len(reqs))
+		var wg sync.WaitGroup
+		for i, r := range reqs {
+			wg.Add(1)
+			go func(i int, r reqSpec) {
+				defer wg.Done()
+				rec := post(s.Handler(), r.path, r.body)
+				if rec.Code != 200 {
+					t.Errorf("%s: status %d: %s", r.path, rec.Code, rec.Body)
+				}
+				out[i] = rec.Body.String()
+			}(i, r)
+		}
+		wg.Wait()
+		return out
+	}
+
+	ref := collect(Config{Workers: 1, CacheEntries: -1})
+	for _, cfg := range []Config{
+		{Workers: 8},
+		{Workers: 3, MaxBatch: 2},
+		{Workers: 8, BatchWindow: 200 * time.Microsecond},
+	} {
+		got := collect(cfg)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("cfg %+v: response %d (%s) differs\n got: %s\nwant: %s",
+					cfg, i, reqs[i].path, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestBatchingCoalesces drives many concurrent requests through a
+// 1-worker server and checks the batcher actually grouped them.
+func TestBatchingCoalesces(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheEntries: -1, BatchWindow: 500 * time.Microsecond})
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"line":{"rt":%d,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":250,"cl":1e-13}}`, 400+i)
+			if rec := post(s.Handler(), "/v1/delay", body); rec.Code != 200 {
+				t.Errorf("status %d", rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Batched != n {
+		t.Fatalf("Batched = %d, want %d", st.Batched, n)
+	}
+	if st.Batches == 0 || st.Batches > n {
+		t.Fatalf("Batches = %d out of range (0, %d]", st.Batches, n)
+	}
+	t.Logf("batches=%d mean batch size=%.1f", st.Batches, float64(st.Batched)/float64(st.Batches))
+}
+
+func TestBatcherClose(t *testing.T) {
+	b := newBatcher(2, 8, 0)
+	ran := false
+	if err := b.do(func() { ran = true }); err != nil || !ran {
+		t.Fatalf("do before close: err=%v ran=%v", err, ran)
+	}
+	b.close()
+	if err := b.do(func() {}); err != errClosed {
+		t.Fatalf("do after close: err=%v, want errClosed", err)
+	}
+}
+
+func TestComputePanicIs400(t *testing.T) {
+	s := newTestServer(t, Config{})
+	err := s.compute(func() error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "internal error: boom") {
+		t.Fatalf("compute panic -> %v", err)
+	}
+}
+
+func TestStatsRequestCounts(t *testing.T) {
+	s := newTestServer(t, Config{})
+	post(s.Handler(), "/v1/delay", delayBody)
+	post(s.Handler(), "/v1/delay", delayBody)
+	post(s.Handler(), "/v1/screen", `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{},"rise_s":5e-11}`)
+	st := s.Stats()
+	if st.Requests["delay"] != 2 || st.Requests["screen"] != 1 {
+		t.Errorf("Requests = %v", st.Requests)
+	}
+}
