@@ -17,3 +17,8 @@ run_bench 'BenchmarkSweep10k$' ./internal/sweep
 if [ -d internal/serve ]; then
   run_bench 'BenchmarkServe(DelayHot|DelayCold|Sweep)$' ./internal/serve
 fi
+# Reduced-order engine benches (absent on commits predating internal/mor;
+# benchgate then treats them as new).
+if [ -d internal/mor ]; then
+  run_bench 'Benchmark(ACReduced|ACExact2000|MORBuild)$' ./internal/mna
+fi

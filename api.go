@@ -10,6 +10,7 @@ package rlckit
 import (
 	"rlckit/internal/core"
 	"rlckit/internal/elmore"
+	"rlckit/internal/mor"
 	"rlckit/internal/netgen"
 	"rlckit/internal/refeng"
 	"rlckit/internal/repeater"
@@ -79,6 +80,22 @@ func DelayAuto(ln Line, d Drive) (float64, bool, error) {
 	return v, m == refeng.MethodEq9, err
 }
 
+// MORInfo is a reduced-order model's certification metadata: the
+// reduced order q, the full order it replaced, and the validated
+// worst-case transfer-function error (percent of the response peak).
+type MORInfo = mor.Info
+
+// DelayReduced returns the 50% delay measured on a Krylov reduced-order
+// model of the driven line (internal/mor): the ladder is reduced once
+// to a certified q×q model and the delay read from its q²-per-step
+// transient. It returns an error — rather than a degraded number —
+// when the reduction cannot be certified; DelaySimulated is the
+// canonical fallback (cmd/rlckitd's "reduced" method does exactly
+// that and reports which engine answered).
+func DelayReduced(ln Line, d Drive) (float64, MORInfo, error) {
+	return refeng.DelayReduced(ln, d, refeng.ReducedConfig{})
+}
+
 // DelayRCOnly returns Sakurai's RC-only 50% delay — what a classic
 // timing flow would report if it ignored inductance.
 func DelayRCOnly(ln Line, d Drive) float64 {
@@ -131,6 +148,20 @@ type SweepCorner = sweep.Corner
 
 // SweepMonteCarlo configures seeded process-variation sampling.
 type SweepMonteCarlo = sweep.MonteCarlo
+
+// SweepEstimator selects the per-sample delay engine of a sweep.
+type SweepEstimator = sweep.Estimator
+
+// Sweep estimators: the closed form (default), the guarded closed form
+// (exact outside its accuracy domain), the exact engine for every
+// sample, and the Krylov reduced-order engine (one certified basis per
+// net, every corner/draw recombined through it; exact fallback).
+const (
+	SweepEstimatorClosed    = sweep.EstimatorClosed
+	SweepEstimatorSmart     = sweep.EstimatorSmart
+	SweepEstimatorSimulated = sweep.EstimatorSimulated
+	SweepEstimatorReduced   = sweep.EstimatorReduced
+)
 
 // SweepResult is a completed sweep: per-sample records plus population
 // statistics (percentiles, screening fractions, RC-vs-RLC error

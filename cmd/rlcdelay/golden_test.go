@@ -23,7 +23,7 @@ func TestGoldenOutputs(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var b strings.Builder
-			if err := run(tc.rt, tc.lt, tc.ct, tc.length, tc.rtr, tc.cl, tc.sim, &b); err != nil {
+			if err := run(tc.rt, tc.lt, tc.ct, tc.length, tc.rtr, tc.cl, tc.sim, "", &b); err != nil {
 				t.Fatal(err)
 			}
 			golden.Assert(t, tc.file, []byte(b.String()))

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	rlcdelay -rt 1k -lt 100n -ct 1p -len 10m -rtr 500 -cl 0.5p [-sim]
+//	rlcdelay -rt 1k -lt 100n -ct 1p -len 10m -rtr 500 -cl 0.5p [-sim] [-method reduced]
 //
 // All values accept engineering notation. -rt/-lt/-ct are line totals;
-// -len is informational (defaults to 10 mm).
+// -len is informational (defaults to 10 mm). -method reduced
+// additionally measures the delay on a certified Krylov reduced-order
+// model (internal/mor) and reports the model's order and validated
+// accuracy; if the model cannot be certified the line says so and the
+// exact engine answers instead.
 package main
 
 import (
@@ -25,22 +29,28 @@ import (
 
 func main() {
 	var (
-		rtF  = flag.String("rt", "1k", "total line resistance (ohms)")
-		ltF  = flag.String("lt", "100n", "total line inductance (henries)")
-		ctF  = flag.String("ct", "1p", "total line capacitance (farads)")
-		lenF = flag.String("len", "10m", "line length (meters)")
-		rtrF = flag.String("rtr", "500", "driver output resistance (ohms)")
-		clF  = flag.String("cl", "0.5p", "load capacitance (farads)")
-		sim  = flag.Bool("sim", false, "also run the exact-transfer-function simulation")
+		rtF    = flag.String("rt", "1k", "total line resistance (ohms)")
+		ltF    = flag.String("lt", "100n", "total line inductance (henries)")
+		ctF    = flag.String("ct", "1p", "total line capacitance (farads)")
+		lenF   = flag.String("len", "10m", "line length (meters)")
+		rtrF   = flag.String("rtr", "500", "driver output resistance (ohms)")
+		clF    = flag.String("cl", "0.5p", "load capacitance (farads)")
+		sim    = flag.Bool("sim", false, "also run the exact-transfer-function simulation")
+		method = flag.String("method", "", `extra estimator to run ("reduced" for the Krylov reduced-order engine)`)
 	)
 	flag.Parse()
-	if err := run(*rtF, *ltF, *ctF, *lenF, *rtrF, *clF, *sim, os.Stdout); err != nil {
+	if err := run(*rtF, *ltF, *ctF, *lenF, *rtrF, *clF, *sim, *method, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rlcdelay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rtF, ltF, ctF, lenF, rtrF, clF string, sim bool, out io.Writer) error {
+func run(rtF, ltF, ctF, lenF, rtrF, clF string, sim bool, method string, out io.Writer) error {
+	switch method {
+	case "", "reduced":
+	default:
+		return fmt.Errorf("-method: unknown estimator %q (have \"reduced\")", method)
+	}
 	parse := func(name, s string) (float64, error) {
 		v, err := units.Parse(s)
 		if err != nil {
@@ -106,6 +116,22 @@ func run(rtF, ltF, ctF, lenF, rtrF, clF string, sim bool, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "Delay (simulated):       %s  (Eq. 9 error %+.2f%%)\n",
 			units.Format(ref, "s", 4), 100*(eq9-ref)/ref)
+	}
+	if method == "reduced" {
+		v, info, err := refeng.DelayReduced(ln, d, refeng.ReducedConfig{})
+		if err != nil {
+			// The exact-fallback contract: report the refusal, answer
+			// with the exact engine.
+			v, ferr := refeng.DelayExactTF(ln, d, 0)
+			if ferr != nil {
+				return ferr
+			}
+			fmt.Fprintf(out, "Delay (reduced-order):   %s  (model not certified; exact engine answered)\n",
+				units.Format(v, "s", 4))
+			return nil
+		}
+		fmt.Fprintf(out, "Delay (reduced-order):   %s  (order %d of %d, TF err %.3g%%)\n",
+			units.Format(v, "s", 4), info.Q, info.N, info.EstErrPct)
 	}
 	return nil
 }

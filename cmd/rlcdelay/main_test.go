@@ -7,7 +7,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var b strings.Builder
-	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", false, &b); err != nil {
+	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", false, "", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -20,7 +20,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunWithSim(t *testing.T) {
 	var b strings.Builder
-	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", true, &b); err != nil {
+	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", true, "", &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "simulated") {
@@ -30,7 +30,7 @@ func TestRunWithSim(t *testing.T) {
 
 func TestRunWarnsOutsideDomain(t *testing.T) {
 	var b strings.Builder
-	if err := run("100", "10n", "1p", "2m", "500", "0.1p", false, &b); err != nil {
+	if err := run("100", "10n", "1p", "2m", "500", "0.1p", false, "", &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "warning") {
@@ -40,13 +40,30 @@ func TestRunWarnsOutsideDomain(t *testing.T) {
 
 func TestRunBadInput(t *testing.T) {
 	var b strings.Builder
-	if err := run("oops", "100n", "1p", "10m", "500", "0.5p", false, &b); err == nil {
+	if err := run("oops", "100n", "1p", "10m", "500", "0.5p", false, "", &b); err == nil {
 		t.Error("bad -rt accepted")
 	}
-	if err := run("1k", "zzz", "1p", "10m", "500", "0.5p", false, &b); err == nil {
+	if err := run("1k", "zzz", "1p", "10m", "500", "0.5p", false, "", &b); err == nil {
 		t.Error("bad -lt accepted")
 	}
-	if err := run("1k", "100n", "1p", "10m", "500", "-0.5p", false, &b); err == nil {
+	if err := run("1k", "100n", "1p", "10m", "500", "-0.5p", false, "", &b); err == nil {
 		t.Error("negative -cl accepted")
+	}
+}
+
+func TestReducedMethod(t *testing.T) {
+	var b strings.Builder
+	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", true, "reduced", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Delay (reduced-order):") {
+		t.Errorf("missing reduced-order line:\n%s", out)
+	}
+	if !strings.Contains(out, "order ") {
+		t.Errorf("missing model-order metadata:\n%s", out)
+	}
+	if err := run("1k", "100n", "1p", "10m", "500", "0.5p", false, "bogus", &b); err == nil {
+		t.Error("bogus -method accepted")
 	}
 }

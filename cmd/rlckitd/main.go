@@ -14,7 +14,12 @@
 //	POST /v1/repeaters  ... + "node" or "buffer", optional "model":"rc"
 //	POST /v1/sweep      {"node":..,"nets":..,"seed":..,"rise_s":..,...}
 //	GET  /healthz       liveness + version
-//	GET  /debug/vars    expvar metrics (rlckitd map: requests, cache, batching)
+//	GET  /debug/vars    expvar metrics (rlckitd map: requests, cache, batching,
+//	                    reduced-order mor_hits/mor_fallbacks)
+//
+// -pprof addr starts a net/http/pprof side listener (separate from the
+// service port, so profiling endpoints are never exposed on the
+// service address by accident).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close,
 // in-flight requests get -grace to finish, then the process exits.
@@ -29,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers on the -pprof side listener
 	"os"
 	"os/signal"
 	"sync"
@@ -49,19 +55,20 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max coalesced single-net batch size")
 		batchWindow = flag.Duration("batch-window", 0, "hold the first request of a batch up to this long to let it fill (0 = no added latency)")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+		pprofAddr   = flag.String("pprof", "", "net/http/pprof side-listener address (empty = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: rlckitd [flags] (see -h)")
 		os.Exit(2)
 	}
-	if err := run(*addr, serve.Config{
+	if err := run(*addr, *pprofAddr, serve.Config{
 		Workers:      *workers,
 		CacheEntries: *cacheSize,
 		MaxInFlight:  *maxInflight,
 		MaxBatch:     *maxBatch,
 		BatchWindow:  *batchWindow,
-	}, *grace, nil); err != nil {
+	}, *grace, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "rlckitd:", err)
 		os.Exit(1)
 	}
@@ -77,13 +84,32 @@ var (
 )
 
 // run builds the server, publishes metrics, and serves until a
-// termination signal arrives. If ready is non-nil it receives the bound
-// listener address once the server is accepting connections (used by
-// tests to serve on port 0).
-func run(addr string, cfg serve.Config, grace time.Duration, ready chan<- net.Addr) error {
+// termination signal arrives. If ready (or pprofReady) is non-nil it
+// receives the bound listener address once that listener is accepting
+// connections (used by tests to serve on port 0).
+func run(addr, pprofAddr string, cfg serve.Config, grace time.Duration, ready, pprofReady chan<- net.Addr) error {
 	s := serve.New(cfg)
 	defer s.Close()
 	current.Store(s)
+
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		// http.DefaultServeMux carries the net/http/pprof handlers (and
+		// expvar's /debug/vars).
+		go func() {
+			if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("rlckitd: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("rlckitd: pprof listening on %s", pln.Addr())
+		if pprofReady != nil {
+			pprofReady <- pln.Addr()
+		}
+	}
 
 	publishOnce.Do(func() {
 		expvar.Publish("rlckitd", expvar.Func(func() any { return current.Load().Stats() }))

@@ -21,7 +21,7 @@ func startDaemon(t *testing.T, cfg serve.Config) (string, func() error) {
 	t.Helper()
 	ready := make(chan net.Addr, 1)
 	errCh := make(chan error, 1)
-	go func() { errCh <- run("127.0.0.1:0", cfg, 5*time.Second, ready) }()
+	go func() { errCh <- run("127.0.0.1:0", "", cfg, 5*time.Second, ready, nil) }()
 	select {
 	case addr := <-ready:
 		stop := func() error {
@@ -137,5 +137,53 @@ func TestDaemonEndToEnd(t *testing.T) {
 	// Graceful shutdown on SIGTERM.
 	if err := stop(); err != nil {
 		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestPprofSideListener boots the daemon with -pprof on an ephemeral
+// port and checks the profiling and expvar endpoints answer there —
+// and only there, not on the service address.
+func TestPprofSideListener(t *testing.T) {
+	ready := make(chan net.Addr, 1)
+	pprofReady := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run("127.0.0.1:0", "127.0.0.1:0", serve.Config{Workers: 1}, 5*time.Second, ready, pprofReady)
+	}()
+	var base, pbase string
+	for i := 0; i < 2; i++ {
+		select {
+		case addr := <-ready:
+			base = "http://" + addr.String()
+		case addr := <-pprofReady:
+			pbase = "http://" + addr.String()
+		case err := <-errCh:
+			t.Fatalf("daemon failed to start: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not come up")
+		}
+	}
+
+	if code, _ := get(t, pbase+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline: status %d", code)
+	}
+	if code, body := get(t, pbase+"/debug/vars"); code != 200 || !strings.Contains(body, "rlckitd") {
+		t.Errorf("pprof-side expvar: %d", code)
+	}
+	// The service listener must not expose the profiler.
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code == 200 {
+		t.Error("profiler reachable on the service address")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
 	}
 }

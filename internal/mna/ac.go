@@ -80,6 +80,11 @@ func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) 
 	for _, e := range sys.sources {
 		b[sys.perm[e.row]] += complex(e.sgn, 0)
 	}
+	// The symbolic assembly — permutation lookups, band indexing,
+	// duplicate-coordinate compaction — is hoisted out of the frequency
+	// loop: one plan, shared read-only by every worker, turns each
+	// point's G + jωC assembly into a single pass of stores.
+	asm := numeric.NewCBandAssembler(n, sys.kl, sys.ku, sys.perm, sys.gt, sys.ct)
 	phasors := make([][]complex128, len(freqs)) // [freq index][probe index]
 	type scratch struct {
 		a  *numeric.CBandMatrix
@@ -90,9 +95,7 @@ func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) 
 		return &scratch{a: numeric.NewCBandMatrix(n, sys.kl, sys.ku), x: make([]complex128, n)}
 	}, func(sc *scratch, k int) error {
 		f := freqs[k]
-		sc.a.Zero()
-		sys.gt.AddScaledToCBand(sc.a, sys.perm, 1)
-		sys.ct.AddScaledToCBand(sc.a, sys.perm, complex(0, 2*math.Pi*f))
+		asm.Assemble(sc.a, 2*math.Pi*f)
 		if err := numeric.FactorCBandLUInto(&sc.lu, sc.a); err != nil {
 			return fmt.Errorf("mna: AC solve at %g Hz: %w", f, err)
 		}

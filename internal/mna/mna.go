@@ -99,9 +99,13 @@ func (r *Result) Waveform(node int) (*waveform.W, error) {
 // are kept as sparse triplets — O(nnz) storage — and stamped straight
 // into band matrices on demand.
 type system struct {
-	n       int // total unknowns
-	nv      int // node-voltage unknowns (circuit nodes minus ground)
-	gt, ct  *numeric.Triplets
+	n      int // total unknowns
+	nv     int // node-voltage unknowns (circuit nodes minus ground)
+	gt, ct *numeric.Triplets
+	// ge, ce record the element index that produced each triplet entry
+	// (mutual couplings map to their first inductor) — the provenance
+	// the reduced-order class projection groups by.
+	ge, ce  []int
 	sources []srcEntry // contributions to b(t)
 	perm    []int      // perm[orig] = new index, after RCM
 	inv     []int      // inv[new] = orig
@@ -114,8 +118,22 @@ type srcEntry struct {
 	sgn float64
 }
 
-// assemble builds G, C and the source table from the circuit.
+// assemble builds G, C and the source table from the circuit and
+// computes the band (RCM) ordering.
 func assemble(ckt *circuit.Circuit) (*system, error) {
+	s, err := assembleCore(ckt)
+	if err != nil {
+		return nil, err
+	}
+	s.computeOrdering()
+	return s, nil
+}
+
+// assembleCore stamps G, C and the source table without computing an
+// ordering — re-assemblies of an unchanged topology (Monte Carlo
+// perturbations evaluated through a frozen reduced-order basis) borrow
+// the reference system's ordering instead of re-running RCM.
+func assembleCore(ckt *circuit.Circuit) (*system, error) {
 	if err := ckt.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,7 +152,7 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 	// branchOf[elementIndex] = branch unknown index (inductors only).
 	branchOf := make(map[int]int)
 	for ei, e := range ckt.Elements() {
-		_ = ei
+		g0, c0 := s.gt.NNZ(), s.ct.NNZ()
 		a, b := e.A, e.B
 		switch e.Kind {
 		case circuit.KindResistor:
@@ -186,6 +204,12 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 				s.sources = append(s.sources, srcEntry{row: vi(b), src: e.Src, sgn: -1})
 			}
 		}
+		for k := g0; k < s.gt.NNZ(); k++ {
+			s.ge = append(s.ge, ei)
+		}
+		for k := c0; k < s.ct.NNZ(); k++ {
+			s.ce = append(s.ce, ei)
+		}
 	}
 	// Mutual inductances couple the branch equations:
 	// row j1 gains −M·dj2/dt and row j2 gains −M·dj1/dt, matching the
@@ -196,10 +220,13 @@ func assemble(ckt *circuit.Circuit) (*system, error) {
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("mna: coupling %q references non-inductor elements", m.Name)
 		}
+		c0 := s.ct.NNZ()
 		s.ct.Add(j1, j2, -m.M)
 		s.ct.Add(j2, j1, -m.M)
+		for k := c0; k < s.ct.NNZ(); k++ {
+			s.ce = append(s.ce, m.L1)
+		}
 	}
-	s.computeOrdering()
 	return s, nil
 }
 
@@ -231,6 +258,28 @@ func (s *system) computeOrdering() {
 		s.perm[orig] = newIdx
 	}
 	s.kl, s.ku = numeric.PermutedBandwidth(s.perm, s.gt, s.ct)
+}
+
+// passiveTriplets returns copies of G and C with every branch-equation
+// row (rows nv…n-1: inductor and voltage-source constraints) negated —
+// the PRIMA passive form C = diag(node caps, +L), G + Gᵀ ⪰ 0 that the
+// model-order reduction projects (reduced.go). Solutions are identical
+// to the original convention's; only the row scaling differs.
+func (s *system) passiveTriplets() (gt, ct *numeric.Triplets) {
+	flip := func(t *numeric.Triplets) *numeric.Triplets {
+		out := &numeric.Triplets{
+			N: t.N,
+			I: t.I, J: t.J, // structure is shared read-only
+			V: append([]float64(nil), t.V...),
+		}
+		for k, i := range t.I {
+			if i >= s.nv {
+				out.V[k] = -out.V[k]
+			}
+		}
+		return out
+	}
+	return flip(s.gt), flip(s.ct)
 }
 
 // permuted returns band copies of G and C in the RCM ordering, stamped

@@ -1,0 +1,119 @@
+package mna
+
+import (
+	"testing"
+	"time"
+)
+
+// The AC acceptance configuration: a ~2000-unknown ladder of the
+// Table-1 moderate line, swept at 200 log-spaced points across three
+// decades. BenchmarkACExact2000 is the full band engine on it;
+// BenchmarkACReduced is the reduce-once/evaluate-everywhere fast path
+// (model built once in setup, every iteration evaluates the whole
+// sweep); BenchmarkMORBuild prices the one-time reduction.
+func acBenchFreqs(b *testing.B) []float64 {
+	b.Helper()
+	freqs, err := LogSpace(1e7, 1e10, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return freqs
+}
+
+func BenchmarkACReduced(b *testing.B) {
+	lad := benchLadder(b, 660)
+	freqs := acBenchFreqs(b)
+	red, err := Reduce(lad.Ckt, []int{lad.Out}, ReduceOptions{Freqs: probeGrid(freqs)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(red.Info().Q), "q")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := red.AC(freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkACExact2000(b *testing.B) {
+	lad := benchLadder(b, 660)
+	freqs := acBenchFreqs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AC(lad.Ckt, freqs, []int{lad.Out}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMORBuild(b *testing.B) {
+	lad := benchLadder(b, 660)
+	freqs := acBenchFreqs(b)
+	pg := probeGrid(freqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reduce(lad.Ckt, []int{lad.Out}, ReduceOptions{Freqs: pg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestACReducedSpeedupAtLeast10x asserts the tentpole's performance
+// acceptance: on the 2000-unknown / 200-point sweep, evaluating the
+// reduced model must be at least 10× faster than the exact band
+// engine (the measured margin is ~25× on one core; the one-time build
+// is priced separately by BenchmarkMORBuild and amortizes across
+// sweeps, timesteps and Monte Carlo samples — that is the
+// reduce-once/evaluate-everywhere contract). The companion accuracy
+// acceptance (≤1% reduced-vs-exact delay) lives in
+// refeng.TestDelayReducedWithinOnePercent.
+func TestACReducedSpeedupAtLeast10x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	lad := benchLadder(t, 660)
+	freqs, _ := LogSpace(1e7, 1e10, 200)
+	red, err := Reduce(lad.Ckt, []int{lad.Out}, ReduceOptions{Freqs: probeGrid(freqs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both paths once, then take the best of three runs each so a
+	// noisy scheduler tick cannot fail the gate spuriously.
+	if _, err := red.AC(freqs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AC(lad.Ckt, freqs, []int{lad.Out}); err != nil {
+		t.Fatal(err)
+	}
+	best := func(f func()) time.Duration {
+		b := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	reduced := best(func() {
+		if _, err := red.AC(freqs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	exact := best(func() {
+		if _, err := AC(lad.Ckt, freqs, []int{lad.Out}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := float64(exact) / float64(reduced)
+	t.Logf("exact sweep %v, reduced sweep %v: %.1f× (q=%d, n=%d)",
+		exact, reduced, ratio, red.Info().Q, red.Info().N)
+	if ratio < 10 {
+		t.Errorf("reduced AC sweep only %.1f× faster than exact; the acceptance bar is 10×", ratio)
+	}
+}

@@ -1,0 +1,379 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/mor"
+	"rlckit/internal/tline"
+)
+
+// maxRelTFErr returns the worst |a−b| over the peak |b| across two
+// phasor sweeps — the same scale-free metric mor validates with.
+func maxRelTFErr(a, b []complex128) float64 {
+	peak := 0.0
+	for _, v := range b {
+		if m := math.Hypot(real(v), imag(v)); m > peak {
+			peak = m
+		}
+	}
+	worst := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if m := math.Hypot(real(d), imag(d)); m > worst {
+			worst = m
+		}
+	}
+	return worst / peak
+}
+
+// benchLadder builds the physically-scaled ladder the AC benchmarks
+// and acceptance tests use: the Table-1 moderate line cut into
+// segments (~3 unknowns per segment).
+func benchLadder(t testing.TB, segs int) *tline.Ladder {
+	t.Helper()
+	ln := tline.FromTotals(1000, 1e-7, 1e-12, 0.01)
+	d := tline.Drive{Rtr: 500, CL: 5e-13}
+	lad, err := tline.BuildLadder(ln, d, segs, tline.Pi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lad
+}
+
+func TestReducedACMatchesExactOnLadder(t *testing.T) {
+	lad := benchLadder(t, 200)
+	freqs, err := LogSpace(1e7, 1e10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce(lad.Ckt, []int{lad.Out}, ReduceOptions{Freqs: probeGrid(freqs)})
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	info := red.Info()
+	if !info.Validated {
+		t.Fatal("model not validated")
+	}
+	t.Logf("q=%d of n=%d, validated err %.4g%%", info.Q, info.N, info.EstErrPct)
+	exact, err := AC(lad.Ckt, freqs, []int{lad.Out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := red.AC(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, _ := exact.H(lad.Out)
+	hr, _ := got.H(lad.Out)
+	if e := maxRelTFErr(hr, he); e > 1e-2 {
+		t.Errorf("reduced transfer function off by %.3g of peak", e)
+	}
+}
+
+func TestACReducedMatchesACOnBigLadder(t *testing.T) {
+	lad := benchLadder(t, 300)
+	freqs, _ := LogSpace(1e7, 1e10, 30)
+	res, stats, err := ACReduced(lad.Ckt, freqs, []int{lad.Out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Reduced {
+		t.Fatal("expected the reduced fast path on a 900-unknown ladder")
+	}
+	if stats.Info.Q >= stats.Info.N/4 {
+		t.Errorf("no real reduction: q=%d of n=%d", stats.Info.Q, stats.Info.N)
+	}
+	exact, err := AC(lad.Ckt, freqs, []int{lad.Out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, _ := exact.H(lad.Out)
+	hr, _ := res.H(lad.Out)
+	if e := maxRelTFErr(hr, he); e > 1e-2 {
+		t.Errorf("ACReduced off by %.3g of peak", e)
+	}
+	// Input frequency order must be preserved like AC's.
+	for i, f := range freqs {
+		if res.Freq[i] != f {
+			t.Fatalf("Freq[%d] = %g, want %g", i, res.Freq[i], f)
+		}
+	}
+}
+
+// TestACReducedFallsBackOnHardNet feeds ACReduced a strongly resonant
+// electrically-long ladder whose reduction cannot be certified at the
+// default order; the exact-fallback contract requires a bit-identical
+// exact answer, not a degraded reduced one.
+func TestACReducedFallsBackOnHardNet(t *testing.T) {
+	ckt, out := buildTestLadder(200) // 10Ω/1nH/10fF per segment: many in-band resonances
+	freqs, _ := LogSpace(1e7, 1e10, 24)
+	res, stats, err := ACReduced(ckt, freqs, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reduced {
+		// If certification someday succeeds here that is fine too — but
+		// then it must actually be accurate.
+		exact, _ := AC(ckt, freqs, []int{out})
+		he, _ := exact.H(out)
+		hr, _ := res.H(out)
+		if e := maxRelTFErr(hr, he); e > 1e-2 {
+			t.Fatalf("reduced path certified but inaccurate: %.3g", e)
+		}
+		return
+	}
+	exact, err := AC(ckt, freqs, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, _ := exact.H(out)
+	hr, _ := res.H(out)
+	for i := range he {
+		if he[i] != hr[i] {
+			t.Fatalf("fallback result differs from AC at %g Hz", freqs[i])
+		}
+	}
+}
+
+// TestACReducedSmallCircuitIdentical: below the size thresholds the
+// exact engine answers, bit-identical to AC.
+func TestACReducedSmallCircuitIdentical(t *testing.T) {
+	ckt, out := buildTestLadder(6)
+	freqs, _ := LogSpace(1e7, 1e10, 20)
+	res, stats, err := ACReduced(ckt, freqs, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reduced {
+		t.Fatal("small circuit should use the exact engine")
+	}
+	exact, _ := AC(ckt, freqs, []int{out})
+	he, _ := exact.H(out)
+	hr, _ := res.H(out)
+	for i := range he {
+		if he[i] != hr[i] {
+			t.Fatal("small-circuit result not identical to AC")
+		}
+	}
+}
+
+// Property test: across random RLC ladders, trees, and coupled nets,
+// any model that certifies must reproduce the exact AC transfer
+// function within its validation tolerance; failing to certify is the
+// documented fallback path, but it must not be the norm.
+func TestReducedTransferFunctionPropertyRandomNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	built, failed := 0, 0
+	run := func(label string, c *circuitWithOut) {
+		freqs, _ := LogSpace(1e6, 5e9, 16)
+		red, err := Reduce(c.ckt, []int{c.out}, ReduceOptions{Freqs: probeGrid(freqs), MaxOrder: 48})
+		if err != nil {
+			if errors.Is(err, mor.ErrNoConverge) {
+				failed++
+				return
+			}
+			t.Fatalf("%s: %v", label, err)
+		}
+		built++
+		exact, err := AC(c.ckt, freqs, []int{c.out})
+		if err != nil {
+			t.Fatalf("%s: exact AC: %v", label, err)
+		}
+		got, err := red.AC(freqs)
+		if err != nil {
+			t.Fatalf("%s: reduced AC: %v", label, err)
+		}
+		he, _ := exact.H(c.out)
+		hr, _ := got.H(c.out)
+		if e := maxRelTFErr(hr, he); e > 1.5e-2 {
+			t.Errorf("%s: certified model off by %.3g of peak (validated %.3g%%)",
+				label, e, red.Info().EstErrPct)
+		}
+	}
+	for rep := 0; rep < 6; rep++ {
+		run(fmt.Sprintf("ladder[%d]", rep), randomLadderCkt(rng))
+		run(fmt.Sprintf("tree[%d]", rep), randomTreeCkt(rng))
+		run(fmt.Sprintf("mutual[%d]", rep), randomMutualCkt(rng))
+	}
+	t.Logf("certified %d models, %d fell back", built, failed)
+	if built < failed {
+		t.Errorf("reduction failed on most nets (%d built vs %d failed)", built, failed)
+	}
+}
+
+// TestReducedSimulateMatchesFullTransient: the reduced transient must
+// track the full engine's probed waveform on the same ladder.
+func TestReducedSimulateMatchesFullTransient(t *testing.T) {
+	lad := benchLadder(t, 120)
+	freqs, _ := LogSpace(1e6, 2e10, 12)
+	red, err := Reduce(lad.Ckt, []int{lad.Out}, ReduceOptions{Freqs: probeGrid(freqs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 2e-12
+	opts := Options{Dt: dt, TEnd: 4000 * dt, Probes: []int{lad.Out}}
+	full, err := Simulate(lad.Ckt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := red.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yf, _ := full.V(lad.Out)
+	yr, _ := got.V(lad.Out)
+	if len(yf) != len(yr) {
+		t.Fatalf("sample count %d vs %d", len(yr), len(yf))
+	}
+	worst := 0.0
+	for i := range yf {
+		if d := math.Abs(yf[i] - yr[i]); d > worst {
+			worst = d
+		}
+	}
+	// Compare against the 1 V step amplitude.
+	if worst > 0.02 {
+		t.Errorf("reduced waveform deviates by %.3g V from the full transient", worst)
+	}
+}
+
+// --- random net generators for the property tests ---
+
+type circuitWithOut struct {
+	ckt *circuit.Circuit
+	out int
+}
+
+// randomLadderCkt draws a physically-plausible driven RLC line and
+// lumps it; damping spans over- to moderately underdamped.
+func randomLadderCkt(rng *rand.Rand) *circuitWithOut {
+	ln := tline.FromTotals(
+		randVal(rng, 200, 5e3),     // Rt
+		randVal(rng, 1e-8, 2e-7),   // Lt
+		randVal(rng, 3e-13, 3e-12), // Ct
+		0.01)
+	d := tline.Drive{Rtr: randVal(rng, 50, 2e3), CL: randVal(rng, 5e-14, 1e-12)}
+	lad, err := tline.BuildLadder(ln, d, 40+rng.Intn(80), tline.Pi, 0)
+	if err != nil {
+		panic(err)
+	}
+	return &circuitWithOut{ckt: lad.Ckt, out: lad.Out}
+}
+
+// randomTreeCkt grows a random RC(+L) tree driven at the root; the
+// output is the last leaf.
+func randomTreeCkt(rng *rand.Rand) *circuitWithOut {
+	ckt := circuit.New()
+	root := ckt.Node()
+	must(ckt.AddV("vin", root, circuit.Ground, circuit.Step{Amplitude: 1, Delay: 1e-12}))
+	drv := ckt.Node()
+	must(ckt.AddR("rdrv", root, drv, randVal(rng, 100, 1e3)))
+	nodes := []int{drv}
+	last := drv
+	for i := 0; i < 12+rng.Intn(20); i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		n := ckt.Node()
+		name := fmt.Sprintf("e%d", i)
+		if rng.Intn(4) == 0 {
+			mid := ckt.Node()
+			must(ckt.AddR(name+"r", parent, mid, randVal(rng, 50, 500)))
+			must(ckt.AddL(name+"l", mid, n, randVal(rng, 1e-10, 2e-9)))
+		} else {
+			must(ckt.AddR(name, parent, n, randVal(rng, 50, 800)))
+		}
+		must(ckt.AddC(name+"c", n, circuit.Ground, randVal(rng, 1e-14, 3e-13)))
+		nodes = append(nodes, n)
+		last = n
+	}
+	return &circuitWithOut{ckt: ckt, out: last}
+}
+
+// randomMutualCkt is a moderate RLC ladder with adjacent and
+// long-range inductive coupling.
+func randomMutualCkt(rng *rand.Rand) *circuitWithOut {
+	ckt := circuit.New()
+	in := ckt.Node()
+	must(ckt.AddV("vin", in, circuit.Ground, circuit.Step{Amplitude: 1}))
+	drv := ckt.Node()
+	must(ckt.AddR("rtr", in, drv, randVal(rng, 200, 1e3)))
+	prev := drv
+	segs := 10 + rng.Intn(15)
+	out := drv
+	for i := 0; i < segs; i++ {
+		mid := ckt.Node()
+		n := ckt.Node()
+		must(ckt.AddR(fmt.Sprintf("r%d", i), prev, mid, randVal(rng, 20, 200)))
+		must(ckt.AddL(fmt.Sprintf("l%d", i), mid, n, randVal(rng, 2e-10, 2e-9)))
+		must(ckt.AddC(fmt.Sprintf("c%d", i), n, circuit.Ground, randVal(rng, 2e-14, 2e-13)))
+		prev, out = n, n
+	}
+	must(ckt.AddK("k01", "l0", "l1", 0.1+0.4*rng.Float64()))
+	must(ckt.AddK("kfar", "l0", fmt.Sprintf("l%d", segs-1), 0.1))
+	return &circuitWithOut{ckt: ckt, out: out}
+}
+
+// TestReducedClassProjectionAPI: per-class pencil recombination must
+// equal a generic reprojection of the same scaled circuit, and the
+// accessors must behave.
+func TestReducedClassProjectionAPI(t *testing.T) {
+	lad := benchLadder(t, 40)
+	freqs, _ := LogSpace(1e7, 5e9, 12)
+	red, err := Reduce(lad.Ckt, []int{lad.Out}, ReduceOptions{Freqs: probeGrid(freqs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Model() == nil {
+		t.Fatal("nil model")
+	}
+	if k, err := red.OutputIndex(lad.Out); err != nil || k != 0 {
+		t.Fatalf("OutputIndex = %d, %v", k, err)
+	}
+	if _, err := red.OutputIndex(99999); err == nil {
+		t.Fatal("unknown probe accepted")
+	}
+	// Two classes: capacitors and everything else; scale caps ×1.2.
+	els := lad.Ckt.Elements()
+	classOf := func(e int) int {
+		if els[e].Kind == circuit.KindCapacitor {
+			return 1
+		}
+		return 0
+	}
+	if err := red.SetClassWeights([]float64{1, 1}, []float64{1, 1.2}); err == nil {
+		t.Fatal("SetClassWeights before ProjectClasses accepted")
+	}
+	if err := red.ProjectClasses(2, classOf); err != nil {
+		t.Fatal(err)
+	}
+	if err := red.SetClassWeights([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+	if err := red.SetClassWeights([]float64{1, 1}, []float64{1, 1.2}); err != nil {
+		t.Fatal(err)
+	}
+	grClass := append([]float64(nil), red.model.Gr.Data...)
+	crClass := append([]float64(nil), red.model.Cr.Data...)
+
+	ln2 := tline.FromTotals(1000, 1e-7, 1.2e-12, 0.01)
+	d2 := tline.Drive{Rtr: 500, CL: 1.2 * 5e-13}
+	lad2, _ := tline.BuildLadder(ln2, d2, 40, tline.Pi, 0)
+	if err := red.Reproject(lad2.Ckt); err != nil {
+		t.Fatal(err)
+	}
+	for i := range grClass {
+		if math.Abs(grClass[i]-red.model.Gr.Data[i]) > 1e-10*(1+math.Abs(grClass[i])) ||
+			math.Abs(crClass[i]-red.model.Cr.Data[i]) > 1e-10*(1+math.Abs(crClass[i])) {
+			t.Fatal("class-combined pencil differs from reprojection")
+		}
+	}
+	// Topology mismatch is refused.
+	lad3, _ := tline.BuildLadder(ln2, d2, 41, tline.Pi, 0)
+	if err := red.Reproject(lad3.Ckt); err == nil {
+		t.Fatal("different topology accepted")
+	}
+}

@@ -1,0 +1,1222 @@
+// Package mor is rlckit's Krylov model-order reduction engine: it
+// compresses a large MNA circuit description C·dx/dt + G·x = B·u(t)
+// into a tiny congruence-projected model that preserves the
+// input→output transfer behavior, so that AC sweeps, transient delay
+// extraction and Monte Carlo populations evaluate a q×q dense system
+// (q ≈ 8–48) instead of re-factoring the full n-unknown band system at
+// every frequency point, timestep, or sample.
+//
+// The reduction is the PRIMA-style block Arnoldi iteration
+// (Odabasioglu, Celik, Pileggi; in the moment-matching spirit of AWE,
+// Pillage & Rohrer): with A = G + s₀·C factored once as a band LU, the
+// orthonormal basis V spans the block Krylov space
+//
+//	span{A⁻¹B, (A⁻¹C)A⁻¹B, (A⁻¹C)²A⁻¹B, …}
+//
+// and the reduced matrices are the congruence projections G̃ = VᵀGV,
+// C̃ = VᵀCV, B̃ = VᵀB. Each appended block matches one more moment of
+// the transfer function about s₀, and the projection is computed from
+// the same sparse triplets the full engine stamps from — building a
+// model costs a few band factorizations plus q band solves, O(nnz·q),
+// after which every evaluation touches only q×q dense kernels.
+//
+// The caller must hand Build the system in a passivity-friendly row
+// scaling (C ⪰ 0 and G + Gᵀ ⪰ 0 up to sign conventions — internal/mna
+// negates its branch-equation rows to get there): the congruence
+// projection of that form is provably stable and passive, which is
+// what makes the reduced transient trustworthy. Projecting the raw
+// MNA convention (−L branch rows) produces unstable spurious modes.
+//
+// Three levers make one model serve many evaluations:
+//
+//   - Multiple expansion points: wide probed bands get two or three
+//     log-spread real shifts, each with its own Arnoldi chain — far
+//     fewer total columns than pushing one shift to high moment
+//     counts across decades.
+//   - Anchor systems: additional value-sets on the same sparsity
+//     structure (e.g. slow/fast process-corner instances of a net)
+//     contribute their own chains to the shared basis, so the frozen
+//     basis spans the whole parameter family and the congruence
+//     projection of any in-between instance stays accurate (the
+//     Monte Carlo reuse path). Order selection tracks every variant's
+//     projected transfer function, and validation certifies each
+//     variant against exact full-order solves.
+//   - Linearity of the projection: VᵀGV is linear in G, so per-class
+//     blocks (ProjectValues) let a caller recombine the reduced pencil
+//     for any scalar class-scaling of the matrices in O(q²), without
+//     touching the full system again (UsePencil).
+//
+// Exact-fallback contract: a Build that cannot certify itself fails
+// loudly rather than returning a silently wrong model. Unless
+// SkipValidate is set, the converged candidate is checked against the
+// full-order system — exact band solves at every probe frequency, for
+// the nominal values and every anchor — and Build returns
+// ErrNoConverge (wrapped) when the worst output error exceeds
+// Options.ValTol of the response peak. Callers (mna.ACReduced,
+// refeng, sweep, serve) treat any Build error as "use the exact
+// engine for this net"; reduction is a fast path, never a
+// correctness risk.
+package mor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlckit/internal/numeric"
+)
+
+// ErrNoConverge reports that the reduced model could not be certified
+// against the requested tolerances before MaxOrder; callers should
+// fall back to the exact full-order engine.
+var ErrNoConverge = errors.New("mor: reduction did not converge")
+
+// InputCol is one column of the input incidence matrix B in the band
+// (permuted) ordering: the system's right-hand side contribution of one
+// source, scaled by u(t) for transient analysis and by a unit phasor
+// for AC analysis.
+type InputCol struct {
+	Rows []int
+	Vals []float64
+}
+
+// AnchorValues is one anchor system: alternative numeric values on
+// exactly the sparsity structure of System.G and System.C (same
+// coordinate sequences, different values) — typically a process-corner
+// instance of the same circuit topology.
+type AnchorValues struct {
+	G, C []float64
+}
+
+// System is the full-order description handed to Build: the sparse MNA
+// matrices in their original ordering, the band permutation and widths
+// the module's band kernels use, the input/output maps (both in
+// permuted coordinates), and optional anchor value-sets.
+type System struct {
+	N      int
+	KL, KU int
+	// Perm maps original indices to band indices (perm[orig] = new).
+	Perm []int
+	// G and C are the MNA conductance and storage triplets in original
+	// ordering (passivity-friendly row scaling; see the package doc).
+	G, C *numeric.Triplets
+	// Inputs are the B columns; Outputs the observed rows.
+	Inputs  []InputCol
+	Outputs []int
+	// Anchors are additional value-sets whose Krylov chains join the
+	// basis, extending its reach across a parameter family.
+	Anchors []AnchorValues
+}
+
+// Options tunes Build. The zero value of every field selects a default.
+type Options struct {
+	// Omegas are the angular frequencies (rad/s) at which order
+	// selection probes the reduced transfer function and validation
+	// compares it against the exact one. Required, ascending, positive.
+	Omegas []float64
+	// S0 is the real expansion point (rad/s); 0 means automatic: a
+	// single point at the geometric mean of Omegas when the probed band
+	// is narrow, two or three log-spread points when it is wide.
+	S0 float64
+	// MaxOrder caps the reduced order q (default 32, clamped to N).
+	MaxOrder int
+	// Tol is the relative convergence tolerance on the probed transfer
+	// functions between consecutive orders (default 5e-4).
+	Tol float64
+	// ValTol is the validation tolerance: the worst reduced-vs-exact
+	// output error, relative to the response peak over the validation
+	// frequencies, must not exceed it (default 5e-3).
+	ValTol float64
+	// SkipValidate skips the exact-solve certification (used by tests
+	// and by callers that validate end-to-end themselves).
+	SkipValidate bool
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if len(o.Omegas) == 0 {
+		return o, errors.New("mor: Options.Omegas must list at least one probe frequency")
+	}
+	for i, w := range o.Omegas {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return o, fmt.Errorf("mor: probe omega %g must be positive and finite", w)
+		}
+		if i > 0 && w < o.Omegas[i-1] {
+			return o, errors.New("mor: Options.Omegas must be ascending")
+		}
+	}
+	if o.S0 != 0 && (!(o.S0 > 0) || math.IsInf(o.S0, 0)) {
+		return o, fmt.Errorf("mor: expansion point %g must be positive and finite", o.S0)
+	}
+	if o.MaxOrder == 0 {
+		o.MaxOrder = 32
+	}
+	if o.MaxOrder < 1 {
+		return o, fmt.Errorf("mor: MaxOrder %d must be positive", o.MaxOrder)
+	}
+	if o.MaxOrder > n {
+		o.MaxOrder = n
+	}
+	if o.Tol == 0 {
+		o.Tol = 5e-4
+	}
+	if o.ValTol == 0 {
+		o.ValTol = 5e-3
+	}
+	return o, nil
+}
+
+// Info is the accuracy metadata of a built model, propagated through
+// the facade and the serving layer so "reduced" answers carry their
+// certification.
+type Info struct {
+	// Q is the reduced order; N the full order it replaced.
+	Q, N int
+	// S0 is the first expansion point (rad/s); Shifts how many were
+	// used; Anchors how many anchor systems joined the basis.
+	S0      float64
+	Shifts  int
+	Anchors int
+	// EstErrPct is the validated worst-case transfer-function error in
+	// percent of the response peak, over the nominal system and every
+	// anchor (0 when validation was skipped).
+	EstErrPct float64
+	// Validated reports whether the exact-solve certification ran.
+	Validated bool
+	// Exhausted reports that the Krylov space was exhausted (the model
+	// reproduces the reachable subspace exactly).
+	Exhausted bool
+}
+
+// Model is a built reduced-order model. Evaluation methods that take
+// scratch (ACEval, Transient) are safe for concurrent use with
+// distinct scratch; Reproject, UsePencil and NewTransient mutate or
+// read mutable state and must not race evaluations.
+type Model struct {
+	n, q, m int // full order, reduced order, inputs
+	nOut    int
+
+	// v is the orthonormal basis, column-major: column a is
+	// v[a*n : (a+1)*n], indexed by permuted (band-ordering) row.
+	v []float64
+	// Permuted copies of the triplet structure, frozen at build time so
+	// projections need no permutation lookups and can verify topology.
+	gpi, gpj []int
+	cpi, cpj []int
+	// Frozen input columns and output rows (permuted coordinates).
+	inputs  []InputCol
+	outputs []int
+
+	// Gr, Cr are the q×q congruence projections VᵀGV, VᵀCV of the
+	// current target values (nominal after Build; whatever Reproject /
+	// UsePencil installed afterwards). Br is the q×m input projection;
+	// brAgg its row sums (the AC unit-phasor drive); lr the nOut×q
+	// output map (rows of V at the output rows).
+	Gr, Cr *numeric.Matrix
+	br     []float64 // q×m, row-major
+	brAgg  []float64
+	lr     []float64
+
+	// Fast AC evaluation state: the pencil (G̃ + jωC̃) transformed once
+	// into (I + jω·H) with H = Qᵀ(G̃⁻¹C̃)Q upper Hessenberg, so a
+	// frequency point costs one O(q²) Hessenberg solve instead of an
+	// O(q³) dense factorization. feOK is false when G̃ was singular (or
+	// after Reproject/UsePencil, which invalidate the transform);
+	// EvalAC then solves the dense pencil per point.
+	feOK bool
+	feH  []float64 // q×q upper Hessenberg
+	feB  []float64 // Qᵀ·G̃⁻¹·brAgg
+	feL  []float64 // nOut×q: lr·Q
+
+	proj projScratch
+
+	Info Info
+}
+
+// projScratch holds the W = op·V workspace reused by projections.
+type projScratch struct {
+	w []float64 // n, one column at a time
+}
+
+// expansionShifts picks the real expansion points: the caller's S0 when
+// set, otherwise one to three points log-spread across the probed band
+// — matching a few moments at each of several points needs far fewer
+// total columns than pushing one point to high moment counts across
+// frequency decades.
+func expansionShifts(o Options) []float64 {
+	if o.S0 != 0 {
+		return []float64{o.S0}
+	}
+	lo, hi := o.Omegas[0], o.Omegas[len(o.Omegas)-1]
+	ratio := hi / lo
+	logSpread := func(fracs ...float64) []float64 {
+		out := make([]float64, len(fracs))
+		for i, f := range fracs {
+			out[i] = lo * math.Pow(ratio, f)
+		}
+		return out
+	}
+	switch {
+	case ratio <= 30:
+		return logSpread(0.5)
+	case ratio <= 1000:
+		return logSpread(1.0/3, 2.0/3)
+	default:
+		return logSpread(0.25, 0.5, 0.75)
+	}
+}
+
+// variant is one value-set of the system (index 0 = nominal, then the
+// anchors), with the builder's incremental projection state for it.
+type variant struct {
+	gv, cv []float64 // triplet values
+	wg, wc []float64 // n×qmax column-major: G·V, C·V
+	gr, cr []float64 // qmax-stride projections VᵀGV, VᵀCV
+}
+
+// chain is one (variant, shift) Arnoldi recurrence: its factored
+// A = G + s·C and the basis columns of its newest block.
+type chain struct {
+	s    float64
+	vi   int // variant index (which C feeds the recurrence)
+	lu   *numeric.BandLU
+	prev []int
+}
+
+// Build runs the block Arnoldi reduction on sys. On any failure —
+// singular expansion matrices, non-convergence, failed validation — it
+// returns a nil model and an error wrapping ErrNoConverge where the
+// cause is accuracy, and callers fall back to the exact engine.
+func Build(sys *System, opts Options) (*Model, error) {
+	n := sys.N
+	if n < 1 {
+		return nil, errors.New("mor: empty system")
+	}
+	if len(sys.Inputs) == 0 || len(sys.Outputs) == 0 {
+		return nil, errors.New("mor: system needs at least one input and one output")
+	}
+	opts, err := opts.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	m := len(sys.Inputs)
+	if 2*m > opts.MaxOrder && m < n {
+		return nil, fmt.Errorf("mor: %d inputs leave no room for moments under MaxOrder %d", m, opts.MaxOrder)
+	}
+	for i, a := range sys.Anchors {
+		if len(a.G) != len(sys.G.V) || len(a.C) != len(sys.C.V) {
+			return nil, fmt.Errorf("mor: anchor %d structure mismatch", i)
+		}
+	}
+
+	qmax := opts.MaxOrder
+	mdl := &Model{n: n, m: m, nOut: len(sys.Outputs)}
+	mdl.freezeStructure(sys)
+	shifts := expansionShifts(opts)
+	mdl.Info = Info{N: n, S0: shifts[0], Shifts: len(shifts), Anchors: len(sys.Anchors)}
+
+	b := &builder{mdl: mdl, qmax: qmax}
+	b.variants = make([]*variant, 1+len(sys.Anchors))
+	b.variants[0] = &variant{gv: sys.G.V, cv: sys.C.V}
+	for i, a := range sys.Anchors {
+		b.variants[1+i] = &variant{gv: a.G, cv: a.C}
+	}
+	b.init()
+
+	// Factor A = G_v + s·C_v for every (variant, shift). A singular
+	// shift gets nudged twice before the build gives up.
+	var chains []*chain
+	for vi, va := range b.variants {
+		for _, s := range shifts {
+			ch := &chain{s: s, vi: vi}
+			for attempt := 0; ; attempt++ {
+				a := numeric.NewBandMatrix(n, sys.KL, sys.KU)
+				addScaled(a, sys.Perm, sys.G, va.gv, 1)
+				addScaled(a, sys.Perm, sys.C, va.cv, ch.s)
+				if ch.lu, err = numeric.FactorBandLU(a); err == nil {
+					break
+				}
+				if attempt == 2 {
+					return nil, fmt.Errorf("mor: expansion matrix singular at s=%g (variant %d): %w", ch.s, vi, err)
+				}
+				ch.s *= 7.3 // any irrational-ish nudge off the unlucky point
+			}
+			chains = append(chains, ch)
+		}
+	}
+
+	// Seed every chain with its orthonormalized A⁻¹B block (stopping at
+	// the order cap — many chains × many inputs can exceed it).
+	col := make([]float64, n)
+	for _, ch := range chains {
+		for _, in := range sys.Inputs {
+			if mdl.q >= qmax {
+				break
+			}
+			for i := range col {
+				col[i] = 0
+			}
+			for k, r := range in.Rows {
+				col[r] += in.Vals[k]
+			}
+			ch.lu.SolveInPlace(col)
+			if b.add(col) {
+				ch.prev = append(ch.prev, mdl.q-1)
+			}
+		}
+	}
+	if mdl.q == 0 {
+		return nil, errors.New("mor: all input columns vanished (zero B)")
+	}
+
+	// Grow round-robin: each round advances every chain's newest block
+	// through its (G + s·C)⁻¹C map, then probes the nominal projected
+	// transfer function for convergence (a handful of spread
+	// frequencies — the anchors and the full grid are certified exactly
+	// by validation, so probing them every round would only burn q³
+	// evaluations on what validation re-checks anyway).
+	eval := mdl.NewACEval()
+	probeOmegas := opts.Omegas
+	if len(probeOmegas) > 4 {
+		last := len(opts.Omegas) - 1
+		probeOmegas = []float64{
+			opts.Omegas[0], opts.Omegas[last/3], opts.Omegas[2*last/3], opts.Omegas[last],
+		}
+	}
+	hLen := len(probeOmegas) * mdl.nOut
+	hPrev := make([]complex128, 0, hLen)
+	hCur := make([]complex128, hLen)
+	row := make([]complex128, mdl.nOut)
+	converged := 0
+	lastValQ := -4 // re-validate only after meaningful growth
+	for {
+		exhausted := false
+		if mdl.q < qmax {
+			grew := false
+			for _, ch := range chains {
+				cv := b.variants[ch.vi].cv
+				var next []int
+				for _, pc := range ch.prev {
+					if mdl.q >= qmax {
+						break
+					}
+					src := mdl.v[pc*n : (pc+1)*n]
+					for i := range col {
+						col[i] = 0
+					}
+					for k, pi := range mdl.cpi {
+						col[pi] += cv[k] * src[mdl.cpj[k]]
+					}
+					ch.lu.SolveInPlace(col)
+					if b.add(col) {
+						next = append(next, mdl.q-1)
+						grew = true
+					}
+				}
+				ch.prev = next
+			}
+			exhausted = !grew
+		}
+
+		b.materialize()
+		mdl.freezeMaps()
+		probeOK := true
+		for wi, w := range probeOmegas {
+			if err := mdl.EvalAC(eval, w, row); err != nil {
+				probeOK = false
+				break
+			}
+			copy(hCur[wi*mdl.nOut:], row)
+		}
+		if probeOK && len(hPrev) == len(hCur) {
+			if relChange(hCur, hPrev) < opts.Tol {
+				converged++
+			} else {
+				converged = 0
+			}
+		}
+		hPrev = append(hPrev[:0], hCur...)
+
+		done := exhausted || mdl.q >= qmax
+		// Try to certify when the probe settles or growth must stop —
+		// and also periodically on the way up: with several chains a
+		// round adds many columns, so the probe's converged-twice
+		// criterion alone would overshoot the smallest certifiable
+		// order, and every extra column costs q² per later evaluation.
+		tryNow := (probeOK && converged >= 2) || done
+		if !tryNow && !opts.SkipValidate && probeOK && mdl.q-lastValQ >= 8 {
+			tryNow = true
+		}
+		if tryNow {
+			mdl.Info.Q = mdl.q
+			mdl.Info.Exhausted = exhausted
+			if !probeOK && !exhausted {
+				if done {
+					return nil, fmt.Errorf("%w: reduced system singular at probe frequencies", ErrNoConverge)
+				}
+				continue
+			}
+			if opts.SkipValidate {
+				return mdl, nil
+			}
+			if mdl.q-lastValQ < 4 && !done {
+				continue // a failed validation this close would fail again
+			}
+			lastValQ = mdl.q
+			errPct, verr := mdl.validate(sys, b, opts.Omegas)
+			if verr != nil {
+				return nil, verr
+			}
+			if errPct > 100*opts.ValTol {
+				if done {
+					return nil, fmt.Errorf("%w: validated error %.3g%% exceeds %.3g%% at order %d",
+						ErrNoConverge, errPct, 100*opts.ValTol, mdl.q)
+				}
+				converged = 0 // keep growing toward MaxOrder
+				continue
+			}
+			mdl.Info.EstErrPct = errPct
+			mdl.Info.Validated = true
+			return mdl, nil
+		}
+		if done {
+			return nil, fmt.Errorf("%w: order %d hit MaxOrder without settling", ErrNoConverge, mdl.q)
+		}
+	}
+}
+
+// addScaled stamps s·vals over the structure of t into band storage —
+// AddScaledToBand for a detached value array.
+func addScaled(b *numeric.BandMatrix, perm []int, t *numeric.Triplets, vals []float64, s float64) {
+	for k, i := range t.I {
+		b.Add(perm[i], perm[t.J[k]], s*vals[k])
+	}
+}
+
+// relChange is the maximum |a−b| over the peak |b|, the scale-free
+// distance between two probed transfer-function sample sets.
+func relChange(a, b []complex128) float64 {
+	peak := 0.0
+	for _, v := range b {
+		if m := math.Hypot(real(v), imag(v)); m > peak {
+			peak = m
+		}
+	}
+	if peak == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if m := math.Hypot(real(d), imag(d)); m > worst {
+			worst = m
+		}
+	}
+	return worst / peak
+}
+
+// builder owns the incremental congruence projections: alongside the
+// growing basis V it maintains, per variant, W_G = G·V and W_C = C·V
+// plus the projected products in qmax-stride buffers, so appending a
+// column costs O(nnz + n·q) per variant instead of recomputing VᵀGV
+// from scratch (which would make the build O(n·q³)).
+type builder struct {
+	mdl      *Model
+	qmax     int
+	variants []*variant
+}
+
+func (b *builder) init() {
+	n, qm := b.mdl.n, b.qmax
+	for _, va := range b.variants {
+		va.wg = make([]float64, n*qm)
+		va.wc = make([]float64, n*qm)
+		va.gr = make([]float64, qm*qm)
+		va.cr = make([]float64, qm*qm)
+	}
+}
+
+// add orthonormalizes col into the basis (false when it deflates) and
+// extends every variant's incremental projection with the new column.
+func (b *builder) add(col []float64) bool {
+	mdl := b.mdl
+	if !mdl.appendOrth(col) {
+		return false
+	}
+	n, qm := mdl.n, b.qmax
+	a := mdl.q - 1
+	va := mdl.v[a*n : (a+1)*n]
+	for _, vr := range b.variants {
+		wga := vr.wg[a*n : (a+1)*n]
+		wca := vr.wc[a*n : (a+1)*n]
+		for k, v := range vr.gv {
+			wga[mdl.gpi[k]] += v * va[mdl.gpj[k]]
+		}
+		for k, v := range vr.cv {
+			wca[mdl.cpi[k]] += v * va[mdl.cpj[k]]
+		}
+		for i := 0; i <= a; i++ {
+			vi := mdl.v[i*n : (i+1)*n]
+			var gia, cia, gai, cai float64
+			wgi := vr.wg[i*n : (i+1)*n]
+			wci := vr.wc[i*n : (i+1)*n]
+			for r := 0; r < n; r++ {
+				gia += vi[r] * wga[r]
+				cia += vi[r] * wca[r]
+				gai += va[r] * wgi[r]
+				cai += va[r] * wci[r]
+			}
+			vr.gr[i*qm+a], vr.gr[a*qm+i] = gia, gai
+			vr.cr[i*qm+a], vr.cr[a*qm+i] = cia, cai
+		}
+	}
+	return true
+}
+
+// materialize copies the nominal variant's stride-qmax projection into
+// the model's dense q×q matrices.
+func (b *builder) materialize() {
+	mdl, q := b.mdl, b.mdl.q
+	if mdl.Gr == nil || mdl.Gr.Rows != q {
+		mdl.Gr = numeric.NewMatrix(q, q)
+		mdl.Cr = numeric.NewMatrix(q, q)
+	}
+	b.copyInto(b.variants[0], mdl.Gr, mdl.Cr)
+}
+
+// copyInto copies a variant's projection blocks into dense q×q form.
+func (b *builder) copyInto(va *variant, gr, cr *numeric.Matrix) {
+	q, qm := b.mdl.q, b.qmax
+	for i := 0; i < q; i++ {
+		copy(gr.Data[i*q:(i+1)*q], va.gr[i*qm:i*qm+q])
+		copy(cr.Data[i*q:(i+1)*q], va.cr[i*qm:i*qm+q])
+	}
+}
+
+// appendOrth orthonormalizes col against the basis (modified
+// Gram-Schmidt with the Kahan–Parlett reorthogonalization trigger: a
+// second pass only when the first one removed most of the vector) and
+// appends it unless it deflates; col is clobbered. Reports whether a
+// column was appended.
+func (m *Model) appendOrth(col []float64) bool {
+	n := m.n
+	norm0 := vecNorm(col)
+	if norm0 == 0 {
+		return false
+	}
+	mgs := func() {
+		for a := 0; a < m.q; a++ {
+			va := m.v[a*n : (a+1)*n]
+			h := 0.0
+			for i, v := range va {
+				h += v * col[i]
+			}
+			for i, v := range va {
+				col[i] -= h * v
+			}
+		}
+	}
+	mgs()
+	if vecNorm(col) < 0.5*norm0 {
+		mgs()
+	}
+	norm := vecNorm(col)
+	if norm <= 1e-10*norm0 {
+		return false
+	}
+	inv := 1 / norm
+	base := len(m.v)
+	m.v = append(m.v, col...)
+	for i := base; i < base+n; i++ {
+		m.v[i] *= inv
+	}
+	m.q++
+	return true
+}
+
+func vecNorm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// freezeStructure snapshots the permuted triplet structure and the
+// input/output maps.
+func (m *Model) freezeStructure(sys *System) {
+	m.gpi = make([]int, len(sys.G.I))
+	m.gpj = make([]int, len(sys.G.I))
+	for k, i := range sys.G.I {
+		m.gpi[k], m.gpj[k] = sys.Perm[i], sys.Perm[sys.G.J[k]]
+	}
+	m.cpi = make([]int, len(sys.C.I))
+	m.cpj = make([]int, len(sys.C.I))
+	for k, i := range sys.C.I {
+		m.cpi[k], m.cpj[k] = sys.Perm[i], sys.Perm[sys.C.J[k]]
+	}
+	m.inputs = append([]InputCol(nil), sys.Inputs...)
+	m.outputs = append([]int(nil), sys.Outputs...)
+}
+
+// freezeMaps recomputes the V-dependent input/output projections
+// (Br, the aggregate AC drive, the output rows of V) and the fast
+// evaluation transform.
+func (m *Model) freezeMaps() {
+	n, q := m.n, m.q
+	m.br = make([]float64, q*m.m)
+	m.brAgg = make([]float64, q)
+	for a := 0; a < q; a++ {
+		va := m.v[a*n : (a+1)*n]
+		for j, in := range m.inputs {
+			s := 0.0
+			for k, r := range in.Rows {
+				s += in.Vals[k] * va[r]
+			}
+			m.br[a*m.m+j] = s
+			m.brAgg[a] += s
+		}
+	}
+	m.lr = make([]float64, m.nOut*q)
+	for k, r := range m.outputs {
+		for a := 0; a < q; a++ {
+			m.lr[k*q+a] = m.v[a*n+r]
+		}
+	}
+	m.prepFastEval()
+}
+
+// ProjectValues computes VᵀMV for an arbitrary value array laid out on
+// the frozen G structure (onC false) or C structure (onC true) — the
+// building block for per-class reduced pencils: the congruence
+// projection is linear in the matrix values, so a scalar class-scaled
+// instance recombines from per-class blocks in O(q²) (see UsePencil).
+func (m *Model) ProjectValues(vals []float64, onC bool, dst *numeric.Matrix) error {
+	pi, pj := m.gpi, m.gpj
+	if onC {
+		pi, pj = m.cpi, m.cpj
+	}
+	if len(vals) != len(pi) {
+		return fmt.Errorf("mor: ProjectValues got %d values for a %d-entry structure", len(vals), len(pi))
+	}
+	n, q := m.n, m.q
+	if dst.Rows != q || dst.Cols != q {
+		return fmt.Errorf("mor: ProjectValues needs a %d×%d destination", q, q)
+	}
+	if len(m.proj.w) < n {
+		m.proj.w = make([]float64, n)
+	}
+	w := m.proj.w[:n]
+	for b := 0; b < q; b++ {
+		vb := m.v[b*n : (b+1)*n]
+		for i := range w {
+			w[i] = 0
+		}
+		for k, v := range vals {
+			w[pi[k]] += v * vb[pj[k]]
+		}
+		for a := 0; a < q; a++ {
+			va := m.v[a*n : (a+1)*n]
+			s := 0.0
+			for i, vv := range va {
+				s += vv * w[i]
+			}
+			dst.Data[a*q+b] = s
+		}
+	}
+	return nil
+}
+
+// Reproject re-targets the model at same-structure triplet values
+// through the frozen basis V — the generic Monte Carlo fast path:
+// a perturbed instance of an already-reduced net costs O(nnz·q + n·q²)
+// instead of a fresh Arnoldi build. The accuracy contract is the
+// anchor mechanism: the basis must have been built with anchors
+// bracketing the perturbation range, otherwise the congruence
+// projection of far-off values degrades. The input/output maps depend
+// only on V and stay frozen.
+//
+// Reproject mutates the model: it must not race concurrent
+// evaluations.
+func (m *Model) Reproject(g, c *numeric.Triplets) error {
+	if len(g.V) != len(m.gpi) || len(c.V) != len(m.cpi) {
+		return fmt.Errorf("mor: reprojection structure mismatch (G %d vs %d, C %d vs %d entries)",
+			len(g.V), len(m.gpi), len(c.V), len(m.cpi))
+	}
+	if m.Gr == nil || m.Gr.Rows != m.q {
+		m.Gr = numeric.NewMatrix(m.q, m.q)
+		m.Cr = numeric.NewMatrix(m.q, m.q)
+	}
+	if err := m.ProjectValues(g.V, false, m.Gr); err != nil {
+		return err
+	}
+	if err := m.ProjectValues(c.V, true, m.Cr); err != nil {
+		return err
+	}
+	m.feOK = false
+	return nil
+}
+
+// UsePencil installs externally combined reduced matrices — typically
+// Σ wᵢ·blockᵢ over ProjectValues class blocks — as the model's current
+// pencil. The slices must be q×q row-major; they are copied. Like
+// Reproject, it must not race concurrent evaluations.
+func (m *Model) UsePencil(gr, cr []float64) error {
+	q := m.q
+	if len(gr) != q*q || len(cr) != q*q {
+		return fmt.Errorf("mor: UsePencil needs %d×%d matrices", q, q)
+	}
+	if m.Gr == nil || m.Gr.Rows != q {
+		m.Gr = numeric.NewMatrix(q, q)
+		m.Cr = numeric.NewMatrix(q, q)
+	}
+	copy(m.Gr.Data, gr)
+	copy(m.Cr.Data, cr)
+	m.feOK = false
+	return nil
+}
+
+// Q returns the reduced order.
+func (m *Model) Q() int { return m.q }
+
+// NumOutputs returns the number of observed outputs.
+func (m *Model) NumOutputs() int { return m.nOut }
+
+// NumInputs returns the number of input columns (one per source).
+func (m *Model) NumInputs() int { return m.m }
+
+// Basis exposes the orthonormal basis (column-major, n per column) and
+// its column count — observability for tests and diagnostics.
+func (m *Model) Basis() ([]float64, int) { return m.v, m.q }
+
+// prepFastEval builds the Hessenberg evaluation transform from the
+// current G̃, C̃. On a singular G̃ it leaves feOK false and EvalAC
+// solves the dense pencil per point instead.
+func (m *Model) prepFastEval() {
+	q := m.q
+	m.feOK = false
+	var glu numeric.LU
+	if err := numeric.FactorLUInto(&glu, m.Gr); err != nil {
+		return
+	}
+	h := make([]float64, q*q)
+	col := make([]float64, q)
+	for j := 0; j < q; j++ {
+		for i := 0; i < q; i++ {
+			col[i] = m.Cr.Data[i*q+j]
+		}
+		glu.SolveTo(col, col)
+		for i := 0; i < q; i++ {
+			h[i*q+j] = col[i]
+		}
+	}
+	bp := make([]float64, q)
+	glu.SolveTo(bp, m.brAgg)
+	qm := make([]float64, q*q)
+	for i := 0; i < q; i++ {
+		qm[i*q+i] = 1
+	}
+	hessenberg(h, qm, q)
+	m.feH = h
+	m.feB = make([]float64, q)
+	for i := 0; i < q; i++ {
+		s := 0.0
+		for r := 0; r < q; r++ {
+			s += qm[r*q+i] * bp[r]
+		}
+		m.feB[i] = s
+	}
+	m.feL = make([]float64, m.nOut*q)
+	for k := 0; k < m.nOut; k++ {
+		lrow := m.lr[k*q : (k+1)*q]
+		for j := 0; j < q; j++ {
+			s := 0.0
+			for r := 0; r < q; r++ {
+				s += lrow[r] * qm[r*q+j]
+			}
+			m.feL[k*q+j] = s
+		}
+	}
+	m.feOK = true
+}
+
+// hessenberg reduces a (n×n, row-major) to upper Hessenberg form by
+// Householder similarity, accumulating the orthogonal transform into
+// qm (a := Qᵀ·a·Q, qm := qm·Q).
+func hessenberg(a, qm []float64, n int) {
+	v := make([]float64, n)
+	for k := 0; k < n-2; k++ {
+		alpha := 0.0
+		for i := k + 1; i < n; i++ {
+			alpha += a[i*n+k] * a[i*n+k]
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha == 0 {
+			continue
+		}
+		if a[(k+1)*n+k] > 0 {
+			alpha = -alpha
+		}
+		vnorm2 := 0.0
+		for i := k + 1; i < n; i++ {
+			v[i] = a[i*n+k]
+		}
+		v[k+1] -= alpha
+		for i := k + 1; i < n; i++ {
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		beta := 2 / vnorm2
+		// a := P·a with P = I − β·v·vᵀ (touches rows k+1…).
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += v[i] * a[i*n+j]
+			}
+			s *= beta
+			for i := k + 1; i < n; i++ {
+				a[i*n+j] -= s * v[i]
+			}
+		}
+		// a := a·P (touches columns k+1…).
+		for i := 0; i < n; i++ {
+			row := a[i*n : (i+1)*n]
+			s := 0.0
+			for j := k + 1; j < n; j++ {
+				s += row[j] * v[j]
+			}
+			s *= beta
+			for j := k + 1; j < n; j++ {
+				row[j] -= s * v[j]
+			}
+		}
+		// qm := qm·P.
+		for i := 0; i < n; i++ {
+			row := qm[i*n : (i+1)*n]
+			s := 0.0
+			for j := k + 1; j < n; j++ {
+				s += row[j] * v[j]
+			}
+			s *= beta
+			for j := k + 1; j < n; j++ {
+				row[j] -= s * v[j]
+			}
+		}
+		a[(k+1)*n+k] = alpha
+		for i := k + 2; i < n; i++ {
+			a[i*n+k] = 0
+		}
+	}
+}
+
+// validate compares the reduced and exact transfer functions at every
+// probe frequency for the nominal system and every anchor, returning
+// the worst output error in percent of the exact response peak.
+func (m *Model) validate(sys *System, b *builder, omegas []float64) (float64, error) {
+	bz := make([]complex128, sys.N)
+	for _, in := range sys.Inputs {
+		for k, r := range in.Rows {
+			bz[r] += complex(in.Vals[k], 0)
+		}
+	}
+	x := make([]complex128, sys.N)
+	yr := make([]complex128, m.nOut)
+	eval := m.NewACEval()
+	a := numeric.NewCBandMatrix(sys.N, sys.KL, sys.KU)
+	var lu numeric.CBandLU
+	grq := numeric.NewMatrix(m.q, m.q)
+	crq := numeric.NewMatrix(m.q, m.q)
+	peak, worst := 0.0, 0.0
+	for vi, va := range b.variants {
+		var gr, cr *numeric.Matrix
+		if vi == 0 {
+			gr, cr = m.Gr, m.Cr
+		} else {
+			b.copyInto(va, grq, crq)
+			gr, cr = grq, crq
+		}
+		for _, w := range omegas {
+			a.Zero()
+			for k, i := range sys.G.I {
+				a.Add(sys.Perm[i], sys.Perm[sys.G.J[k]], complex(va.gv[k], 0))
+			}
+			for k, i := range sys.C.I {
+				a.Add(sys.Perm[i], sys.Perm[sys.C.J[k]], complex(0, w*va.cv[k]))
+			}
+			if err := numeric.FactorCBandLUInto(&lu, a); err != nil {
+				return 0, fmt.Errorf("mor: exact validation solve at ω=%g (variant %d): %w", w, vi, err)
+			}
+			lu.SolveTo(x, bz)
+			if err := m.evalPencil(eval, gr, cr, w, yr); err != nil {
+				return 0, fmt.Errorf("%w: reduced system singular at validation ω=%g (variant %d)", ErrNoConverge, w, vi)
+			}
+			for k, r := range m.outputs {
+				ye := x[r]
+				if mag := math.Hypot(real(ye), imag(ye)); mag > peak {
+					peak = mag
+				}
+				d := yr[k] - ye
+				if mag := math.Hypot(real(d), imag(d)); mag > worst {
+					worst = mag
+				}
+			}
+		}
+	}
+	if peak == 0 {
+		return 0, fmt.Errorf("%w: exact response is identically zero at validation frequencies", ErrNoConverge)
+	}
+	return 100 * worst / peak, nil
+}
+
+// ACEval is per-worker scratch for EvalAC; create one per goroutine.
+type ACEval struct {
+	a  *numeric.CMatrix
+	lu numeric.CLU
+	z  []complex128
+	hw []complex128 // Hessenberg working copy
+}
+
+// NewACEval returns evaluation scratch sized for the model.
+func (m *Model) NewACEval() *ACEval {
+	return &ACEval{
+		a:  numeric.NewCMatrix(m.q, m.q),
+		z:  make([]complex128, m.q),
+		hw: make([]complex128, m.q*m.q),
+	}
+}
+
+// EvalAC evaluates the reduced transfer function at angular frequency
+// omega with unit phasors on every input (matching mna.AC's drive),
+// writing one phasor per output into dst. With the Hessenberg
+// transform available a point costs O(q²); otherwise one q×q dense
+// factorization. After warmup it performs no heap allocations.
+func (m *Model) EvalAC(sc *ACEval, omega float64, dst []complex128) error {
+	q := m.q
+	if sc.a.Rows != q {
+		sc.a = numeric.NewCMatrix(q, q)
+		sc.z = make([]complex128, q)
+		sc.hw = make([]complex128, q*q)
+	}
+	if m.feOK {
+		if err := m.evalHess(sc, omega); err != nil {
+			return err
+		}
+		for k := range dst[:m.nOut] {
+			var s complex128
+			row := m.feL[k*q : (k+1)*q]
+			for a, l := range row {
+				s += complex(l, 0) * sc.z[a]
+			}
+			dst[k] = s
+		}
+		return nil
+	}
+	return m.evalPencil(sc, m.Gr, m.Cr, omega, dst)
+}
+
+// evalPencil solves the dense reduced pencil (gr + jω·cr) for the
+// aggregate unit drive and writes the outputs — the general path used
+// for reprojected pencils and build-time anchor probing.
+func (m *Model) evalPencil(sc *ACEval, gr, cr *numeric.Matrix, omega float64, dst []complex128) error {
+	q := m.q
+	if sc.a.Rows != q {
+		sc.a = numeric.NewCMatrix(q, q)
+		sc.z = make([]complex128, q)
+		sc.hw = make([]complex128, q*q)
+	}
+	gd, cd := gr.Data, cr.Data
+	ad := sc.a.Data
+	for i := range ad {
+		ad[i] = complex(gd[i], omega*cd[i])
+	}
+	if err := numeric.FactorCLUInto(&sc.lu, sc.a); err != nil {
+		return err
+	}
+	for i, v := range m.brAgg {
+		sc.z[i] = complex(v, 0)
+	}
+	sc.lu.SolveTo(sc.z, sc.z)
+	for k := range dst[:m.nOut] {
+		var s complex128
+		row := m.lr[k*q : (k+1)*q]
+		for a, l := range row {
+			s += complex(l, 0) * sc.z[a]
+		}
+		dst[k] = s
+	}
+	return nil
+}
+
+// evalHess solves (I + jω·H)·z = feB into sc.z by Gaussian elimination
+// with adjacent-row partial pivoting — O(q²), the Hessenberg structure
+// leaves exactly one subdiagonal to eliminate per column.
+func (m *Model) evalHess(sc *ACEval, omega float64) error {
+	q := m.q
+	hw := sc.hw[:q*q]
+	jw := complex(0, omega)
+	for i := 0; i < q; i++ {
+		lo := i - 1
+		if lo < 0 {
+			lo = 0
+		}
+		row := hw[i*q : (i+1)*q]
+		for j := 0; j < lo; j++ {
+			row[j] = 0
+		}
+		for j := lo; j < q; j++ {
+			row[j] = jw * complex(m.feH[i*q+j], 0)
+		}
+		row[i] += 1
+	}
+	z := sc.z[:q]
+	for i, v := range m.feB {
+		z[i] = complex(v, 0)
+	}
+	for k := 0; k < q-1; k++ {
+		if cabs1c(hw[(k+1)*q+k]) > cabs1c(hw[k*q+k]) {
+			for j := k; j < q; j++ {
+				hw[k*q+j], hw[(k+1)*q+j] = hw[(k+1)*q+j], hw[k*q+j]
+			}
+			z[k], z[k+1] = z[k+1], z[k]
+		}
+		piv := hw[k*q+k]
+		if piv == 0 {
+			return numeric.ErrSingular
+		}
+		if f := hw[(k+1)*q+k]; f != 0 {
+			f /= piv
+			for j := k + 1; j < q; j++ {
+				hw[(k+1)*q+j] -= f * hw[k*q+j]
+			}
+			z[k+1] -= f * z[k]
+		}
+	}
+	for i := q - 1; i >= 0; i-- {
+		s := z[i]
+		row := hw[i*q+i+1 : i*q+q]
+		for j, v := range row {
+			s -= v * z[i+1+j]
+		}
+		d := hw[i*q+i]
+		if d == 0 {
+			return numeric.ErrSingular
+		}
+		z[i] = s / d
+	}
+	return nil
+}
+
+// cabs1c is the |re|+|im| magnitude used for pivot comparison.
+func cabs1c(v complex128) float64 { return math.Abs(real(v)) + math.Abs(imag(v)) }
+
+// Transient integrates the reduced state equation C̃·ẋ + G̃·x = B̃·u(t)
+// with the trapezoidal rule from rest, against the model's current
+// pencil (nominal after Build, or whatever Reproject/UsePencil
+// installed). The congruence projection of the passive form keeps the
+// recurrence A-stable like the full engine's. Create with
+// NewTransient, drive with Step, read with Output. One Transient is
+// single-goroutine scratch; several may share one Model, but creation
+// must not race Reproject/UsePencil.
+type Transient struct {
+	m   *Model
+	lu  numeric.LU
+	bm  []float64 // C̃/h − G̃/2, q×q
+	x   []float64
+	rhs []float64
+	up  []float64 // previous input
+}
+
+// NewTransient factors the reduced step matrix for fixed step h. The
+// state starts at rest (x = 0, u(0) = 0); call Start when u(0) ≠ 0.
+func (m *Model) NewTransient(h float64) (*Transient, error) {
+	if !(h > 0) || math.IsInf(h, 0) {
+		return nil, fmt.Errorf("mor: transient step %g must be positive", h)
+	}
+	q := m.q
+	tr := &Transient{
+		m:   m,
+		bm:  make([]float64, q*q),
+		x:   make([]float64, q),
+		rhs: make([]float64, q),
+		up:  make([]float64, m.m),
+	}
+	a := numeric.NewMatrix(q, q)
+	gd, cd := m.Gr.Data, m.Cr.Data
+	for i := range a.Data {
+		a.Data[i] = cd[i]/h + gd[i]/2
+		tr.bm[i] = cd[i]/h - gd[i]/2
+	}
+	if err := numeric.FactorLUInto(&tr.lu, a); err != nil {
+		return nil, fmt.Errorf("mor: reduced step matrix singular at h=%g: %w", h, err)
+	}
+	return tr, nil
+}
+
+// Start sets the initial condition to the DC operating point for the
+// t = 0 input u0 — solving G̃·x = B̃·u0, mirroring the full engine's
+// start — when G̃ is nonsingular, and to rest otherwise (also the full
+// engine's fallback). Call before the first Step when u(0) is not
+// identically zero.
+func (tr *Transient) Start(u0 []float64) {
+	m, q := tr.m, tr.m.q
+	copy(tr.up, u0)
+	for i := range tr.x {
+		tr.x[i] = 0
+	}
+	zero := true
+	for _, v := range u0 {
+		if v != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return
+	}
+	var g numeric.LU
+	if err := numeric.FactorLUInto(&g, m.Gr); err != nil {
+		return
+	}
+	for i := 0; i < q; i++ {
+		brow := m.br[i*m.m : (i+1)*m.m]
+		s := 0.0
+		for j, v := range brow {
+			s += v * u0[j]
+		}
+		tr.rhs[i] = s
+	}
+	g.SolveTo(tr.x, tr.rhs)
+}
+
+// Step advances one timestep with the input vector u sampled at the new
+// time t_{n+1} (one entry per input column). It allocates nothing.
+func (tr *Transient) Step(u []float64) {
+	m, q := tr.m, tr.m.q
+	// rhs = (C̃/h − G̃/2)·x + B̃·(u_prev + u)/2
+	for i := 0; i < q; i++ {
+		row := tr.bm[i*q : (i+1)*q]
+		s := 0.0
+		for j, v := range row {
+			s += v * tr.x[j]
+		}
+		brow := m.br[i*m.m : (i+1)*m.m]
+		for j, v := range brow {
+			s += v * (tr.up[j] + u[j]) / 2
+		}
+		tr.rhs[i] = s
+	}
+	tr.lu.SolveTo(tr.x, tr.rhs)
+	copy(tr.up, u)
+}
+
+// Output returns output k of the current state.
+func (tr *Transient) Output(k int) float64 {
+	q := tr.m.q
+	row := tr.m.lr[k*q : (k+1)*q]
+	s := 0.0
+	for a, l := range row {
+		s += l * tr.x[a]
+	}
+	return s
+}

@@ -1,0 +1,382 @@
+package mor
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rlckit/internal/numeric"
+)
+
+// rcLadder builds the triplets of an n-node RC ladder driven by a
+// current injection at node 0: G tridiagonal from the series
+// resistors plus a load conductance, C diagonal. The system is already
+// passive-form (no branch rows), kl = ku = 1, identity permutation.
+func rcLadder(n int, r, c float64) *System {
+	g := numeric.NewTriplets(n)
+	ct := numeric.NewTriplets(n)
+	gg := 1 / r
+	g.Add(0, 0, gg)
+	for i := 1; i < n; i++ {
+		g.Add(i-1, i-1, gg)
+		g.Add(i, i, gg)
+		g.Add(i-1, i, -gg)
+		g.Add(i, i-1, -gg)
+	}
+	g.Add(n-1, n-1, gg/10) // load conductance pins the DC solution
+	for i := 0; i < n; i++ {
+		ct.Add(i, i, c)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return &System{
+		N: n, KL: 1, KU: 1, Perm: perm,
+		G: g, C: ct,
+		Inputs:  []InputCol{{Rows: []int{0}, Vals: []float64{1}}},
+		Outputs: []int{n - 1},
+	}
+}
+
+// exactTF solves the full system densely at omega.
+func exactTF(sys *System, vals AnchorValues, omega float64) complex128 {
+	n := sys.N
+	a := numeric.NewCMatrix(n, n)
+	gv, cv := vals.G, vals.C
+	if gv == nil {
+		gv, cv = sys.G.V, sys.C.V
+	}
+	for k, i := range sys.G.I {
+		a.Add(i, sys.G.J[k], complex(gv[k], 0))
+	}
+	for k, i := range sys.C.I {
+		a.Add(i, sys.C.J[k], complex(0, omega*cv[k]))
+	}
+	b := make([]complex128, n)
+	for _, in := range sys.Inputs {
+		for k, r := range in.Rows {
+			b[r] += complex(in.Vals[k], 0)
+		}
+	}
+	x, err := numeric.SolveCDense(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return x[sys.Outputs[0]]
+}
+
+func ladderOmegas(r, c float64, n int) []float64 {
+	tau := r * c * float64(n) * float64(n)
+	lo, hi := 0.01/tau, 30/tau
+	out := make([]float64, 7)
+	ratio := math.Pow(hi/lo, 1.0/6)
+	w := lo
+	for i := range out {
+		out[i] = w
+		w *= ratio
+	}
+	return out
+}
+
+func TestBuildReproducesExactTransferFunction(t *testing.T) {
+	const n, r, c = 60, 100.0, 1e-13
+	sys := rcLadder(n, r, c)
+	omegas := ladderOmegas(r, c, n)
+	mdl, err := Build(sys, Options{Omegas: omegas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := mdl.Info
+	if !info.Validated || info.Q >= n/2 || info.N != n {
+		t.Fatalf("unexpected info %+v", info)
+	}
+	if mdl.Q() != info.Q || mdl.NumOutputs() != 1 || mdl.NumInputs() != 1 {
+		t.Fatal("accessor mismatch")
+	}
+	if v, q := mdl.Basis(); len(v) != n*q {
+		t.Fatalf("basis is %d floats for q=%d", len(v), q)
+	}
+	// Evaluate on a denser grid than the build probed, against dense
+	// exact solves.
+	eval := mdl.NewACEval()
+	out := make([]complex128, 1)
+	peak, worst := 0.0, 0.0
+	for i := 0; i < 25; i++ {
+		w := omegas[0] * math.Pow(omegas[len(omegas)-1]/omegas[0], float64(i)/24)
+		if err := mdl.EvalAC(eval, w, out); err != nil {
+			t.Fatal(err)
+		}
+		ye := exactTF(sys, AnchorValues{}, w)
+		if m := cmplx.Abs(ye); m > peak {
+			peak = m
+		}
+		if d := cmplx.Abs(out[0] - ye); d > worst {
+			worst = d
+		}
+	}
+	if worst/peak > 1e-2 {
+		t.Errorf("reduced TF off by %.3g of peak on the dense grid", worst/peak)
+	}
+}
+
+// TestTransientMatchesFullIntegration: the reduced trapezoidal
+// recurrence must track a dense full-order trapezoidal integration of
+// the same system driven by the same step.
+func TestTransientMatchesFullIntegration(t *testing.T) {
+	const n, r, c = 24, 200.0, 2e-13
+	sys := rcLadder(n, r, c)
+	omegas := ladderOmegas(r, c, n)
+	mdl, err := Build(sys, Options{Omegas: omegas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := r * c * float64(n) * float64(n)
+	h := tau / 400
+	tr, err := mdl.NewTransient(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense full-order trapezoidal reference.
+	gd := numeric.NewMatrix(n, n)
+	cd := numeric.NewMatrix(n, n)
+	for k, i := range sys.G.I {
+		gd.Add(i, sys.G.J[k], sys.G.V[k])
+	}
+	for k, i := range sys.C.I {
+		cd.Add(i, sys.C.J[k], sys.C.V[k])
+	}
+	af := numeric.NewMatrix(n, n)
+	bf := numeric.NewMatrix(n, n)
+	for i := range af.Data {
+		af.Data[i] = cd.Data[i]/h + gd.Data[i]/2
+		bf.Data[i] = cd.Data[i]/h - gd.Data[i]/2
+	}
+	lu, err := numeric.FactorLU(af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	rhs := make([]float64, n)
+	u := []float64{0}
+	uPrev := 0.0
+	worst := 0.0
+	for s := 1; s <= 800; s++ {
+		uNow := 1.0 // unit step from the first timestep on
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += bf.Data[i*n+j] * x[j]
+			}
+			rhs[i] = sum
+		}
+		rhs[0] += (uPrev + uNow) / 2
+		x = lu.Solve(rhs)
+		uPrev = uNow
+		u[0] = uNow
+		tr.Step(u)
+		if d := math.Abs(tr.Output(0) - x[n-1]); d > worst {
+			worst = d
+		}
+	}
+	// The response settles to ~10·(1/gg)·... — compare against its final
+	// magnitude.
+	scale := math.Abs(x[n-1])
+	if scale == 0 || worst/scale > 2e-2 {
+		t.Errorf("reduced transient deviates by %.3g (final %.3g)", worst, scale)
+	}
+	// Start from a nonzero DC input and check the DC operating point.
+	tr.Start([]float64{1})
+	dc := exactTF(sys, AnchorValues{}, 0)
+	if d := math.Abs(tr.Output(0) - real(dc)); d > 1e-6*math.Abs(real(dc)) {
+		t.Errorf("Start DC point %.6g, want %.6g", tr.Output(0), real(dc))
+	}
+}
+
+// TestReprojectAndPencils: value-only reprojection must track the
+// exact perturbed system; per-class blocks must recombine to the same
+// pencil; UsePencil validates its inputs.
+func TestReprojectAndPencils(t *testing.T) {
+	const n, r, c = 40, 150.0, 1e-13
+	sys := rcLadder(n, r, c)
+	omegas := ladderOmegas(r, c, n)
+	mdl, err := Build(sys, Options{Omegas: omegas, ValTol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mdl.Q()
+
+	// Per-class blocks: class 0 = G entries, class 0 for C too (single
+	// class each here — linearity is what's being checked).
+	gBlock := numeric.NewMatrix(q, q)
+	cBlock := numeric.NewMatrix(q, q)
+	if err := mdl.ProjectValues(sys.G.V, false, gBlock); err != nil {
+		t.Fatal(err)
+	}
+	if err := mdl.ProjectValues(sys.C.V, true, cBlock); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb: scale all C ×1.3 (inside what this basis tolerates for an
+	// RC chain), reproject, compare against dense exact.
+	scaled := numeric.NewTriplets(n)
+	scaled.I, scaled.J = sys.C.I, sys.C.J
+	scaled.V = make([]float64, len(sys.C.V))
+	for k, v := range sys.C.V {
+		scaled.V[k] = 1.3 * v
+	}
+	if err := mdl.Reproject(sys.G, scaled); err != nil {
+		t.Fatal(err)
+	}
+	eval := mdl.NewACEval()
+	out := make([]complex128, 1)
+	w := omegas[3]
+	if err := mdl.EvalAC(eval, w, out); err != nil {
+		t.Fatal(err)
+	}
+	ye := exactTF(sys, AnchorValues{G: sys.G.V, C: scaled.V}, w)
+	if d := cmplx.Abs(out[0]-ye) / cmplx.Abs(ye); d > 2e-2 {
+		t.Errorf("reprojected TF off by %.3g", d)
+	}
+
+	// The same pencil via class-block linearity.
+	gr := append([]float64(nil), gBlock.Data...)
+	cr := make([]float64, q*q)
+	for i, v := range cBlock.Data {
+		cr[i] = 1.3 * v
+	}
+	if err := mdl.UsePencil(gr, cr); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range mdl.Cr.Data {
+		if math.Abs(v-1.3*cBlock.Data[i]) > 1e-12*math.Abs(v) {
+			t.Fatal("UsePencil did not install the combined matrices")
+		}
+	}
+	out2 := make([]complex128, 1)
+	if err := mdl.EvalAC(eval, w, out2); err != nil {
+		t.Fatal(err)
+	}
+	// Summation order differs between the two paths; agreement is to
+	// rounding, not bit-exact.
+	if d := cmplx.Abs(out2[0] - out[0]); d > 1e-10*cmplx.Abs(out[0]) {
+		t.Errorf("class-combined pencil evaluates differently: %v vs %v", out2[0], out[0])
+	}
+
+	// Error paths.
+	if err := mdl.UsePencil(gr[:1], cr); err == nil {
+		t.Error("short pencil accepted")
+	}
+	if err := mdl.ProjectValues(sys.G.V[:2], false, gBlock); err == nil {
+		t.Error("short value array accepted")
+	}
+	bad := numeric.NewTriplets(n)
+	bad.V = []float64{1}
+	bad.I, bad.J = []int{0}, []int{0}
+	if err := mdl.Reproject(bad, scaled); err == nil {
+		t.Error("structure mismatch accepted")
+	}
+}
+
+func TestBuildWithAnchors(t *testing.T) {
+	const n, r, c = 40, 150.0, 1e-13
+	sys := rcLadder(n, r, c)
+	scale := func(f float64) AnchorValues {
+		av := AnchorValues{G: make([]float64, len(sys.G.V)), C: make([]float64, len(sys.C.V))}
+		for k, v := range sys.G.V {
+			av.G[k] = v / f
+		}
+		for k, v := range sys.C.V {
+			av.C[k] = f * v
+		}
+		return av
+	}
+	sys.Anchors = []AnchorValues{scale(1.5), scale(1 / 1.5)}
+	omegas := ladderOmegas(r, c, n)
+	mdl, err := Build(sys, Options{Omegas: omegas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdl.Info.Anchors != 2 || !mdl.Info.Validated {
+		t.Fatalf("info %+v", mdl.Info)
+	}
+	// An in-between instance through the frozen basis.
+	mid := scale(1.2)
+	midT := numeric.NewTriplets(n)
+	midT.I, midT.J, midT.V = sys.G.I, sys.G.J, mid.G
+	midC := numeric.NewTriplets(n)
+	midC.I, midC.J, midC.V = sys.C.I, sys.C.J, mid.C
+	if err := mdl.Reproject(midT, midC); err != nil {
+		t.Fatal(err)
+	}
+	eval := mdl.NewACEval()
+	out := make([]complex128, 1)
+	w := omegas[4]
+	if err := mdl.EvalAC(eval, w, out); err != nil {
+		t.Fatal(err)
+	}
+	ye := exactTF(sys, mid, w)
+	if d := cmplx.Abs(out[0]-ye) / cmplx.Abs(ye); d > 2e-2 {
+		t.Errorf("anchored in-between TF off by %.3g", d)
+	}
+	// Structure mismatch in an anchor is rejected.
+	sys.Anchors = []AnchorValues{{G: []float64{1}, C: []float64{1}}}
+	if _, err := Build(sys, Options{Omegas: omegas}); err == nil {
+		t.Error("bad anchor accepted")
+	}
+}
+
+func TestBuildOptionValidationAndFailures(t *testing.T) {
+	sys := rcLadder(12, 100, 1e-13)
+	omegas := ladderOmegas(100, 1e-13, 12)
+	for _, opts := range []Options{
+		{},                        // no omegas
+		{Omegas: []float64{0, 1}}, // non-positive
+		{Omegas: []float64{2, 1}}, // descending
+		{Omegas: omegas, S0: -1},  // bad expansion point
+		{Omegas: omegas, MaxOrder: -1},
+	} {
+		if _, err := Build(sys, opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+	if _, err := Build(&System{N: 0}, Options{Omegas: omegas}); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := Build(&System{N: 5, G: sys.G, C: sys.C, Perm: sys.Perm}, Options{Omegas: omegas}); err == nil {
+		t.Error("system without inputs accepted")
+	}
+	// An impossible tolerance at a tiny order cap must fail with
+	// ErrNoConverge.
+	if _, err := Build(sys, Options{Omegas: omegas, MaxOrder: 2, ValTol: 1e-12}); !errors.Is(err, ErrNoConverge) {
+		t.Errorf("want ErrNoConverge, got %v", err)
+	}
+	// An explicit S0 restricts the build to one shift and still works.
+	mdl, err := Build(sys, Options{Omegas: omegas, S0: omegas[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdl.Info.Shifts != 1 {
+		t.Errorf("S0 override used %d shifts", mdl.Info.Shifts)
+	}
+	// Exhaustion: MaxOrder ≥ n lets the Krylov space run dry and the
+	// model reproduce the reachable subspace exactly.
+	mdl, err = Build(sys, Options{Omegas: omegas, MaxOrder: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdl.Info.Q > 12 {
+		t.Errorf("q=%d exceeds the cap", mdl.Info.Q)
+	}
+}
+
+func TestRelChangeEdge(t *testing.T) {
+	if !math.IsInf(relChange([]complex128{1}, []complex128{0}), 1) {
+		t.Error("zero-peak relChange should be +Inf")
+	}
+	if relChange([]complex128{1, 2}, []complex128{1, 2}) != 0 {
+		t.Error("identical samples should have zero change")
+	}
+}

@@ -175,11 +175,15 @@ func FactorCBandLUInto(f *CBandLU, a *CBandMatrix) error {
 				rowp[j], rowk[j] = rowk[j], rowp[j]
 			}
 		}
-		pivot := rowk[k]
-		f.invd[k] = 1 / pivot
+		// One reciprocal per pivot: the multipliers below are formed by
+		// multiplication, because software complex128 division costs an
+		// order of magnitude more than multiplication and would otherwise
+		// dominate narrow-band factorizations.
+		pinv := 1 / rowk[k]
+		f.invd[k] = pinv
 		for i := k + 1; i <= iMax; i++ {
 			rowi := data[i*(ld-1)+kl:]
-			m := rowi[k] / pivot
+			m := rowi[k] * pinv
 			rowi[k] = m
 			if m == 0 {
 				continue

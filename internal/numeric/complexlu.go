@@ -2,7 +2,6 @@ package numeric
 
 import (
 	"fmt"
-	"math/cmplx"
 )
 
 // CMatrix is a dense row-major complex matrix, used by AC (frequency-
@@ -55,51 +54,18 @@ func (m *CMatrix) MulVec(x []complex128) []complex128 {
 
 // CLU is an LU factorization with partial pivoting of a complex matrix.
 type CLU struct {
-	n   int
-	lu  []complex128
-	piv []int
+	n       int
+	lu      []complex128
+	piv     []int
+	scratch []complex128 // pivot-gather buffer for SolveTo
 }
 
 // FactorCLU computes the complex LU factorization of square a; a is not
 // modified.
 func FactorCLU(a *CMatrix) (*CLU, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("numeric: FactorCLU needs square matrix, got %dx%d", a.Rows, a.Cols)
-	}
-	n := a.Rows
-	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
-	copy(f.lu, a.Data)
-	for i := range f.piv {
-		f.piv[i] = i
-	}
-	lu := f.lu
-	for k := 0; k < n; k++ {
-		p, maxv := k, cmplx.Abs(lu[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if v := cmplx.Abs(lu[i*n+k]); v > maxv {
-				p, maxv = i, v
-			}
-		}
-		if maxv == 0 {
-			return nil, ErrSingular
-		}
-		if p != k {
-			for j := 0; j < n; j++ {
-				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
-			}
-			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
-		}
-		pivot := lu[k*n+k]
-		for i := k + 1; i < n; i++ {
-			m := lu[i*n+k] / pivot
-			lu[i*n+k] = m
-			if m == 0 {
-				continue
-			}
-			for j := k + 1; j < n; j++ {
-				lu[i*n+j] -= m * lu[k*n+j]
-			}
-		}
+	f := &CLU{}
+	if err := FactorCLUInto(f, a); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -129,6 +95,94 @@ func (f *CLU) Solve(b []complex128) []complex128 {
 		x[i] = s / f.lu[i*n+i]
 	}
 	return x
+}
+
+// FactorCLUInto factors a into f, reusing f's storage when its shape
+// matches a previous factorization of the same dimension — a reduced
+// model's per-frequency q×q factorizations then allocate nothing.
+// a is not modified.
+func FactorCLUInto(f *CLU, a *CMatrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("numeric: FactorCLUInto needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if f.n != n || len(f.lu) != n*n {
+		f.lu = make([]complex128, n*n)
+		f.piv = make([]int, n)
+		f.scratch = make([]complex128, n)
+	}
+	f.n = n
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// |re|+|im| pivot magnitude (LAPACK's CABS1): no square roots.
+		p, maxv := k, cabs1(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cabs1(lu[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+		}
+		// One reciprocal per pivot; multipliers by multiplication (software
+		// complex division is far slower and would dominate small dense
+		// factorizations done per frequency point).
+		pinv := 1 / lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] * pinv
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveTo solves A·x = b into dst without allocating (after the first
+// call); dst may alias b.
+func (f *CLU) SolveTo(dst, b []complex128) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("numeric: CLU.SolveTo dimension mismatch")
+	}
+	n := f.n
+	if f.scratch == nil {
+		f.scratch = make([]complex128, n)
+	}
+	for i := 0; i < n; i++ {
+		f.scratch[i] = b[f.piv[i]]
+	}
+	x := dst
+	copy(x, f.scratch)
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu[i*n+i+1 : i*n+n]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
 }
 
 // SolveCDense solves a complex system for one right-hand side.

@@ -83,54 +83,19 @@ var ErrSingular = errors.New("numeric: singular matrix")
 // LU holds an LU factorization with partial pivoting of a square matrix:
 // P·A = L·U with unit-diagonal L stored below the diagonal of LU.
 type LU struct {
-	n    int
-	lu   []float64
-	piv  []int
-	sign int
+	n       int
+	lu      []float64
+	piv     []int
+	sign    int
+	scratch []float64 // pivot-gather buffer for SolveTo
 }
 
 // FactorLU computes the LU factorization of the square matrix a.
 // a is not modified.
 func FactorLU(a *Matrix) (*LU, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("numeric: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
-	}
-	n := a.Rows
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
-	copy(f.lu, a.Data)
-	for i := range f.piv {
-		f.piv[i] = i
-	}
-	lu := f.lu
-	for k := 0; k < n; k++ {
-		// Partial pivot: find max |lu[i][k]| for i >= k.
-		p, maxv := k, math.Abs(lu[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if v := math.Abs(lu[i*n+k]); v > maxv {
-				p, maxv = i, v
-			}
-		}
-		if maxv == 0 {
-			return nil, ErrSingular
-		}
-		if p != k {
-			for j := 0; j < n; j++ {
-				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
-			}
-			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
-			f.sign = -f.sign
-		}
-		pivot := lu[k*n+k]
-		for i := k + 1; i < n; i++ {
-			m := lu[i*n+k] / pivot
-			lu[i*n+k] = m
-			if m == 0 {
-				continue
-			}
-			for j := k + 1; j < n; j++ {
-				lu[i*n+j] -= m * lu[k*n+j]
-			}
-		}
+	f := &LU{}
+	if err := FactorLUInto(f, a); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -162,6 +127,92 @@ func (f *LU) Solve(b []float64) []float64 {
 		x[i] = s / f.lu[i*n+i]
 	}
 	return x
+}
+
+// FactorLUInto factors a into f, reusing f's storage when its shape
+// matches a previous factorization of the same dimension — repeated
+// small dense factorizations (a reduced-order model's per-timestep
+// matrices) then allocate nothing. a is not modified.
+func FactorLUInto(f *LU, a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("numeric: FactorLUInto needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if f.n != n || len(f.lu) != n*n {
+		f.lu = make([]float64, n*n)
+		f.piv = make([]int, n)
+		f.scratch = make([]float64, n)
+	}
+	f.n, f.sign = n, 1
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		p, maxv := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[p*n+j], lu[k*n+j] = lu[k*n+j], lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveTo solves A·x = b into dst without allocating (after the first
+// call); dst may alias b.
+func (f *LU) SolveTo(dst, b []float64) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("numeric: LU.SolveTo dimension mismatch")
+	}
+	n := f.n
+	if f.scratch == nil {
+		f.scratch = make([]float64, n)
+	}
+	// Gather through the pivot permutation via scratch so dst may alias b.
+	for i := 0; i < n; i++ {
+		f.scratch[i] = b[f.piv[i]]
+	}
+	x := dst
+	copy(x, f.scratch)
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu[i*n+i+1 : i*n+n]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
 }
 
 // Det returns the determinant from the factorization.

@@ -1,0 +1,92 @@
+package numeric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CBandAssembler is the symbolic half of an AC sweep's per-frequency
+// assembly of G + jωC into complex band storage. The permutation
+// lookups, band-index arithmetic, and duplicate-coordinate summing are
+// all done once at construction; Assemble then writes each structurally
+// distinct entry with a single store per frequency point. Compared with
+// re-stamping the triplets every point (two passes of perm lookups,
+// bounds checks and read-modify-write adds, plus a full Zero of the
+// band storage), the per-point cost drops to one linear pass over the
+// compacted pattern.
+//
+// The assembler is tied to the band shape (n, kl, ku) it was planned
+// for, not to a particular matrix: any CBandMatrix with the same shape
+// can be the target, so per-worker scratch matrices in a parallel sweep
+// share one plan. Assemble overwrites exactly the planned pattern —
+// the target must be zero outside it (freshly allocated, or previously
+// written only by this assembler).
+type CBandAssembler struct {
+	n, kl, ku, ld int
+	off           []int     // flat offsets into CBandMatrix.data, strictly increasing
+	g, c          []float64 // summed G and C values per offset
+}
+
+// NewCBandAssembler plans the assembly of perm-permuted gt + jω·ct into
+// band storage of shape (n, kl, ku). Cost is O(nnz log nnz) once; the
+// band must be wide enough for the permuted structure (see
+// PermutedBandwidth). Either triplet set may be nil.
+func NewCBandAssembler(n, kl, ku int, perm []int, gt, ct *Triplets) *CBandAssembler {
+	ld := 2*kl + ku + 1
+	a := &CBandAssembler{n: n, kl: kl, ku: ku, ld: ld}
+	type entry struct {
+		off  int
+		g, c float64
+	}
+	var entries []entry
+	collect := func(t *Triplets, isG bool) {
+		if t == nil {
+			return
+		}
+		for k, i := range t.I {
+			pi, pj := perm[i], perm[t.J[k]]
+			if pj-pi > ku || pi-pj > kl {
+				panic(fmt.Sprintf("numeric: planned entry (%d,%d) outside kl=%d ku=%d", pi, pj, kl, ku))
+			}
+			e := entry{off: pi*ld + pj - pi + kl}
+			if isG {
+				e.g = t.V[k]
+			} else {
+				e.c = t.V[k]
+			}
+			entries = append(entries, e)
+		}
+	}
+	collect(gt, true)
+	collect(ct, false)
+	sort.Slice(entries, func(x, y int) bool { return entries[x].off < entries[y].off })
+	for _, e := range entries {
+		if m := len(a.off) - 1; m >= 0 && a.off[m] == e.off {
+			a.g[m] += e.g
+			a.c[m] += e.c
+			continue
+		}
+		a.off = append(a.off, e.off)
+		a.g = append(a.g, e.g)
+		a.c = append(a.c, e.c)
+	}
+	return a
+}
+
+// NNZ returns the number of structurally distinct entries in the plan.
+func (a *CBandAssembler) NNZ() int { return len(a.off) }
+
+// Assemble writes G + jω·C over the planned pattern of b. b must have
+// the shape the plan was built for and be zero outside the pattern; no
+// Zero() is needed between calls because every planned entry is
+// overwritten.
+func (a *CBandAssembler) Assemble(b *CBandMatrix, omega float64) {
+	if b.N != a.n || b.KL != a.kl || b.KU != a.ku {
+		panic(fmt.Sprintf("numeric: CBandAssembler planned for (%d,%d,%d), target is (%d,%d,%d)",
+			a.n, a.kl, a.ku, b.N, b.KL, b.KU))
+	}
+	data := b.data
+	for k, off := range a.off {
+		data[off] = complex(a.g[k], omega*a.c[k])
+	}
+}

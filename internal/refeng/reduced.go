@@ -1,0 +1,349 @@
+package refeng
+
+import (
+	"fmt"
+	"math"
+
+	"rlckit/internal/circuit"
+	"rlckit/internal/mna"
+	"rlckit/internal/mor"
+	"rlckit/internal/tline"
+)
+
+// This file is the Krylov reduced-order delay engine: the ladder is
+// reduced once (internal/mor via mna.Reduce) and the 50% delay is then
+// measured on the q×q reduced transient — O(q²) per timestep instead
+// of a full band solve, with the stepping cut off at the crossing.
+//
+// A ReducedLadder is additionally built for reuse across
+// same-topology perturbations of the line (process corners, Monte
+// Carlo variation): the Krylov basis is anchored at slow/fast
+// parameter-envelope instances, so any instance inside the envelope
+// projects accurately through the frozen basis, and because the
+// congruence projection is linear in the element values, a perturbed
+// instance's reduced pencil is recombined from per-class blocks in
+// O(q²) — no re-assembly, no O(n) work at all per sample. This is how
+// internal/sweep gets simulation-grade delays at a fraction of the
+// exact engine's cost.
+
+// ReducedConfig tunes the reduced-order delay engine.
+type ReducedConfig struct {
+	// Segments is the ladder segment count (default 120, matching
+	// MNAConfig; sweeps trade a few segments for speed).
+	Segments int
+	// StepsPerScale divides the simulation horizon into steps (default
+	// 1200 — the reduced response is smooth and the crossing is
+	// interpolated, so far fewer steps than the full engine needs).
+	StepsPerScale int
+	// MaxOrder caps the reduced order (default 40 — the basis hosts
+	// the nominal and two anchor instances).
+	MaxOrder int
+	// ValTol is the transfer-function certification tolerance
+	// (default 5e-3 of the response peak), enforced for the nominal
+	// and both anchors.
+	ValTol float64
+	// AnchorSpread is the parameter-envelope factor for the slow/fast
+	// anchor instances: R, L, C and Rtr are scaled by AnchorSpread and
+	// its reciprocal (default 1.8, generously bracketing corner ±25%
+	// shifts compounded with 3σ log-normal variation). 1 disables the
+	// anchors — the right choice when the model will only ever evaluate
+	// the instance it was built from (DelayReduced's one-shot path),
+	// since anchoring widens the band the model must certify across.
+	AnchorSpread float64
+	// Anchors, when non-nil, replaces the uniform ±AnchorSpread anchor
+	// set with explicit (R, L, C, Rtr) scale tuples — callers that know
+	// where their perturbations concentrate (sweep anchors at its
+	// actual process corners) get moment-matched accuracy there instead
+	// of along the uniform diagonal. AnchorSpread still bounds the
+	// evaluation envelope.
+	Anchors [][4]float64
+}
+
+func (c ReducedConfig) withDefaults() ReducedConfig {
+	if c.Segments == 0 {
+		c.Segments = 120
+	}
+	if c.StepsPerScale == 0 {
+		c.StepsPerScale = 1200
+	}
+	if c.MaxOrder == 0 {
+		c.MaxOrder = 40
+	}
+	if c.AnchorSpread == 0 {
+		c.AnchorSpread = 1.8
+	}
+	return c
+}
+
+// Element classes for the per-class reduced pencil recombination.
+const (
+	classFixed = iota // sources, incidence structure
+	classLineR        // line resistance (scales with R)
+	classRtr          // driver resistance
+	classLineC        // line capacitance
+	classCL           // load capacitance
+	classInd          // inductance (branch L entries)
+	numClasses
+)
+
+// classifyLadder maps ladder element indices to classes by kind and
+// the names tline.BuildLadder assigns.
+func classifyLadder(ckt *circuit.Circuit) func(int) int {
+	els := ckt.Elements()
+	classes := make([]int, len(els))
+	for i, e := range els {
+		switch e.Kind {
+		case circuit.KindResistor:
+			if e.Name == "rtr" {
+				classes[i] = classRtr
+			} else {
+				classes[i] = classLineR
+			}
+		case circuit.KindCapacitor:
+			if e.Name == "cload" {
+				classes[i] = classCL
+			} else {
+				classes[i] = classLineC
+			}
+		case circuit.KindInductor:
+			classes[i] = classInd
+		default:
+			classes[i] = classFixed
+		}
+	}
+	return func(elem int) int { return classes[elem] }
+}
+
+// reducedProbeFreqs picks the probe/validation band for delay
+// extraction: from well below the response envelope (1/horizon) to
+// well above the fastest characteristic time, widened by the anchor
+// spread so the certified band covers the anchor instances too.
+func reducedProbeFreqs(ln tline.Line, d tline.Drive, spread float64) []float64 {
+	tRC, tLC := timeScales(ln, d)
+	slow := 4*tRC + 8*tLC
+	fast := tLC
+	if tRC > 0 && tRC < fast {
+		fast = tRC
+	}
+	fLo := 0.03 / (slow * spread)
+	fHi := 1.5 * spread / fast
+	const n = 7
+	out := make([]float64, n)
+	ratio := math.Pow(fHi/fLo, 1/float64(n-1))
+	f := fLo
+	for i := range out {
+		out[i] = f
+		f *= ratio
+	}
+	return out
+}
+
+// ReducedLadder is a driven line reduced once and evaluated many
+// times: Delay measures the 50% delay of any same-topology scaled
+// instance by recombining the per-class reduced pencil. It is single-
+// goroutine state (Delay mutates the installed pencil).
+type ReducedLadder struct {
+	cfg    ReducedConfig
+	ln0    tline.Line
+	d0     tline.Drive
+	rtr0   float64 // post-hack nominal driver resistance
+	red    *mna.Reduced
+	outIdx int
+	nIn    int
+}
+
+// NewReducedLadder builds and certifies the reduced model for the
+// nominal driven line, anchored at the slow/fast parameter envelope.
+// An error means the reduction could not be certified; callers fall
+// back to an exact engine.
+func NewReducedLadder(ln tline.Line, d tline.Drive, cfg ReducedConfig) (*ReducedLadder, error) {
+	cfg = cfg.withDefaults()
+	if err := ln.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	_, tLC := timeScales(ln, d)
+	build := func(sr, sl, sc, sd float64) (*tline.Ladder, error) {
+		l2, d2 := ln, d
+		l2.R *= sr
+		l2.L *= sl
+		l2.C *= sc
+		d2.Rtr *= sd
+		return tline.BuildLadder(l2, d2, cfg.Segments, tline.Pi, tLC)
+	}
+	lad, err := build(1, 1, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	anchorScales := cfg.Anchors
+	if anchorScales == nil && cfg.AnchorSpread != 1 {
+		s := cfg.AnchorSpread
+		anchorScales = [][4]float64{{s, s, s, s}, {1 / s, 1 / s, 1 / s, 1 / s}}
+	}
+	var anchors []*circuit.Circuit
+	for _, as := range anchorScales {
+		a, err := build(as[0], as[1], as[2], as[3])
+		if err != nil {
+			return nil, err
+		}
+		anchors = append(anchors, a.Ckt)
+	}
+	red, err := mna.Reduce(lad.Ckt, []int{lad.Out}, mna.ReduceOptions{
+		Freqs:    reducedProbeFreqs(ln, d, cfg.AnchorSpread),
+		MaxOrder: cfg.MaxOrder,
+		ValTol:   cfg.ValTol,
+		Anchors:  anchors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := red.ProjectClasses(numClasses, classifyLadder(lad.Ckt)); err != nil {
+		return nil, err
+	}
+	outIdx, err := red.OutputIndex(lad.Out)
+	if err != nil {
+		return nil, err
+	}
+	rtr0 := d.Rtr
+	if rtr0 == 0 {
+		rtr0 = 1e-6 // BuildLadder's zero-Rtr replacement
+	}
+	return &ReducedLadder{
+		cfg: cfg, ln0: ln, d0: d, rtr0: rtr0,
+		red: red, outIdx: outIdx, nIn: red.Model().NumInputs(),
+	}, nil
+}
+
+// Info returns the model's accuracy metadata.
+func (r *ReducedLadder) Info() mor.Info { return r.red.Info() }
+
+// classRatio returns num/den, requiring that the scaled instance keeps
+// the nominal topology (a zero stays zero).
+func classRatio(num, den float64) (float64, error) {
+	if den == 0 {
+		if num != 0 {
+			return 0, fmt.Errorf("refeng: reduced ladder cannot add a %g element the nominal topology lacks", num)
+		}
+		return 1, nil
+	}
+	return num / den, nil
+}
+
+// Delay measures the 50% propagation delay of a (possibly perturbed)
+// instance of the line on the reduced model: the per-class pencil is
+// recombined in O(q²), the reduced transient is stepped until the
+// crossing, and the crossing is interpolated — nothing scales with
+// the full order n. ln and d must be class-scalings of the nominal
+// instance (same topology; any positive values).
+func (r *ReducedLadder) Delay(ln tline.Line, d tline.Drive) (float64, error) {
+	if err := ln.Validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	aR, err := classRatio(ln.R*ln.Length, r.ln0.R*r.ln0.Length)
+	if err != nil {
+		return 0, err
+	}
+	aL, err := classRatio(ln.L*ln.Length, r.ln0.L*r.ln0.Length)
+	if err != nil {
+		return 0, err
+	}
+	aC, err := classRatio(ln.C*ln.Length, r.ln0.C*r.ln0.Length)
+	if err != nil {
+		return 0, err
+	}
+	rtr := d.Rtr
+	if rtr == 0 {
+		rtr = 1e-6
+	}
+	// The load capacitance is a class like any other: its ratio is both
+	// recombined through wC and held to the same envelope bound below
+	// (the anchors do not span a CL direction, so far-off loads must be
+	// refused, not extrapolated).
+	aCL, err := classRatio(d.CL, r.d0.CL)
+	if err != nil {
+		return 0, err
+	}
+	// The frozen basis interpolates accurately inside the anchor
+	// envelope and degrades as a sample extrapolates beyond it; rather
+	// than return a silently degraded number, refuse and let the
+	// caller's exact fallback handle the (rare) tail draw.
+	lim := math.Pow(r.cfg.AnchorSpread, 1.15)
+	if lim < 1.02 {
+		lim = 1.02 // unanchored models serve (only) their build instance
+	}
+	for _, a := range [...]float64{aR, aL, aC, aCL, r.rtr0 / rtr} {
+		if a > lim || a < 1/lim {
+			return 0, fmt.Errorf("refeng: scale factor %.3g outside the reduced model's ×%.2f anchor envelope", a, r.cfg.AnchorSpread)
+		}
+	}
+	var wG, wC [numClasses]float64
+	for c := range wG {
+		wG[c], wC[c] = 1, 1
+	}
+	wG[classLineR] = 1 / aR
+	wG[classRtr] = r.rtr0 / rtr
+	wC[classLineC] = aC
+	wC[classCL] = aCL
+	wC[classInd] = aL
+	if err := r.red.SetClassWeights(wG[:], wC[:]); err != nil {
+		return 0, err
+	}
+
+	tEst := horizon(ln, d)
+	h := tEst / float64(r.cfg.StepsPerScale)
+	delay := 10 * h
+	tr, err := r.red.Model().NewTransient(h)
+	if err != nil {
+		return 0, err
+	}
+	amp := d.Amplitude()
+	level := amp / 2
+	u := make([]float64, r.nIn)
+	// Step all sources with the delayed step (the ladder has exactly
+	// one, the input drive); the state starts from rest since u(0)=0.
+	maxSteps := 12 * r.cfg.StepsPerScale
+	yPrev := 0.0
+	for s := 1; s <= maxSteps; s++ {
+		t := float64(s) * h
+		uv := 0.0
+		if t >= delay {
+			uv = amp
+		}
+		for i := range u {
+			u[i] = uv
+		}
+		tr.Step(u)
+		y := tr.Output(r.outIdx)
+		if y >= level && s > 1 {
+			// Linear crossing interpolation, then the same trapezoidal
+			// step-smearing correction as DelayMNA.
+			cross := t - h + h*(level-yPrev)/(y-yPrev)
+			return cross - (delay - h/2), nil
+		}
+		yPrev = y
+	}
+	return 0, fmt.Errorf("refeng: reduced response never crossed %g within %d steps", level, maxSteps)
+}
+
+// DelayReduced measures the 50% delay of the driven line on a
+// reduced-order model built for exactly this instance: the one-shot
+// form of ReducedLadder for callers outside sweep populations — it
+// therefore skips the parameter-envelope anchors unless the caller
+// asks for them. The returned Info carries the model's certification
+// metadata.
+func DelayReduced(ln tline.Line, d tline.Drive, cfg ReducedConfig) (float64, mor.Info, error) {
+	if cfg.AnchorSpread == 0 {
+		cfg.AnchorSpread = 1
+	}
+	r, err := NewReducedLadder(ln, d, cfg)
+	if err != nil {
+		return 0, mor.Info{}, err
+	}
+	v, err := r.Delay(ln, d)
+	return v, r.Info(), err
+}

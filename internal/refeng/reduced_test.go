@@ -1,0 +1,197 @@
+package refeng
+
+import (
+	"math"
+	"testing"
+
+	"rlckit/internal/tline"
+)
+
+// benchline is the Table-1 moderate configuration the module's
+// benchmarks standardize on.
+var (
+	rbLine  = tline.FromTotals(1000, 1e-7, 1e-12, 0.01)
+	rbDrive = tline.Drive{Rtr: 500, CL: 5e-13}
+)
+
+func relErrPct(got, want float64) float64 {
+	return math.Abs(got-want) / want * 100
+}
+
+// TestDelayReducedWithinOnePercent is the acceptance bar: the
+// reduced-order 50% delay must match both the full-order transient of
+// the same ladder and the exact transmission-line engine within 1% on
+// the benchmark configuration.
+func TestDelayReducedWithinOnePercent(t *testing.T) {
+	exact, err := DelayExactTF(rbLine, rbDrive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DelayMNA(rbLine, rbDrive, MNAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, info, err := DelayReduced(rbLine, rbDrive, ReducedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Validated {
+		t.Fatal("model not validated")
+	}
+	t.Logf("q=%d of n=%d (TF err %.4g%%): exact=%.6g full=%.6g reduced=%.6g",
+		info.Q, info.N, info.EstErrPct, exact, full, red)
+	if e := relErrPct(red, full); e > 1 {
+		t.Errorf("reduced vs full-order MNA delay error %.3f%% > 1%%", e)
+	}
+	if e := relErrPct(red, exact); e > 1 {
+		t.Errorf("reduced vs exact-TF delay error %.3f%% > 1%%", e)
+	}
+}
+
+// TestDelayReducedChipScaleLadder runs the acceptance configuration at
+// chip scale: a ~2000-unknown ladder, still within 1% of the exact
+// transmission-line delay.
+func TestDelayReducedChipScaleLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip-scale ladder build in -short mode")
+	}
+	exact, err := DelayExactTF(rbLine, rbDrive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, info, err := DelayReduced(rbLine, rbDrive, ReducedConfig{Segments: 660})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=%d reduced to q=%d; exact=%.6g reduced=%.6g (%.3f%%)",
+		info.N, info.Q, exact, red, relErrPct(red, exact))
+	if info.N < 1900 {
+		t.Fatalf("expected a ~2000-unknown system, got %d", info.N)
+	}
+	if e := relErrPct(red, exact); e > 1 {
+		t.Errorf("chip-scale reduced delay error %.3f%% > 1%%", e)
+	}
+}
+
+// TestDelayReducedAcrossRegimes: damping regimes from RC-dominated to
+// underdamped; the certified model must stay close to the full-order
+// reference everywhere (the underdamped ringing case gets a slightly
+// wider transient-resolution allowance).
+func TestDelayReducedAcrossRegimes(t *testing.T) {
+	cases := []struct {
+		name   string
+		ln     tline.Line
+		d      tline.Drive
+		tolPct float64
+	}{
+		{"rc-heavy", tline.FromTotals(5000, 1e-8, 2e-12, 0.01), tline.Drive{Rtr: 200, CL: 5e-13}, 1},
+		{"short-fast", tline.FromTotals(100, 1e-8, 1e-13, 0.002), tline.Drive{Rtr: 1000, CL: 1e-13}, 1},
+		{"underdamped", tline.FromTotals(500, 1e-6, 1e-12, 0.01), tline.Drive{Rtr: 500, CL: 1e-13}, 2.5},
+	}
+	for _, tc := range cases {
+		full, err := DelayMNA(tc.ln, tc.d, MNAConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		red, info, err := DelayReduced(tc.ln, tc.d, ReducedConfig{})
+		if err != nil {
+			t.Errorf("%s: DelayReduced: %v", tc.name, err)
+			continue
+		}
+		e := relErrPct(red, full)
+		t.Logf("%s: q=%d err=%.3f%%", tc.name, info.Q, e)
+		if e > tc.tolPct {
+			t.Errorf("%s: reduced delay error %.3f%% > %.1f%%", tc.name, e, tc.tolPct)
+		}
+	}
+}
+
+// TestReducedLadderFrozenBasisAcrossPerturbations: one anchored model,
+// many same-topology perturbed instances — the Monte Carlo reuse path.
+// Every in-envelope instance must track the exact engine within a few
+// percent without rebuilding anything.
+func TestReducedLadderFrozenBasisAcrossPerturbations(t *testing.T) {
+	// Anchor the basis the way sweep does: at the corner instances the
+	// perturbations concentrate around, plus a uniform MC envelope.
+	rl, err := NewReducedLadder(rbLine, rbDrive, ReducedConfig{
+		Segments:     60,
+		AnchorSpread: 1.6,
+		Anchors: [][4]float64{
+			{1.15, 1, 1.08, 1.25}, // ss
+			{0.85, 1, 0.92, 0.80}, // ff
+			{1.2, 1.2, 1.2, 1.2},
+			{1 / 1.2, 1 / 1.2, 1 / 1.2, 1 / 1.2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbs := []struct {
+		r, l, c, d float64
+	}{
+		{1, 1, 1, 1},
+		{1.15, 1, 1.08, 1.25}, // ss corner (anchored: moment-matched)
+		{0.85, 1, 0.92, 0.80}, // ff corner
+		{1.25, 1.05, 1.15, 1.35},
+		{0.8, 0.95, 0.85, 0.75},
+		{1.2, 0.9, 0.95, 1.1},
+	}
+	sum := 0.0
+	for i, p := range perturbs {
+		ln := rbLine
+		ln.R *= p.r
+		ln.L *= p.l
+		ln.C *= p.c
+		d := rbDrive
+		d.Rtr *= p.d
+		exact, err := DelayExactTF(ln, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rl.Delay(ln, d)
+		if err != nil {
+			t.Errorf("perturb %d: %v", i, err)
+			continue
+		}
+		e := relErrPct(got, exact)
+		sum += e
+		t.Logf("perturb %d (%+v): err=%.3f%%", i, p, e)
+		// With the basis anchored across the perturbation family, the
+		// recombined pencil is essentially exact (observed ≤0.01%); the
+		// bound leaves room for platform rounding only.
+		if e > 1 {
+			t.Errorf("perturb %d: frozen-basis delay error %.3f%% > 1%%", i, e)
+		}
+	}
+	if mean := sum / float64(len(perturbs)); mean > 0.5 {
+		t.Errorf("mean frozen-basis delay error %.3f%% > 0.5%%", mean)
+	}
+}
+
+// TestReducedLadderEnvelopeGuard: instances outside the anchored
+// envelope are refused (the caller's exact fallback handles them)
+// rather than silently extrapolated.
+func TestReducedLadderEnvelopeGuard(t *testing.T) {
+	rl, err := NewReducedLadder(rbLine, rbDrive, ReducedConfig{Segments: 48, AnchorSpread: 1.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := rbLine
+	ln.R *= 3 // far outside ×1.45
+	if _, err := rl.Delay(ln, rbDrive); err == nil {
+		t.Fatal("expected an envelope refusal for a ×3 perturbation")
+	}
+	// The load capacitance is held to the same envelope (the anchors do
+	// not span a CL direction).
+	dcl := rbDrive
+	dcl.CL *= 3
+	if _, err := rl.Delay(rbLine, dcl); err == nil {
+		t.Fatal("expected an envelope refusal for a ×3 load-cap perturbation")
+	}
+	// Topology changes are refused too.
+	zl := rbLine
+	zl.R = 0
+	if _, err := rl.Delay(zl, rbDrive); err == nil {
+		t.Fatal("expected a refusal when the instance drops the resistors")
+	}
+}

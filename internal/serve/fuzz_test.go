@@ -11,6 +11,8 @@ import (
 var requestSeeds = []string{
 	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13}}`,
 	`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13},"method":"exact"}`,
+	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13},"method":"reduced"}`,
+	`{"line":{"rt":1e3,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13},"method":"reducedX"}`,
 	`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{},"rise_s":5e-11}`,
 	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"node":"250nm","model":"rc"}`,
 	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"buffer":{"r0":250,"c0":5e-15}}`,

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestDelayMethodReduced: the "reduced" estimator answers with
+// certification metadata and counts a MOR hit; a net whose reduction
+// cannot be certified still gets a 200 via the exact fallback, counted
+// as such and flagged in the body.
+func TestDelayMethodReduced(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheEntries: -1})
+
+	body := `{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13},"method":"reduced"}`
+	rec := post(s.Handler(), "/v1/delay", body)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DelayResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != "reduced" || resp.MORQ <= 0 || resp.MORN <= resp.MORQ || resp.MORFallback {
+		t.Fatalf("unexpected reduced response: %+v", resp)
+	}
+	if resp.DelayS <= 0 {
+		t.Fatalf("bad delay %g", resp.DelayS)
+	}
+	// Cross-check against the exact engine: the certified model must be
+	// within 1% here.
+	exact := post(s.Handler(), "/v1/delay",
+		`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13},"method":"exact"}`)
+	var eresp DelayResponse
+	if err := json.Unmarshal(exact.Body.Bytes(), &eresp); err != nil {
+		t.Fatal(err)
+	}
+	if e := 100 * abs(resp.DelayS-eresp.DelayS) / eresp.DelayS; e > 1 {
+		t.Errorf("reduced delay %.3f%% off the exact engine", e)
+	}
+
+	// A strongly underdamped electrically-long net: certification is
+	// expected to fail and the exact engine must answer.
+	hard := `{"line":{"rt":50,"lt":5e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":20,"cl":1e-14},"method":"reduced"}`
+	rec = post(s.Handler(), "/v1/delay", hard)
+	if rec.Code != 200 {
+		t.Fatalf("hard net: status %d: %s", rec.Code, rec.Body)
+	}
+	var hresp DelayResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hresp); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if hresp.MORFallback {
+		if hresp.Method != "exact" {
+			t.Errorf("fallback response should be method exact: %+v", hresp)
+		}
+		if st.MORFallbacks == 0 {
+			t.Error("fallback not counted")
+		}
+	}
+	if st.MORHits == 0 {
+		t.Errorf("MOR hit not counted: %+v", st)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

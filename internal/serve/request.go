@@ -58,7 +58,9 @@ type DelayRequest struct {
 	Drive DriveSpec `json:"drive"`
 	// Method selects the estimator: "auto" (default — Eq. 9 inside its
 	// validated accuracy domain, exact transmission-line engine
-	// outside), "eq9", or "exact".
+	// outside), "eq9", "exact", or "reduced" (Krylov reduced-order
+	// transient with certification metadata in the response; falls
+	// back to "exact" when the model cannot be certified).
 	Method string `json:"method,omitempty"`
 }
 
@@ -73,6 +75,15 @@ type DelayResponse struct {
 	CT       float64 `json:"ct"`
 	Zeta     float64 `json:"zeta"`
 	OmegaN   float64 `json:"omega_n"`
+	// Reduced-order accuracy metadata, present only for method
+	// "reduced": the model order, the full order it replaced, and the
+	// validated transfer-function error (percent of the response
+	// peak). MORFallback marks a "reduced" request that the exact
+	// engine answered because certification failed.
+	MORQ        int     `json:"mor_q,omitempty"`
+	MORN        int     `json:"mor_n,omitempty"`
+	MORErrPct   float64 `json:"mor_err_pct,omitempty"`
+	MORFallback bool    `json:"mor_fallback,omitempty"`
 }
 
 // ScreenRequest asks whether a net needs inductance-aware analysis for
@@ -228,6 +239,7 @@ const (
 	methodAuto uint8 = iota
 	methodEq9
 	methodExact
+	methodReduced
 )
 
 func parseMethod(s string) (uint8, error) {
@@ -238,8 +250,10 @@ func parseMethod(s string) (uint8, error) {
 		return methodEq9, nil
 	case "exact":
 		return methodExact, nil
+	case "reduced":
+		return methodReduced, nil
 	default:
-		return 0, fmt.Errorf("unknown method %q (have auto, eq9, exact)", s)
+		return 0, fmt.Errorf("unknown method %q (have auto, eq9, exact, reduced)", s)
 	}
 }
 

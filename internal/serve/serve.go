@@ -76,6 +76,11 @@ type Stats struct {
 	// carried; Batched/Batches is the mean coalesced batch size.
 	Batches uint64 `json:"batches"`
 	Batched uint64 `json:"batched"`
+	// MORHits and MORFallbacks count method:"reduced" computations
+	// answered by a certified reduced-order model vs by the exact
+	// engine after a failed certification (cache hits touch neither).
+	MORHits      uint64 `json:"mor_hits"`
+	MORFallbacks uint64 `json:"mor_fallbacks"`
 	// Cache is the response cache's hit/miss/eviction snapshot.
 	Cache cache.Stats `json:"cache"`
 }
@@ -85,14 +90,16 @@ var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRe
 // Server owns the serving state: cache, batcher, admission tokens and
 // the HTTP mux. Create with New, release with Close.
 type Server struct {
-	cfg      Config
-	cache    *cache.Cache[cacheKey, []byte]
-	batch    *batcher
-	sem      chan struct{}
-	mux      *http.ServeMux
-	requests [len(endpointNames)]atomic.Uint64
-	rejected atomic.Uint64
-	errors   atomic.Uint64
+	cfg          Config
+	cache        *cache.Cache[cacheKey, []byte]
+	batch        *batcher
+	sem          chan struct{}
+	mux          *http.ServeMux
+	requests     [len(endpointNames)]atomic.Uint64
+	rejected     atomic.Uint64
+	errors       atomic.Uint64
+	morHits      atomic.Uint64
+	morFallbacks atomic.Uint64
 }
 
 // New builds a Server from cfg.
@@ -134,11 +141,13 @@ func (s *Server) Close() { s.batch.close() }
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests: make(map[string]uint64, len(endpointNames)),
-		Rejected: s.rejected.Load(),
-		Errors:   s.errors.Load(),
-		Batches:  s.batch.batches.Load(),
-		Batched:  s.batch.batched.Load(),
+		Requests:     make(map[string]uint64, len(endpointNames)),
+		Rejected:     s.rejected.Load(),
+		Errors:       s.errors.Load(),
+		Batches:      s.batch.batches.Load(),
+		Batched:      s.batch.batched.Load(),
+		MORHits:      s.morHits.Load(),
+		MORFallbacks: s.morFallbacks.Load(),
 	}
 	for k, name := range endpointNames {
 		st.Requests[name] = s.requests[k].Load()
@@ -280,6 +289,21 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 		case methodExact:
 			resp.DelayS, err = rlckit.DelaySimulated(ln, drv)
 			resp.Method = "exact"
+		case methodReduced:
+			var info rlckit.MORInfo
+			resp.DelayS, info, err = rlckit.DelayReduced(ln, drv)
+			if err == nil {
+				resp.Method = "reduced"
+				resp.MORQ, resp.MORN, resp.MORErrPct = info.Q, info.N, info.EstErrPct
+				s.morHits.Add(1)
+			} else {
+				// Exact-fallback contract: certification failure is an
+				// engine-selection event, not a request error.
+				resp.DelayS, err = rlckit.DelaySimulated(ln, drv)
+				resp.Method = "exact"
+				resp.MORFallback = true
+				s.morFallbacks.Add(1)
+			}
 		default:
 			var eq9 bool
 			resp.DelayS, eq9, err = rlckit.DelayAuto(ln, drv)

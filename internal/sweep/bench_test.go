@@ -58,3 +58,38 @@ func BenchmarkSweepWithRepeaters(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepSimulated vs BenchmarkSweepReduced price the two
+// simulation-grade estimators on a Monte Carlo-heavy population (many
+// draws per net — the regime the frozen-basis reuse is built for: one
+// certified reduction per net, every draw recombined through it in
+// O(q²)).
+func benchmarkSimGradeSweep(b *testing.B, est Estimator) {
+	node, err := tech.Lookup("250nm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets, err := netgen.RandomBatch(11, node, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		RiseTime:  5e-11,
+		MC:        MonteCarlo{Samples: 48, Seed: 3, RSigma: 0.08, CSigma: 0.08, DriveSigma: 0.08},
+		Estimator: est,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(nets, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est == EstimatorReduced && i == 0 {
+			b.ReportMetric(float64(res.ReducedFallbacks), "fallbacks")
+		}
+	}
+}
+
+func BenchmarkSweepSimulated(b *testing.B) { benchmarkSimGradeSweep(b, EstimatorSimulated) }
+func BenchmarkSweepReduced(b *testing.B)   { benchmarkSimGradeSweep(b, EstimatorReduced) }

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/tech"
+)
+
+func reducedTestPopulation(t testing.TB, n int) []netgen.Net {
+	t.Helper()
+	node, err := tech.Lookup("250nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := netgen.RandomBatch(7, node, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nets
+}
+
+func reducedTestConfig() Config {
+	return Config{
+		RiseTime:  5e-11,
+		Corners:   DefaultCorners(),
+		MC:        MonteCarlo{Samples: 2, Seed: 1, RSigma: 0.1, CSigma: 0.1, DriveSigma: 0.1},
+		Estimator: EstimatorReduced,
+	}
+}
+
+// TestReducedSweepAccuracyVsSimulated: the reduced estimator must track
+// per-sample exact-engine delays across the whole population — tightly
+// on average, bounded in the tail — and account for every sample as
+// either reduced or fallback.
+func TestReducedSweepAccuracyVsSimulated(t *testing.T) {
+	nets := reducedTestPopulation(t, 25)
+	cfg := reducedTestConfig()
+	red, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Estimator = EstimatorSimulated
+	sim, err := Run(nets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := red.ReducedSamples + red.ReducedFallbacks; got != len(red.Samples) {
+		t.Errorf("sample accounting: %d reduced + %d fallbacks != %d samples",
+			red.ReducedSamples, red.ReducedFallbacks, len(red.Samples))
+	}
+	if red.ReducedSamples < len(red.Samples)/2 {
+		t.Errorf("reduced engine answered only %d of %d samples", red.ReducedSamples, len(red.Samples))
+	}
+	mean, worst := 0.0, 0.0
+	for i := range sim.Samples {
+		e := math.Abs(red.Samples[i].DelayRLC-sim.Samples[i].DelayRLC) / sim.Samples[i].DelayRLC * 100
+		mean += e
+		if e > worst {
+			worst = e
+		}
+	}
+	mean /= float64(len(sim.Samples))
+	t.Logf("%d samples: mean err %.3f%%, worst %.2f%%, %d reduced / %d fallbacks",
+		len(sim.Samples), mean, worst, red.ReducedSamples, red.ReducedFallbacks)
+	if mean > 1 {
+		t.Errorf("mean reduced-vs-simulated delay error %.3f%% > 1%%", mean)
+	}
+	if worst > 5 {
+		t.Errorf("worst reduced-vs-simulated delay error %.2f%% > 5%%", worst)
+	}
+}
+
+// TestReducedSweepDeterministicAcrossWorkers: the reduced estimator
+// must keep the sweep's byte-identical determinism contract at any
+// worker count.
+func TestReducedSweepDeterministicAcrossWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	nets := reducedTestPopulation(t, 8)
+	var results []*Result
+	for _, workers := range []int{1, 3, 8} {
+		cfg := reducedTestConfig()
+		cfg.Workers = workers
+		res, err := Run(nets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0].Samples, results[i].Samples) {
+			t.Fatalf("samples differ between worker counts 1 and %d", []int{1, 3, 8}[i])
+		}
+		if !reflect.DeepEqual(results[0].Delay, results[i].Delay) ||
+			results[0].ReducedSamples != results[i].ReducedSamples {
+			t.Fatalf("aggregates differ between worker counts")
+		}
+	}
+}
+
+// TestEstimatorResolution: the legacy Exact flag maps to Smart, and the
+// labels are stable (they appear in logs and docs).
+func TestEstimatorResolution(t *testing.T) {
+	c := Config{Exact: true}
+	if c.estimator() != EstimatorSmart {
+		t.Errorf("legacy Exact flag resolved to %v", c.estimator())
+	}
+	c = Config{Exact: true, Estimator: EstimatorReduced}
+	if c.estimator() != EstimatorReduced {
+		t.Errorf("explicit estimator overridden by legacy flag: %v", c.estimator())
+	}
+	for e, want := range map[Estimator]string{
+		EstimatorClosed:    "closed",
+		EstimatorSmart:     "smart",
+		EstimatorSimulated: "simulated",
+		EstimatorReduced:   "reduced",
+		Estimator(9):       "Estimator(9)",
+	} {
+		if got := e.String(); got != want {
+			t.Errorf("Estimator(%d).String() = %q, want %q", int(e), got, want)
+		}
+	}
+}

@@ -47,6 +47,10 @@ type Result struct {
 	// (kRC/kRLC) and the Eq. 17 delay increase percentage; populated
 	// only when the sweep ran with a Buffer.
 	RepKRatio, RepDelayInc report.Summary
+	// ReducedSamples and ReducedFallbacks count, under
+	// EstimatorReduced, the samples answered by the frozen-basis
+	// reduced model and those that fell back to the exact engine.
+	ReducedSamples, ReducedFallbacks int
 	// PerCorner breaks the population statistics out by corner.
 	PerCorner []CornerStats
 }
@@ -81,6 +85,11 @@ func aggregate(nets []netgen.Net, corners []Corner, draws int, samples []Sample,
 		delaysRC[i] = s.DelayRC
 		errs[i] = s.RCErrPct
 		absErrs[i] = math.Abs(s.RCErrPct)
+		if s.Reduced {
+			res.ReducedSamples++
+		} else if cfg.estimator() == EstimatorReduced {
+			res.ReducedFallbacks++
+		}
 		tallyScreen(&res.Screen, s)
 		tallyScreen(&res.PerCorner[s.Corner].Screen, s)
 		cornerDelays[s.Corner] = append(cornerDelays[s.Corner], s.DelayRLC)

@@ -104,6 +104,45 @@ func (mc MonteCarlo) validate() error {
 	return nil
 }
 
+// Estimator selects how each sample's inductance-aware delay is
+// computed.
+type Estimator int
+
+// Estimators, cheapest first.
+const (
+	// EstimatorClosed is the paper's closed-form Eq. 9 (default).
+	EstimatorClosed Estimator = iota
+	// EstimatorSmart is refeng.DelaySmart: Eq. 9 inside its validated
+	// accuracy domain, the exact transmission-line engine outside.
+	EstimatorSmart
+	// EstimatorSimulated runs the exact transmission-line engine for
+	// every sample — simulation-grade delays, ~½ ms per sample.
+	EstimatorSimulated
+	// EstimatorReduced reduces each net's nominal ladder once to a
+	// Krylov reduced-order model (internal/mor) and evaluates every
+	// corner and Monte Carlo draw of that net by reprojecting the
+	// perturbed matrices through the frozen basis — simulation-grade
+	// delays at several times EstimatorSimulated's throughput. Nets
+	// whose reduction cannot be certified (and samples whose reduced
+	// response fails) fall back to the exact engine; Result counts both.
+	EstimatorReduced
+)
+
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorClosed:
+		return "closed"
+	case EstimatorSmart:
+		return "smart"
+	case EstimatorSimulated:
+		return "simulated"
+	case EstimatorReduced:
+		return "reduced"
+	default:
+		return fmt.Sprintf("Estimator(%d)", int(e))
+	}
+}
+
 // Config tunes a sweep Run.
 type Config struct {
 	// RiseTime is the input rise time used for inductance screening
@@ -120,11 +159,62 @@ type Config struct {
 	// per sample (RLC closed forms vs RC-only Bakoglu) with this
 	// technology buffer.
 	Buffer *repeater.Buffer
-	// Exact switches the RLC delay estimator from the pure closed form
-	// (Eq. 9) to refeng.DelaySmart, which falls back to the exact
-	// transmission-line engine outside the validated accuracy domain.
-	// Orders of magnitude slower per sample; use for small populations.
+	// Estimator selects the per-sample delay engine (default
+	// EstimatorClosed; see Estimator).
+	Estimator Estimator
+	// Exact is the legacy switch for EstimatorSmart; it applies only
+	// when Estimator is EstimatorClosed.
 	Exact bool
+}
+
+// estimator resolves the configured estimator with the legacy flag.
+func (c *Config) estimator() Estimator {
+	if c.Estimator == EstimatorClosed && c.Exact {
+		return EstimatorSmart
+	}
+	return c.Estimator
+}
+
+// sweepReducedConfig is the reduced-order engine tuning for sweep
+// populations: a coarser ladder and transient than the reference
+// engine, sized so one sample costs ~150 µs while tracking the exact
+// engine to ~0.2% mean over populations (the determinism and accuracy
+// tests pin this down). Run fills in the anchor set from the actual
+// corners.
+var sweepReducedConfig = refeng.ReducedConfig{
+	Segments:      48,
+	StepsPerScale: 400,
+	MaxOrder:      40,
+	ValTol:        4e-3,
+}
+
+// reducedAnchors derives the per-net anchor instances for
+// EstimatorReduced from the sweep's own perturbation family: each
+// non-nominal corner is an anchor (so corner-nominal samples are
+// moment-matched, not interpolated), plus a uniform ± Monte Carlo bulk
+// envelope. The returned spread bounds the evaluation envelope
+// (covering corner × 3σ tail draws).
+func reducedAnchors(corners []Corner, mc MonteCarlo) ([][4]float64, float64) {
+	maxS := math.Max(math.Max(mc.RSigma, mc.LSigma), math.Max(mc.CSigma, mc.DriveSigma))
+	var anchors [][4]float64
+	ext := 1.0
+	for _, c := range corners {
+		t := [4]float64{c.RScale, c.LScale, c.CScale, c.DriveScale}
+		if t != [4]float64{1, 1, 1, 1} {
+			anchors = append(anchors, t)
+		}
+		for _, v := range t {
+			ext = math.Max(ext, math.Max(v, 1/v))
+		}
+	}
+	if m := math.Exp(1.5 * maxS); m > 1.02 {
+		anchors = append(anchors, [4]float64{m, m, m, m}, [4]float64{1 / m, 1 / m, 1 / m, 1 / m})
+	}
+	spread := ext * math.Exp(2.5*maxS)
+	if spread < 1.2 {
+		spread = 1.2
+	}
+	return anchors, spread
 }
 
 // Sample is the analysis of one (net, corner, draw) triple.
@@ -144,9 +234,12 @@ type Sample struct {
 	RCErrPct float64
 	// NeedsRLC, InWindow, Underdamped are the screening verdicts.
 	NeedsRLC, InWindow, Underdamped bool
-	// UsedExact reports that the exact engine produced DelayRLC (only in
-	// Exact mode).
+	// UsedExact reports that the exact engine produced DelayRLC (smart,
+	// simulated, or a reduced-engine fallback).
 	UsedExact bool
+	// Reduced reports that the frozen-basis reduced-order engine
+	// produced DelayRLC (EstimatorReduced only).
+	Reduced bool
 	// TLR, RepKRLC, RepKRC, RepDelayIncPct are repeater-insertion
 	// results, populated only when Config.Buffer is set: the inductance
 	// figure of merit, the RLC- and RC-optimal section counts, and the
@@ -189,14 +282,31 @@ func Run(nets []netgen.Net, cfg Config) (*Result, error) {
 	// the pool's per-task atomic claim, and every sample still derives
 	// its RNG from its own (net, corner, draw) seed, so the task
 	// granularity is invisible in the output.
+	est := cfg.estimator()
+	rcfg := sweepReducedConfig
+	if est == EstimatorReduced {
+		rcfg.Anchors, rcfg.AnchorSpread = reducedAnchors(corners, cfg.MC)
+	}
 	err := pool.Run(cfg.Workers, len(nets), pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
+		// The reduced estimator builds one certified basis per net from
+		// the nominal instance, anchored at the sweep's own corners and
+		// Monte Carlo envelope; every corner and draw of the net then
+		// recombines the frozen per-class pencil. A net whose reduction
+		// fails certification falls back to the exact engine for all of
+		// its samples.
+		var rl *refeng.ReducedLadder
+		if est == EstimatorReduced {
+			if l, err := refeng.NewReducedLadder(nets[i].Line, nets[i].Drive, rcfg); err == nil {
+				rl = l
+			}
+		}
 		base := i * perNet
 		for ci, c := range corners {
 			for d := 0; d < draws; d++ {
 				sc.Seed(pool.Seed(cfg.MC.Seed, int64(i), int64(ci), int64(d)))
 				out := &samples[base+ci*draws+d]
 				out.Net, out.Corner, out.Draw = i, ci, d
-				if err := evalSample(nets[i], c, &cfg, sc.Rand, out); err != nil {
+				if err := evalSample(nets[i], c, &cfg, est, rl, sc.Rand, out); err != nil {
 					return fmt.Errorf("sweep: net %d (%s) corner %s draw %d: %w",
 						i, nets[i].Name, c.Name, d, err)
 				}
@@ -223,7 +333,7 @@ func lognormal(rng *rand.Rand, sigma float64) float64 {
 
 // evalSample analyzes one perturbed instance. The RNG draw order (R, L,
 // C, Rtr) is part of the determinism contract.
-func evalSample(net netgen.Net, c Corner, cfg *Config, rng *rand.Rand, out *Sample) error {
+func evalSample(net netgen.Net, c Corner, cfg *Config, est Estimator, rl *refeng.ReducedLadder, rng *rand.Rand, out *Sample) error {
 	ln := net.Line
 	ln.R *= c.RScale * lognormal(rng, cfg.MC.RSigma)
 	ln.L *= c.LScale * lognormal(rng, cfg.MC.LSigma)
@@ -244,14 +354,39 @@ func evalSample(net netgen.Net, c Corner, cfg *Config, rng *rand.Rand, out *Samp
 	}
 	out.RT, out.CT, out.Zeta = p.RT, p.CT, p.Zeta
 
-	if cfg.Exact {
+	switch est {
+	case EstimatorSmart:
 		v, m, err := refeng.DelaySmart(ln, drv)
 		if err != nil {
 			return err
 		}
 		out.DelayRLC = v
 		out.UsedExact = m == refeng.MethodExact
-	} else {
+	case EstimatorSimulated:
+		v, err := refeng.DelayExactTF(ln, drv, 0)
+		if err != nil {
+			return err
+		}
+		out.DelayRLC = v
+		out.UsedExact = true
+	case EstimatorReduced:
+		done := false
+		if rl != nil {
+			if v, err := rl.Delay(ln, drv); err == nil {
+				out.DelayRLC = v
+				out.Reduced = true
+				done = true
+			}
+		}
+		if !done {
+			v, err := refeng.DelayExactTF(ln, drv, 0)
+			if err != nil {
+				return err
+			}
+			out.DelayRLC = v
+			out.UsedExact = true
+		}
+	default:
 		out.DelayRLC = core.ScaledDelay(p.Zeta) / p.OmegaN
 	}
 	rt, _, ct := ln.Totals()
