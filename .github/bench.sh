@@ -22,3 +22,8 @@ fi
 if [ -d internal/mor ]; then
   run_bench 'Benchmark(ACReduced|ACExact2000|MORBuild)$' ./internal/mna
 fi
+# RLC-tree benches (absent on commits predating internal/rlctree).
+if [ -d internal/rlctree ]; then
+  run_bench 'BenchmarkTreeDelay$' ./internal/rlctree
+  run_bench 'BenchmarkTreeSweep$' ./internal/sweep
+fi

@@ -15,6 +15,7 @@ import (
 	"rlckit/internal/refeng"
 	"rlckit/internal/repeater"
 	"rlckit/internal/report"
+	"rlckit/internal/rlctree"
 	"rlckit/internal/screen"
 	"rlckit/internal/sweep"
 	"rlckit/internal/tech"
@@ -193,4 +194,81 @@ func DefaultCorners() []SweepCorner {
 // yields byte-identical nets at any GOMAXPROCS setting.
 func RandomNets(seed int64, node TechNode, n int) ([]Net, error) {
 	return netgen.RandomBatch(seed, node, n)
+}
+
+// RLCTree is a multi-sink lumped RLC interconnect tree — a clock tree
+// or routed fanout net. Build with NewTree / Tree.Add / Tree.MarkSink.
+// See rlctree.Tree.
+type RLCTree = rlctree.Tree
+
+// TreeDrive is the gate driving a tree root: a step of V volts behind
+// resistance Rtr (sink loads live on the tree's sinks).
+type TreeDrive = rlctree.Drive
+
+// TreeEngine selects the per-sink tree delay engine.
+type TreeEngine = rlctree.Engine
+
+// Tree delay engines: the moment/two-pole closed form, one shared MNA
+// transient with every sink probed, and a multi-output Krylov reduced
+// model with exact fallback.
+const (
+	TreeEngineClosed  = rlctree.EngineClosed
+	TreeEngineMNA     = rlctree.EngineMNA
+	TreeEngineReduced = rlctree.EngineReduced
+)
+
+// TreeConfig tunes AnalyzeTree. The zero value selects the closed-form
+// engine with default resolutions.
+type TreeConfig = rlctree.Config
+
+// TreeResult is a completed tree analysis: the per-sink delay table
+// (delay, RC-only counterfactual, moments, ζ/ωn), the sink-to-sink
+// skew, and the RC-vs-RLC skew error.
+type TreeResult = rlctree.Result
+
+// TreeNet is one named driven tree instance — the unit of a tree sweep
+// population. See netgen.TreeNet.
+type TreeNet = netgen.TreeNet
+
+// TreeKind selects a RandomTrees topology family (balanced binary,
+// random unbalanced fanout, or H-tree clock distribution).
+type TreeKind = netgen.TreeKind
+
+// Tree topology families.
+const (
+	TreeKindBalanced   = netgen.TreeBalanced
+	TreeKindUnbalanced = netgen.TreeUnbalanced
+	TreeKindClockH     = netgen.TreeClockH
+)
+
+// TreeSweepResult is a completed tree population sweep: per-sample
+// skew records plus population statistics.
+type TreeSweepResult = sweep.TreeResult
+
+// NewTree returns an RLC tree with a single root node (the driver
+// output net) of capacitance cRoot.
+func NewTree(cRoot float64) (*RLCTree, error) {
+	return rlctree.New(cRoot)
+}
+
+// AnalyzeTree computes per-sink 50% delays and sink-to-sink skew of a
+// driven multi-sink tree with the configured engine. All sinks of the
+// simulation engines come from one shared solve — analyzing a 64-sink
+// tree costs one transient, not 64.
+func AnalyzeTree(t *RLCTree, d TreeDrive, cfg TreeConfig) (*TreeResult, error) {
+	return rlctree.Analyze(t, d, cfg)
+}
+
+// SweepTreeDelays runs delay and skew analysis over a population of
+// trees × corners × Monte Carlo samples on the shared worker pool.
+// Results are deterministic for a given seed at every worker count.
+func SweepTreeDelays(trees []TreeNet, cfg SweepConfig) (*TreeSweepResult, error) {
+	return sweep.RunTrees(trees, cfg)
+}
+
+// RandomTrees draws n reproducible random multi-sink trees of the
+// given topology family at a technology node. The same seed yields
+// byte-identical trees at any GOMAXPROCS setting.
+func RandomTrees(seed int64, node TechNode, kind TreeKind, sinks, n int) ([]TreeNet, error) {
+	return netgen.RandomTreeBatch(seed, node, kind, sinks, n)
 }

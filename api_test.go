@@ -101,3 +101,76 @@ func TestPublicFacadeSweep(t *testing.T) {
 		t.Errorf("mean RC error %g%% not negative", res.RCErr.Mean)
 	}
 }
+
+// TestTreeFacadeEndToEnd drives the multi-sink tree API exactly as a
+// downstream user would: build, analyze with every engine, and sweep.
+func TestTreeFacadeEndToEnd(t *testing.T) {
+	tr, err := rlckit.NewTree(2e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := tr.Add(0, 25, 0.3e-9, 50e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sinks []int
+	for i := 0; i < 2; i++ {
+		leaf, err := tr.Add(stem, 30+5*float64(i), 0.3e-9, 40e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.MarkSink(leaf, 10e-15); err != nil {
+			t.Fatal(err)
+		}
+		sinks = append(sinks, leaf)
+	}
+	d := rlckit.TreeDrive{Rtr: 60}
+	var delays [3][]float64
+	for ei, engine := range []rlckit.TreeEngine{rlckit.TreeEngineClosed, rlckit.TreeEngineMNA, rlckit.TreeEngineReduced} {
+		res, err := rlckit.AnalyzeTree(tr, d, rlckit.TreeConfig{Engine: engine})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if len(res.Sinks) != len(sinks) {
+			t.Fatalf("%v: %d sinks", engine, len(res.Sinks))
+		}
+		if res.MaxSkew < 0 || res.MaxDelay <= 0 {
+			t.Errorf("%v: bad skew stats %+v", engine, res)
+		}
+		for _, s := range res.Sinks {
+			delays[ei] = append(delays[ei], s.Delay)
+		}
+	}
+	// The three engines must agree to their stated accuracy on this
+	// easy tree: closed within 10% of MNA, reduced within 1%.
+	for k := range delays[1] {
+		if rel := math.Abs(delays[0][k]-delays[1][k]) / delays[1][k]; rel > 0.10 {
+			t.Errorf("closed vs MNA sink %d: %.2f%%", k, 100*rel)
+		}
+		if rel := math.Abs(delays[2][k]-delays[1][k]) / delays[1][k]; rel > 0.01 {
+			t.Errorf("reduced vs MNA sink %d: %.2f%%", k, 100*rel)
+		}
+	}
+
+	node, err := rlckit.Technology("250nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := rlckit.RandomTrees(3, node, rlckit.TreeKindBalanced, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rlckit.SweepTreeDelays(trees, rlckit.SweepConfig{
+		Corners: rlckit.DefaultCorners(),
+		MC:      rlckit.SweepMonteCarlo{Samples: 2, Seed: 5, RSigma: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6 * 3 * 2; len(res.Samples) != want {
+		t.Fatalf("sweep produced %d samples, want %d", len(res.Samples), want)
+	}
+	if res.MaxSkew.N == 0 || res.MaxDelay.Mean <= 0 {
+		t.Errorf("bad sweep aggregates: %+v", res.MaxDelay)
+	}
+}

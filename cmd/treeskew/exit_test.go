@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the real treeskew binary:
+// with TREESKEW_RUN_MAIN=1 it runs main() on its own os.Args, which is
+// how the exit-status regression tests below observe real exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("TREESKEW_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// treeskew re-executes the test binary as treeskew with args.
+func treeskew(t *testing.T, args ...string) (exit int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TREESKEW_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		return ee.ExitCode(), out.String(), errb.String()
+	}
+	return 0, out.String(), errb.String()
+}
+
+// TestExitCodes: invocation mistakes must exit 2 with a usage pointer,
+// never print a partial table.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"unexpected argument", []string{"extra"}, 2},
+		{"bad node", []string{"-node", "90nm"}, 2},
+		{"bad kind", []string{"-kind", "star"}, 2},
+		{"bad engine", []string{"-engine", "warp"}, 2},
+		{"too few sinks", []string{"-sinks", "1"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exit, stdout, stderr := treeskew(t, tc.args...)
+			if exit != tc.want {
+				t.Errorf("exit %d, want %d (stderr: %s)", exit, tc.want, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("usage failure printed to stdout: %q", stdout)
+			}
+			if !strings.Contains(stderr, "usage") && !strings.Contains(stderr, "treeskew") {
+				t.Errorf("stderr lacks a usage pointer: %q", stderr)
+			}
+		})
+	}
+}
+
+// TestHappyPathExitZero runs a tiny single-tree analysis end to end.
+func TestHappyPathExitZero(t *testing.T) {
+	exit, stdout, stderr := treeskew(t, "-sinks", "4", "-kind", "balanced", "-seed", "2")
+	if exit != 0 {
+		t.Fatalf("exit %d, stderr: %s", exit, stderr)
+	}
+	if !strings.Contains(stdout, "max skew") {
+		t.Errorf("missing skew line in output:\n%s", stdout)
+	}
+}

@@ -1,0 +1,290 @@
+// Command treeskew analyzes multi-sink RLC trees: per-sink 50% delays
+// and sink-to-sink skew, with the inductance-aware engines of
+// internal/rlctree graded against the RC-only answer a classic timing
+// flow would give.
+//
+// With -trees 1 (the default) it prints the per-sink delay table of
+// one seeded random tree. With -trees N it runs the chip-scale sweep:
+// N trees × technology corners × Monte Carlo samples on the shared
+// worker pool, printing population skew statistics (and optionally
+// every sample as CSV).
+//
+// Usage:
+//
+//	treeskew -node 250nm -kind clock-h -sinks 16 -seed 1
+//	treeskew -kind unbalanced -sinks 8 -engine mna
+//	treeskew -trees 200 -samples 4 -corners tt,ff,ss -csv out.csv
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/rlctree"
+	"rlckit/internal/sweep"
+	"rlckit/internal/tech"
+	"rlckit/internal/units"
+)
+
+// usageError marks failures caused by how the command was invoked;
+// main reports them with a usage pointer and exit status 2.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `usage: treeskew [flags]
+
+Analyzes multi-sink RLC trees: per-sink 50% delays, sink-to-sink skew,
+and the skew error of ignoring inductance. -trees 1 prints one tree's
+per-sink table; -trees N runs a population sweep over corners and
+Monte Carlo samples.
+
+  treeskew -node 250nm -kind clock-h -sinks 16 -seed 1
+  treeskew -kind unbalanced -sinks 8 -engine mna
+  treeskew -trees 200 -samples 4 -corners tt,ff,ss -csv out.csv
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+type options struct {
+	node     string
+	kind     string
+	sinks    int
+	trees    int
+	engine   string
+	seed     int64
+	corners  string
+	samples  int
+	sigma    string
+	drvSigma string
+	workers  int
+	csvPath  string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.node, "node", "250nm", "technology node")
+	flag.StringVar(&o.kind, "kind", "clock-h", "tree topology (balanced, unbalanced, clock-h)")
+	flag.IntVar(&o.sinks, "sinks", 16, "sinks per tree (min 2)")
+	flag.IntVar(&o.trees, "trees", 1, "tree population size (1 = single-tree table)")
+	flag.StringVar(&o.engine, "engine", "closed", "delay engine (closed, mna, reduced, smart)")
+	flag.Int64Var(&o.seed, "seed", 1, "generation and Monte Carlo seed")
+	flag.StringVar(&o.corners, "corners", "tt,ff,ss", "comma-separated corner names (sweep mode)")
+	flag.IntVar(&o.samples, "samples", 4, "Monte Carlo draws per tree and corner (sweep mode)")
+	flag.StringVar(&o.sigma, "sigma", "0.1", "log-normal sigma on branch R, L, C (sweep mode)")
+	flag.StringVar(&o.drvSigma, "drive-sigma", "0.1", "log-normal sigma on driver resistance (sweep mode)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.csvPath, "csv", "", "write per-sample CSV to this file (sweep mode)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "treeskew: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "treeskew:", err)
+		if errors.As(err, &usageError{}) {
+			fmt.Fprintln(os.Stderr, "run 'treeskew -h' for usage")
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	node, err := tech.Lookup(o.node)
+	if err != nil {
+		return usageError{err}
+	}
+	kind, err := netgen.ParseTreeKind(o.kind)
+	if err != nil {
+		return usageError{err}
+	}
+	if o.sinks < 2 {
+		return usagef("-sinks must be at least 2, got %d", o.sinks)
+	}
+	if o.trees < 1 {
+		return usagef("-trees must be positive, got %d", o.trees)
+	}
+	if o.trees == 1 {
+		engine, err := parseEngine(o.engine)
+		if err != nil {
+			return usageError{err}
+		}
+		return runSingle(o, node, kind, engine, out)
+	}
+	return runSweep(o, node, kind, out)
+}
+
+// parseEngine resolves the single-tree engine name ("smart" is a sweep
+// estimator, resolved in runSweep).
+func parseEngine(s string) (rlctree.Engine, error) {
+	switch s {
+	case "closed":
+		return rlctree.EngineClosed, nil
+	case "mna":
+		return rlctree.EngineMNA, nil
+	case "reduced":
+		return rlctree.EngineReduced, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (have closed, mna, reduced)", s)
+	}
+}
+
+func runSingle(o options, node tech.Node, kind netgen.TreeKind, engine rlctree.Engine, out io.Writer) error {
+	batch, err := netgen.RandomTreeBatch(o.seed, node, kind, o.sinks, 1)
+	if err != nil {
+		return err
+	}
+	tn := batch[0]
+	res, err := rlctree.Analyze(tn.Tree, tn.Drive, rlctree.Config{Engine: engine})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d nodes, %d sinks, Ctot=%s, Rtr=%s\n",
+		tn.Name, tn.Tree.Len(), len(tn.Tree.Sinks()),
+		units.Format(tn.Tree.TotalCap(), "F", 3), units.Format(tn.Drive.Rtr, "Ohm", 3))
+	engineLabel := res.Engine.String()
+	if res.Fallback {
+		engineLabel = "mna (reduced fell back)"
+	} else if res.Reduced {
+		engineLabel = fmt.Sprintf("reduced (q=%d of n=%d, err %.3g%%)",
+			res.MORInfo.Q, res.MORInfo.N, res.MORInfo.EstErrPct)
+	}
+	fmt.Fprintf(out, "engine: %s\n\n", engineLabel)
+	fmt.Fprintf(out, "%6s  %12s  %12s  %8s  %8s  %s\n", "sink", "delay", "delay RC", "err %", "zeta", "domain")
+	for _, s := range res.Sinks {
+		zeta := "-"
+		if !isInfOrZero(s.Zeta) {
+			zeta = fmt.Sprintf("%.3f", s.Zeta)
+		}
+		domain := "in"
+		if !s.InDomain {
+			domain = "out"
+		}
+		fmt.Fprintf(out, "%6d  %12s  %12s  %8.2f  %8s  %s\n",
+			s.Node, units.Format(s.Delay, "s", 4), units.Format(s.DelayRC, "s", 4),
+			100*(s.DelayRC-s.Delay)/s.Delay, zeta, domain)
+	}
+	fmt.Fprintf(out, "\ncritical delay %s   max skew %s   RC-only skew %s   skew err %+.1f%%\n",
+		units.Format(res.MaxDelay, "s", 4), units.Format(res.MaxSkew, "s", 4),
+		units.Format(res.MaxSkewRC, "s", 4), res.SkewErrPct)
+	return nil
+}
+
+func isInfOrZero(v float64) bool {
+	return v == 0 || v > 1e18
+}
+
+func runSweep(o options, node tech.Node, kind netgen.TreeKind, out io.Writer) error {
+	est, err := parseEstimator(o.engine)
+	if err != nil {
+		return usageError{err}
+	}
+	sigma, err := units.Parse(o.sigma)
+	if err != nil {
+		return usagef("-sigma: %w", err)
+	}
+	drvSigma, err := units.Parse(o.drvSigma)
+	if err != nil {
+		return usagef("-drive-sigma: %w", err)
+	}
+	corners, err := parseCorners(o.corners)
+	if err != nil {
+		return usageError{err}
+	}
+	trees, err := netgen.RandomTreeBatch(o.seed, node, kind, o.sinks, o.trees)
+	if err != nil {
+		return err
+	}
+	res, err := sweep.RunTrees(trees, sweep.Config{
+		Corners: corners,
+		MC: sweep.MonteCarlo{
+			Samples: o.samples, Seed: o.seed,
+			RSigma: sigma, LSigma: sigma, CSigma: sigma, DriveSigma: drvSigma,
+		},
+		Workers:   o.workers,
+		Estimator: est,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.RenderSummary(out); err != nil {
+		return err
+	}
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		if err := res.WriteCSV(bw); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d samples to %s\n", len(res.Samples), o.csvPath)
+	}
+	return nil
+}
+
+func parseEstimator(s string) (sweep.Estimator, error) {
+	switch s {
+	case "closed":
+		return sweep.EstimatorClosed, nil
+	case "smart":
+		return sweep.EstimatorSmart, nil
+	case "mna", "simulated":
+		return sweep.EstimatorSimulated, nil
+	case "reduced":
+		return sweep.EstimatorReduced, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (have closed, smart, mna, reduced)", s)
+	}
+}
+
+// parseCorners resolves a comma-separated corner-name list against the
+// default corner set.
+func parseCorners(list string) ([]sweep.Corner, error) {
+	known := map[string]sweep.Corner{}
+	for _, c := range sweep.DefaultCorners() {
+		known[c.Name] = c
+	}
+	var out []sweep.Corner
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := known[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown corner %q (have tt, ff, ss)", name)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no corners in %q", list)
+	}
+	return out, nil
+}

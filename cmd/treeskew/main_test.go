@@ -1,0 +1,128 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlckit/internal/golden"
+)
+
+func defaultOpts() options {
+	return options{
+		node: "250nm", kind: "clock-h", sinks: 16, trees: 1,
+		engine: "closed", seed: 1, corners: "tt,ff,ss", samples: 2,
+		sigma: "0.1", drvSigma: "0.1",
+	}
+}
+
+// TestGoldenSingleTree locks the per-sink table of one seeded tree per
+// engine. Refresh with `go test ./cmd/treeskew -update`.
+func TestGoldenSingleTree(t *testing.T) {
+	cases := []struct {
+		name, kind, engine string
+		sinks              int
+		file               string
+	}{
+		{"clock-h closed", "clock-h", "closed", 16, "clockh_closed.txt"},
+		{"unbalanced closed", "unbalanced", "closed", 6, "unbalanced_closed.txt"},
+		{"balanced mna", "balanced", "mna", 4, "balanced_mna.txt"},
+		{"balanced reduced", "balanced", "reduced", 4, "balanced_reduced.txt"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaultOpts()
+			o.kind, o.engine, o.sinks = tc.kind, tc.engine, tc.sinks
+			var b strings.Builder
+			if err := run(o, &b); err != nil {
+				t.Fatal(err)
+			}
+			golden.Assert(t, tc.file, []byte(b.String()))
+		})
+	}
+}
+
+// TestGoldenSweep locks the population summary and CSV of a seeded
+// tree sweep, and asserts the bytes are identical at every worker
+// count.
+func TestGoldenSweep(t *testing.T) {
+	o := defaultOpts()
+	o.trees = 20
+	o.sinks = 4
+	o.csvPath = filepath.Join(t.TempDir(), "out.csv")
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.ReplaceAll(b.String(), o.csvPath, "OUT.csv")
+	golden.Assert(t, "sweep20.txt", []byte(out))
+	csv, err := os.ReadFile(o.csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Assert(t, "sweep20.samples.csv", csv)
+
+	for _, workers := range []int{1, 4} {
+		o2 := o
+		o2.workers = workers
+		o2.csvPath = ""
+		var b2 strings.Builder
+		if err := run(o2, &b2); err != nil {
+			t.Fatal(err)
+		}
+		if got := b2.String(); got != strings.ReplaceAll(out, "\nwrote 120 samples to OUT.csv\n", "") {
+			t.Errorf("workers=%d output differs from default", workers)
+		}
+	}
+}
+
+// TestSmartSweep exercises the smart estimator end to end (closed
+// in-domain, exact fallback otherwise).
+func TestSmartSweep(t *testing.T) {
+	o := defaultOpts()
+	o.trees = 5
+	o.sinks = 4
+	o.kind = "unbalanced"
+	o.engine = "smart"
+	o.samples = 1
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "in-domain sinks:") {
+		t.Errorf("missing engine accounting line:\n%s", b.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"bad node", func(o *options) { o.node = "90nm" }},
+		{"bad kind", func(o *options) { o.kind = "star" }},
+		{"bad engine", func(o *options) { o.engine = "warp" }},
+		{"bad sweep engine", func(o *options) { o.engine = "warp"; o.trees = 2 }},
+		{"one sink", func(o *options) { o.sinks = 1 }},
+		{"zero trees", func(o *options) { o.trees = 0 }},
+		{"bad corners", func(o *options) { o.trees = 2; o.corners = "fast" }},
+		{"bad sigma", func(o *options) { o.trees = 2; o.sigma = "lots" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaultOpts()
+			tc.mutate(&o)
+			var b strings.Builder
+			err := run(o, &b)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			var ue usageError
+			if !errors.As(err, &ue) {
+				t.Errorf("want usageError, got %T: %v", err, err)
+			}
+		})
+	}
+}

@@ -17,8 +17,15 @@
 //     models evaluated per frequency point, timestep, or Monte Carlo
 //     sample (mna.ACReduced, refeng.DelayReduced, the sweep's
 //     reduced estimator), with exact fallback on failed certification
+//   - rlctree   — multi-sink RLC trees (clock trees, routed fanout):
+//     per-sink delay and skew from a moment/two-pole closed form, one
+//     shared MNA transient, or a multi-output reduced model
+//   - conformance — differential cross-engine harness: seeded random
+//     lines and trees through every engine, held to stated bounds in
+//     a run-until-dry loop (short in PRs, long nightly)
 //   - sweep     — chip-scale batch engine: nets × corners × Monte Carlo
 //     samples on a worker pool, aggregated into population statistics
+//     (lines via Run, trees via RunTrees)
 //   - pool      — the shared bounded worker pool and deterministic
 //     per-index seed derivation under every batch layer
 //   - ratfun    — pole/residue analytic step responses
@@ -75,10 +82,24 @@
 // shutdown. Responses are pure functions of the request body, so they
 // are byte-identical across worker counts and cache states.
 //
+// # RLC trees and skew
+//
+// Multi-sink nets — clock trees and routed fanout — are a first-class
+// workload: AnalyzeTree computes every sink's 50% delay and the
+// sink-to-sink skew from one shared solve (closed-form moments, a
+// single multi-probe MNA transient, or a multi-output reduced model
+// with exact fallback), RandomTrees draws seeded
+// balanced/unbalanced/H-tree populations, SweepTreeDelays runs
+// trees × corners × Monte Carlo, and the serving layer exposes it all
+// at POST /v1/tree. internal/conformance differentially tests every
+// engine against every other over seeded random corpora.
+//
 // Executables: cmd/rlcdelay, cmd/repeaterplan, cmd/netsim,
 // cmd/paperfigs, cmd/netsweep (the sweep engine's CLI: population
-// summary tables plus per-sample CSV), cmd/rlckitd (the HTTP serving
-// daemon), cmd/benchgate (CI's benchmark-regression gate).
+// summary tables plus per-sample CSV), cmd/treeskew (per-sink tree
+// delay/skew tables and tree population sweeps), cmd/rlckitd (the
+// HTTP serving daemon), cmd/benchgate (CI's benchmark-regression
+// gate).
 // Runnable examples: examples/quickstart, examples/clocktree,
 // examples/busdesign, examples/techscaling, examples/netaudit,
 // examples/servedemo.

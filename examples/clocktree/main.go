@@ -1,13 +1,15 @@
-// Clocktree: repeater insertion on a wide clock spine — the paper's
-// motivating workload ("wide wires are frequently encountered in clock
-// distribution networks").
+// Clocktree: per-sink delay and skew of an H-tree clock distribution
+// network — the paper's motivating workload ("wide wires are
+// frequently encountered in clock distribution networks"), analyzed
+// with the multi-sink RLC tree engines of internal/rlctree.
 //
-// The example designs repeaters for a 20 mm, 2.5x-wide clock wire at
-// 250 nm (T_{L/R} ≈ 4, squarely in the regime the paper calls common
-// for 0.25 µm) with both the RC-only Bakoglu rules and the paper's
-// inductance-aware closed forms, grades both with the exact line
-// engine, and simulates the unrepeated spine driven hard to show the
-// inductive ringing an RC model cannot predict.
+// The example builds a seeded 16-sink H-tree at 250 nm, measures every
+// sink from ONE shared MNA transient (not 16 separate simulations),
+// grades the closed-form moment/two-pole estimator against it, and
+// quantifies what an RC-only timing flow would get wrong about both
+// delay and skew. It then perturbs the tree across process corners and
+// Monte Carlo samples with the sweep engine to show how skew moves
+// with process.
 //
 // Run with: go run ./examples/clocktree
 package main
@@ -15,92 +17,70 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
+	"os"
 
-	"rlckit/internal/mna"
-	"rlckit/internal/repeater"
+	"rlckit/internal/netgen"
+	"rlckit/internal/rlctree"
+	"rlckit/internal/sweep"
 	"rlckit/internal/tech"
-	"rlckit/internal/tline"
 	"rlckit/internal/units"
 )
 
 func main() {
 	node := tech.Default()
-	wire := node.GlobalWire
-	wire.Width *= 2.5
-	spine, err := wire.Line(units.MilliMeter(20))
+	rng := rand.New(rand.NewSource(42))
+	tn, err := netgen.RandomTree(rng, node, netgen.TreeClockH, 16)
 	if err != nil {
 		log.Fatal(err)
 	}
-	buf := node.Buffer()
-	tlr, err := repeater.TLR(spine, buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rt, lt, ct := spine.Totals()
-	fmt.Printf("Clock spine: Rt=%s Lt=%s Ct=%s  T_{L/R}=%.2f\n",
-		units.Format(rt, "Ohm", 3), units.Format(lt, "H", 3),
-		units.Format(ct, "F", 3), tlr)
+	fmt.Printf("%s: %d nodes, %d sinks, Ctot=%s behind Rtr=%s\n\n",
+		tn.Name, tn.Tree.Len(), len(tn.Tree.Sinks()),
+		units.Format(tn.Tree.TotalCap(), "F", 3), units.Format(tn.Drive.Rtr, "Ohm", 3))
 
-	for _, m := range []repeater.Model{repeater.RC, repeater.RLC} {
-		plan, err := repeater.Design(spine, buf, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		d, err := repeater.TrueTotalDelay(spine, buf, plan.H, plan.K)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-3s design: k=%5.2f sections, h=%6.2f -> delay %s, area %.0f, energy %s\n",
-			m, plan.K, plan.H, units.Format(d, "s", 4), plan.Area,
-			units.Format(plan.SwitchEnergy, "J", 3))
-	}
-	di, err := repeater.DelayIncrease(spine, buf)
+	// One shared transient measures every sink; the closed form costs
+	// two tree traversals per moment order.
+	exact, err := rlctree.Analyze(tn.Tree, tn.Drive, rlctree.Config{Engine: rlctree.EngineMNA})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dvo, err := repeater.DelayIncreaseVsOptimum(spine, buf)
+	closed, err := rlctree.Analyze(tn.Tree, tn.Drive, rlctree.Config{Engine: rlctree.EngineClosed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Cost of the RC design: %+.1f%% delay vs RLC closed form, %+.1f%% vs true optimum, %+.1f%% repeater area\n\n",
-		di, dvo, repeater.AreaIncrease(tlr))
 
-	// Simulate a wider (6x), shorter (10 mm) unrepeated spine behind a
-	// strong driver — the low-loss case where the response goes
-	// underdamped.
-	wideWire := node.GlobalWire
-	wideWire.Width *= 6
-	wideWire.Thickness *= 1.5
-	wide, err := wideWire.Line(units.MilliMeter(10))
+	fmt.Printf("%6s  %12s  %12s  %9s  %12s  %9s\n",
+		"sink", "MNA delay", "closed", "cl err %", "RC-only", "RC err %")
+	worstClosed, worstRC := 0.0, 0.0
+	for k, s := range exact.Sinks {
+		c := closed.Sinks[k]
+		clErr := 100 * (c.Delay - s.Delay) / s.Delay
+		rcErr := 100 * (c.DelayRC - s.Delay) / s.Delay
+		worstClosed = math.Max(worstClosed, math.Abs(clErr))
+		worstRC = math.Max(worstRC, math.Abs(rcErr))
+		fmt.Printf("%6d  %12s  %12s  %+8.2f%%  %12s  %+8.2f%%\n",
+			s.Node, units.Format(s.Delay, "s", 4), units.Format(c.Delay, "s", 4),
+			clErr, units.Format(c.DelayRC, "s", 4), rcErr)
+	}
+	fmt.Printf("\nworst closed-form error %.2f%%, worst RC-only error %.2f%%\n", worstClosed, worstRC)
+	fmt.Printf("critical delay %s, skew %s (RC-only flow would predict skew %s, %+.1f%%)\n\n",
+		units.Format(exact.MaxDelay, "s", 4), units.Format(exact.MaxSkew, "s", 4),
+		units.Format(exact.MaxSkewRC, "s", 4), exact.SkewErrPct)
+
+	// Process view: 30 sibling trees × corners × Monte Carlo draws.
+	trees, err := netgen.RandomTreeBatch(42, node, netgen.TreeClockH, 16, 30)
 	if err != nil {
 		log.Fatal(err)
 	}
-	drive := node.Gate(200, 30) // Rtr = R0/200 = 15 Ω
-	lad, err := tline.BuildLadder(wide, drive, 120, tline.Pi, 1e-12)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tof := wide.TimeOfFlight()
-	res, err := mna.Simulate(lad.Ckt, mna.Options{
-		Dt: tof / 400, TEnd: 40 * tof, Probes: []int{lad.Out},
+	res, err := sweep.RunTrees(trees, sweep.Config{
+		Corners: sweep.DefaultCorners(),
+		MC:      sweep.MonteCarlo{Samples: 4, Seed: 7, RSigma: 0.08, CSigma: 0.08, DriveSigma: 0.1},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	w, err := res.Waveform(lad.Out)
-	if err != nil {
+	if err := res.RenderSummary(os.Stdout); err != nil {
 		log.Fatal(err)
-	}
-	final := drive.Amplitude()
-	t50, err := w.Delay50(final)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Unrepeated spine behind a 15 Ohm driver: t50=%s, overshoot=%.1f%% — ",
-		units.Format(t50, "s", 4), 100*w.Overshoot(final))
-	if w.Overshoot(final) > 0.05 {
-		fmt.Println("inductive ringing an RC model would entirely miss.")
-	} else {
-		fmt.Println("well damped.")
 	}
 }

@@ -1,0 +1,90 @@
+package conformance
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// -conformance.seed reruns a single corpus seed — the repro hook every
+// Failure message points at.
+var seedFlag = flag.Int64("conformance.seed", -1, "re-check a single conformance corpus seed")
+
+// corpusOptions resolves the run size: PRs run the short corpus, the
+// nightly CI job sets CONFORMANCE_ROUNDS for the long one.
+func corpusOptions(t *testing.T) Options {
+	opts := Options{}
+	if testing.Short() {
+		opts.BatchSize = 4
+		opts.MaxRounds = 1
+		return opts
+	}
+	opts.BatchSize = 8
+	opts.MaxRounds = 3
+	if env := os.Getenv("CONFORMANCE_ROUNDS"); env != "" {
+		rounds, err := strconv.Atoi(env)
+		if err != nil || rounds < 1 {
+			t.Fatalf("bad CONFORMANCE_ROUNDS=%q", env)
+		}
+		opts.MaxRounds = rounds
+	}
+	return opts
+}
+
+// TestConformanceCorpus is the differential cross-engine gate: random
+// lines and trees through every engine, run until a full seed round
+// comes up dry. With -conformance.seed N it re-checks exactly one
+// seed.
+func TestConformanceCorpus(t *testing.T) {
+	if *seedFlag >= 0 {
+		var rep Report
+		CheckSeed(*seedFlag, Options{}, &rep)
+		for _, f := range rep.Failures {
+			t.Error(f.String())
+		}
+		t.Logf("seed %d: %d cases, %d in-domain sinks, %d fallbacks",
+			*seedFlag, rep.Cases, rep.InDomainSinks, rep.Fallbacks)
+		return
+	}
+	rep := Run(corpusOptions(t))
+	for _, f := range rep.Failures {
+		t.Error(f.String())
+	}
+	t.Logf("%d rounds, %d seeds, %d cases, %d in-domain sinks, %d reduced fallbacks",
+		rep.Rounds, rep.Seeds, rep.Cases, rep.InDomainSinks, rep.Fallbacks)
+	if rep.InDomainSinks == 0 {
+		t.Error("corpus produced no in-domain sinks — the closed-form bound was never exercised")
+	}
+}
+
+// TestRunStopsWhenDry: a clean corpus must stop after its first round.
+func TestRunStopsWhenDry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestConformanceCorpus in short mode")
+	}
+	rep := Run(Options{BatchSize: 2, MaxRounds: 5})
+	if len(rep.Failures) == 0 && rep.Rounds != 1 {
+		t.Errorf("clean corpus ran %d rounds, want 1 (run-until-dry)", rep.Rounds)
+	}
+}
+
+// TestFailureReporting drives the harness with an impossible bound so
+// the failure paths (collection, capping, repro rendering) are
+// exercised without a real regression.
+func TestFailureReporting(t *testing.T) {
+	rep := Run(Options{BatchSize: 2, MaxRounds: 4, ClosedTolPct: 1e-9, MaxFailures: 3})
+	if len(rep.Failures) != 3 {
+		t.Fatalf("got %d failures, want the MaxFailures cap of 3", len(rep.Failures))
+	}
+	for _, f := range rep.Failures {
+		s := f.String()
+		if !strings.Contains(s, "-conformance.seed") || !strings.Contains(s, "repro") {
+			t.Errorf("failure lacks a repro command: %s", s)
+		}
+	}
+	if rep.Rounds < 1 || rep.Seeds < 1 {
+		t.Errorf("implausible accounting: %+v", rep)
+	}
+}

@@ -25,11 +25,36 @@ type Tree struct {
 	kids   [][]int
 }
 
+// checkValue validates a non-negative finite element value; what names
+// the parameter in the error. Every constructor and mutator funnels
+// through this (and checkNode below), so rejected values read the same
+// everywhere — historically Add said "negative or NaN branch" while
+// AddCap said "negative load" and silently accepted NaN.
+func checkValue(what string, v float64) error {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("elmore: %s must be finite and non-negative, got %g", what, v)
+	}
+	return nil
+}
+
+// checkNode validates a node index; what is "parent" or "node" so the
+// message names the argument, and the valid range (which always
+// includes the root, index 0) is spelled out.
+func (t *Tree) checkNode(what string, n int) error {
+	if n < 0 || n >= len(t.parent) {
+		return fmt.Errorf("elmore: %s %d out of range [0, %d)", what, n, len(t.parent))
+	}
+	return nil
+}
+
 // NewTree returns a tree with a single root node of capacitance cRoot
 // fed through rDriver (the driver's output resistance).
 func NewTree(rDriver, cRoot float64) (*Tree, error) {
-	if rDriver < 0 || cRoot < 0 {
-		return nil, fmt.Errorf("elmore: negative root parameters (%g, %g)", rDriver, cRoot)
+	if err := checkValue("driver resistance", rDriver); err != nil {
+		return nil, err
+	}
+	if err := checkValue("root capacitance", cRoot); err != nil {
+		return nil, err
 	}
 	return &Tree{
 		parent: []int{-1},
@@ -42,11 +67,14 @@ func NewTree(rDriver, cRoot float64) (*Tree, error) {
 // Add appends a node under parent with branch resistance r and node
 // capacitance c, returning its index.
 func (t *Tree) Add(parent int, r, c float64) (int, error) {
-	if parent < 0 || parent >= len(t.parent) {
-		return 0, fmt.Errorf("elmore: parent %d out of range", parent)
+	if err := t.checkNode("parent", parent); err != nil {
+		return 0, err
 	}
-	if r < 0 || c < 0 || math.IsNaN(r) || math.IsNaN(c) {
-		return 0, fmt.Errorf("elmore: negative or NaN branch (r=%g, c=%g)", r, c)
+	if err := checkValue("branch resistance", r); err != nil {
+		return 0, err
+	}
+	if err := checkValue("node capacitance", c); err != nil {
+		return 0, err
 	}
 	id := len(t.parent)
 	t.parent = append(t.parent, parent)
@@ -62,11 +90,11 @@ func (t *Tree) Len() int { return len(t.parent) }
 
 // AddCap adds extra capacitance (e.g. a receiver load) at a node.
 func (t *Tree) AddCap(node int, c float64) error {
-	if node < 0 || node >= len(t.parent) {
-		return fmt.Errorf("elmore: node %d out of range", node)
+	if err := t.checkNode("node", node); err != nil {
+		return err
 	}
-	if c < 0 {
-		return fmt.Errorf("elmore: negative load %g", c)
+	if err := checkValue("load capacitance", c); err != nil {
+		return err
 	}
 	t.c[node] += c
 	return nil
@@ -102,8 +130,8 @@ func (t *Tree) Delays() []float64 {
 
 // Delay returns the Elmore delay to one node.
 func (t *Tree) Delay(node int) (float64, error) {
-	if node < 0 || node >= len(t.parent) {
-		return 0, fmt.Errorf("elmore: node %d out of range", node)
+	if err := t.checkNode("node", node); err != nil {
+		return 0, err
 	}
 	return t.Delays()[node], nil
 }

@@ -2,6 +2,7 @@ package elmore
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -155,5 +156,65 @@ func TestElmoreUpperBoundsTrue50(t *testing.T) {
 	}
 	if ed := LineElmore(rt, ct, rtr, cl); ed < exact {
 		t.Errorf("Elmore %g below true 50%% delay %g", ed, exact)
+	}
+}
+
+// TestValidationTable covers the unified validation of every Tree
+// constructor and mutator, including the root-index-0 edge cases that
+// previously produced inconsistent "node"/"parent" error text (and an
+// AddCap that accepted NaN).
+func TestValidationTable(t *testing.T) {
+	newTree := func(t *testing.T) *Tree {
+		t.Helper()
+		tr, err := NewTree(100, 1e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Add(0, 10, 1e-15); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	cases := []struct {
+		name    string
+		run     func(tr *Tree) error
+		wantErr string // substring; empty = must succeed
+	}{
+		{"NewTree negative r", func(*Tree) error { _, err := NewTree(-1, 0); return err }, "driver resistance"},
+		{"NewTree NaN c", func(*Tree) error { _, err := NewTree(0, math.NaN()); return err }, "root capacitance"},
+		{"NewTree Inf r", func(*Tree) error { _, err := NewTree(math.Inf(1), 0); return err }, "driver resistance"},
+		{"Add to root", func(tr *Tree) error { _, err := tr.Add(0, 1, 1e-15); return err }, ""},
+		{"Add negative parent", func(tr *Tree) error { _, err := tr.Add(-1, 1, 1e-15); return err }, "parent -1 out of range [0, 2)"},
+		{"Add past end", func(tr *Tree) error { _, err := tr.Add(2, 1, 1e-15); return err }, "parent 2 out of range [0, 2)"},
+		{"Add negative r", func(tr *Tree) error { _, err := tr.Add(0, -1, 1e-15); return err }, "branch resistance"},
+		{"Add NaN c", func(tr *Tree) error { _, err := tr.Add(0, 1, math.NaN()); return err }, "node capacitance"},
+		{"Add Inf r", func(tr *Tree) error { _, err := tr.Add(0, math.Inf(1), 0); return err }, "branch resistance"},
+		{"AddCap at root", func(tr *Tree) error { return tr.AddCap(0, 1e-15) }, ""},
+		{"AddCap negative node", func(tr *Tree) error { return tr.AddCap(-1, 1e-15) }, "node -1 out of range [0, 2)"},
+		{"AddCap past end", func(tr *Tree) error { return tr.AddCap(2, 1e-15) }, "node 2 out of range [0, 2)"},
+		{"AddCap negative", func(tr *Tree) error { return tr.AddCap(0, -1e-15) }, "load capacitance"},
+		{"AddCap NaN", func(tr *Tree) error { return tr.AddCap(0, math.NaN()) }, "load capacitance"},
+		{"AddCap Inf", func(tr *Tree) error { return tr.AddCap(0, math.Inf(1)) }, "load capacitance"},
+		{"Delay at root", func(tr *Tree) error { _, err := tr.Delay(0); return err }, ""},
+		{"Delay negative node", func(tr *Tree) error { _, err := tr.Delay(-1); return err }, "node -1 out of range [0, 2)"},
+		{"Delay past end", func(tr *Tree) error { _, err := tr.Delay(2); return err }, "node 2 out of range [0, 2)"},
+		{"Delay50 past end", func(tr *Tree) error { _, err := tr.Delay50(2); return err }, "node 2 out of range [0, 2)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(newTree(t))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
 	}
 }

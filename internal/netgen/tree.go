@@ -1,0 +1,215 @@
+package netgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rlckit/internal/pool"
+	"rlckit/internal/rlctree"
+	"rlckit/internal/tech"
+)
+
+// TreeNet is one driven multi-sink tree instance — the unit of a tree
+// sweep population.
+type TreeNet struct {
+	Name  string
+	Tree  *rlctree.Tree
+	Drive rlctree.Drive
+}
+
+// TreeKind selects a RandomTree topology family.
+type TreeKind int
+
+// Tree topology families.
+const (
+	// TreeBalanced is a balanced binary tree: every root-to-leaf path
+	// has the same depth, with per-branch parameter variation providing
+	// the skew.
+	TreeBalanced TreeKind = iota
+	// TreeUnbalanced attaches each new branch to a uniformly random
+	// existing node — routed fanout nets with very different path
+	// lengths to each sink.
+	TreeUnbalanced
+	// TreeClockH is an H-tree clock distribution: recursive H levels
+	// with halving segment lengths, 4^levels leaves.
+	TreeClockH
+)
+
+func (k TreeKind) String() string {
+	switch k {
+	case TreeBalanced:
+		return "balanced"
+	case TreeUnbalanced:
+		return "unbalanced"
+	case TreeClockH:
+		return "clock-h"
+	default:
+		return fmt.Sprintf("TreeKind(%d)", int(k))
+	}
+}
+
+// ParseTreeKind resolves a topology family name ("balanced",
+// "unbalanced", "clock-h").
+func ParseTreeKind(s string) (TreeKind, error) {
+	switch s {
+	case "balanced":
+		return TreeBalanced, nil
+	case "unbalanced":
+		return TreeUnbalanced, nil
+	case "clock-h":
+		return TreeClockH, nil
+	default:
+		return 0, fmt.Errorf("netgen: unknown tree kind %q (have balanced, unbalanced, clock-h)", s)
+	}
+}
+
+// treeWire derives per-meter branch parasitics at a node, with a mild
+// random geometry perturbation shared by the whole tree (one net is
+// routed on one layer).
+func treeWire(rng *rand.Rand, node tech.Node) (rm, lm, cm float64) {
+	w := node.GlobalWire
+	w.Width *= 2 * lognorm(rng, 0.4) // clock/fanout nets route wide
+	w.Thickness *= lognorm(rng, 0.2)
+	return w.RPerMeter(), w.LPerMeter(), w.CPerMeter()
+}
+
+// addBranch appends one wire segment of the given length under parent.
+func addBranch(t *rlctree.Tree, parent int, rm, lm, cm, length float64) (int, error) {
+	return t.Add(parent, rm*length, lm*length, cm*length)
+}
+
+// RandomTree draws a random multi-sink driven tree of the requested
+// topology family with the given number of sinks (minimum 2; clock-H
+// rounds up to the next power of 4). Branch lengths are 0.3–1.5 mm
+// segments, sink loads 2–20× the node's minimum gate input, and the
+// driver is a strong 30–80× buffer. The same rng state reproduces the
+// same net.
+func RandomTree(rng *rand.Rand, node tech.Node, kind TreeKind, sinks int) (TreeNet, error) {
+	if sinks < 2 {
+		return TreeNet{}, fmt.Errorf("netgen: tree needs at least 2 sinks, got %d", sinks)
+	}
+	rm, lm, cm := treeWire(rng, node)
+	segLen := func() float64 { return (0.3 + 1.2*rng.Float64()) * 1e-3 }
+	sinkLoad := func() float64 { return (2 + 18*rng.Float64()) * node.C0 }
+	t, err := rlctree.New(0)
+	if err != nil {
+		return TreeNet{}, err
+	}
+	var leaves []int
+	switch kind {
+	case TreeBalanced:
+		// Levels so that 2^depth >= sinks; the full 2^depth tree is
+		// built and the first `sinks` leaves become receivers — surplus
+		// leaves stay as unloaded capacitive stubs (spare taps), which
+		// keeps every marked sink at identical depth.
+		depth := 1
+		for 1<<depth < sinks {
+			depth++
+		}
+		frontier := []int{0}
+		for lvl := 0; lvl < depth; lvl++ {
+			var next []int
+			for _, p := range frontier {
+				for b := 0; b < 2; b++ {
+					id, err := addBranch(t, p, rm, lm, cm, segLen())
+					if err != nil {
+						return TreeNet{}, err
+					}
+					next = append(next, id)
+				}
+			}
+			frontier = next
+		}
+		leaves = frontier[:sinks]
+	case TreeUnbalanced:
+		// Grow sink count leaves by random attachment: each step picks a
+		// uniformly random non-sink node and extends a 1–3 segment stem
+		// ending in a leaf. Routes never continue past a sink — a
+		// receiver pin terminates its branch, which is also what keeps
+		// every sink moment-analyzable (a sink shielded from a large
+		// downstream subtree has a response no low-order moment model
+		// can see; see rlctree's accuracy-domain notes).
+		attach := []int{0}
+		for len(leaves) < sinks {
+			p := attach[rng.Intn(len(attach))]
+			hops := 1 + rng.Intn(3)
+			for h := 0; h < hops; h++ {
+				id, err := addBranch(t, p, rm, lm, cm, segLen())
+				if err != nil {
+					return TreeNet{}, err
+				}
+				p = id
+				if h < hops-1 {
+					attach = append(attach, id)
+				}
+			}
+			leaves = append(leaves, p)
+		}
+	case TreeClockH:
+		levels := 1
+		for 1<<(2*levels) < sinks {
+			levels++
+		}
+		// Each H level: a trunk into the level, then four half-length
+		// arms; segment lengths halve per level (an H-tree's geometric
+		// taper), with small per-branch variation.
+		base := segLen() * math.Pow(2, float64(levels-1))
+		frontier := []int{0}
+		for lvl := 0; lvl < levels; lvl++ {
+			length := base / math.Pow(2, float64(lvl))
+			var next []int
+			for _, p := range frontier {
+				trunk, err := addBranch(t, p, rm, lm, cm, length*lognorm(rng, 0.05))
+				if err != nil {
+					return TreeNet{}, err
+				}
+				for b := 0; b < 4; b++ {
+					id, err := addBranch(t, trunk, rm, lm, cm, length/2*lognorm(rng, 0.05))
+					if err != nil {
+						return TreeNet{}, err
+					}
+					next = append(next, id)
+				}
+			}
+			frontier = next
+		}
+		leaves = frontier
+	default:
+		return TreeNet{}, fmt.Errorf("netgen: unknown tree kind %v", kind)
+	}
+	for _, leaf := range leaves {
+		if err := t.MarkSink(leaf, sinkLoad()); err != nil {
+			return TreeNet{}, err
+		}
+	}
+	h := 30 + 50*rng.Float64()
+	drv := rlctree.Drive{Rtr: node.R0 / h, V: node.Vdd}
+	return TreeNet{
+		Name:  fmt.Sprintf("tree-%s-%s-%dsinks", kind, node.Name, len(leaves)),
+		Tree:  t,
+		Drive: drv,
+	}, nil
+}
+
+// RandomTreeBatch draws n reproducible random trees. Like RandomBatch,
+// tree i is a pure function of (seed, i): generation runs in parallel
+// on the shared worker pool and is byte-identical at every worker
+// count.
+func RandomTreeBatch(seed int64, node tech.Node, kind TreeKind, sinks, n int) ([]TreeNet, error) {
+	out := make([]TreeNet, n)
+	err := pool.Run(0, n, pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
+		sc.Seed(pool.Seed(seed, int64(i)))
+		tn, err := RandomTree(sc.Rand, node, kind, sinks)
+		if err != nil {
+			return err
+		}
+		tn.Name = fmt.Sprintf("%s-%d", tn.Name, i)
+		out[i] = tn
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

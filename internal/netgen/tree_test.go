@@ -1,0 +1,110 @@
+package netgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rlckit/internal/tech"
+)
+
+func TestRandomTreeKinds(t *testing.T) {
+	node := tech.Default()
+	for _, kind := range []TreeKind{TreeBalanced, TreeUnbalanced, TreeClockH} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			tn, err := RandomTree(rng, node, kind, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sinks := tn.Tree.Sinks()
+			switch kind {
+			case TreeClockH:
+				// Rounds up to the next power of 4 leaves.
+				if len(sinks) != 16 {
+					t.Errorf("clock-h with 6 requested sinks built %d", len(sinks))
+				}
+			case TreeBalanced, TreeUnbalanced:
+				if len(sinks) != 6 {
+					t.Errorf("%v built %d sinks, want 6", kind, len(sinks))
+				}
+			}
+			if tn.Drive.Rtr <= 0 || tn.Drive.V <= 0 {
+				t.Errorf("implausible drive %+v", tn.Drive)
+			}
+			// Sinks terminate their branches: no sink may have children
+			// (a receiver pin ends the route).
+			kids := make(map[int]int)
+			for i := 1; i < tn.Tree.Len(); i++ {
+				p, err := tn.Tree.Parent(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kids[p]++
+			}
+			for _, s := range sinks {
+				if kids[s] != 0 {
+					t.Errorf("%v: sink %d has %d children", kind, s, kids[s])
+				}
+			}
+			// Every sink carries a load.
+			for _, s := range sinks {
+				load, err := tn.Tree.SinkLoad(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if load <= 0 {
+					t.Errorf("sink %d has no load", s)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomTreeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomTree(rng, tech.Default(), TreeBalanced, 1); err == nil {
+		t.Error("1 sink must error")
+	}
+	if _, err := RandomTree(rng, tech.Default(), TreeKind(99), 4); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := ParseTreeKind("star"); err == nil {
+		t.Error("unknown kind name must error")
+	}
+	for _, name := range []string{"balanced", "unbalanced", "clock-h"} {
+		k, err := ParseTreeKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %v", name, k)
+		}
+	}
+}
+
+// TestRandomTreeBatchDeterministic: tree i is a pure function of
+// (seed, i), independent of batch size and worker scheduling.
+func TestRandomTreeBatchDeterministic(t *testing.T) {
+	node := tech.Default()
+	big, err := RandomTreeBatch(9, node, TreeUnbalanced, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := RandomTreeBatch(9, node, TreeUnbalanced, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		if !reflect.DeepEqual(big[i], small[i]) {
+			t.Fatalf("tree %d differs between batch sizes", i)
+		}
+	}
+	again, err := RandomTreeBatch(9, node, TreeUnbalanced, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(big, again) {
+		t.Fatal("batch not reproducible for the same seed")
+	}
+}

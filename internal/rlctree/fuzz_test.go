@@ -1,0 +1,179 @@
+package rlctree
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzValues maps a byte to an element value, covering the interesting
+// classes: zeros, negatives, NaN/Inf, denormals, and huge-but-finite.
+var fuzzValues = []float64{
+	0, 1, -1, 1e-15, 1e-12, 50, -50, 1e300, -1e300,
+	math.NaN(), math.Inf(1), math.Inf(-1), 5e-324, 1e-30, 0.5, 2,
+}
+
+func fuzzValue(b byte) float64 { return fuzzValues[int(b)%len(fuzzValues)] }
+
+// interpretTree runs a byte-encoded construction program against a
+// Tree, returning the first construction error (nil if every op
+// succeeded). Opcodes: 0 = Add, 1 = AddCap, 2 = MarkSink, 3 = extend a
+// chain from the last node (next byte × 64 segments — how small fuzz
+// inputs reach 10k-sink-chain scale).
+func interpretTree(data []byte) (*Tree, error) {
+	t, err := New(fuzzValue(pick(data, 0)))
+	if err != nil {
+		return nil, err
+	}
+	last := 0
+	for i := 1; i+4 < len(data); i += 5 {
+		op, a, b, c, d := data[i], data[i+1], data[i+2], data[i+3], data[i+4]
+		switch op % 4 {
+		case 0:
+			parent := int(a) - 2 // reaches -2 .. 253: orphan and wild parents
+			id, err := t.Add(parent, fuzzValue(b), fuzzValue(c), fuzzValue(d))
+			if err != nil {
+				return t, err
+			}
+			last = id
+		case 1:
+			if err := t.AddCap(int(a)-2, fuzzValue(b)); err != nil {
+				return t, err
+			}
+		case 2:
+			if err := t.MarkSink(int(a)-2, fuzzValue(b)); err != nil {
+				return t, err
+			}
+		case 3:
+			n := int(a) * 64
+			for k := 0; k < n; k++ {
+				id, err := t.Add(last, 1, 1e-12, 1e-15)
+				if err != nil {
+					return t, err
+				}
+				if k%2 == 1 {
+					if err := t.MarkSink(id, 1e-15); err != nil {
+						return t, err
+					}
+				} else {
+					last = id
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func pick(data []byte, i int) byte {
+	if i < len(data) {
+		return data[i]
+	}
+	return 0
+}
+
+// typedErr asserts an error wraps one of the package's typed errors.
+func typedErr(err error) bool {
+	return errors.Is(err, ErrNode) || errors.Is(err, ErrValue) ||
+		errors.Is(err, ErrNoSinks) || errors.Is(err, ErrTooLarge)
+}
+
+// FuzzTreeTopology drives construction, conversion, and the closed
+// analysis with arbitrary programs: orphan parents, zero/negative/NaN
+// branch values, single-node trees, and op-3-generated chains up to
+// 10k+ sinks. Nothing may panic, and every rejection must carry a
+// typed error.
+func FuzzTreeTopology(f *testing.F) {
+	// Minimal valid tree with one sink.
+	f.Add([]byte{1, 0, 2, 5, 4, 4, 2, 3, 3, 0, 0})
+	// Orphan parent, negative and NaN values.
+	f.Add([]byte{0, 0, 255, 2, 9, 5, 0, 0, 6, 3, 1})
+	// Single-node tree (no branches): analysis must fail typed.
+	f.Add([]byte{3})
+	// Long chain: op 3 with a large repeat count → ~10k sinks.
+	f.Add([]byte{1, 0, 2, 5, 4, 4, 3, 200, 0, 0, 0, 3, 255, 0, 0, 0})
+	// Zero-impedance branch and double sink marking.
+	f.Add([]byte{1, 0, 2, 0, 0, 4, 2, 3, 3, 0, 0, 2, 3, 3, 0, 0})
+	// Dense random-ish program.
+	seed := make([]byte, 64)
+	binary.LittleEndian.PutUint64(seed, 0x9e3779b97f4a7c15)
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		tree, err := interpretTree(data)
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("untyped construction error: %v", err)
+			}
+			if tree == nil {
+				return
+			}
+		}
+		d := Drive{Rtr: fuzzValue(pick(data, 1))}
+		if _, _, err := tree.ToCircuit(d, 0); err != nil && !typedErr(err) {
+			t.Fatalf("untyped ToCircuit error: %v", err)
+		}
+		res, err := Analyze(tree, d, Config{Engine: EngineClosed})
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("untyped Analyze error: %v", err)
+			}
+			return
+		}
+		// A successful analysis must produce a full, ordered sink table.
+		if len(res.Sinks) != len(tree.Sinks()) {
+			t.Fatalf("sink table size %d vs %d sinks", len(res.Sinks), len(tree.Sinks()))
+		}
+		for i := 1; i < len(res.Sinks); i++ {
+			if res.Sinks[i].Node <= res.Sinks[i-1].Node {
+				t.Fatalf("sink table not ascending at %d", i)
+			}
+		}
+		if _, err := tree.ElmoreDelays(d); err != nil && !typedErr(err) {
+			t.Fatalf("untyped ElmoreDelays error: %v", err)
+		}
+	})
+}
+
+// TestTenKSinkChain pins the scale case the fuzz encoding reaches
+// probabilistically: a 10k-sink chain constructs, converts, and
+// analyzes (closed form) without issue.
+func TestTenKSinkChain(t *testing.T) {
+	tr, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := 0
+	sinks := 0
+	for sinks < 10000 {
+		node, err = tr.Add(node, 0.5, 5e-13, 2e-15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.MarkSink(node, 1e-15); err != nil {
+			t.Fatal(err)
+		}
+		sinks++
+	}
+	d := Drive{Rtr: 25}
+	ckt, _, err := tr.ToCircuit(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Nodes() < 10000 {
+		t.Fatalf("conversion lost nodes: %d", ckt.Nodes())
+	}
+	res, err := Analyze(tr, d, Config{Engine: EngineClosed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sinks) != 10000 {
+		t.Fatalf("got %d sinks", len(res.Sinks))
+	}
+	if res.MaxSkew <= 0 {
+		t.Error("chain must have positive skew")
+	}
+}

@@ -1,0 +1,298 @@
+package rlctree
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rlckit/internal/elmore"
+)
+
+// buildY returns a small asymmetric Y tree: root → stem → two branches
+// of different length, sinks at both tips.
+func buildY(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := tr.Add(0, 20, 0.5e-9, 40e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tr.Add(stem, 15, 0.4e-9, 30e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := tr.Add(stem, 40, 1e-9, 60e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := tr.Add(b1, 40, 1e-9, 60e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(a, 20e-15); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(b2, 35e-15); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestElmoreEquivalence: the tree engine's first moment must equal the
+// RC Elmore delay of the identical topology for every node.
+func TestElmoreEquivalence(t *testing.T) {
+	tr := buildY(t)
+	d := Drive{Rtr: 80}
+	// Mirror the topology in internal/elmore (RC only: the first moment
+	// is inductance-independent, so the RLC tree's −m1 must match).
+	et, err := elmore.NewTree(d.Rtr, 5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, _ := et.Add(0, 20, 40e-15)
+	a, _ := et.Add(stem, 15, 30e-15)
+	b1, _ := et.Add(stem, 40, 60e-15)
+	b2, _ := et.Add(b1, 40, 60e-15)
+	if err := et.AddCap(a, 20e-15); err != nil {
+		t.Fatal(err)
+	}
+	if err := et.AddCap(b2, 35e-15); err != nil {
+		t.Fatal(err)
+	}
+	want := et.Delays()
+	got, err := tr.ElmoreDelays(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("node count mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if rel := math.Abs(got[i]-want[i]) / want[i]; rel > 1e-12 {
+			t.Errorf("node %d: elmore %g vs rlctree %g (rel %g)", i, want[i], got[i], rel)
+		}
+	}
+}
+
+// buildBalanced returns a mildly asymmetric two-level binary tree
+// whose four leaf sinks all sit inside the closed form's accuracy
+// domain.
+func buildBalanced(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := tr.Add(0, 25, 0.24e-9, 50e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		scale := 1 + 0.15*float64(i)
+		mid, err := tr.Add(stem, 30*scale, 0.28e-9*scale, 45e-15*scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			s2 := 1 + 0.1*float64(j)
+			leaf, err := tr.Add(mid, 28*s2, 0.26e-9*s2, 40e-15*s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.MarkSink(leaf, (10+5*float64(2*i+j))*1e-15); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tr
+}
+
+// TestClosedVsMNA: in-domain sinks must track the shared-transient
+// reference within 10%, and the accuracy-domain predicate must flag
+// the Y tree's near sink (node 2 — shielded by the far branch's
+// subtree, the regime no low-order moment model can track).
+func TestClosedVsMNA(t *testing.T) {
+	d := Drive{Rtr: 80}
+	for name, tr := range map[string]*Tree{"y": buildY(t), "balanced": buildBalanced(t)} {
+		closed, err := Analyze(tr, d, Config{Engine: EngineClosed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Analyze(tr, d, Config{Engine: EngineMNA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inDomain := 0
+		for k := range closed.Sinks {
+			if !closed.Sinks[k].InDomain {
+				continue
+			}
+			inDomain++
+			c, e := closed.Sinks[k].Delay, exact.Sinks[k].Delay
+			if rel := math.Abs(c-e) / e; rel > 0.10 {
+				t.Errorf("%s sink %d: closed %g vs MNA %g (%.1f%%)", name, closed.Sinks[k].Node, c, e, 100*rel)
+			}
+		}
+		if name == "balanced" && inDomain != len(closed.Sinks) {
+			t.Errorf("balanced tree: %d/%d sinks in-domain", inDomain, len(closed.Sinks))
+		}
+		if exact.MaxSkew <= 0 {
+			t.Errorf("%s: asymmetric tree should have positive skew, got %g", name, exact.MaxSkew)
+		}
+	}
+}
+
+// TestReducedVsMNA: the multi-output reduced model must reproduce the
+// shared transient's per-sink delays within 1%.
+func TestReducedVsMNA(t *testing.T) {
+	tr := buildY(t)
+	d := Drive{Rtr: 80}
+	exact, err := Analyze(tr, d, Config{Engine: EngineMNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Analyze(tr, d, Config{Engine: EngineReduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Fallback {
+		t.Fatalf("reduction fell back on a small well-behaved tree")
+	}
+	if !red.Reduced || red.MORInfo.Q <= 0 {
+		t.Fatalf("missing MOR metadata: %+v", red.MORInfo)
+	}
+	for k := range red.Sinks {
+		r, e := red.Sinks[k].Delay, exact.Sinks[k].Delay
+		if rel := math.Abs(r-e) / e; rel > 0.01 {
+			t.Errorf("sink %d: reduced %g vs MNA %g (%.2f%%)", red.Sinks[k].Node, r, e, 100*rel)
+		}
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	tr, err := New(1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Add(5, 1, 0, 1e-15); !errors.Is(err, ErrNode) {
+		t.Errorf("bad parent: got %v, want ErrNode", err)
+	}
+	if _, err := tr.Add(0, -1, 0, 1e-15); !errors.Is(err, ErrValue) {
+		t.Errorf("negative r: got %v, want ErrValue", err)
+	}
+	if _, err := tr.Add(0, 0, 0, 1e-15); !errors.Is(err, ErrValue) {
+		t.Errorf("zero-impedance branch: got %v, want ErrValue", err)
+	}
+	if _, err := tr.Add(0, math.NaN(), 0, 1e-15); !errors.Is(err, ErrValue) {
+		t.Errorf("NaN r: got %v, want ErrValue", err)
+	}
+	if err := tr.MarkSink(3, 0); !errors.Is(err, ErrNode) {
+		t.Errorf("bad sink node: got %v, want ErrNode", err)
+	}
+	n, err := tr.Add(0, 1, 1e-12, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(n, 1e-15); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(n, 1e-15); !errors.Is(err, ErrNode) {
+		t.Errorf("double sink: got %v, want ErrNode", err)
+	}
+	if _, err := Analyze(tr, Drive{Rtr: -1}, Config{}); !errors.Is(err, ErrValue) {
+		t.Errorf("negative Rtr: got %v, want ErrValue", err)
+	}
+	empty, _ := New(1e-15)
+	if _, err := Analyze(empty, Drive{}, Config{}); !errors.Is(err, ErrNoSinks) {
+		t.Errorf("no sinks: got %v, want ErrNoSinks", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := buildY(t)
+	sc, err := tr.Scale(2, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, l0, c0, _ := tr.Branch(1)
+	r1, l1, c1, _ := sc.Branch(1)
+	if r1 != 2*r0 || l1 != 3*l0 || c1 != 0.5*c0 {
+		t.Errorf("scaled branch (%g,%g,%g), want (%g,%g,%g)", r1, l1, c1, 2*r0, 3*l0, 0.5*c0)
+	}
+	if tot := sc.TotalCap(); math.Abs(tot-0.5*tr.TotalCap()) > 1e-30 {
+		t.Errorf("scaled total cap %g, want %g", tot, 0.5*tr.TotalCap())
+	}
+	if _, err := tr.Scale(0, 1, 1); !errors.Is(err, ErrValue) {
+		t.Errorf("zero scale: got %v, want ErrValue", err)
+	}
+}
+
+// TestScaleIsolation: mutating a scaled copy must never corrupt the
+// original's topology bookkeeping (regression: Scale once shared the
+// parent/kids/sink slices).
+func TestScaleIsolation(t *testing.T) {
+	tr := buildY(t)
+	before := append([]int(nil), tr.Sinks()...)
+	cp, err := tr.Scale(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.MarkSink(1, 1e-15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Add(0, 5, 0, 1e-15); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(1, 2e-15); err != nil {
+		t.Fatalf("original rejected a sink after copy mutation: %v", err)
+	}
+	if got := cp.Sinks(); len(got) != len(before)+1 {
+		t.Errorf("copy has %d sinks, want %d", len(got), len(before)+1)
+	}
+	if load, _ := cp.SinkLoad(1); load != 1e-15 {
+		t.Errorf("copy sink load %g leaked from original", load)
+	}
+	if load, _ := tr.SinkLoad(1); load != 2e-15 {
+		t.Errorf("original sink load %g leaked from copy", load)
+	}
+}
+
+// TestSingleSinkChainMatchesLine: a chain tree is a Gamma ladder; its
+// closed-form delay must agree with the MNA reference on that exact
+// lumped circuit to the same tolerance as any tree.
+func TestSingleSinkChainMatchesLine(t *testing.T) {
+	tr, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	node := 0
+	for i := 0; i < n; i++ {
+		node, err = tr.Add(node, 1000.0/n, 1e-7/n, 1e-12/n)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.MarkSink(node, 5e-13); err != nil {
+		t.Fatal(err)
+	}
+	d := Drive{Rtr: 500}
+	closed, err := Analyze(tr, d, Config{Engine: EngineClosed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Analyze(tr, d, Config{Engine: EngineMNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, e := closed.Sinks[0].Delay, exact.Sinks[0].Delay
+	if rel := math.Abs(c-e) / e; rel > 0.10 {
+		t.Errorf("chain: closed %g vs MNA %g (%.1f%%)", c, e, 100*rel)
+	}
+	if closed.MaxSkew != 0 || closed.SkewErrPct != 0 {
+		t.Errorf("single sink must have zero skew, got %g (%g%%)", closed.MaxSkew, closed.SkewErrPct)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"testing"
 )
 
-// requestSeeds feed all four request decoders: the golden-test bodies
+// requestSeeds feed all five request decoders: the golden-test bodies
 // plus malformed shapes (truncation, unknown fields, huge numbers,
 // wrong types, trailing objects).
 var requestSeeds = []string{
+	`{"tree":{"root_c":5e-15,"branches":[{"parent":0,"r":20,"l":5e-10,"c":4e-14},{"parent":1,"r":15,"l":4e-10,"c":3e-14}],"sinks":[{"node":2,"cl":2e-14}]},"drive":{"rtr":80}}`,
+	`{"tree":{"branches":[{"parent":9,"r":-1,"l":1e400,"c":null}],"sinks":[{"node":0,"cl":0},{"node":0,"cl":0}]},"drive":{"rtr":80},"engine":"warp"}`,
 	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13}}`,
 	`{"line":{"rt":100,"lt":1e-8,"ct":1e-12,"length":0.002},"drive":{"rtr":500,"cl":1e-13},"method":"exact"}`,
 	`{"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01},"drive":{"rtr":500,"cl":5e-13},"method":"reduced"}`,
@@ -61,6 +63,15 @@ func FuzzServeRequest(f *testing.F) {
 			if k1.nets > maxSweepNets || k1.samples > maxSweepSamples ||
 				k1.nets*k1.samples > maxSweepTotal {
 				t.Errorf("sweep guard let %+v through", k1)
+			}
+		}
+		if tr, _, k1, err := parseTreeRequest(strings.NewReader(s)); err == nil {
+			_, _, k2, err2 := parseTreeRequest(strings.NewReader(s))
+			if err2 != nil || k1 != k2 {
+				t.Errorf("tree decode not idempotent: %v", err2)
+			}
+			if tr.Len() > maxTreeNodes {
+				t.Errorf("tree guard let %d nodes through", tr.Len())
 			}
 		}
 	})

@@ -263,6 +263,7 @@ const (
 	kindScreen
 	kindRepeaters
 	kindSweep
+	kindTree
 )
 
 // cacheKey is the canonical identity of a request: the exact analyzed
@@ -284,6 +285,10 @@ type cacheKey struct {
 	drvSig  float64
 	corners string
 	repeat  bool
+	// tree is the canonical exact-bits encoding of a /v1/tree request's
+	// topology and element values (canonicalTree): trees are
+	// variable-length, so they enter the comparable key as a string.
+	tree string
 }
 
 // decodeStrict decodes one JSON object from r into v, rejecting unknown

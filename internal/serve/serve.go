@@ -5,6 +5,7 @@
 //	POST /v1/screen     → does inductance matter for this net?
 //	POST /v1/repeaters  → optimum repeater insertion plan
 //	POST /v1/sweep      → seeded Monte Carlo population statistics
+//	POST /v1/tree       → per-sink delay and skew of a multi-sink tree
 //
 // Three serving mechanisms sit between the HTTP handlers and the
 // analysis facade:
@@ -85,7 +86,7 @@ type Stats struct {
 	Cache cache.Stats `json:"cache"`
 }
 
-var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep"}
+var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep", kindTree: "tree"}
 
 // Server owns the serving state: cache, batcher, admission tokens and
 // the HTTP mux. Create with New, release with Close.
@@ -125,6 +126,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/screen", s.endpoint(kindScreen, s.handleScreen))
 	s.mux.HandleFunc("POST /v1/repeaters", s.endpoint(kindRepeaters, s.handleRepeaters))
 	s.mux.HandleFunc("POST /v1/sweep", s.endpoint(kindSweep, s.handleSweep))
+	s.mux.HandleFunc("POST /v1/tree", s.endpoint(kindTree, s.handleTree))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"version\":%q}\n", rlckit.Version)

@@ -93,3 +93,27 @@ func benchmarkSimGradeSweep(b *testing.B, est Estimator) {
 
 func BenchmarkSweepSimulated(b *testing.B) { benchmarkSimGradeSweep(b, EstimatorSimulated) }
 func BenchmarkSweepReduced(b *testing.B)   { benchmarkSimGradeSweep(b, EstimatorReduced) }
+
+// BenchmarkTreeSweep is the tree population mode's gated benchmark:
+// 200 16-sink H-trees × 3 corners × 2 Monte Carlo draws through the
+// closed-form engine on the shared pool.
+func BenchmarkTreeSweep(b *testing.B) {
+	trees, err := netgen.RandomTreeBatch(1, tech.Default(), netgen.TreeClockH, 16, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Corners: DefaultCorners(),
+		MC: MonteCarlo{
+			Samples: 2, Seed: 7,
+			RSigma: 0.1, LSigma: 0.05, CSigma: 0.08, DriveSigma: 0.12,
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrees(trees, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

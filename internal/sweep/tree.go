@@ -1,0 +1,300 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/pool"
+	"rlckit/internal/report"
+	"rlckit/internal/rlctree"
+)
+
+// This file is the sweep engine's tree population mode: RunTrees
+// carries multi-sink RLC trees (internal/rlctree) through the same
+// nets × corners × Monte Carlo machinery the line sweep runs on — the
+// same worker pool, the same per-index seed derivation, the same
+// determinism contract — and aggregates per-sink delay and skew
+// statistics instead of point-to-point delays.
+
+// TreeSample is the analysis of one (tree, corner, draw) triple.
+type TreeSample struct {
+	// Tree, Corner and Draw index into the RunTrees inputs.
+	Tree, Corner, Draw int
+	// Sinks and InDomain count the tree's sinks and how many of them
+	// sit inside the closed form's validated accuracy domain.
+	Sinks, InDomain int
+	// MinDelay/MaxDelay bound the per-sink delays (s); MaxSkew is
+	// their difference and MaxSkewRC the RC-only counterfactual skew.
+	MinDelay, MaxDelay, MaxSkew, MaxSkewRC float64
+	// SkewErrPct is the signed skew error of ignoring inductance:
+	// 100·(MaxSkewRC − MaxSkew)/MaxSkew.
+	SkewErrPct float64
+	// Reduced marks samples answered by the multi-output reduced
+	// engine; UsedExact marks samples answered by the shared MNA
+	// transient (the simulated estimator or a fallback).
+	Reduced, UsedExact bool
+}
+
+// TreeResult is a completed tree sweep: per-sample records plus the
+// population statistics computed from them, byte-identical at every
+// worker count.
+type TreeResult struct {
+	// TreeNames records the population (index-aligned with
+	// TreeSample.Tree).
+	TreeNames []string
+	// Corners and Draws record the sweep dimensions.
+	Corners []Corner
+	Draws   int
+	// Samples holds every (tree, corner, draw) record.
+	Samples []TreeSample
+	// MaxDelay, MaxSkew and SkewErr summarize the per-sample critical
+	// delay (s), sink-to-sink skew (s), and RC-only skew error (%).
+	MaxDelay, MaxSkew, SkewErr report.Summary
+	// InDomainFrac is the fraction of analyzed sinks inside the closed
+	// form's accuracy domain.
+	InDomainFrac float64
+	// ReducedSamples and ReducedFallbacks count, under
+	// EstimatorReduced, the samples answered by the reduced model and
+	// those that fell back to the exact transient.
+	ReducedSamples, ReducedFallbacks int
+	// PerCorner breaks delay and skew statistics out by corner.
+	PerCorner []TreeCornerStats
+}
+
+// TreeCornerStats aggregates one corner's slice of a tree sweep.
+type TreeCornerStats struct {
+	Corner            Corner
+	MaxDelay, MaxSkew report.Summary
+}
+
+// treeEngine resolves a sweep estimator to a per-sample tree engine.
+// Smart is resolved per sample (closed when every sink is in-domain,
+// MNA otherwise), so it maps to the closed engine here.
+func treeEngine(e Estimator) (rlctree.Engine, error) {
+	switch e {
+	case EstimatorClosed, EstimatorSmart:
+		return rlctree.EngineClosed, nil
+	case EstimatorSimulated:
+		return rlctree.EngineMNA, nil
+	case EstimatorReduced:
+		return rlctree.EngineReduced, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown estimator %v", e)
+	}
+}
+
+// RunTrees sweeps a tree population through every corner and Monte
+// Carlo draw. Samples are ordered tree-major: index =
+// (tree·len(corners) + corner)·draws + draw. Config.RiseTime is not
+// used (trees carry no screening step); corners, MC, Workers and
+// Estimator behave as in Run. Under EstimatorSmart a sample whose
+// sinks are not all in-domain is re-run on the shared MNA transient.
+func RunTrees(trees []netgen.TreeNet, cfg Config) (*TreeResult, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("sweep: empty tree population")
+	}
+	corners := cfg.Corners
+	if len(corners) == 0 {
+		corners = []Corner{Nominal()}
+	}
+	for _, c := range corners {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.MC.validate(); err != nil {
+		return nil, err
+	}
+	est := cfg.estimator()
+	engine, err := treeEngine(est)
+	if err != nil {
+		return nil, err
+	}
+	draws := cfg.MC.draws()
+	perTree := len(corners) * draws
+	samples := make([]TreeSample, len(trees)*perTree)
+	err = pool.Run(cfg.Workers, len(trees), pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
+		base := i * perTree
+		for ci, c := range corners {
+			for d := 0; d < draws; d++ {
+				sc.Seed(pool.Seed(cfg.MC.Seed, int64(i), int64(ci), int64(d)))
+				out := &samples[base+ci*draws+d]
+				out.Tree, out.Corner, out.Draw = i, ci, d
+				if err := evalTreeSample(trees[i], c, &cfg, est, engine, sc.Rand, out); err != nil {
+					return fmt.Errorf("sweep: tree %d (%s) corner %s draw %d: %w",
+						i, trees[i].Name, c.Name, d, err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return aggregateTrees(trees, corners, draws, samples, est), nil
+}
+
+// evalTreeSample analyzes one perturbed tree instance. The RNG draw
+// order (R, L, C, Rtr) matches evalSample's determinism contract.
+func evalTreeSample(tn netgen.TreeNet, c Corner, cfg *Config, est Estimator, engine rlctree.Engine, rng *rand.Rand, out *TreeSample) error {
+	sr := c.RScale * lognormal(rng, cfg.MC.RSigma)
+	sl := c.LScale * lognormal(rng, cfg.MC.LSigma)
+	sc := c.CScale * lognormal(rng, cfg.MC.CSigma)
+	sd := c.DriveScale * lognormal(rng, cfg.MC.DriveSigma)
+	t, err := tn.Tree.Scale(sr, sl, sc)
+	if err != nil {
+		return err
+	}
+	drv := tn.Drive
+	drv.Rtr *= sd
+	res, err := rlctree.Analyze(t, drv, rlctree.Config{Engine: engine})
+	if err != nil {
+		return err
+	}
+	if est == EstimatorSmart && !allInDomain(res) {
+		if res, err = rlctree.Analyze(t, drv, rlctree.Config{Engine: rlctree.EngineMNA}); err != nil {
+			return err
+		}
+		out.UsedExact = true
+	}
+	out.Sinks = len(res.Sinks)
+	for k := range res.Sinks {
+		if res.Sinks[k].InDomain {
+			out.InDomain++
+		}
+	}
+	out.MinDelay, out.MaxDelay = res.MinDelay, res.MaxDelay
+	out.MaxSkew, out.MaxSkewRC = res.MaxSkew, res.MaxSkewRC
+	out.SkewErrPct = res.SkewErrPct
+	out.Reduced = res.Reduced
+	if engine == rlctree.EngineMNA || res.Fallback {
+		out.UsedExact = true
+	}
+	return nil
+}
+
+func allInDomain(res *rlctree.Result) bool {
+	for k := range res.Sinks {
+		if !res.Sinks[k].InDomain {
+			return false
+		}
+	}
+	return true
+}
+
+func aggregateTrees(trees []netgen.TreeNet, corners []Corner, draws int, samples []TreeSample, est Estimator) *TreeResult {
+	res := &TreeResult{
+		TreeNames: make([]string, len(trees)),
+		Corners:   corners,
+		Draws:     draws,
+		Samples:   samples,
+	}
+	for i, tn := range trees {
+		res.TreeNames[i] = tn.Name
+	}
+	n := len(samples)
+	delays := make([]float64, n)
+	skews := make([]float64, n)
+	skewErrs := make([]float64, n)
+	sinksTot, inTot := 0, 0
+	cornerDelays := make([][]float64, len(corners))
+	cornerSkews := make([][]float64, len(corners))
+	for ci := range corners {
+		cornerDelays[ci] = make([]float64, 0, n/len(corners))
+		cornerSkews[ci] = make([]float64, 0, n/len(corners))
+	}
+	for i := range samples {
+		s := &samples[i]
+		delays[i] = s.MaxDelay
+		skews[i] = s.MaxSkew
+		skewErrs[i] = s.SkewErrPct
+		sinksTot += s.Sinks
+		inTot += s.InDomain
+		if s.Reduced {
+			res.ReducedSamples++
+		} else if est == EstimatorReduced {
+			res.ReducedFallbacks++
+		}
+		cornerDelays[s.Corner] = append(cornerDelays[s.Corner], s.MaxDelay)
+		cornerSkews[s.Corner] = append(cornerSkews[s.Corner], s.MaxSkew)
+	}
+	res.MaxDelay = report.Summarize(delays)
+	res.MaxSkew = report.Summarize(skews)
+	res.SkewErr = report.Summarize(skewErrs)
+	if sinksTot > 0 {
+		res.InDomainFrac = float64(inTot) / float64(sinksTot)
+	}
+	res.PerCorner = make([]TreeCornerStats, len(corners))
+	for ci := range corners {
+		res.PerCorner[ci] = TreeCornerStats{
+			Corner:   corners[ci],
+			MaxDelay: report.Summarize(cornerDelays[ci]),
+			MaxSkew:  report.Summarize(cornerSkews[ci]),
+		}
+	}
+	return res
+}
+
+// SummaryTables renders the tree population statistics as report
+// tables — the skew-population artifact cmd/treeskew prints.
+func (r *TreeResult) SummaryTables() []*report.Table {
+	var tables []*report.Table
+	dist := report.NewTable(
+		fmt.Sprintf("Tree population (%d trees × %d corners × %d draws = %d samples)",
+			len(r.TreeNames), len(r.Corners), r.Draws, len(r.Samples)),
+		report.SummaryHeaders("metric")...)
+	report.AddSummaryRow(dist, "critical delay (s)", r.MaxDelay)
+	report.AddSummaryRow(dist, "max skew (s)", r.MaxSkew)
+	report.AddSummaryRow(dist, "RC skew err (%)", r.SkewErr)
+	tables = append(tables, dist)
+
+	byCorner := report.NewTable("Max skew (s) by corner", report.SummaryHeaders("corner")...)
+	for _, cs := range r.PerCorner {
+		report.AddSummaryRow(byCorner, cs.Corner.Name, cs.MaxSkew)
+	}
+	tables = append(tables, byCorner)
+	return tables
+}
+
+// RenderSummary writes the summary tables plus the engine accounting
+// line to w.
+func (r *TreeResult) RenderSummary(w io.Writer) error {
+	for _, t := range r.SummaryTables() {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "in-domain sinks: %.1f%%; reduced samples: %d (fallbacks: %d)\n",
+		100*r.InDomainFrac, r.ReducedSamples, r.ReducedFallbacks)
+	return err
+}
+
+// WriteCSV streams every tree sample as one CSV row.
+func (r *TreeResult) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"tree_idx,tree,corner,draw,sinks,in_domain,min_delay_s,max_delay_s,max_skew_s,max_skew_rc_s,skew_err_pct,reduced,used_exact\n"); err != nil {
+		return err
+	}
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%.6e,%.6e,%.6e,%.6e,%.3f,%d,%d\n",
+			s.Tree, csvField(r.TreeNames[s.Tree]), csvField(r.Corners[s.Corner].Name), s.Draw,
+			s.Sinks, s.InDomain, s.MinDelay, s.MaxDelay, s.MaxSkew, s.MaxSkewRC, s.SkewErrPct,
+			b01(s.Reduced), b01(s.UsedExact))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/tech"
+)
+
+func treePopulation(t *testing.T, n int) []netgen.TreeNet {
+	t.Helper()
+	trees, err := netgen.RandomTreeBatch(7, tech.Default(), netgen.TreeClockH, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trees
+}
+
+func TestRunTreesBasic(t *testing.T) {
+	trees := treePopulation(t, 12)
+	res, err := RunTrees(trees, Config{
+		Corners: DefaultCorners(),
+		MC:      MonteCarlo{Samples: 3, Seed: 11, RSigma: 0.08, CSigma: 0.08, DriveSigma: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12 * 3 * 3
+	if len(res.Samples) != want {
+		t.Fatalf("got %d samples, want %d", len(res.Samples), want)
+	}
+	if res.MaxSkew.N != want || res.MaxSkew.Min < 0 {
+		t.Errorf("bad skew summary: %+v", res.MaxSkew)
+	}
+	if res.MaxDelay.Min <= 0 {
+		t.Errorf("critical delay must be positive, got %g", res.MaxDelay.Min)
+	}
+	for i := range res.Samples {
+		s := &res.Samples[i]
+		if s.MaxDelay < s.MinDelay || s.MaxSkew != s.MaxDelay-s.MinDelay {
+			t.Fatalf("sample %d: inconsistent delays %+v", i, s)
+		}
+		if s.Sinks != 4 {
+			t.Fatalf("sample %d: %d sinks, want 4", i, s.Sinks)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.RenderSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty summary")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+// TestRunTreesDeterministic: a tree sweep must be byte-identical at
+// every worker count.
+func TestRunTreesDeterministic(t *testing.T) {
+	trees := treePopulation(t, 8)
+	cfg := Config{
+		Corners: DefaultCorners(),
+		MC:      MonteCarlo{Samples: 2, Seed: 3, RSigma: 0.1, LSigma: 0.05, CSigma: 0.1, DriveSigma: 0.1},
+	}
+	var ref []byte
+	for _, workers := range []int{1, 3, 8} {
+		cfg.Workers = workers
+		res, err := RunTrees(trees, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Fatalf("results differ at %d workers", workers)
+		}
+	}
+}
+
+// TestRunTreesSmartFallsBack: the smart estimator must re-run
+// out-of-domain samples on the exact engine.
+func TestRunTreesSmartFallsBack(t *testing.T) {
+	trees, err := netgen.RandomTreeBatch(5, tech.Default(), netgen.TreeUnbalanced, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTrees(trees, Config{Estimator: EstimatorSmart, MC: MonteCarlo{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	for i := range res.Samples {
+		if res.Samples[i].UsedExact {
+			exact++
+		}
+	}
+	if exact == 0 {
+		t.Error("smart estimator never fell back on an unbalanced population")
+	}
+}
+
+func TestRunTreesErrors(t *testing.T) {
+	if _, err := RunTrees(nil, Config{}); err == nil {
+		t.Error("empty population must error")
+	}
+	trees := treePopulation(t, 2)
+	if _, err := RunTrees(trees, Config{Corners: []Corner{{Name: "bad"}}}); err == nil {
+		t.Error("invalid corner must error")
+	}
+	if _, err := RunTrees(trees, Config{MC: MonteCarlo{RSigma: -1}}); err == nil {
+		t.Error("invalid MC must error")
+	}
+}
