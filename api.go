@@ -8,6 +8,8 @@ package rlckit
 // types.
 
 import (
+	"context"
+
 	"rlckit/internal/core"
 	"rlckit/internal/elmore"
 	"rlckit/internal/mor"
@@ -95,6 +97,15 @@ type MORInfo = mor.Info
 // that and reports which engine answered).
 func DelayReduced(ln Line, d Drive) (float64, MORInfo, error) {
 	return refeng.DelayReduced(ln, d, refeng.ReducedConfig{})
+}
+
+// DelayReducedCtx is DelayReduced bounded by ctx: the Arnoldi build and
+// the reduced transient check the context at amortized checkpoints and
+// return an error wrapping the typed internal cancellation sentinels
+// once it is done. SweepConfig.Ctx and TreeConfig.Ctx provide the same
+// control for sweeps and tree analyses.
+func DelayReducedCtx(ctx context.Context, ln Line, d Drive) (float64, MORInfo, error) {
+	return refeng.DelayReduced(ln, d, refeng.ReducedConfig{Ctx: ctx})
 }
 
 // DelayRCOnly returns Sakurai's RC-only 50% delay — what a classic

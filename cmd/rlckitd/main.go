@@ -23,6 +23,12 @@
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close,
 // in-flight requests get -grace to finish, then the process exits.
+// Requests still computing when -grace expires are canceled at their
+// next engine checkpoint and answered 503 "shutdown", so termination
+// is bounded by grace plus a short drain rather than the longest
+// running request. -request-timeout additionally caps each request's
+// compute budget up front; requests that cannot finish in time are
+// degraded to a cheaper estimator when possible (see internal/serve).
 package main
 
 import (
@@ -54,6 +60,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
 		maxBatch    = flag.Int("max-batch", 64, "max coalesced single-net batch size")
 		batchWindow = flag.Duration("batch-window", 0, "hold the first request of a batch up to this long to let it fill (0 = no added latency)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request compute budget; over-budget requests get 503 or a degraded answer (0 = uncapped)")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		pprofAddr   = flag.String("pprof", "", "net/http/pprof side-listener address (empty = disabled)")
 	)
@@ -63,11 +70,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addr, *pprofAddr, serve.Config{
-		Workers:      *workers,
-		CacheEntries: *cacheSize,
-		MaxInFlight:  *maxInflight,
-		MaxBatch:     *maxBatch,
-		BatchWindow:  *batchWindow,
+		Workers:        *workers,
+		CacheEntries:   *cacheSize,
+		MaxInFlight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
+		RequestTimeout: *reqTimeout,
 	}, *grace, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "rlckitd:", err)
 		os.Exit(1)
@@ -151,7 +159,18 @@ func run(addr, pprofAddr string, cfg serve.Config, grace time.Duration, ready, p
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+		// Grace expired with requests still computing. Cancel the
+		// server's base context so every in-flight compute bails out at
+		// its next engine checkpoint (answering 503 "shutdown"), then
+		// give the connections a short second drain to flush those
+		// responses instead of abandoning the process to a hang.
+		log.Printf("rlckitd: grace %s expired (%v), canceling in-flight compute", grace, err)
+		s.Close()
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel2()
+		if err := srv.Shutdown(ctx2); err != nil {
+			return fmt.Errorf("shutdown after cancel: %w", err)
+		}
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -140,6 +140,73 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestShutdownCancelsInFlight pins the bounded-termination contract:
+// SIGTERM with a request still computing must not hang past grace plus
+// the post-cancel drain. The in-flight compute is canceled at an
+// engine checkpoint and answered 503, and run returns nil.
+func TestShutdownCancelsInFlight(t *testing.T) {
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run("127.0.0.1:0", "", serve.Config{Workers: 2}, 200*time.Millisecond, ready, nil)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-errCh:
+		t.Fatalf("daemon failed to start: %v", err)
+	}
+
+	// A simulated-estimator sweep takes seconds: it will still be
+	// computing when the signal lands and grace expires.
+	heavy := `{"node":"250nm","nets":10000,"seed":3,"rise_s":5e-11,"estimator":"simulated"}`
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(heavy))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resCh <- result{resp.StatusCode, string(b), nil}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the sweep reach the pool
+
+	start := time.Now()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown with in-flight compute returned error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon hung on SIGTERM with a request in flight")
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Errorf("shutdown took %v, want ~grace (200ms) + short drain", took)
+	}
+	select {
+	case r := <-resCh:
+		// The canceled compute should flush a 503 before the listener
+		// dies; a connection error is tolerated, a 200 is not (the
+		// sweep cannot have finished honestly).
+		if r.err == nil && r.code != 503 {
+			t.Errorf("in-flight request answered %d (%s), want 503", r.code, r.body)
+		}
+	case <-time.After(time.Second):
+		t.Error("in-flight request never completed after shutdown")
+	}
+}
+
 // TestPprofSideListener boots the daemon with -pprof on an ephemeral
 // port and checks the profiling and expvar endpoints answer there —
 // and only there, not on the service address.

@@ -3,41 +3,44 @@
 // It boots the serving layer (the same one cmd/rlckitd wraps) on an
 // ephemeral port, then asks it the paper's three questions about a
 // 10 mm global wire — does inductance matter, what is the delay, how
-// do I size repeaters — and repeats the delay request to show the
-// response cache answering from memory.
+// do I size repeaters — through the retrying client (internal/client),
+// and repeats the delay request to show the response cache answering
+// from memory. It closes with the robustness features: a request that
+// is too big for its deadline comes back degraded to a cheaper
+// estimator, and a canceled request frees its worker mid-compute.
 //
 // Run with: go run ./examples/servedemo
 package main
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
+	"rlckit/internal/client"
 	"rlckit/internal/serve"
 )
 
-func post(base, path, body string) (string, string) {
-	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+func post(c *client.Client, path, body string) (string, string) {
+	resp, err := c.PostJSON(context.Background(), path, []byte(body))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
+	if resp.Status != 200 {
+		log.Fatalf("%s: %d: %s", path, resp.Status, resp.Body)
 	}
-	if resp.StatusCode != 200 {
-		log.Fatalf("%s: %d: %s", path, resp.StatusCode, b)
-	}
-	return strings.TrimSpace(string(b)), resp.Header.Get("X-Cache")
+	return strings.TrimSpace(string(resp.Body)), resp.Cache
 }
 
 func main() {
-	s := serve.New(serve.Config{})
+	// RequestTimeout is the server-side compute budget (the -request-
+	// timeout flag on rlckitd): big requests degrade to cheaper
+	// estimators instead of timing out.
+	s := serve.New(serve.Config{RequestTimeout: 300 * time.Millisecond})
 	defer s.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -45,28 +48,52 @@ func main() {
 	}
 	go http.Serve(ln, s.Handler())
 	base := "http://" + ln.Addr().String()
+	c := client.New(base, client.Config{})
 	fmt.Println("serving on", base)
 
 	line := `"line":{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01}`
 	drive := `"drive":{"rtr":500,"cl":5e-13}`
 
 	// Does inductance matter for this net at a 50 ps input rise time?
-	body, _ := post(base, "/v1/screen", `{`+line+`,`+drive+`,"rise_s":5e-11}`)
+	body, _ := post(c, "/v1/screen", `{`+line+`,`+drive+`,"rise_s":5e-11}`)
 	fmt.Println("\nscreen:   ", body)
 
 	// What is the delay — and what would an RC-only flow have said?
-	body, cache := post(base, "/v1/delay", `{`+line+`,`+drive+`}`)
+	body, cache := post(c, "/v1/delay", `{`+line+`,`+drive+`}`)
 	fmt.Printf("\ndelay:     %s\n  (X-Cache: %s)\n", body, cache)
 
 	// The same question again: served from the canonical-key cache.
-	body, cache = post(base, "/v1/delay", `{`+drive+`,`+line+`}`)
+	body, cache = post(c, "/v1/delay", `{`+drive+`,`+line+`}`)
 	fmt.Printf("  again:   %d bytes, X-Cache: %s\n", len(body), cache)
 
 	// How should this line be broken up with repeaters at 250 nm?
-	body, _ = post(base, "/v1/repeaters", `{`+line+`,"node":"250nm"}`)
+	body, _ = post(c, "/v1/repeaters", `{`+line+`,"node":"250nm"}`)
 	fmt.Println("\nrepeaters:", body)
 
+	// Deadline-aware degradation: a Monte Carlo sweep with the slow
+	// circuit-simulation estimator cannot finish inside the server's
+	// 300 ms budget, so it answers with a cheaper estimator and says so.
+	resp, err := c.PostJSON(context.Background(), "/v1/sweep",
+		[]byte(`{"node":"250nm","nets":5000,"seed":7,"rise_s":5e-11,"estimator":"simulated"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsweep under the 300ms budget (asked for \"simulated\"):\n  status %d: %.160s...\n",
+		resp.Status, resp.Body)
+
+	// Cancellation: abandon a bigger sweep almost immediately — the
+	// server notices the disconnect at the next per-sample checkpoint
+	// and frees the workers for other requests.
+	ctx, stop := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	_, err = c.PostJSON(ctx, "/v1/sweep",
+		[]byte(`{"node":"250nm","nets":50000,"samples":3,"seed":8,"rise_s":5e-11,"estimator":"simulated"}`))
+	stop()
+	fmt.Printf("\ncanceled sweep: %v\n", err)
+	for i := 0; i < 100 && s.Stats().Canceled == 0; i++ {
+		time.Sleep(10 * time.Millisecond) // wait for the engine checkpoint to notice
+	}
+
 	st := s.Stats()
-	fmt.Printf("\nserver stats: requests=%v cache hits=%d misses=%d\n",
-		st.Requests, st.Cache.Hits, st.Cache.Misses)
+	fmt.Printf("\nserver stats: requests=%v cache hits=%d misses=%d degraded=%d canceled=%d\n",
+		st.Requests, st.Cache.Hits, st.Cache.Misses, st.Degraded, st.Canceled)
 }

@@ -1,0 +1,53 @@
+// Package cancel defines the typed cancellation errors the compute
+// engines return and the checkpoint helper they call.
+//
+// Engines (mna transients, mor Arnoldi builds, sweep sample loops,
+// rlctree analyses) observe a context.Context at amortized
+// checkpoints — once per timestep chunk, frequency, sample or Arnoldi
+// block, never per inner iteration — by calling Check. A canceled
+// context surfaces as ErrCanceled, an expired deadline as ErrDeadline,
+// so the serving layer can distinguish "client went away" from
+// "compute budget exhausted" without string matching.
+//
+// Check(nil) and Check(context.Background()) cost two compares and no
+// allocation, so hot loops may call it unconditionally on their
+// checkpoint stride.
+package cancel
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrCanceled reports that the context driving a computation was
+// canceled (client disconnect, server shutdown).
+var ErrCanceled = errors.New("rlckit: computation canceled")
+
+// ErrDeadline reports that the computation's deadline expired.
+var ErrDeadline = errors.New("rlckit: compute deadline exceeded")
+
+// Check is the engine checkpoint: it returns nil while ctx is live
+// (or nil), ErrDeadline once its deadline has expired, and ErrCanceled
+// once it has been canceled for any other reason.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		return nil
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
+}
+
+// Is reports whether err is (or wraps) one of the typed cancellation
+// errors. Layers that decorate task errors with positional context
+// ("net 7 corner fast draw 3: ...") must return cancellation errors
+// bare instead, so Is keeps working at the serving layer.
+func Is(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}

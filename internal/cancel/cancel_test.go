@@ -1,0 +1,63 @@
+package cancel
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCheckLiveContexts(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background(), context.TODO()} {
+		if err := Check(ctx); err != nil {
+			t.Errorf("Check(%v) = %v, want nil", ctx, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if err := Check(ctx); err != nil {
+		t.Errorf("Check(live deadline ctx) = %v, want nil", err)
+	}
+}
+
+func TestCheckCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Check(ctx); err != ErrCanceled {
+		t.Fatalf("Check(canceled) = %v, want ErrCanceled", err)
+	}
+	if !Is(Check(ctx)) {
+		t.Error("Is(ErrCanceled) = false")
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := Check(ctx); err != ErrDeadline {
+		t.Fatalf("Check(expired) = %v, want ErrDeadline", err)
+	}
+	if !Is(Check(ctx)) {
+		t.Error("Is(ErrDeadline) = false")
+	}
+}
+
+// A parent cancelation observed through a child with a far deadline
+// must still read as canceled, not deadline.
+func TestCheckParentCancelThroughDeadlineChild(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	child, stop := context.WithTimeout(parent, time.Hour)
+	defer stop()
+	cancel()
+	if err := Check(child); err != ErrCanceled {
+		t.Fatalf("Check(child of canceled parent) = %v, want ErrCanceled", err)
+	}
+}
+
+func TestIsRejectsOtherErrors(t *testing.T) {
+	if Is(nil) {
+		t.Error("Is(nil) = true")
+	}
+	if Is(context.Canceled) {
+		t.Error("Is(context.Canceled) = true; engines return the typed sentinels, not the context errors")
+	}
+}

@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rlckit/internal/client"
+	"rlckit/internal/faultinject"
+	"rlckit/internal/serve"
+)
+
+// spec is one request in the traffic mix. Bodies are fixed so the
+// first fault-free answer is the golden answer for every later retry.
+type spec struct {
+	path string
+	body string
+}
+
+const line = `{"rt":1000,"lt":1e-7,"ct":1e-12,"length":0.01}`
+
+// smallTree is a 7-node binary tree (root + 6 branches) with sinks at
+// the four leaves.
+func smallTree(engine string) string {
+	return `{"tree":{"root_c":1e-14,"branches":[` +
+		`{"parent":0,"r":20,"l":2e-10,"c":2.5e-14},` +
+		`{"parent":0,"r":22,"l":2.2e-10,"c":2.4e-14},` +
+		`{"parent":1,"r":18,"l":1.8e-10,"c":2.6e-14},` +
+		`{"parent":1,"r":24,"l":2.4e-10,"c":2.2e-14},` +
+		`{"parent":2,"r":19,"l":1.9e-10,"c":2.3e-14},` +
+		`{"parent":2,"r":21,"l":2.1e-10,"c":2.5e-14}],` +
+		`"sinks":[{"node":3,"cl":8e-15},{"node":4,"cl":1.2e-14},` +
+		`{"node":5,"cl":1e-14},{"node":6,"cl":9e-15}]},` +
+		`"drive":{"rtr":40},"engine":"` + engine + `"}`
+}
+
+// mix is the steady traffic every soak client replays each round.
+var mix = []spec{
+	{"/v1/delay", `{"line":` + line + `,"drive":{"rtr":500,"cl":5e-13}}`},
+	{"/v1/delay", `{"line":` + line + `,"drive":{"rtr":250,"cl":1e-13},"method":"exact"}`},
+	{"/v1/delay", `{"line":` + line + `,"drive":{"rtr":250,"cl":1e-13},"method":"reduced"}`},
+	{"/v1/repeaters", `{"line":` + line + `,"node":"250nm"}`},
+	{"/v1/sweep", `{"node":"250nm","nets":50,"seed":7,"rise_s":5e-11,"samples":2,"sigma":0.1}`},
+	{"/v1/sweep", `{"node":"250nm","nets":20,"seed":9,"rise_s":5e-11,"estimator":"simulated"}`},
+	{"/v1/tree", smallTree("closed")},
+	{"/v1/tree", smallTree("mna")},
+	{"/v1/tree", smallTree("reduced")},
+}
+
+// heavy is a long-running sweep used only as a cancellation target: it
+// is canceled a few milliseconds in, so the worker must bail out at a
+// per-sample checkpoint rather than finish the full net count.
+const heavy = `{"node":"250nm","nets":5000,"seed":3,"rise_s":5e-11,"estimator":"simulated"}`
+
+func rounds(t *testing.T) int {
+	if v := os.Getenv("FAULT_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad FAULT_ROUNDS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 1
+	}
+	return 3
+}
+
+// waitStableGoroutines polls until the goroutine count drains back to
+// its pre-test baseline (plus scheduler slack), dumping stacks on
+// timeout — a hand-rolled goleak.
+func waitStableGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+func TestChaosSoak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	if faultinject.Active {
+		faultinject.Configure(faultinject.Config{
+			Seed:     20260808,
+			SleepFor: int64(time.Millisecond),
+			Rates: map[string]float64{
+				faultinject.SiteFactor:     0.15,
+				faultinject.SitePoolWorker: 0.05,
+				faultinject.SiteBatch:      0.10,
+				faultinject.SiteCache:      0.10,
+			},
+		})
+		defer faultinject.Reset()
+	}
+
+	s := serve.New(serve.Config{Workers: 4, MaxInFlight: 128})
+	ts := httptest.NewServer(s.Handler())
+	httpc := ts.Client()
+	c := client.New(ts.URL, client.Config{
+		MaxRetries: 6,
+		BaseDelay:  2 * time.Millisecond,
+		MaxDelay:   50 * time.Millisecond,
+		Seed:       11,
+		HTTP:       httpc,
+	})
+
+	var (
+		mu      sync.Mutex
+		golden  = map[string][]byte{}
+		retried atomic.Uint64
+	)
+	check := func(sp spec, resp *client.Response, err error) {
+		if err != nil {
+			t.Errorf("%s: %v", sp.path, err)
+			return
+		}
+		if resp.Status != 200 {
+			t.Errorf("%s: status %d after %d retries: %s", sp.path, resp.Status, resp.Retries, resp.Body)
+			return
+		}
+		retried.Add(uint64(resp.Retries))
+		key := sp.path + "\x00" + sp.body
+		mu.Lock()
+		defer mu.Unlock()
+		if want, ok := golden[key]; ok {
+			if !bytes.Equal(want, resp.Body) {
+				t.Errorf("%s: retried/repeated response diverged from first answer\nfirst: %s\n now: %s",
+					sp.path, want, resp.Body)
+			}
+			return
+		}
+		golden[key] = resp.Body
+	}
+
+	const clients = 6
+	for round := 0; round < rounds(t); round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i, sp := range mix {
+					// Odd clients abandon every third request mid-flight:
+					// the outcome is discarded, the invariant is that the
+					// server frees the worker and the soak still drains.
+					if w%2 == 1 && i%3 == 0 {
+						ctx, stop := context.WithTimeout(context.Background(), 2*time.Millisecond)
+						c.PostJSON(ctx, sp.path, []byte(sp.body))
+						stop()
+						continue
+					}
+					resp, err := c.PostJSON(context.Background(), sp.path, []byte(sp.body))
+					check(sp, resp, err)
+				}
+				// Fresh bodies bust the response cache so computes (and
+				// their failpoints: batch panics, factor failures) keep
+				// running in every round, not just the first; posting
+				// each twice pins the recompute against its own first
+				// answer.
+				fresh := spec{"/v1/delay", fmt.Sprintf(
+					`{"line":`+line+`,"drive":{"rtr":%d,"cl":1e-13},"method":"exact"}`,
+					400+round*clients+w)}
+				for j := 0; j < 2; j++ {
+					resp, err := c.PostJSON(context.Background(), fresh.path, []byte(fresh.body))
+					check(fresh, resp, err)
+				}
+				// One heavy in-flight cancellation per client per round.
+				ctx, stop := context.WithTimeout(context.Background(), 3*time.Millisecond)
+				c.PostJSON(ctx, "/v1/sweep", []byte(heavy))
+				stop()
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	st := s.Stats()
+	if faultinject.Active {
+		for _, site := range []string{faultinject.SiteFactor, faultinject.SitePoolWorker,
+			faultinject.SiteBatch, faultinject.SiteCache} {
+			t.Logf("fired %-14s %d", site, faultinject.Fired(site))
+		}
+		t.Logf("client retries=%d server errors=%d canceled=%d poisoned=%d skipped=%d",
+			retried.Load(), st.Errors, st.Canceled, st.CachePoisoned, st.BatchSkipped)
+		if fired := faultinject.Fired(faultinject.SiteCache); fired > 0 && st.CachePoisoned == 0 {
+			// Corruption happened but was never re-read; that is legal
+			// (the poisoned keys may simply not have been hit again),
+			// so only log it — the byte-identity check above already
+			// proves no corrupt bytes were served.
+			t.Logf("cache corrupted %d times but never re-hit", fired)
+		}
+	} else if st.Errors != 0 {
+		t.Errorf("fault-free soak produced %d server errors", st.Errors)
+	}
+
+	ts.Close()
+	httpc.CloseIdleConnections()
+	s.Close()
+	waitStableGoroutines(t, base)
+}
+
+// TestRetryReturnsIdenticalBytes pins the determinism contract the
+// soak relies on in a minimal, always-on form: the same body posted
+// twice — once cold, once after the cache may have been poisoned —
+// returns byte-identical responses.
+func TestRetryReturnsIdenticalBytes(t *testing.T) {
+	if faultinject.Active {
+		faultinject.Configure(faultinject.Config{
+			Seed:  7,
+			Rates: map[string]float64{faultinject.SiteCache: 1.0},
+		})
+		defer faultinject.Reset()
+	}
+	s := serve.New(serve.Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.Config{BaseDelay: time.Millisecond, HTTP: ts.Client()})
+
+	sp := mix[0]
+	first, err := c.PostJSON(context.Background(), sp.path, []byte(sp.body))
+	if err != nil || first.Status != 200 {
+		t.Fatalf("first: %+v err=%v", first, err)
+	}
+	for i := 0; i < 4; i++ {
+		again, err := c.PostJSON(context.Background(), sp.path, []byte(sp.body))
+		if err != nil || again.Status != 200 {
+			t.Fatalf("again[%d]: %+v err=%v", i, again, err)
+		}
+		if !bytes.Equal(first.Body, again.Body) {
+			t.Fatalf("response %d diverged:\nfirst: %s\n now: %s", i, first.Body, again.Body)
+		}
+	}
+	if faultinject.Active {
+		st := s.Stats()
+		if st.CachePoisoned == 0 {
+			t.Error("cache corruption at rate 1.0 was never detected")
+		}
+		t.Logf("poisoned hits detected and repaired: %d", st.CachePoisoned)
+	}
+}

@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky returns a handler that fails `fails` times with status, then
+// answers 200 with body "ok".
+func flaky(fails int, status int, header http.Header) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fails) {
+			for k, vs := range header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"transient"}`))
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte("ok"))
+	}, &calls
+}
+
+func TestRetriesTransientStatuses(t *testing.T) {
+	for _, status := range []int{429, 500, 503} {
+		h, calls := flaky(2, status, nil)
+		ts := httptest.NewServer(h)
+		c := New(ts.URL, Config{BaseDelay: time.Millisecond, Seed: 7})
+		resp, err := c.PostJSON(context.Background(), "/v1/delay", []byte(`{}`))
+		ts.Close()
+		if err != nil || resp.Status != 200 || string(resp.Body) != "ok" {
+			t.Fatalf("status %d: resp=%+v err=%v", status, resp, err)
+		}
+		if resp.Retries != 2 || calls.Load() != 3 {
+			t.Errorf("status %d: retries=%d calls=%d, want 2 and 3", status, resp.Retries, calls.Load())
+		}
+	}
+}
+
+func TestNoRetryOnPermanentRejection(t *testing.T) {
+	h, calls := flaky(100, 400, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(ts.URL, Config{BaseDelay: time.Millisecond})
+	resp, err := c.PostJSON(context.Background(), "/v1/delay", []byte(`{}`))
+	if err != nil || resp.Status != 400 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 was retried: %d calls", calls.Load())
+	}
+}
+
+func TestExhaustedRetriesReturnFinalResponse(t *testing.T) {
+	h, calls := flaky(100, 503, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(ts.URL, Config{MaxRetries: 2, BaseDelay: time.Millisecond})
+	resp, err := c.PostJSON(context.Background(), "/v1/delay", []byte(`{}`))
+	if err != nil || resp.Status != 503 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if resp.Retries != 2 || calls.Load() != 3 {
+		t.Errorf("retries=%d calls=%d, want 2 and 3", resp.Retries, calls.Load())
+	}
+}
+
+func TestHonorsRetryAfterCapped(t *testing.T) {
+	c := New("http://unused", Config{BaseDelay: time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 3})
+	// A 1-second server hint is capped at MaxDelay (plus ≤25% jitter).
+	if d := c.backoff(1, time.Second); d > 100*time.Millisecond || d < 60*time.Millisecond {
+		t.Errorf("hinted backoff = %v, want ~80ms capped", d)
+	}
+	// Without a hint the curve is exponential from BaseDelay.
+	d1, d2 := c.backoff(1, 0), c.backoff(2, 0)
+	if d1 > 2*time.Millisecond || d2 < d1 {
+		t.Errorf("backoff curve %v, %v not exponential from 1ms", d1, d2)
+	}
+	// Deterministic: same seed, same waits.
+	c2 := New("http://unused", Config{BaseDelay: time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 3})
+	if c2.backoff(1, 0) != d1 || c2.backoff(2, 0) != d2 {
+		t.Error("jitter not deterministic for a fixed seed")
+	}
+}
+
+func TestRetryAfterHeaderIsUsed(t *testing.T) {
+	hdr := http.Header{}
+	hdr.Set("Retry-After", "1")
+	h, _ := flaky(1, 503, hdr)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	// MaxDelay 30ms caps the 1s hint, keeping the test fast while still
+	// proving the hint path runs.
+	c := New(ts.URL, Config{BaseDelay: time.Millisecond, MaxDelay: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := c.PostJSON(context.Background(), "/v1/delay", []byte(`{}`))
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if wait := time.Since(start); wait < 20*time.Millisecond {
+		t.Errorf("hinted retry waited only %v, want ≥ capped hint", wait)
+	}
+}
+
+func TestContextCancelsBackoffSleep(t *testing.T) {
+	h, _ := flaky(100, 503, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(ts.URL, Config{BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second})
+	ctx, stop := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); stop() }()
+	start := time.Now()
+	_, err := c.PostJSON(ctx, "/v1/delay", []byte(`{}`))
+	if err == nil {
+		t.Fatal("canceled request returned no error")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestNetworkErrorRetriesThenErrors(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // refused from the first attempt
+	c := New(ts.URL, Config{MaxRetries: 1, BaseDelay: time.Millisecond})
+	_, err := c.PostJSON(context.Background(), "/v1/delay", []byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("err=%v, want connection refused", err)
+	}
+}

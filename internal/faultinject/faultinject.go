@@ -1,0 +1,60 @@
+// Package faultinject provides seeded, deterministic failpoints for
+// chaos testing the serve/engine stack.
+//
+// Production builds pay nothing: without the `faultinject` build tag,
+// Active is the constant false and every hook is an empty inlinable
+// no-op, so the tagged call sites (band-LU factorization, pool
+// workers, the serve batcher and response cache) compile to dead
+// code. Test builds enable the hooks with
+//
+//	go test -tags faultinject ...
+//
+// and arm them either programmatically (Configure) or via the
+// environment: FAULTINJECT_RATES="numeric.factor=0.01,pool.worker=0.05",
+// FAULTINJECT_SEED=7, FAULTINJECT_SLEEP=2ms.
+//
+// Determinism: each site keeps an atomic hit counter, and the fire
+// decision for hit n is a pure hash of (seed, site, n). For a fixed
+// seed and rate the set of firing ordinals at a site is therefore
+// reproducible across runs — concurrency may reorder which goroutine
+// draws which ordinal, but never how many faults fire or where in the
+// site's hit sequence they land.
+package faultinject
+
+import "errors"
+
+// Failpoint sites tagged in the codebase.
+const (
+	// SiteFactor simulates a numeric factorization failure inside
+	// numeric.FactorBandLU (surfaces as a retryable engine error).
+	SiteFactor = "numeric.factor"
+	// SitePoolWorker delays a pool worker between claimed indices.
+	SitePoolWorker = "pool.worker"
+	// SiteBatch panics inside a batched serve compute closure (the
+	// handler's recover converts it to a 500).
+	SiteBatch = "serve.batch"
+	// SiteCache corrupts a response-cache entry as it is stored (the
+	// integrity checksum detects it on the next hit).
+	SiteCache = "serve.cache"
+)
+
+// ErrFault is the sentinel wrapped by every injected error, so layers
+// above can classify a failure as injected (and map it to a retryable
+// status) via IsFault.
+var ErrFault = errors.New("faultinject: injected fault")
+
+// IsFault reports whether err is (or wraps) an injected fault.
+func IsFault(err error) bool {
+	return Active && errors.Is(err, ErrFault)
+}
+
+// Config arms the failpoints (only effective under the faultinject
+// build tag).
+type Config struct {
+	// Seed drives the per-site fire decisions; 0 means 1.
+	Seed int64
+	// Rates maps site name to fire probability in [0, 1].
+	Rates map[string]float64
+	// SleepFor is the delay injected by Sleep sites; 0 means 2ms.
+	SleepFor int64 // nanoseconds
+}

@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDisarmedIsInert covers both build modes: with the tag but no
+// configured rates, and without the tag unconditionally, every hook
+// must be a no-op.
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Inject(SiteFactor); err != nil {
+			t.Fatalf("disarmed Inject fired: %v", err)
+		}
+		if Corrupt(SiteCache) {
+			t.Fatal("disarmed Corrupt fired")
+		}
+		Panic(SiteBatch)
+		Sleep(SitePoolWorker)
+	}
+	if n := Fired(SiteFactor); n != 0 {
+		t.Fatalf("Fired = %d, want 0", n)
+	}
+	if IsFault(errors.New("x")) {
+		t.Error("IsFault(plain error) = true")
+	}
+}
+
+func TestArmedDeterminism(t *testing.T) {
+	if !Active {
+		t.Skip("failpoints not compiled in (build without -tags faultinject)")
+	}
+	cfg := Config{Seed: 42, Rates: map[string]float64{SiteCache: 0.5, SiteFactor: 0.2}}
+	record := func() ([]bool, []bool, uint64) {
+		Configure(cfg)
+		var corrupt, inject []bool
+		for i := 0; i < 200; i++ {
+			corrupt = append(corrupt, Corrupt(SiteCache))
+			inject = append(inject, Inject(SiteFactor) != nil)
+		}
+		return corrupt, inject, Fired(SiteCache)
+	}
+	c1, i1, f1 := record()
+	c2, i2, f2 := record()
+	if f1 == 0 {
+		t.Fatal("rate 0.5 never fired in 200 hits")
+	}
+	if f1 != f2 {
+		t.Fatalf("fired counts differ across identical runs: %d vs %d", f1, f2)
+	}
+	for k := range c1 {
+		if c1[k] != c2[k] || i1[k] != i2[k] {
+			t.Fatalf("decision sequence diverged at hit %d", k)
+		}
+	}
+	if err := Inject(SiteFactor); err != nil && !IsFault(err) {
+		t.Errorf("injected error not classified by IsFault: %v", err)
+	}
+	Reset()
+}

@@ -1,0 +1,28 @@
+//go:build !faultinject
+
+package faultinject
+
+// Active reports whether the failpoints are compiled in. As a constant
+// false it turns every gated call site into dead code.
+const Active = false
+
+// Configure is a no-op without the faultinject build tag.
+func Configure(Config) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Inject never fires without the faultinject build tag.
+func Inject(string) error { return nil }
+
+// Panic never fires without the faultinject build tag.
+func Panic(string) {}
+
+// Sleep never fires without the faultinject build tag.
+func Sleep(string) {}
+
+// Corrupt never fires without the faultinject build tag.
+func Corrupt(string) bool { return false }
+
+// Fired always reports zero without the faultinject build tag.
+func Fired(string) uint64 { return 0 }

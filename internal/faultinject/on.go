@@ -1,0 +1,153 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"hash/maphash"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Active reports whether the failpoints are compiled in.
+const Active = true
+
+type runtimeState struct {
+	seed  uint64
+	sleep time.Duration
+	rates map[string]float64
+}
+
+var (
+	current atomic.Pointer[runtimeState]
+	hits    sync.Map // site -> *atomic.Uint64: calls seen
+	fires   sync.Map // site -> *atomic.Uint64: faults fired
+)
+
+func init() {
+	cfg := Config{}
+	if v := os.Getenv("FAULTINJECT_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			cfg.Seed = n
+		}
+	}
+	if v := os.Getenv("FAULTINJECT_SLEEP"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			cfg.SleepFor = int64(d)
+		}
+	}
+	if v := os.Getenv("FAULTINJECT_RATES"); v != "" {
+		cfg.Rates = map[string]float64{}
+		for _, kv := range strings.Split(v, ",") {
+			site, rate, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				continue
+			}
+			if r, err := strconv.ParseFloat(rate, 64); err == nil {
+				cfg.Rates[site] = r
+			}
+		}
+	}
+	Configure(cfg)
+}
+
+// Configure arms the failpoints and resets all counters.
+func Configure(cfg Config) {
+	st := &runtimeState{
+		seed:  uint64(cfg.Seed),
+		sleep: time.Duration(cfg.SleepFor),
+		rates: map[string]float64{},
+	}
+	if st.seed == 0 {
+		st.seed = 1
+	}
+	if st.sleep <= 0 {
+		st.sleep = 2 * time.Millisecond
+	}
+	for k, v := range cfg.Rates {
+		st.rates[k] = v
+	}
+	current.Store(st)
+	hits.Range(func(k, _ any) bool { hits.Delete(k); return true })
+	fires.Range(func(k, _ any) bool { fires.Delete(k); return true })
+}
+
+// Reset disarms every failpoint and clears the counters.
+func Reset() { Configure(Config{}) }
+
+func counter(m *sync.Map, site string) *atomic.Uint64 {
+	if c, ok := m.Load(site); ok {
+		return c.(*atomic.Uint64)
+	}
+	c, _ := m.LoadOrStore(site, new(atomic.Uint64))
+	return c.(*atomic.Uint64)
+}
+
+// mix is the SplitMix64 finalizer (same avalanche as internal/pool).
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+var siteSeed = maphash.MakeSeed()
+
+// fire draws the deterministic decision for the site's next hit.
+func fire(site string) bool {
+	st := current.Load()
+	if st == nil {
+		return false
+	}
+	rate, ok := st.rates[site]
+	if !ok || rate <= 0 {
+		return false
+	}
+	n := counter(&hits, site).Add(1)
+	h := mix(st.seed ^ maphash.String(siteSeed, site) ^ n)
+	if float64(h>>11)/(1<<53) >= rate {
+		return false
+	}
+	counter(&fires, site).Add(1)
+	return true
+}
+
+// Inject returns an injected error (wrapping ErrFault) on the site's
+// deterministically chosen hits, nil otherwise.
+func Inject(site string) error {
+	if fire(site) {
+		return fmt.Errorf("%w at %s", ErrFault, site)
+	}
+	return nil
+}
+
+// Panic panics on the site's deterministically chosen hits.
+func Panic(site string) {
+	if fire(site) {
+		panic(fmt.Sprintf("faultinject: spurious panic at %s", site))
+	}
+}
+
+// Sleep delays the caller on the site's deterministically chosen hits.
+func Sleep(site string) {
+	if fire(site) {
+		time.Sleep(current.Load().sleep)
+	}
+}
+
+// Corrupt reports whether the caller should corrupt its data on this
+// hit.
+func Corrupt(site string) bool { return fire(site) }
+
+// Fired reports how many faults the site has fired since the last
+// Configure/Reset.
+func Fired(site string) uint64 {
+	if c, ok := fires.Load(site); ok {
+		return c.(*atomic.Uint64).Load()
+	}
+	return 0
+}

@@ -1,6 +1,7 @@
 package mna
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,6 +57,13 @@ func (r *ACResult) MagDB(node int) ([]float64, error) {
 // band matrix plus factorization scratch per worker); results are
 // returned in input frequency order regardless of worker scheduling.
 func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) {
+	return ACCtx(nil, ckt, freqs, probes)
+}
+
+// ACCtx is AC with a cancellation checkpoint between frequency points:
+// once ctx is done, remaining points are skipped and the typed
+// cancel.ErrCanceled/ErrDeadline is returned.
+func ACCtx(ctx context.Context, ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) {
 	if len(freqs) == 0 {
 		return nil, errors.New("mna: AC needs at least one frequency")
 	}
@@ -91,7 +99,7 @@ func AC(ckt *circuit.Circuit, freqs []float64, probes []int) (*ACResult, error) 
 		lu numeric.CBandLU
 		x  []complex128
 	}
-	err = pool.Run(0, len(freqs), func() *scratch {
+	err = pool.RunCtx(ctx, 0, len(freqs), func() *scratch {
 		return &scratch{a: numeric.NewCBandMatrix(n, sys.kl, sys.ku), x: make([]complex128, n)}
 	}, func(sc *scratch, k int) error {
 		f := freqs[k]

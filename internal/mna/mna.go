@@ -27,10 +27,12 @@
 package mna
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"rlckit/internal/cancel"
 	"rlckit/internal/circuit"
 	"rlckit/internal/numeric"
 	"rlckit/internal/waveform"
@@ -66,7 +68,17 @@ type Options struct {
 	TEnd float64
 	// Probes lists node IDs whose voltages are recorded every step.
 	Probes []int
+	// Ctx, when non-nil, cancels the transient: Simulate checks it
+	// every ctxStride timesteps and returns cancel.ErrCanceled /
+	// ErrDeadline once it is done.
+	Ctx context.Context
 }
+
+// ctxStride is the transient cancellation checkpoint interval: one
+// context check per 64-step chunk (tens of microseconds of compute on
+// the tree-sized systems) keeps checkpoint overhead unmeasurable while
+// bounding cancellation latency well below a millisecond of work.
+const ctxStride = 64
 
 // Result holds a transient analysis record.
 type Result struct {
@@ -418,6 +430,11 @@ func Simulate(ckt *circuit.Circuit, opts Options) (*Result, error) {
 	}
 	t := 0.0
 	for s := 0; s < steps; s++ {
+		if s%ctxStride == 0 {
+			if cerr := cancel.Check(opts.Ctx); cerr != nil {
+				return nil, cerr
+			}
+		}
 		t1 := t + h
 		if be {
 			for i, c := range cdiag {

@@ -1,11 +1,13 @@
 package mna
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"rlckit/internal/cancel"
 	"rlckit/internal/circuit"
 	"rlckit/internal/mor"
 	"rlckit/internal/numeric"
@@ -38,6 +40,9 @@ type ReduceOptions struct {
 	// SetClassWeights) without losing accuracy. Each anchor is also
 	// exactly validated.
 	Anchors []*circuit.Circuit
+	// Ctx, when non-nil, cancels the build between Arnoldi growth
+	// rounds (see mor.Options.Ctx).
+	Ctx context.Context
 }
 
 // Reduced is a circuit compressed to a reduced-order model, plus the
@@ -120,6 +125,7 @@ func Reduce(ckt *circuit.Circuit, probes []int, opt ReduceOptions) (*Reduced, er
 	}, mor.Options{
 		Omegas: omegas, MaxOrder: opt.MaxOrder,
 		Tol: opt.Tol, ValTol: opt.ValTol, SkipValidate: opt.SkipValidate,
+		Ctx: opt.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -352,6 +358,11 @@ func (r *Reduced) Simulate(opts Options) (*Result, error) {
 	record(0)
 	t := 0.0
 	for s := 0; s < steps; s++ {
+		if s%ctxStride == 0 {
+			if cerr := cancel.Check(opts.Ctx); cerr != nil {
+				return nil, cerr
+			}
+		}
 		t += h
 		srcAt(t)
 		tr.Step(u)

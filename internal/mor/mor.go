@@ -59,10 +59,13 @@
 package mor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"rlckit/internal/cancel"
+	"rlckit/internal/faultinject"
 	"rlckit/internal/numeric"
 )
 
@@ -130,6 +133,11 @@ type Options struct {
 	// SkipValidate skips the exact-solve certification (used by tests
 	// and by callers that validate end-to-end themselves).
 	SkipValidate bool
+	// Ctx, when non-nil, cancels the build: Build checks it once per
+	// Arnoldi growth round (each round advances every chain one block
+	// and possibly runs a validation — milliseconds of work) and
+	// returns cancel.ErrCanceled/ErrDeadline once it is done.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults(n int) (Options, error) {
@@ -335,6 +343,13 @@ func Build(sys *System, opts Options) (*Model, error) {
 				if ch.lu, err = numeric.FactorBandLU(a); err == nil {
 					break
 				}
+				if faultinject.IsFault(err) {
+					// An injected transient fault is not a singular shift:
+					// nudging the shift would change the Krylov subspace and
+					// hence the model bytes. Propagate so the caller retries
+					// the identical build instead.
+					return nil, err
+				}
 				if attempt == 2 {
 					return nil, fmt.Errorf("mor: expansion matrix singular at s=%g (variant %d): %w", ch.s, vi, err)
 				}
@@ -389,6 +404,9 @@ func Build(sys *System, opts Options) (*Model, error) {
 	converged := 0
 	lastValQ := -4 // re-validate only after meaningful growth
 	for {
+		if cerr := cancel.Check(opts.Ctx); cerr != nil {
+			return nil, cerr
+		}
 		exhausted := false
 		if mdl.q < qmax {
 			grew := false

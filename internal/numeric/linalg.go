@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"rlckit/internal/faultinject"
 )
 
 // Matrix is a dense row-major matrix.
@@ -395,6 +397,11 @@ func FactorBandLU(a *BandMatrix) (*BandLU, error) {
 // dimensions — repeated factorizations then allocate nothing. a is not
 // modified.
 func FactorBandLUInto(f *BandLU, a *BandMatrix) error {
+	if faultinject.Active {
+		if err := faultinject.Inject(faultinject.SiteFactor); err != nil {
+			return err
+		}
+	}
 	n, kl, ku := a.N, a.KL, a.KU
 	if len(f.data) != len(a.data) || len(f.piv) != n {
 		f.data = make([]float64, len(a.data))

@@ -1,0 +1,130 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rlckit/internal/cancel"
+)
+
+func TestRunCtxNilAndBackgroundBehaveLikeRun(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		for _, workers := range []int{1, 4} {
+			var n atomic.Int64
+			err := RunCtx(ctx, workers, 100, func() int { return 0 }, func(int, int) error {
+				n.Add(1)
+				return nil
+			})
+			if err != nil || n.Load() != 100 {
+				t.Fatalf("ctx=%v workers=%d: err=%v ran=%d", ctx, workers, err, n.Load())
+			}
+		}
+	}
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := RunCtx(ctx, workers, 50, func() int { return 0 }, func(int, int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, cancel.ErrCanceled) {
+			t.Fatalf("workers=%d: err=%v, want ErrCanceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran after pre-cancel", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, stop := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := RunCtx(ctx, workers, 10000, func() int { return 0 }, func(_ int, i int) error {
+			if ran.Add(1) == 20 {
+				stop()
+			}
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+		stop()
+		if !errors.Is(err, cancel.ErrCanceled) {
+			t.Fatalf("workers=%d: err=%v, want ErrCanceled", workers, err)
+		}
+		if n := ran.Load(); n >= 10000 {
+			t.Fatalf("workers=%d: cancellation did not stop the run (ran %d)", workers, n)
+		}
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, stop := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer stop()
+	err := RunCtx(ctx, 4, 100, func() int { return 0 }, func(int, int) error { return nil })
+	if !errors.Is(err, cancel.ErrDeadline) {
+		t.Fatalf("err=%v, want ErrDeadline", err)
+	}
+}
+
+// A genuine task error observed before the cancellation wins (it is
+// more informative than the cancel sentinel).
+func TestRunCtxTaskErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, stop := context.WithCancel(context.Background())
+	err := RunCtx(ctx, 4, 1000, func() int { return 0 }, func(_ int, i int) error {
+		if i == 3 {
+			stop()
+			return boom
+		}
+		return nil
+	})
+	stop()
+	if !errors.Is(err, boom) && !cancel.Is(err) {
+		t.Fatalf("err=%v, want boom or a cancel sentinel", err)
+	}
+}
+
+// Goroutine-leak assertion (goleak-style, hand-rolled): a canceled
+// multi-worker run must leave no workers behind once it returns.
+func TestRunCtxLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, stop := context.WithCancel(context.Background())
+		var n atomic.Int64
+		_ = RunCtx(ctx, 8, 500, func() int { return 0 }, func(int, int) error {
+			if n.Add(1) == 10 {
+				stop()
+			}
+			return nil
+		})
+		stop()
+	}
+	waitStableGoroutines(t, base)
+}
+
+// waitStableGoroutines polls until the goroutine count returns to (or
+// below) base plus a small slack, failing after a deadline.
+func waitStableGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > base %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -13,13 +13,23 @@
 // Under that discipline the output is byte-identical for every worker
 // count and GOMAXPROCS setting, which internal/sweep's determinism tests
 // enforce.
+//
+// Cancellation: RunCtx threads a request context through the same
+// loop. Workers re-check the context between claimed indices, so an
+// abandoned request frees the whole pool within one index's work; the
+// typed errors from internal/cancel propagate unwrapped for the serve
+// layer to map onto 503 responses.
 package pool
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"rlckit/internal/cancel"
+	"rlckit/internal/faultinject"
 )
 
 // Workers resolves a requested worker count against a task count:
@@ -51,14 +61,41 @@ func Workers(requested, tasks int) int {
 // with the lowest index is returned. With one worker this is exactly
 // the first failing index.
 func Run[S any](workers, n int, setup func() S, fn func(scratch S, i int) error) error {
+	return RunCtx(nil, workers, n, setup, fn)
+}
+
+// RunCtx is Run with a cancellation checkpoint between claimed
+// indices: once ctx is done, workers stop claiming and RunCtx returns
+// the typed cancel.ErrCanceled/ErrDeadline — unless a task had already
+// failed, in which case that (lowest-index) error wins. In-flight
+// tasks are never interrupted mid-index; callers whose per-index work
+// is long thread ctx into fn themselves. A nil or background ctx adds
+// one nil-channel select per index and nothing else.
+func RunCtx[S any](ctx context.Context, workers, n int, setup func() S, fn func(scratch S, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		// Inline fast path: no goroutines, no atomics.
 		scratch := setup()
 		for i := 0; i < n; i++ {
+			if canceled() {
+				return cancel.Check(ctx)
+			}
+			faultinject.Sleep(faultinject.SitePoolWorker)
 			if err := fn(scratch, i); err != nil {
 				return err
 			}
@@ -66,12 +103,13 @@ func Run[S any](workers, n int, setup func() S, fn func(scratch S, i int) error)
 		return nil
 	}
 	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		errIdx  = -1
-		firstEr error
+		next      atomic.Int64
+		failed    atomic.Bool
+		abandoned atomic.Bool
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		errIdx    = -1
+		firstEr   error
 	)
 	record := func(i int, err error) {
 		mu.Lock()
@@ -91,6 +129,12 @@ func Run[S any](workers, n int, setup func() S, fn func(scratch S, i int) error)
 				if i >= n || failed.Load() {
 					return
 				}
+				if canceled() {
+					abandoned.Store(true)
+					failed.Store(true)
+					return
+				}
+				faultinject.Sleep(faultinject.SitePoolWorker)
 				if err := fn(scratch, i); err != nil {
 					record(i, err)
 					return
@@ -99,7 +143,13 @@ func Run[S any](workers, n int, setup func() S, fn func(scratch S, i int) error)
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	if abandoned.Load() {
+		return cancel.Check(ctx)
+	}
+	return nil
 }
 
 // splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix used

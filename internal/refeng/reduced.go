@@ -1,9 +1,11 @@
 package refeng
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"rlckit/internal/cancel"
 	"rlckit/internal/circuit"
 	"rlckit/internal/mna"
 	"rlckit/internal/mor"
@@ -57,6 +59,10 @@ type ReducedConfig struct {
 	// of along the uniform diagonal. AnchorSpread still bounds the
 	// evaluation envelope.
 	Anchors [][4]float64
+	// Ctx, when non-nil, cancels the build (between Arnoldi rounds) and
+	// later Delay calls (between timestep chunks) with the typed
+	// cancel.ErrCanceled/ErrDeadline.
+	Ctx context.Context
 }
 
 func (c ReducedConfig) withDefaults() ReducedConfig {
@@ -195,6 +201,7 @@ func NewReducedLadder(ln tline.Line, d tline.Drive, cfg ReducedConfig) (*Reduced
 		MaxOrder: cfg.MaxOrder,
 		ValTol:   cfg.ValTol,
 		Anchors:  anchors,
+		Ctx:      cfg.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -309,6 +316,11 @@ func (r *ReducedLadder) Delay(ln tline.Line, d tline.Drive) (float64, error) {
 	maxSteps := 12 * r.cfg.StepsPerScale
 	yPrev := 0.0
 	for s := 1; s <= maxSteps; s++ {
+		if s%256 == 0 {
+			if cerr := cancel.Check(r.cfg.Ctx); cerr != nil {
+				return 0, cerr
+			}
+		}
 		t := float64(s) * h
 		uv := 0.0
 		if t >= delay {

@@ -1,10 +1,13 @@
 package rlctree
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"rlckit/internal/cancel"
 	"rlckit/internal/circuit"
+	"rlckit/internal/faultinject"
 	"rlckit/internal/mna"
 	"rlckit/internal/mor"
 )
@@ -50,6 +53,12 @@ type Config struct {
 	// ValTol is the reduced model's certification tolerance (default
 	// 1e-3 of the response peak).
 	ValTol float64
+	// Ctx, when non-nil, cancels the simulation engines at their
+	// amortized checkpoints (per timestep chunk for EngineMNA, per
+	// Arnoldi round and timestep chunk for EngineReduced); Analyze then
+	// returns cancel.ErrCanceled/ErrDeadline instead of a result. The
+	// closed-form engine is microseconds of work and never checks.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +174,12 @@ func Analyze(t *Tree, d Drive, cfg Config) (*Result, error) {
 		if err == nil {
 			res.Reduced = true
 			res.MORInfo = info
+		} else if cancel.Is(err) || faultinject.IsFault(err) {
+			// Cancellation must not trigger the exact fallback — the
+			// request is being abandoned, not re-routed. Injected faults
+			// propagate too: a fallback would change the reported engine
+			// and break retry byte-determinism.
+			return nil, err
 		} else {
 			// Certification failure is an engine-selection event, not an
 			// analysis error: the exact shared transient answers instead.
@@ -336,7 +351,7 @@ func delaysMNA(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, erro
 	level := d.Amplitude() / 2
 	tEnd := horizon + delay
 	for attempt := 0; attempt < 4; attempt++ {
-		res, err := mna.Simulate(ckt, mna.Options{Dt: dt, TEnd: tEnd, Probes: probes})
+		res, err := mna.Simulate(ckt, mna.Options{Dt: dt, TEnd: tEnd, Probes: probes, Ctx: cfg.Ctx})
 		if err != nil {
 			return nil, err
 		}
@@ -410,6 +425,7 @@ func delaysReduced(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, 
 		Freqs:    treeProbeFreqs(horizon, tFast),
 		MaxOrder: cfg.MaxOrder,
 		ValTol:   cfg.ValTol,
+		Ctx:      cfg.Ctx,
 	})
 	if err != nil {
 		return nil, mor.Info{}, err
@@ -417,7 +433,7 @@ func delaysReduced(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, 
 	level := d.Amplitude() / 2
 	tEnd := horizon + delay
 	for attempt := 0; attempt < 4; attempt++ {
-		res, err := red.Simulate(mna.Options{Dt: dt, TEnd: tEnd, Probes: probes})
+		res, err := red.Simulate(mna.Options{Dt: dt, TEnd: tEnd, Probes: probes, Ctx: cfg.Ctx})
 		if err != nil {
 			return nil, mor.Info{}, err
 		}

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rlckit/internal/cancel"
 	"rlckit/internal/pool"
 )
 
@@ -16,6 +18,9 @@ var errClosed = errors.New("serve: server closed")
 type task struct {
 	fn   func()
 	done chan struct{}
+	// canceled marks a task whose submitter's context fired after the
+	// task was enqueued: the dispatcher skips it if it has not started.
+	canceled atomic.Bool
 }
 
 // batcher coalesces concurrent single-net requests into batches that
@@ -32,6 +37,14 @@ type task struct {
 // accumulate in the channel). A positive window instead holds the first
 // request up to that long to let a batch form, trading tail latency for
 // larger batches; it is a tuning flag on cmd/rlckitd, not the default.
+//
+// Cancellation: do takes the request context. A context that fires
+// before the task is enqueued aborts immediately; one that fires while
+// the task is queued or running marks the task canceled — an unstarted
+// task is skipped by the dispatcher, a running one is expected to
+// return at its engine's next context checkpoint — and do then still
+// waits for the done signal, so fn's captured result variables are
+// never written after do has returned.
 type batcher struct {
 	tasks    chan *task
 	quit     chan struct{}
@@ -42,6 +55,10 @@ type batcher struct {
 
 	batches atomic.Uint64 // pool dispatches
 	batched atomic.Uint64 // tasks across all dispatches
+	skipped atomic.Uint64 // canceled tasks skipped before starting
+	// batchNanos is a single-writer EWMA (α = ¼) of the wall time of one
+	// pool dispatch, feeding the adaptive Retry-After hint.
+	batchNanos atomic.Int64
 }
 
 func newBatcher(workers, maxBatch int, window time.Duration) *batcher {
@@ -60,23 +77,50 @@ func newBatcher(workers, maxBatch int, window time.Duration) *batcher {
 	return b
 }
 
-// do schedules fn onto the batching pool and blocks until it has run.
-// It returns errClosed (without any guarantee about fn) once the
-// batcher is shut down.
-func (b *batcher) do(fn func()) error {
+// do schedules fn onto the batching pool and blocks until it has run,
+// been skipped, or the batcher has shut down. It returns errClosed once
+// the batcher is shut down (without any guarantee about fn), and the
+// typed cancel sentinel once ctx — which may be nil — has fired and the
+// task has fully retired.
+func (b *batcher) do(ctx context.Context, fn func()) error {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	t := &task{fn: fn, done: make(chan struct{})}
 	select {
 	case b.tasks <- t:
 	case <-b.quit:
 		return errClosed
+	case <-ctxDone:
+		return cancel.Check(ctx)
 	}
 	select {
 	case <-t.done:
 		return nil
 	case <-b.quit:
 		return errClosed
+	case <-ctxDone:
+		t.canceled.Store(true)
+		// The task may be mid-run with fn writing into variables the
+		// caller owns: wait for done (the engine's own context
+		// checkpoints bound how long a running fn keeps going) instead
+		// of returning into a data race.
+		select {
+		case <-t.done:
+		case <-b.quit:
+			return errClosed
+		}
+		return cancel.Check(ctx)
 	}
 }
+
+// queueDepth reports how many tasks are waiting for a dispatcher slot.
+func (b *batcher) queueDepth() int { return len(b.tasks) }
+
+// meanBatchNanos reports the EWMA wall time of one pool dispatch (zero
+// until the first batch completes).
+func (b *batcher) meanBatchNanos() int64 { return b.batchNanos.Load() }
 
 // close stops the dispatcher. Queued tasks that never ran are released
 // via the quit channel their submitters also select on.
@@ -125,12 +169,27 @@ func (b *batcher) loop() {
 		// The pool bounds compute parallelism; results land in each
 		// task's own captured state, so batch composition is invisible
 		// in the responses.
+		start := time.Now()
 		_ = pool.Run(b.workers, len(batch), func() struct{} { return struct{}{} },
 			func(_ struct{}, i int) error {
-				defer close(batch[i].done)
-				batch[i].fn()
+				t := batch[i]
+				defer close(t.done)
+				if t.canceled.Load() {
+					b.skipped.Add(1)
+					return nil
+				}
+				t.fn()
 				return nil
 			})
+		// Single-writer EWMA: only this loop stores, so the
+		// read-modify-write needs no CAS.
+		dur := time.Since(start).Nanoseconds()
+		old := b.batchNanos.Load()
+		if old == 0 {
+			b.batchNanos.Store(dur)
+		} else {
+			b.batchNanos.Store(old + (dur-old)/4)
+		}
 		select {
 		case <-b.quit:
 			return

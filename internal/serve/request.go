@@ -163,6 +163,12 @@ type SweepRequest struct {
 	// Repeaters additionally runs repeater mis-sizing analysis with the
 	// node's buffer.
 	Repeaters bool `json:"repeaters,omitempty"`
+	// Estimator selects the per-sample delay engine: "closed" (default),
+	// "smart", "simulated", or "reduced". Under a request deadline the
+	// server may downgrade an expensive estimator to a cheaper one
+	// rather than time out; the response reports the estimator that
+	// actually ran and whether it was degraded.
+	Estimator string `json:"estimator,omitempty"`
 }
 
 // SummaryJSON mirrors report.Summary on the wire.
@@ -199,10 +205,18 @@ type SweepCornerJSON struct {
 
 // SweepResponse is the population statistics of a completed sweep.
 type SweepResponse struct {
-	Nets          int               `json:"nets"`
-	Corners       []string          `json:"corners"`
-	Draws         int               `json:"draws"`
-	Samples       int               `json:"samples"`
+	Nets    int      `json:"nets"`
+	Corners []string `json:"corners"`
+	Draws   int      `json:"draws"`
+	Samples int      `json:"samples"`
+	// Estimator is the per-sample delay engine that actually ran;
+	// Degraded marks a response the server downgraded from the
+	// requested estimator to meet the request deadline, with the
+	// decision spelled out in DegradeReason. Degraded responses are
+	// never cached.
+	Estimator     string            `json:"estimator"`
+	Degraded      bool              `json:"degraded,omitempty"`
+	DegradeReason string            `json:"degrade_reason,omitempty"`
 	Screen        ScreenStatsJSON   `json:"screen"`
 	Delay         SummaryJSON       `json:"delay_s"`
 	DelayRC       SummaryJSON       `json:"delay_rc_s"`
@@ -215,9 +229,16 @@ type SweepResponse struct {
 	PerCorner     []SweepCornerJSON `json:"per_corner"`
 }
 
-// ErrorResponse is the body of every non-2xx JSON response.
+// ErrorResponse is the body of every non-2xx JSON response. Reason and
+// RetryAfterS are populated on 503s: Reason distinguishes a canceled
+// request ("canceled"), an expired compute deadline ("deadline") and a
+// shutting-down server ("shutdown"), and RetryAfterS mirrors the
+// adaptive Retry-After header so JSON-only clients can back off
+// without header plumbing.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error       string `json:"error"`
+	Reason      string `json:"reason,omitempty"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
 }
 
 // Request-size and sweep-size guards. The decoder enforces these before
@@ -254,6 +275,44 @@ func parseMethod(s string) (uint8, error) {
 		return methodReduced, nil
 	default:
 		return 0, fmt.Errorf("unknown method %q (have auto, eq9, exact, reduced)", s)
+	}
+}
+
+// sweep estimators, in canonical (cache key) form; they reuse the
+// cacheKey.method slot (a sweep has no delay method).
+const (
+	sweepEstClosed uint8 = iota
+	sweepEstSmart
+	sweepEstSimulated
+	sweepEstReduced
+)
+
+func parseEstimator(s string) (uint8, error) {
+	switch s {
+	case "", "closed":
+		return sweepEstClosed, nil
+	case "smart":
+		return sweepEstSmart, nil
+	case "simulated":
+		return sweepEstSimulated, nil
+	case "reduced":
+		return sweepEstReduced, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q (have closed, smart, simulated, reduced)", s)
+	}
+}
+
+// sweepEstimator maps the canonical estimator byte to the engine enum.
+func sweepEstimator(m uint8) rlckit.SweepEstimator {
+	switch m {
+	case sweepEstSmart:
+		return rlckit.SweepEstimatorSmart
+	case sweepEstSimulated:
+		return rlckit.SweepEstimatorSimulated
+	case sweepEstReduced:
+		return rlckit.SweepEstimatorReduced
+	default:
+		return rlckit.SweepEstimatorClosed
 	}
 }
 
@@ -448,6 +507,10 @@ func parseSweepRequest(r io.Reader) (SweepRequest, cacheKey, []rlckit.SweepCorne
 	if req.Sigma < 0 || req.Sigma > 2 || req.DriveSigma < 0 || req.DriveSigma > 2 {
 		return req, cacheKey{}, nil, fmt.Errorf("sigmas must be in [0, 2], got %g and %g", req.Sigma, req.DriveSigma)
 	}
+	est, err := parseEstimator(req.Estimator)
+	if err != nil {
+		return req, cacheKey{}, nil, err
+	}
 	canon, corners, err := canonicalCorners(req.Corners)
 	if err != nil {
 		return req, cacheKey{}, nil, err
@@ -460,7 +523,7 @@ func parseSweepRequest(r io.Reader) (SweepRequest, cacheKey, []rlckit.SweepCorne
 		return req, cacheKey{}, nil, fmt.Errorf("nets × corners × samples = %d exceeds the %d-sample limit", total, maxSweepTotal)
 	}
 	key := cacheKey{
-		kind: kindSweep, node: req.Node, nets: req.Nets, seed: req.Seed,
+		kind: kindSweep, method: est, node: req.Node, nets: req.Nets, seed: req.Seed,
 		samples: draws, rise: req.RiseS, sigma: req.Sigma, drvSig: req.DriveSigma,
 		corners: canon, repeat: req.Repeaters,
 	}

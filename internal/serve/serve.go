@@ -15,28 +15,50 @@
 //     bodies, so a repeated question skips both compute and JSON
 //     encoding. The /v1/delay hot path is two orders of magnitude
 //     faster than a cold exact-engine analysis (BenchmarkServeDelayHot
-//     vs BenchmarkServeDelayCold).
+//     vs BenchmarkServeDelayCold). Every stored body carries a
+//     checksum, verified on each hit: a corrupted entry is counted
+//     (Stats.CachePoisoned) and recomputed, never served.
 //   - A micro-batcher (batch.go) coalesces concurrent single-net
 //     requests onto the shared internal/pool worker pool, bounding
 //     compute parallelism at the configured worker count instead of
 //     goroutine-per-request.
 //   - An in-flight admission limit sheds excess load with 429 before
-//     any work is queued.
+//     any work is queued. The Retry-After hint on 429s and 503s is
+//     adaptive: batcher queue depth times the observed mean batch
+//     latency, not a constant.
+//
+// Robustness: every request runs under a context — the client's
+// (r.Context(), so a disconnected client cancels its own compute),
+// capped by Config.RequestTimeout, and linked to the server lifetime
+// (Close cancels everything in flight). The engines check that context
+// at amortized checkpoints and return typed sentinels that map to 503
+// with machine-readable metadata ("reason":"canceled"/"deadline").
+// Requests whose deadline cannot fit the estimator they asked for are
+// gracefully degraded to a cheaper estimator instead (degrade.go).
 //
 // Responses are pure functions of the request body (sweeps are seeded),
 // so they are byte-identical across worker counts, cache states and
-// batch compositions — the determinism tests enforce this.
+// batch compositions — the determinism tests enforce this. Degraded
+// responses are flagged and never cached.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/maphash"
+	"math"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"rlckit"
 	"rlckit/internal/cache"
+	"rlckit/internal/cancel"
+	"rlckit/internal/faultinject"
 )
 
 // Config tunes a Server. The zero value serves with defaults.
@@ -56,6 +78,11 @@ type Config struct {
 	// let the batch fill. 0 (the default) drains opportunistically with
 	// no added latency.
 	BatchWindow time.Duration
+	// RequestTimeout caps each request's compute budget; 0 means no
+	// server-imposed cap (the client's own context still applies). A
+	// request that exceeds it gets 503 with reason "deadline" — unless
+	// graceful degradation found a cheaper estimator that fits.
+	RequestTimeout time.Duration
 }
 
 // Serving defaults.
@@ -70,13 +97,26 @@ type Stats struct {
 	// Requests counts admitted requests per endpoint.
 	Requests map[string]uint64 `json:"requests"`
 	// Rejected counts 429 admission rejections; Errors counts non-2xx
-	// responses other than 429.
+	// responses other than 429 and cancellation 503s.
 	Rejected uint64 `json:"rejected"`
 	Errors   uint64 `json:"errors"`
+	// Canceled and Deadline count requests abandoned by their client
+	// and requests that ran out of compute budget; both map to 503.
+	Canceled uint64 `json:"canceled"`
+	Deadline uint64 `json:"deadline"`
+	// Degraded counts responses served with a cheaper estimator than
+	// requested to meet a deadline (see degrade.go).
+	Degraded uint64 `json:"degraded"`
+	// CachePoisoned counts cache hits whose body failed its integrity
+	// checksum and were recomputed instead of served.
+	CachePoisoned uint64 `json:"cache_poisoned"`
 	// Batches and Batched count pool dispatches and the tasks they
 	// carried; Batched/Batches is the mean coalesced batch size.
-	Batches uint64 `json:"batches"`
-	Batched uint64 `json:"batched"`
+	// BatchSkipped counts tasks whose request was canceled before the
+	// dispatcher started them.
+	Batches      uint64 `json:"batches"`
+	Batched      uint64 `json:"batched"`
+	BatchSkipped uint64 `json:"batch_skipped"`
 	// MORHits and MORFallbacks count method:"reduced" computations
 	// answered by a certified reduced-order model vs by the exact
 	// engine after a failed certification (cache hits touch neither).
@@ -88,17 +128,40 @@ type Stats struct {
 
 var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep", kindTree: "tree"}
 
+// cacheEntry is a stored response body plus its integrity checksum,
+// computed at store time and re-verified on every hit.
+type cacheEntry struct {
+	body []byte
+	sum  uint64
+}
+
+// cacheHashSeed keys the body checksums; per-process is enough (the
+// cache never outlives the process).
+var cacheHashSeed = maphash.MakeSeed()
+
+// errPanic marks a compute panic converted to an error: a server-side
+// fault (500), unlike the request-physics rejections that map to 400.
+var errPanic = errors.New("internal error")
+
 // Server owns the serving state: cache, batcher, admission tokens and
 // the HTTP mux. Create with New, release with Close.
 type Server struct {
-	cfg          Config
-	cache        *cache.Cache[cacheKey, []byte]
-	batch        *batcher
-	sem          chan struct{}
-	mux          *http.ServeMux
+	cfg       Config
+	cache     *cache.Cache[cacheKey, cacheEntry]
+	batch     *batcher
+	sem       chan struct{}
+	mux       *http.ServeMux
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	closeOnce sync.Once
+
 	requests     [len(endpointNames)]atomic.Uint64
 	rejected     atomic.Uint64
 	errors       atomic.Uint64
+	canceled     atomic.Uint64
+	deadlines    atomic.Uint64
+	degraded     atomic.Uint64
+	poisoned     atomic.Uint64
 	morHits      atomic.Uint64
 	morFallbacks atomic.Uint64
 }
@@ -106,12 +169,13 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	if cfg.CacheEntries >= 0 {
 		n := cfg.CacheEntries
 		if n == 0 {
 			n = DefaultCacheEntries
 		}
-		s.cache = cache.New[cacheKey, []byte](n)
+		s.cache = cache.New[cacheKey, cacheEntry](n)
 	}
 	inflight := cfg.MaxInFlight
 	if inflight == 0 {
@@ -137,19 +201,34 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the batcher; in-flight batched requests get 503.
-func (s *Server) Close() { s.batch.close() }
+// Close stops the server's compute: every in-flight request's context
+// is canceled (engines return at their next checkpoint, handlers
+// answer 503) and the batcher shuts down. Close returns without
+// waiting for the HTTP connections themselves — that is the
+// http.Server's shutdown to drive. Close is idempotent: a daemon's
+// deferred cleanup may race its shutdown path's explicit call.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.baseStop()
+		s.batch.close()
+	})
+}
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:     make(map[string]uint64, len(endpointNames)),
-		Rejected:     s.rejected.Load(),
-		Errors:       s.errors.Load(),
-		Batches:      s.batch.batches.Load(),
-		Batched:      s.batch.batched.Load(),
-		MORHits:      s.morHits.Load(),
-		MORFallbacks: s.morFallbacks.Load(),
+		Requests:      make(map[string]uint64, len(endpointNames)),
+		Rejected:      s.rejected.Load(),
+		Errors:        s.errors.Load(),
+		Canceled:      s.canceled.Load(),
+		Deadline:      s.deadlines.Load(),
+		Degraded:      s.degraded.Load(),
+		CachePoisoned: s.poisoned.Load(),
+		Batches:       s.batch.batches.Load(),
+		Batched:       s.batch.batched.Load(),
+		BatchSkipped:  s.batch.skipped.Load(),
+		MORHits:       s.morHits.Load(),
+		MORFallbacks:  s.morFallbacks.Load(),
 	}
 	for k, name := range endpointNames {
 		st.Requests[name] = s.requests[k].Load()
@@ -160,7 +239,27 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// endpoint wraps a handler with admission control and request counting.
+// retryAfterSecs is the adaptive Retry-After hint: how long until the
+// batcher's current queue has likely drained, from the queue depth and
+// the observed mean batch latency, clamped to [1, 30] seconds.
+func (s *Server) retryAfterSecs() int {
+	ew := s.batch.meanBatchNanos()
+	if ew <= 0 {
+		return 1
+	}
+	batches := s.batch.queueDepth()/s.batch.maxBatch + 1
+	secs := int(math.Ceil(float64(batches) * float64(ew) / 1e9))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// endpoint wraps a handler with admission control and request
+// counting.
 func (s *Server) endpoint(kind uint8, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.sem != nil {
@@ -169,7 +268,7 @@ func (s *Server) endpoint(kind uint8, h http.HandlerFunc) http.HandlerFunc {
 				defer func() { <-s.sem }()
 			default:
 				s.rejected.Add(1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 				s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("server at max in-flight requests"))
 				return
 			}
@@ -178,6 +277,25 @@ func (s *Server) endpoint(kind uint8, h http.HandlerFunc) http.HandlerFunc {
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		h(w, r)
 	}
+}
+
+// computeCtx derives the compute context for a cache miss: the
+// client's context capped by RequestTimeout and linked to the server
+// lifetime, so a disconnected client, an expired budget or a server
+// Close all cancel the same context the engines poll. It is built only
+// on the miss path — a cache hit never pays for the context plumbing,
+// and the RequestTimeout budget covers compute, not request parsing.
+// The release func must be called when the handler is done.
+func (s *Server) computeCtx(r *http.Request) (context.Context, func()) {
+	ctx := r.Context()
+	var stop context.CancelFunc
+	if s.cfg.RequestTimeout > 0 {
+		ctx, stop = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	} else {
+		ctx, stop = context.WithCancel(ctx)
+	}
+	unlink := context.AfterFunc(s.baseCtx, stop)
+	return ctx, func() { unlink(); stop() }
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
@@ -190,6 +308,42 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	w.Write(append(body, '\n'))
 }
 
+// writeUnavailable writes a 503 with machine-readable metadata: the
+// reason ("canceled", "deadline", "shutdown") and the adaptive retry
+// hint, in both the header and the body.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error, reason string) {
+	retry := s.retryAfterSecs()
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	body, _ := json.Marshal(ErrorResponse{Error: err.Error(), Reason: reason, RetryAfterS: retry})
+	w.Write(append(body, '\n'))
+}
+
+// failCompute maps a compute error to its HTTP response: batcher
+// shutdown and cancellation to 503 (with metadata and counters),
+// panics and injected faults to 500, everything else — rejections of
+// the request's physics — to 400.
+func (s *Server) failCompute(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errClosed):
+		s.writeUnavailable(w, err, "shutdown")
+	case errors.Is(err, errPanic), faultinject.IsFault(err):
+		s.writeError(w, http.StatusInternalServerError, err)
+	case cancel.Is(err):
+		reason := "canceled"
+		if errors.Is(err, cancel.ErrDeadline) {
+			reason = "deadline"
+			s.deadlines.Add(1)
+		} else {
+			s.canceled.Add(1)
+		}
+		s.writeUnavailable(w, err, reason)
+	default:
+		s.writeError(w, http.StatusBadRequest, err)
+	}
+}
+
 func (s *Server) writeJSON(w http.ResponseWriter, body []byte, hit bool) {
 	w.Header().Set("Content-Type", "application/json")
 	if hit {
@@ -200,30 +354,53 @@ func (s *Server) writeJSON(w http.ResponseWriter, body []byte, hit bool) {
 	w.Write(body)
 }
 
-// cached looks up key, returning (body, true) on a hit.
+// cached looks up key, returning (body, true) on a hit whose body
+// passes its integrity checksum. A checksum mismatch — memory
+// corruption, or the faultinject cache site in the chaos tests — is
+// counted and reported as a miss, so a poisoned entry is recomputed
+// and overwritten, never served.
 func (s *Server) cached(key cacheKey) ([]byte, bool) {
 	if s.cache == nil {
 		return nil, false
 	}
-	return s.cache.Get(key)
+	e, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if maphash.Bytes(cacheHashSeed, e.body) != e.sum {
+		s.poisoned.Add(1)
+		return nil, false
+	}
+	return e.body, true
 }
 
 func (s *Server) store(key cacheKey, body []byte) {
-	if s.cache != nil {
-		s.cache.Put(key, body)
+	if s.cache == nil {
+		return
 	}
+	sum := maphash.Bytes(cacheHashSeed, body)
+	if faultinject.Active && faultinject.Corrupt(faultinject.SiteCache) {
+		// Store a bit-flipped copy against the honest checksum: the next
+		// hit must detect and recompute.
+		poisoned := append([]byte(nil), body...)
+		poisoned[len(poisoned)/2] ^= 0x40
+		body = poisoned
+	}
+	s.cache.Put(key, cacheEntry{body: body, sum: sum})
 }
 
-// compute runs fn on the micro-batching pool, converting fn's panics
-// into errors so a bad corner of the math never kills the daemon.
-func (s *Server) compute(fn func() error) error {
+// compute runs fn on the micro-batching pool under ctx, converting
+// fn's panics into errPanic so a bad corner of the math never kills
+// the daemon.
+func (s *Server) compute(ctx context.Context, fn func() error) error {
 	var err error
-	berr := s.batch.do(func() {
+	berr := s.batch.do(ctx, func() {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("internal error: %v", r)
+				err = fmt.Errorf("%w: %v", errPanic, r)
 			}
 		}()
+		faultinject.Panic(faultinject.SiteBatch)
 		err = fn()
 	})
 	if berr != nil {
@@ -233,37 +410,38 @@ func (s *Server) compute(fn func() error) error {
 }
 
 // finish is the shared tail of every miss path: marshal the response
-// value, cache the body under its canonical key, send it.
-func (s *Server) finish(w http.ResponseWriter, key cacheKey, resp any) {
+// value, cache the body under its canonical key (unless the response
+// is degraded — store=false), send it.
+func (s *Server) finish(w http.ResponseWriter, key cacheKey, resp any, store bool) {
 	body, err := json.Marshal(resp)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	body = append(body, '\n')
-	s.store(key, body)
+	if store {
+		s.store(key, body)
+	}
 	s.writeJSON(w, body, false)
 }
 
 // respond handles the single-net miss path: run fn on the batch pool
-// to produce a response value, then finish. Compute errors map to 400
-// (they are rejections of the request's physics, not server faults),
-// batcher shutdown to 503.
-func respond[T any](s *Server, w http.ResponseWriter, key cacheKey, fn func() (T, error)) {
+// under the request context to produce a response value, then finish.
+// fn's second return reports whether the response is cacheable (a
+// degraded response is not).
+func respond[T any](s *Server, w http.ResponseWriter, ctx context.Context, key cacheKey, fn func() (T, bool, error)) {
 	var resp T
-	err := s.compute(func() error {
+	store := true
+	err := s.compute(ctx, func() error {
 		var ferr error
-		resp, ferr = fn()
+		resp, store, ferr = fn()
 		return ferr
 	})
-	switch {
-	case err == errClosed:
-		s.writeError(w, http.StatusServiceUnavailable, err)
-	case err != nil:
-		s.writeError(w, http.StatusBadRequest, err)
-	default:
-		s.finish(w, key, resp)
+	if err != nil {
+		s.failCompute(w, err)
+		return
 	}
+	s.finish(w, key, resp, store)
 }
 
 func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
@@ -276,12 +454,14 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, body, true)
 		return
 	}
+	ctx, release := s.computeCtx(r)
+	defer release()
 	ln, drv := key.line, key.drive
-	respond(s, w, key, func() (DelayResponse, error) {
+	respond(s, w, ctx, key, func() (DelayResponse, bool, error) {
 		var resp DelayResponse
 		p, err := rlckit.Analyze(ln, drv)
 		if err != nil {
-			return resp, err
+			return resp, true, err
 		}
 		resp.RT, resp.CT, resp.Zeta, resp.OmegaN = p.RT, p.CT, p.Zeta, p.OmegaN
 		switch key.method {
@@ -293,11 +473,17 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 			resp.Method = "exact"
 		case methodReduced:
 			var info rlckit.MORInfo
-			resp.DelayS, info, err = rlckit.DelayReduced(ln, drv)
+			resp.DelayS, info, err = rlckit.DelayReducedCtx(ctx, ln, drv)
 			if err == nil {
 				resp.Method = "reduced"
 				resp.MORQ, resp.MORN, resp.MORErrPct = info.Q, info.N, info.EstErrPct
 				s.morHits.Add(1)
+			} else if cancel.Is(err) || faultinject.IsFault(err) {
+				// A canceled build is not a certification failure: do not
+				// burn the remaining budget on the exact engine. Injected
+				// faults propagate too (500, retried by the client) so the
+				// retry's answer is byte-identical to a fault-free one.
+				return resp, true, err
 			} else {
 				// Exact-fallback contract: certification failure is an
 				// engine-selection event, not a request error.
@@ -315,11 +501,11 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err != nil {
-			return resp, err
+			return resp, true, err
 		}
 		resp.DelayRCS = rlckit.DelayRCOnly(ln, drv)
 		resp.RCErrPct = 100 * (resp.DelayRCS - resp.DelayS) / resp.DelayS
-		return resp, nil
+		return resp, true, nil
 	})
 }
 
@@ -333,16 +519,18 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, body, true)
 		return
 	}
+	ctx, release := s.computeCtx(r)
+	defer release()
 	ln, drv, rise := key.line, key.drive, key.rise
-	respond(s, w, key, func() (ScreenResponse, error) {
+	respond(s, w, ctx, key, func() (ScreenResponse, bool, error) {
 		res, err := rlckit.NeedsInductance(ln, drv, rise)
 		if err != nil {
-			return ScreenResponse{}, err
+			return ScreenResponse{}, true, err
 		}
 		return ScreenResponse{
 			NeedsRLC: res.NeedsRLC, InWindow: res.InWindow, Underdamped: res.Underdamped,
 			LMinM: res.LMin, LMaxM: res.LMax, Zeta: res.Zeta,
-		}, nil
+		}, true, nil
 	})
 }
 
@@ -356,9 +544,11 @@ func (s *Server) handleRepeaters(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, body, true)
 		return
 	}
+	ctx, release := s.computeCtx(r)
+	defer release()
 	ln, buf := key.line, key.buffer
 	rc := key.method == 1
-	respond(s, w, key, func() (RepeatersResponse, error) {
+	respond(s, w, ctx, key, func() (RepeatersResponse, bool, error) {
 		var plan rlckit.RepeaterPlan
 		var err error
 		model := "rlc"
@@ -369,13 +559,13 @@ func (s *Server) handleRepeaters(w http.ResponseWriter, r *http.Request) {
 			plan, err = rlckit.DesignRepeaters(ln, buf)
 		}
 		if err != nil {
-			return RepeatersResponse{}, err
+			return RepeatersResponse{}, true, err
 		}
 		return RepeatersResponse{
 			Model: model, H: plan.H, K: plan.K, KInt: plan.KInt, HForKInt: plan.HForKInt,
 			TLR: plan.TLR, TotalDelayS: plan.TotalDelay, TotalDelayInt: plan.TotalDelayInt,
 			Area: plan.Area, AreaInt: plan.AreaInt, SwitchEnergyJ: plan.SwitchEnergy,
-		}, nil
+		}, true, nil
 	})
 }
 
@@ -389,17 +579,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, body, true)
 		return
 	}
+	ctx, release := s.computeCtx(r)
+	defer release()
+	// Deadline-aware degradation: pick the estimator the remaining
+	// budget can afford (the requested one when it fits).
+	totalSamples := req.Nets * len(corners) * key.samples
+	est, reason := degradeSweep(ctx, key.method, totalSamples, s.cfg.Workers)
 	// Sweeps parallelize internally on the same bounded pool size; they
 	// skip the single-net batcher but still hold an admission token.
-	resp, err := s.runSweep(req, corners)
+	resp, err := s.runSweep(ctx, req, est, corners)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.failCompute(w, err)
 		return
 	}
-	s.finish(w, key, resp)
+	if reason != "" {
+		resp.Degraded = true
+		resp.DegradeReason = reason
+		s.degraded.Add(1)
+	}
+	s.finish(w, key, resp, reason == "")
 }
 
-func (s *Server) runSweep(req SweepRequest, corners []rlckit.SweepCorner) (SweepResponse, error) {
+func (s *Server) runSweep(ctx context.Context, req SweepRequest, est uint8, corners []rlckit.SweepCorner) (SweepResponse, error) {
 	var resp SweepResponse
 	node, err := rlckit.Technology(req.Node)
 	if err != nil {
@@ -417,7 +618,9 @@ func (s *Server) runSweep(req SweepRequest, corners []rlckit.SweepCorner) (Sweep
 			RSigma: req.Sigma, LSigma: req.Sigma, CSigma: req.Sigma,
 			DriveSigma: req.DriveSigma,
 		},
-		Workers: s.cfg.Workers,
+		Workers:   s.cfg.Workers,
+		Estimator: sweepEstimator(est),
+		Ctx:       ctx,
 	}
 	if req.Repeaters {
 		b := node.Buffer()
@@ -430,8 +633,9 @@ func (s *Server) runSweep(req SweepRequest, corners []rlckit.SweepCorner) (Sweep
 	resp = SweepResponse{
 		Nets:  len(res.NetNames),
 		Draws: res.Draws, Samples: len(res.Samples),
-		Screen: screenStatsJSON(res.Screen),
-		Delay:  summaryJSON(res.Delay), DelayRC: summaryJSON(res.DelayRC),
+		Estimator: estimatorName(est),
+		Screen:    screenStatsJSON(res.Screen),
+		Delay:     summaryJSON(res.Delay), DelayRC: summaryJSON(res.DelayRC),
 		RCErr: summaryJSON(res.RCErr), AbsRCErr: summaryJSON(res.AbsRCErr),
 		FracErrOver10: res.FracErrOver10, FracErrOver20: res.FracErrOver20,
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -232,20 +233,28 @@ func TestBatchingCoalesces(t *testing.T) {
 func TestBatcherClose(t *testing.T) {
 	b := newBatcher(2, 8, 0)
 	ran := false
-	if err := b.do(func() { ran = true }); err != nil || !ran {
+	if err := b.do(context.Background(), func() { ran = true }); err != nil || !ran {
 		t.Fatalf("do before close: err=%v ran=%v", err, ran)
 	}
 	b.close()
-	if err := b.do(func() {}); err != errClosed {
+	if err := b.do(context.Background(), func() {}); err != errClosed {
 		t.Fatalf("do after close: err=%v, want errClosed", err)
 	}
 }
 
-func TestComputePanicIs400(t *testing.T) {
+// A compute panic is a server fault: recovered into errPanic, mapped
+// to 500 by failCompute — never a daemon crash, never a 400 blaming
+// the request.
+func TestComputePanicIs500(t *testing.T) {
 	s := newTestServer(t, Config{})
-	err := s.compute(func() error { panic("boom") })
+	err := s.compute(context.Background(), func() error { panic("boom") })
 	if err == nil || !strings.Contains(err.Error(), "internal error: boom") {
 		t.Fatalf("compute panic -> %v", err)
+	}
+	rec := httptest.NewRecorder()
+	s.failCompute(rec, err)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic error mapped to %d, want 500", rec.Code)
 	}
 }
 

@@ -83,6 +83,12 @@ type TreeResponse struct {
 	MORN        int            `json:"mor_n,omitempty"`
 	MORErrPct   float64        `json:"mor_err_pct,omitempty"`
 	MORFallback bool           `json:"mor_fallback,omitempty"`
+	// Degraded marks a response the server answered with a cheaper
+	// engine than requested to meet the request deadline (the Engine
+	// field reports the engine that actually ran); DegradeReason spells
+	// out the budget arithmetic. Degraded responses are never cached.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
 }
 
 // maxTreeNodes bounds one /v1/tree request's node count — enforced by
@@ -198,9 +204,14 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, body, true)
 		return
 	}
-	respond(s, w, key, func() (TreeResponse, error) {
-		cfg := rlckit.TreeConfig{}
-		switch key.method {
+	ctx, release := s.computeCtx(r)
+	defer release()
+	// Deadline-aware degradation: pick the engine the remaining budget
+	// can afford (the requested one when it fits).
+	engine, reason := degradeTree(ctx, key.method, t.Len())
+	respond(s, w, ctx, key, func() (TreeResponse, bool, error) {
+		cfg := rlckit.TreeConfig{Ctx: ctx}
+		switch engine {
 		case treeEngineMNA:
 			cfg.Engine = rlckit.TreeEngineMNA
 		case treeEngineReduced:
@@ -208,7 +219,7 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := rlckit.AnalyzeTree(t, drv, cfg)
 		if err != nil {
-			return TreeResponse{}, err
+			return TreeResponse{}, true, err
 		}
 		// Extreme-but-decodable element values can overflow the moment
 		// products into ±Inf/NaN delays; JSON cannot carry those, so
@@ -216,7 +227,7 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 		// into a 500.
 		for _, sk := range res.Sinks {
 			if !isFinite(sk.Delay) || !isFinite(sk.DelayRC) {
-				return TreeResponse{}, fmt.Errorf("tree analysis is numerically degenerate (sink %d delay overflows); rescale the element values", sk.Node)
+				return TreeResponse{}, true, fmt.Errorf("tree analysis is numerically degenerate (sink %d delay overflows); rescale the element values", sk.Node)
 			}
 		}
 		resp := TreeResponse{
@@ -226,6 +237,11 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 			MaxSkewS:   res.MaxSkew,
 			MaxSkewRCS: res.MaxSkewRC,
 			SkewErrPct: res.SkewErrPct,
+		}
+		if reason != "" {
+			resp.Degraded = true
+			resp.DegradeReason = reason
+			s.degraded.Add(1)
 		}
 		if res.Fallback {
 			// Exact-fallback contract: certification failure selects the
@@ -249,6 +265,6 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.Sinks = append(resp.Sinks, row)
 		}
-		return resp, nil
+		return resp, reason == "", nil
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"rlckit/internal/cancel"
 	"rlckit/internal/netgen"
 	"rlckit/internal/pool"
 	"rlckit/internal/report"
@@ -115,14 +116,25 @@ func RunTrees(trees []netgen.TreeNet, cfg Config) (*TreeResult, error) {
 	draws := cfg.MC.draws()
 	perTree := len(corners) * draws
 	samples := make([]TreeSample, len(trees)*perTree)
-	err = pool.Run(cfg.Workers, len(trees), pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
+	stride := ctxStride(est)
+	err = pool.RunCtx(cfg.Ctx, cfg.Workers, len(trees), pool.NewSeededRand, func(sc *pool.SeededRand, i int) error {
 		base := i * perTree
+		tick := 0
 		for ci, c := range corners {
 			for d := 0; d < draws; d++ {
+				if tick%stride == 0 {
+					if cerr := cancel.Check(cfg.Ctx); cerr != nil {
+						return cerr
+					}
+				}
+				tick++
 				sc.Seed(pool.Seed(cfg.MC.Seed, int64(i), int64(ci), int64(d)))
 				out := &samples[base+ci*draws+d]
 				out.Tree, out.Corner, out.Draw = i, ci, d
 				if err := evalTreeSample(trees[i], c, &cfg, est, engine, sc.Rand, out); err != nil {
+					if cancel.Is(err) {
+						return err
+					}
 					return fmt.Errorf("sweep: tree %d (%s) corner %s draw %d: %w",
 						i, trees[i].Name, c.Name, d, err)
 				}
@@ -149,12 +161,12 @@ func evalTreeSample(tn netgen.TreeNet, c Corner, cfg *Config, est Estimator, eng
 	}
 	drv := tn.Drive
 	drv.Rtr *= sd
-	res, err := rlctree.Analyze(t, drv, rlctree.Config{Engine: engine})
+	res, err := rlctree.Analyze(t, drv, rlctree.Config{Engine: engine, Ctx: cfg.Ctx})
 	if err != nil {
 		return err
 	}
 	if est == EstimatorSmart && !allInDomain(res) {
-		if res, err = rlctree.Analyze(t, drv, rlctree.Config{Engine: rlctree.EngineMNA}); err != nil {
+		if res, err = rlctree.Analyze(t, drv, rlctree.Config{Engine: rlctree.EngineMNA, Ctx: cfg.Ctx}); err != nil {
 			return err
 		}
 		out.UsedExact = true
