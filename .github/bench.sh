@@ -27,3 +27,7 @@ if [ -d internal/rlctree ]; then
   run_bench 'BenchmarkTreeDelay$' ./internal/rlctree
   run_bench 'BenchmarkTreeSweep$' ./internal/sweep
 fi
+# What-if session bench (absent on commits predating internal/session).
+if [ -d internal/session ]; then
+  run_bench 'BenchmarkWhatIfEditSequence$' ./internal/session
+fi

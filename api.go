@@ -19,6 +19,7 @@ import (
 	"rlckit/internal/report"
 	"rlckit/internal/rlctree"
 	"rlckit/internal/screen"
+	"rlckit/internal/session"
 	"rlckit/internal/sweep"
 	"rlckit/internal/tech"
 	"rlckit/internal/tline"
@@ -268,6 +269,38 @@ func NewTree(cRoot float64) (*RLCTree, error) {
 // tree costs one transient, not 64.
 func AnalyzeTree(t *RLCTree, d TreeDrive, cfg TreeConfig) (*TreeResult, error) {
 	return rlctree.Analyze(t, d, cfg)
+}
+
+// Session is an open what-if analysis over a tree: stream value edits
+// with Session.Apply, read updated per-sink delays with
+// Session.Result. Edits re-use state frozen at open time (moment
+// workspaces, the MNA ordering, the certified Krylov basis), so an
+// edit-and-reanalyze loop runs an order of magnitude faster than
+// re-running AnalyzeTree from scratch. The closed and MNA engines are
+// bit-identical to a cold AnalyzeTree of the edited tree; the reduced
+// engine answers through the frozen certified basis (exact fallback
+// when an edit leaves its envelope and re-certification fails). See
+// internal/session.
+type Session = session.Session
+
+// SessionEdit is one what-if edit (ops SessionOpBranch /
+// SessionOpLoad / SessionOpDriver).
+type SessionEdit = session.Edit
+
+// SessionStats counts a session's fast-path decisions.
+type SessionStats = session.Stats
+
+// Session edit ops.
+const (
+	SessionOpBranch = session.OpBranch
+	SessionOpLoad   = session.OpLoad
+	SessionOpDriver = session.OpDriver
+)
+
+// OpenSession starts a what-if session over a copy of the tree.
+// cfg.Engine is ignored; each Result call names its engine.
+func OpenSession(t *RLCTree, d TreeDrive, cfg TreeConfig) (*Session, error) {
+	return session.Open(t, d, cfg)
 }
 
 // SweepTreeDelays runs delay and skew analysis over a population of

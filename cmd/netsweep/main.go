@@ -148,6 +148,9 @@ func run(o options, out io.Writer) error {
 		if nets, err = parseSpec(f); err != nil {
 			return fmt.Errorf("%s: %w", o.spec, err)
 		}
+		if len(nets) == 0 {
+			return usagef("%s: spec contains no nets", o.spec)
+		}
 	} else {
 		if o.nets < 1 {
 			return usagef("-nets must be positive, got %d", o.nets)

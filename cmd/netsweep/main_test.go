@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,6 +86,18 @@ func TestBadInputs(t *testing.T) {
 	o.spec = "/nonexistent/nets.csv"
 	if err := run(o, &b); err == nil {
 		t.Error("missing spec accepted")
+	}
+	o = defaultOpts()
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, []byte("# only comments\nname,rt,lt,ct,length,rtr,cl\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.spec = empty
+	err := run(o, &b)
+	if err == nil {
+		t.Error("empty spec accepted")
+	} else if !errors.As(err, &usageError{}) {
+		t.Errorf("empty spec is not a usage error: %v", err)
 	}
 }
 

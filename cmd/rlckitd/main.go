@@ -13,6 +13,10 @@
 //	POST /v1/screen     ... + "rise_s"
 //	POST /v1/repeaters  ... + "node" or "buffer", optional "model":"rc"
 //	POST /v1/sweep      {"node":..,"nets":..,"seed":..,"rise_s":..,...}
+//	POST /v1/tree       {"tree":{"root_c":..,"branches":[..],"sinks":[..]},"drive":{"rtr":..}}
+//	POST /v1/session            open a what-if session over a tree (same body as /v1/tree)
+//	POST /v1/session/{id}/edit  {"edits":[{"op":"branch",..},..]} -> re-analyzed result
+//	DELETE /v1/session/{id}     close a session early
 //	GET  /healthz       liveness + version
 //	GET  /debug/vars    expvar metrics (rlckitd map: requests, cache, batching,
 //	                    reduced-order mor_hits/mor_fallbacks)
@@ -61,6 +65,8 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max coalesced single-net batch size")
 		batchWindow = flag.Duration("batch-window", 0, "hold the first request of a batch up to this long to let it fill (0 = no added latency)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request compute budget; over-budget requests get 503 or a degraded answer (0 = uncapped)")
+		sessionTTL  = flag.Duration("session-ttl", serve.DefaultSessionTTL, "what-if session idle TTL before eviction (negative = never evict on idle)")
+		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessions, "max live what-if sessions; opening past the cap evicts the least recently used")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		pprofAddr   = flag.String("pprof", "", "net/http/pprof side-listener address (empty = disabled)")
 	)
@@ -76,6 +82,8 @@ func main() {
 		MaxBatch:       *maxBatch,
 		BatchWindow:    *batchWindow,
 		RequestTimeout: *reqTimeout,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
 	}, *grace, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "rlckitd:", err)
 		os.Exit(1)

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the real whatif binary:
+// with WHATIF_RUN_MAIN=1 it runs main() on its own os.Args, which is
+// how the exit-status regression tests below observe real exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("WHATIF_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// whatif re-executes the test binary as whatif with args.
+func whatif(t *testing.T, args ...string) (exit int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "WHATIF_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		return ee.ExitCode(), out.String(), errb.String()
+	}
+	return 0, out.String(), errb.String()
+}
+
+// TestExitCodes: invocation mistakes must exit 2 with a usage pointer.
+func TestExitCodes(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(script, []byte(testScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-bogus", script}, 2},
+		{"no script", []string{}, 2},
+		{"two scripts", []string{script, script}, 2},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.json")}, 2},
+		{"bad engine", []string{"-engine", "warp", script}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exit, stdout, stderr := whatif(t, tc.args...)
+			if exit != tc.want {
+				t.Errorf("exit %d, want %d (stderr: %s)", exit, tc.want, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("usage failure printed to stdout: %q", stdout)
+			}
+			if !strings.Contains(stderr, "usage") && !strings.Contains(stderr, "whatif") {
+				t.Errorf("stderr lacks a usage pointer: %q", stderr)
+			}
+		})
+	}
+}
+
+// TestHappyPathExitZero replays the test script end to end, reading
+// from stdin via "-".
+func TestHappyPathExitZero(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-engine", "closed", "-")
+	cmd.Env = append(os.Environ(), "WHATIF_RUN_MAIN=1")
+	cmd.Stdin = strings.NewReader(testScript)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("exit error: %v, stderr: %s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "step 2 (2 edits)") {
+		t.Errorf("missing step line in output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlckit"
+	"rlckit/internal/golden"
+)
+
+const testScript = `{
+  "tree": {
+    "root_c": 5e-15,
+    "branches": [
+      {"parent": 0, "r": 20, "l": 5e-10, "c": 4e-14},
+      {"parent": 1, "r": 15, "l": 4e-10, "c": 3e-14},
+      {"parent": 1, "r": 40, "l": 1e-9, "c": 6e-14},
+      {"parent": 3, "r": 40, "l": 1e-9, "c": 6e-14}
+    ],
+    "sinks": [{"node": 2, "cl": 2e-14}, {"node": 4, "cl": 3.5e-14}]
+  },
+  "drive": {"rtr": 80},
+  "engine": "mna",
+  "steps": [
+    [{"op": "branch", "node": 2, "r": 18, "l": 3.5e-10}],
+    [{"op": "driver", "rtr": 70}, {"op": "load", "node": 4, "cl": 4e-14}]
+  ]
+}`
+
+func writeScript(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "script.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenReplay locks the replay output per engine. Refresh with
+// `go test ./cmd/whatif -update`.
+func TestGoldenReplay(t *testing.T) {
+	for _, engine := range []string{"closed", "mna", "reduced"} {
+		t.Run(engine, func(t *testing.T) {
+			o := options{engine: engine, verbose: true, path: writeScript(t, testScript)}
+			var b strings.Builder
+			if err := run(o, &b); err != nil {
+				t.Fatal(err)
+			}
+			golden.Assert(t, "replay_"+engine+".txt", []byte(b.String()))
+		})
+	}
+}
+
+// TestReplayMatchesFromScratch re-derives the final step's table by
+// building the fully-edited tree and analyzing it cold: the session
+// replay must land on the identical delays.
+func TestReplayMatchesFromScratch(t *testing.T) {
+	o := options{engine: "mna", verbose: true, path: writeScript(t, testScript)}
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+
+	// The edited net: branch 2 → r 18, l 3.5e-10; rtr 70; sink 4 cl 4e-14.
+	tr, err := rlckit.NewTree(5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range [][4]float64{
+		{0, 20, 5e-10, 4e-14},
+		{1, 18, 3.5e-10, 3e-14},
+		{1, 40, 1e-9, 6e-14},
+		{3, 40, 1e-9, 6e-14},
+	} {
+		if _, err := tr.Add(int(br[0]), br[1], br[2], br[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.MarkSink(2, 2e-14); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(4, 4e-14); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := rlckit.OpenSession(tr, rlckit.TreeDrive{Rtr: 70}, rlckit.TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Result(context.Background(), rlckit.TreeEngineMNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Render the cold table exactly as printStep does and require the
+	// replay's final step to contain it verbatim.
+	var want strings.Builder
+	printStep(&want, "step 2 (2 edits)", res, true)
+	if !strings.Contains(b.String(), want.String()) {
+		t.Errorf("replay's final step differs from the from-scratch analysis\nwant:\n%s\ngot:\n%s",
+			want.String(), b.String())
+	}
+}
+
+// TestScriptErrors: malformed scripts are usage errors, not panics.
+func TestScriptErrors(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty tree", `{"tree":{"root_c":1e-15},"drive":{"rtr":50},"steps":[]}`, "no branches"},
+		{"unknown field", `{"tree":{"root_c":1e-15,"branches":[{"parent":0,"r":1,"l":1e-10,"c":1e-15}]},"drive":{"rtr":50},"bogus":1}`, "bogus"},
+		{"bad op", `{"tree":{"root_c":1e-15,"branches":[{"parent":0,"r":1,"l":1e-10,"c":1e-15}],"sinks":[{"node":1,"cl":1e-15}]},"drive":{"rtr":50},"steps":[[{"op":"teleport"}]]}`, "step 1"},
+		{"negative r", `{"tree":{"root_c":1e-15,"branches":[{"parent":0,"r":-1,"l":1e-10,"c":1e-15}],"sinks":[{"node":1,"cl":1e-15}]},"drive":{"rtr":50},"steps":[]}`, "branch 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := options{path: writeScript(t, tc.body)}
+			var b strings.Builder
+			err := run(o, &b)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBadEngineIsUsageError: -engine typos must be usage errors.
+func TestBadEngineIsUsageError(t *testing.T) {
+	o := options{engine: "warp", path: writeScript(t, testScript)}
+	var b strings.Builder
+	err := run(o, &b)
+	if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("want unknown-engine usage error, got %v", err)
+	}
+}

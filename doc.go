@@ -20,6 +20,10 @@
 //   - rlctree   — multi-sink RLC trees (clock trees, routed fanout):
 //     per-sink delay and skew from a moment/two-pole closed form, one
 //     shared MNA transient, or a multi-output reduced model
+//   - session   — stateful what-if analysis over rlctree's
+//     incremental engine: open a driven tree once, stream value
+//     edits, re-read per-sink delays in far less than a cold
+//     analysis (OpenSession, cmd/whatif, POST /v1/session)
 //   - conformance — differential cross-engine harness: seeded random
 //     lines and trees through every engine, held to stated bounds in
 //     a run-until-dry loop (short in PRs, long nightly)
@@ -94,11 +98,29 @@
 // at POST /v1/tree. internal/conformance differentially tests every
 // engine against every other over seeded random corpora.
 //
+// # Incremental what-if sessions
+//
+// Interactive tuning loops — resize a branch, re-read the skew —
+// re-analyze the same tree hundreds of times with tiny diffs.
+// OpenSession keeps the analysis state live between edits: the closed
+// form re-runs its moment sweeps in a reused workspace with memoized
+// crossing searches, the exact MNA path re-stamps edited values into a
+// frozen-ordering factorization, and the reduced path reprojects the
+// frozen Krylov basis in O(q²) inside a certified parameter envelope
+// (re-certifying when an edit leaves it, and falling back to the exact
+// engine when re-certification or a time-domain stability check
+// fails). Closed and MNA session results are bit-identical to a cold
+// AnalyzeTree of the edited tree; the reduced path holds the certified
+// tolerance. cmd/whatif replays JSON edit scripts through a session,
+// and the serving layer exposes sessions at POST /v1/session with TTL
+// and LRU-capacity eviction.
+//
 // Executables: cmd/rlcdelay, cmd/repeaterplan, cmd/netsim,
 // cmd/paperfigs, cmd/netsweep (the sweep engine's CLI: population
 // summary tables plus per-sample CSV), cmd/treeskew (per-sink tree
-// delay/skew tables and tree population sweeps), cmd/rlckitd (the
-// HTTP serving daemon), cmd/benchgate (CI's benchmark-regression
+// delay/skew tables and tree population sweeps), cmd/whatif (replays
+// what-if edit scripts through an incremental session), cmd/rlckitd
+// (the HTTP serving daemon), cmd/benchgate (CI's benchmark-regression
 // gate).
 // Runnable examples: examples/quickstart, examples/clocktree,
 // examples/busdesign, examples/techscaling, examples/netaudit,

@@ -3,7 +3,9 @@ package chaos
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -53,6 +55,21 @@ var mix = []spec{
 	{"/v1/tree", smallTree("closed")},
 	{"/v1/tree", smallTree("mna")},
 	{"/v1/tree", smallTree("reduced")},
+}
+
+// sessionScript is the fixed edit sequence every soak client replays
+// in a what-if session of its own. Session responses carry a
+// per-session ID and bypass the response cache, so the soak pins only
+// the embedded result payload, keyed by script step: the same open
+// body plus the same edits must produce byte-identical results in
+// every session, in every round, at any worker count. The edits are
+// absolute sets (not deltas), so a faulted-then-retried edit that was
+// already applied re-applies to the same state — retries are safe for
+// the payload even when the generation counter moves twice.
+var sessionScript = []string{
+	`{"edits":[{"op":"branch","node":2,"r":19.5,"l":1.95e-10}],"engine":"mna"}`,
+	`{"edits":[{"op":"driver","rtr":36},{"op":"load","node":4,"cl":1.3e-14}],"engine":"reduced"}`,
+	`{"edits":[{"op":"load","node":6,"cl":1.05e-14}]}`,
 }
 
 // heavy is a long-running sweep used only as a cancellation target: it
@@ -107,7 +124,7 @@ func TestChaosSoak(t *testing.T) {
 		defer faultinject.Reset()
 	}
 
-	s := serve.New(serve.Config{Workers: 4, MaxInFlight: 128})
+	s := serve.New(serve.Config{Workers: 4, MaxInFlight: 128, MaxSessions: 256})
 	ts := httptest.NewServer(s.Handler())
 	httpc := ts.Client()
 	c := client.New(ts.URL, client.Config{
@@ -119,9 +136,10 @@ func TestChaosSoak(t *testing.T) {
 	})
 
 	var (
-		mu      sync.Mutex
-		golden  = map[string][]byte{}
-		retried atomic.Uint64
+		mu       sync.Mutex
+		golden   = map[string][]byte{}
+		sessions = map[int][]byte{}
+		retried  atomic.Uint64
 	)
 	check := func(sp spec, resp *client.Response, err error) {
 		if err != nil {
@@ -144,6 +162,77 @@ func TestChaosSoak(t *testing.T) {
 			return
 		}
 		golden[key] = resp.Body
+	}
+
+	// checkSessionResult pins a session edit response's result payload
+	// against the first answer for that script step.
+	checkSessionResult := func(step int, body []byte) {
+		var ed serve.SessionEditResponse
+		if err := json.Unmarshal(body, &ed); err != nil {
+			t.Errorf("session edit %d: bad response %q: %v", step, body, err)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if want, ok := sessions[step]; ok {
+			if !bytes.Equal(want, ed.Result) {
+				t.Errorf("session edit %d: result diverged across sessions\nfirst: %s\n now: %s",
+					step, want, ed.Result)
+			}
+			return
+		}
+		sessions[step] = append([]byte(nil), ed.Result...)
+	}
+	// runSession is one full what-if lifecycle: open, replay the fixed
+	// edit script, close. DELETE goes through the raw HTTP client (the
+	// retrying client only posts); a faulted close just leaves the
+	// session for the TTL/LRU eviction to collect.
+	//
+	// Sessions bypass the response cache, so unlike the cached mix a
+	// retried session request recomputes — and redraws its failpoints —
+	// on every attempt; under sustained injection a request can
+	// legitimately exhaust its retries and surface a 500. The handler
+	// applies the edit batch before the faultable compute and the edits
+	// are absolute sets, so the session state is identical whether or
+	// not any attempt's compute survived: a final failure just skips
+	// that step's golden comparison and the script continues.
+	runSession := func() {
+		resp, err := c.PostJSON(context.Background(), "/v1/session", []byte(smallTree("closed")))
+		if err == nil && resp.Status != 200 && faultinject.Active {
+			return
+		}
+		if err != nil || resp.Status != 200 {
+			t.Errorf("session open: status %v err %v", resp, err)
+			return
+		}
+		var open serve.SessionOpenResponse
+		if err := json.Unmarshal(resp.Body, &open); err != nil {
+			t.Errorf("session open: bad response %q: %v", resp.Body, err)
+			return
+		}
+		for step, body := range sessionScript {
+			er, err := c.PostJSON(context.Background(), "/v1/session/"+open.SessionID+"/edit", []byte(body))
+			if err != nil {
+				t.Errorf("session edit %d: %v", step, err)
+				return
+			}
+			if er.Status != 200 {
+				if faultinject.Active {
+					continue // edit applied, compute faulted out; state converges
+				}
+				t.Errorf("session edit %d: status %d: %s", step, er.Status, er.Body)
+				return
+			}
+			checkSessionResult(step, er.Body)
+		}
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+open.SessionID, nil)
+		if err != nil {
+			t.Errorf("session close: %v", err)
+			return
+		}
+		if dr, err := httpc.Do(req); err == nil {
+			dr.Body.Close()
+		}
 	}
 
 	const clients = 6
@@ -178,6 +267,7 @@ func TestChaosSoak(t *testing.T) {
 					resp, err := c.PostJSON(context.Background(), fresh.path, []byte(fresh.body))
 					check(fresh, resp, err)
 				}
+				runSession()
 				// One heavy in-flight cancellation per client per round.
 				ctx, stop := context.WithTimeout(context.Background(), 3*time.Millisecond)
 				c.PostJSON(ctx, "/v1/sweep", []byte(heavy))
@@ -190,11 +280,13 @@ func TestChaosSoak(t *testing.T) {
 	st := s.Stats()
 	if faultinject.Active {
 		for _, site := range []string{faultinject.SiteFactor, faultinject.SitePoolWorker,
-			faultinject.SiteBatch, faultinject.SiteCache} {
+			faultinject.SiteBatch, faultinject.SiteCache, faultinject.SiteSession} {
 			t.Logf("fired %-14s %d", site, faultinject.Fired(site))
 		}
 		t.Logf("client retries=%d server errors=%d canceled=%d poisoned=%d skipped=%d",
 			retried.Load(), st.Errors, st.Canceled, st.CachePoisoned, st.BatchSkipped)
+		t.Logf("sessions opened=%d evicted=%d edits=%d",
+			st.SessionsOpened, st.SessionsEvicted, st.SessionEdits)
 		if fired := faultinject.Fired(faultinject.SiteCache); fired > 0 && st.CachePoisoned == 0 {
 			// Corruption happened but was never re-read; that is legal
 			// (the poisoned keys may simply not have been hit again),

@@ -112,10 +112,24 @@ func splitmix64(z uint64) uint64 {
 }
 
 // backoff computes the wait before re-attempt `attempt` (1-based):
-// the server's Retry-After hint when given, else BaseDelay·2^(attempt−1),
-// either way jittered ±25% and capped at MaxDelay.
+// the server's Retry-After hint when given, else BaseDelay doubled per
+// attempt but saturating at MaxDelay — the doubling stops at the cap,
+// so a large attempt count cannot shift the Duration into overflow.
+// Either way the wait is jittered ±25% and capped at MaxDelay.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
-	d := c.cfg.BaseDelay << (attempt - 1)
+	d := c.cfg.BaseDelay
+	for i := 1; i < attempt; i++ {
+		if d >= c.cfg.MaxDelay {
+			break
+		}
+		d <<= 1
+		if d <= 0 {
+			// Doubling overflowed (MaxDelay is in the top half of the
+			// Duration range): saturate at the cap.
+			d = c.cfg.MaxDelay
+			break
+		}
+	}
 	if retryAfter > 0 {
 		d = retryAfter
 	}

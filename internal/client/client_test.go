@@ -137,3 +137,55 @@ func TestNetworkErrorRetriesThenErrors(t *testing.T) {
 		t.Fatalf("err=%v, want connection refused", err)
 	}
 }
+
+// TestBackoffSaturatesAtHighAttempts: before the saturation fix,
+// BaseDelay << (attempt-1) overflowed time.Duration around attempt 35
+// and the negative result was floored to 1 ms — a 64-retry client
+// would hammer the server at millisecond cadence exactly when it
+// should be backing off hardest. Every attempt's wait must stay within
+// the jittered MaxDelay band once the curve reaches the cap, and never
+// collapse below BaseDelay.
+func TestBackoffSaturatesAtHighAttempts(t *testing.T) {
+	c := New("http://unused", Config{
+		MaxRetries: 64,
+		BaseDelay:  50 * time.Millisecond,
+		MaxDelay:   2 * time.Second,
+		Seed:       3,
+	})
+	prevCapped := false
+	for attempt := 1; attempt <= 64; attempt++ {
+		d := c.backoff(attempt, 0)
+		if d < c.cfg.BaseDelay/2 {
+			t.Fatalf("attempt %d: wait %v collapsed below BaseDelay (overflow regression)", attempt, d)
+		}
+		if max := c.cfg.MaxDelay + c.cfg.MaxDelay/4; d > max {
+			t.Fatalf("attempt %d: wait %v exceeds jittered cap %v", attempt, d, max)
+		}
+		// Once an attempt reaches the cap band, every later one must too.
+		capped := d >= c.cfg.MaxDelay-c.cfg.MaxDelay/4
+		if prevCapped && !capped {
+			t.Fatalf("attempt %d: wait %v fell back out of the cap band", attempt, d)
+		}
+		prevCapped = capped
+	}
+	if !prevCapped {
+		t.Fatal("64 attempts never reached the MaxDelay band")
+	}
+}
+
+// TestBackoffOverflowGuardNearDurationMax: a cap in the top half of
+// the Duration range used to be unreachable (the shift overflowed
+// first); the saturating loop must land on it instead.
+func TestBackoffOverflowGuardNearDurationMax(t *testing.T) {
+	c := New("http://unused", Config{
+		MaxRetries: 80,
+		BaseDelay:  time.Nanosecond,
+		MaxDelay:   time.Duration(1<<63 - 1),
+		Seed:       5,
+	})
+	for attempt := 60; attempt <= 80; attempt++ {
+		if d := c.backoff(attempt, 0); d <= 0 {
+			t.Fatalf("attempt %d: wait %v went non-positive (overflow)", attempt, d)
+		}
+	}
+}

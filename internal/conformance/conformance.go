@@ -20,6 +20,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 	"rlckit/internal/netgen"
 	"rlckit/internal/pool"
 	"rlckit/internal/rlctree"
+	"rlckit/internal/session"
 	"rlckit/internal/tech"
 )
 
@@ -223,6 +225,133 @@ func checkTree(seed int64, what string, t *rlctree.Tree, d rlctree.Drive, opts O
 	if err := checkElmore(t, d); err != nil {
 		rep.fail(seed, opts, fmt.Sprintf("%s: %v", what, err))
 	}
+
+	// 4. What-if edit sequence: a session's incremental re-analysis vs
+	// from-scratch analysis of the identically-edited tree. Mutates t,
+	// so this comparison must stay last.
+	checkEditSequence(seed, what, t, d, opts, rep)
+}
+
+// checkEditSequence opens a what-if session over the tree (the session
+// copies it), applies a seeded sequence of value-edit batches to both
+// the session and the original tree, and holds every step's
+// incremental result to the from-scratch answer: the closed and exact
+// engines bit-identical (their fast paths replay the cold computation
+// on frozen structure), the reduced engine within ReducedTolPct of
+// exact — unless it fell back, in which case it IS the exact engine
+// and must match it bit-identically.
+func checkEditSequence(seed int64, what string, t *rlctree.Tree, d rlctree.Drive, opts Options, rep *Report) {
+	sess, err := session.Open(t, d, rlctree.Config{})
+	if err != nil {
+		rep.fail(seed, opts, fmt.Sprintf("%s: open session: %v", what, err))
+		return
+	}
+	defer sess.Close()
+	rng := rand.New(pool.NewSource(pool.Seed(seed, 2)))
+	cur := d
+	const steps = 3
+	for step := 1; step <= steps; step++ {
+		batch, err := randomEditBatch(rng, t, &cur)
+		if err != nil {
+			rep.fail(seed, opts, fmt.Sprintf("%s step %d: building edits: %v", what, step, err))
+			return
+		}
+		if err := sess.Apply(batch); err != nil {
+			rep.fail(seed, opts, fmt.Sprintf("%s step %d: apply: %v", what, step, err))
+			return
+		}
+		exact, err := rlctree.Analyze(t, cur, rlctree.Config{Engine: rlctree.EngineMNA})
+		if err != nil {
+			rep.fail(seed, opts, fmt.Sprintf("%s step %d: cold MNA: %v", what, step, err))
+			return
+		}
+		ctx := context.Background()
+
+		rep.Cases++
+		for _, engine := range []rlctree.Engine{rlctree.EngineClosed, rlctree.EngineMNA} {
+			sres, err := sess.Result(ctx, engine)
+			if err != nil {
+				rep.fail(seed, opts, fmt.Sprintf("%s step %d: session %v: %v", what, step, engine, err))
+				return
+			}
+			cres := exact
+			if engine == rlctree.EngineClosed {
+				if cres, err = rlctree.Analyze(t, cur, rlctree.Config{Engine: engine}); err != nil {
+					rep.fail(seed, opts, fmt.Sprintf("%s step %d: cold %v: %v", what, step, engine, err))
+					return
+				}
+			}
+			for k := range sres.Sinks {
+				if s, c := sres.Sinks[k].Delay, cres.Sinks[k].Delay; s != c {
+					rep.fail(seed, opts, fmt.Sprintf("%s step %d sink %d: session %v %.17g != cold %.17g — incremental path diverged",
+						what, step, sres.Sinks[k].Node, engine, s, c))
+				}
+			}
+		}
+
+		rep.Cases++
+		rres, err := sess.Result(ctx, rlctree.EngineReduced)
+		if err != nil {
+			rep.fail(seed, opts, fmt.Sprintf("%s step %d: session reduced: %v", what, step, err))
+			return
+		}
+		for k := range rres.Sinks {
+			r, e := rres.Sinks[k].Delay, exact.Sinks[k].Delay
+			if rres.Fallback {
+				if r != e {
+					rep.fail(seed, opts, fmt.Sprintf("%s step %d sink %d: reduced fallback %.17g != exact %.17g",
+						what, step, rres.Sinks[k].Node, r, e))
+				}
+				continue
+			}
+			if rel := 100 * math.Abs(r-e) / e; rel > opts.ReducedTolPct {
+				rep.fail(seed, opts, fmt.Sprintf("%s step %d sink %d: session reduced %.4g vs exact %.4g (%.2f%% > %.1f%%)",
+					what, step, rres.Sinks[k].Node, r, e, rel, opts.ReducedTolPct))
+			}
+		}
+		if rres.Fallback {
+			rep.Fallbacks++
+		}
+	}
+}
+
+// randomEditBatch draws 1–3 value edits (branch impedance scale, sink
+// load scale, driver resistance scale), applies them to the mirror
+// tree/drive, and returns the same edits in session form.
+func randomEditBatch(rng *rand.Rand, t *rlctree.Tree, cur *rlctree.Drive) ([]session.Edit, error) {
+	batch := make([]session.Edit, 0, 3)
+	for k, n := 0, 1+rng.Intn(3); k < n; k++ {
+		switch pick := rng.Intn(3); {
+		case pick == 0 && t.Len() > 1:
+			node := 1 + rng.Intn(t.Len()-1)
+			r, l, _, err := t.Branch(node)
+			if err != nil {
+				return nil, err
+			}
+			f := 0.85 + 0.3*rng.Float64()
+			if err := t.SetBranch(node, r*f, l*f); err != nil {
+				return nil, err
+			}
+			batch = append(batch, session.Edit{Op: session.OpBranch, Node: node, R: r * f, L: l * f})
+		case pick == 1 && len(t.Sinks()) > 0:
+			sinks := t.Sinks()
+			node := sinks[rng.Intn(len(sinks))]
+			cl, err := t.SinkLoad(node)
+			if err != nil {
+				return nil, err
+			}
+			f := 0.7 + 0.6*rng.Float64()
+			if err := t.SetLoad(node, cl*f); err != nil {
+				return nil, err
+			}
+			batch = append(batch, session.Edit{Op: session.OpLoad, Node: node, CL: cl * f})
+		default:
+			f := 0.85 + 0.3*rng.Float64()
+			cur.Rtr *= f
+			batch = append(batch, session.Edit{Op: session.OpDriver, Rtr: cur.Rtr, V: cur.V})
+		}
+	}
+	return batch, nil
 }
 
 // checkElmore rebuilds the tree without inductance in both the rlctree

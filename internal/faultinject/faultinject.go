@@ -36,6 +36,9 @@ const (
 	// SiteCache corrupts a response-cache entry as it is stored (the
 	// integrity checksum detects it on the next hit).
 	SiteCache = "serve.cache"
+	// SiteSession panics inside a what-if session compute (the
+	// handler's recover converts it to a 500; the session survives).
+	SiteSession = "serve.session"
 )
 
 // ErrFault is the sentinel wrapped by every injected error, so layers

@@ -1,0 +1,158 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the incremental (what-if) face of the reduced-order
+// engine: after Reduce, StartElementScaling snapshots the build-time
+// value-set and lets a caller re-target single elements by a scalar —
+// the reduced pencil is maintained by per-element block deltas in
+// O(q²) per edit, with no re-assembly and nothing proportional to the
+// full order n. CertifyCurrent re-runs the exact probe solves against
+// the current pencil when the caller's certified envelope no longer
+// covers the edited values.
+
+// elemScaling is the incremental state StartElementScaling installs.
+type elemScaling struct {
+	egIdx, ecIdx [][]int   // per-element entry indices into gt/ct
+	sG, sC       []float64 // current per-element scale vs build values
+	gvCur, cvCur []float64 // current passive-form values (build·scale)
+	blkG, blkC   [][]float64
+	pg, pc       []float64 // current reduced pencil accumulators
+}
+
+// StartElementScaling enables ScaleElement: it indexes the build-time
+// triplet entries by producing element, snapshots the build values as
+// the current value-set, and seeds the running pencil from the model's
+// current (nominal) reduced matrices. Call it once, directly after
+// Reduce, before any Reproject/SetClassWeights.
+func (r *Reduced) StartElementScaling() error {
+	if r.scaling != nil {
+		return errors.New("mna: StartElementScaling called twice")
+	}
+	nElems := 0
+	for _, e := range r.sys.ge {
+		if e+1 > nElems {
+			nElems = e + 1
+		}
+	}
+	for _, e := range r.sys.ce {
+		if e+1 > nElems {
+			nElems = e + 1
+		}
+	}
+	s := &elemScaling{
+		egIdx: make([][]int, nElems),
+		ecIdx: make([][]int, nElems),
+		sG:    make([]float64, nElems),
+		sC:    make([]float64, nElems),
+		blkG:  make([][]float64, nElems),
+		blkC:  make([][]float64, nElems),
+	}
+	for k, e := range r.sys.ge {
+		s.egIdx[e] = append(s.egIdx[e], k)
+	}
+	for k, e := range r.sys.ce {
+		s.ecIdx[e] = append(s.ecIdx[e], k)
+	}
+	for i := range s.sG {
+		s.sG[i], s.sC[i] = 1, 1
+	}
+	s.gvCur = append([]float64(nil), r.gt.V...)
+	s.cvCur = append([]float64(nil), r.ct.V...)
+	q := r.model.Q()
+	s.pg = append([]float64(nil), r.model.Gr.Data[:q*q]...)
+	s.pc = append([]float64(nil), r.model.Cr.Data[:q*q]...)
+	r.scaling = s
+	return nil
+}
+
+// ScaleElement re-targets one element at scale (sG, sC) of its build
+// value: every G entry the element stamped is set to sG·build and every
+// C entry to sC·build (for the linear element set each element's
+// entries scale uniformly — a resistor's stamps by R₀/R, a capacitor's
+// by C/C₀, an inductor's C entry by L/L₀ while its ±1 topology stamps
+// keep sG = 1). The reduced pencil is updated by the element's
+// congruence block scaled by the delta — O(q²) — and the block itself
+// is projected lazily on the element's first edit. The new pencil
+// takes effect at the next CommitPencil.
+func (r *Reduced) ScaleElement(elem int, sG, sC float64) error {
+	s := r.scaling
+	if s == nil {
+		return errors.New("mna: ScaleElement before StartElementScaling")
+	}
+	if elem < 0 || elem >= len(s.sG) {
+		return fmt.Errorf("mna: element %d out of range [0, %d)", elem, len(s.sG))
+	}
+	if !isFiniteVal(sG) || !isFiniteVal(sC) {
+		return fmt.Errorf("mna: element %d scale (%g, %g) is not finite", elem, sG, sC)
+	}
+	q := r.model.Q()
+	if d := sG - s.sG[elem]; d != 0 {
+		if s.blkG[elem] == nil {
+			blk := make([]float64, q*q)
+			if err := r.model.ProjectEntrySpan(s.egIdx[elem], r.gt.V, false, blk); err != nil {
+				return err
+			}
+			s.blkG[elem] = blk
+		}
+		for i, v := range s.blkG[elem] {
+			s.pg[i] += d * v
+		}
+		for _, k := range s.egIdx[elem] {
+			s.gvCur[k] = r.gt.V[k] * sG
+		}
+		s.sG[elem] = sG
+	}
+	if d := sC - s.sC[elem]; d != 0 {
+		if s.blkC[elem] == nil {
+			blk := make([]float64, q*q)
+			if err := r.model.ProjectEntrySpan(s.ecIdx[elem], r.ct.V, true, blk); err != nil {
+				return err
+			}
+			s.blkC[elem] = blk
+		}
+		for i, v := range s.blkC[elem] {
+			s.pc[i] += d * v
+		}
+		for _, k := range s.ecIdx[elem] {
+			s.cvCur[k] = r.ct.V[k] * sC
+		}
+		s.sC[elem] = sC
+	}
+	return nil
+}
+
+// CommitPencil installs the accumulated element-scaled pencil as the
+// model's current reduced matrices (O(q²) copy plus the fast-eval
+// refresh). Call it after a batch of ScaleElement edits, before the
+// next Simulate/AC.
+func (r *Reduced) CommitPencil() error {
+	if r.scaling == nil {
+		return errors.New("mna: CommitPencil before StartElementScaling")
+	}
+	return r.model.UsePencil(r.scaling.pg, r.scaling.pc)
+}
+
+// CertifyCurrent grades the committed pencil against exact full-order
+// solves of the current element-scaled value-set at the given
+// frequencies (Hz), returning the worst transfer-function error in
+// percent of the exact response peak — Reduce's validation metric,
+// re-run on demand. One complex band factorization per frequency.
+func (r *Reduced) CertifyCurrent(freqs []float64) (float64, error) {
+	if r.scaling == nil {
+		return 0, errors.New("mna: CertifyCurrent before StartElementScaling")
+	}
+	omegas := make([]float64, len(freqs))
+	for i, f := range freqs {
+		omegas[i] = 2 * math.Pi * f
+	}
+	return r.model.Certify(r.scaling.gvCur, r.scaling.cvCur, r.sys.kl, r.sys.ku, omegas)
+}
+
+func isFiniteVal(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

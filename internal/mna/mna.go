@@ -316,18 +316,27 @@ func (s *system) bvec(t float64, dst []float64) {
 
 // Simulate runs a fixed-step transient analysis.
 func Simulate(ckt *circuit.Circuit, opts Options) (*Result, error) {
+	sys, err := assemble(ckt)
+	if err != nil {
+		return nil, err
+	}
+	return simulateSys(sys, ckt.Nodes(), opts)
+}
+
+// simulateSys is Simulate on an already-assembled system: the shared
+// core of the cold path (assemble = stamp + RCM) and the frozen path
+// (Frozen.Restamp = stamp only, borrowing a previous ordering). Both
+// run the identical step loop on the identical permutation, so for the
+// same circuit values they produce bit-identical results.
+func simulateSys(sys *system, nNodes int, opts Options) (*Result, error) {
 	if opts.Dt <= 0 {
 		return nil, errors.New("mna: Options.Dt must be positive")
 	}
 	if opts.TEnd <= opts.Dt {
 		return nil, fmt.Errorf("mna: TEnd (%g) must exceed Dt (%g)", opts.TEnd, opts.Dt)
 	}
-	sys, err := assemble(ckt)
-	if err != nil {
-		return nil, err
-	}
 	for _, p := range opts.Probes {
-		if p <= 0 || p >= ckt.Nodes() {
+		if p <= 0 || p >= nNodes {
 			return nil, fmt.Errorf("mna: probe node %d out of range (ground cannot be probed)", p)
 		}
 	}

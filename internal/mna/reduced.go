@@ -59,6 +59,8 @@ type Reduced struct {
 	// scratch (SetClassWeights).
 	gBlocks, cBlocks []*numeric.Matrix
 	combG, combC     []float64
+	// scaling is the per-element incremental state (incremental.go).
+	scaling *elemScaling
 }
 
 // Reduce assembles the circuit and builds a moment-matching reduced

@@ -1,0 +1,119 @@
+package mor
+
+import (
+	"fmt"
+	"math"
+
+	"rlckit/internal/numeric"
+)
+
+// Certify grades the model's *current* pencil (whatever Reproject /
+// UsePencil installed) against exact full-order solves of a value-set
+// laid out on the frozen triplet structure: gv and cv are value arrays
+// in freeze-time entry order (the same layout ProjectValues consumes),
+// kl/ku the band widths of the frozen ordering, and omegas the
+// frequencies (rad/s) to probe. It returns the worst output error in
+// percent of the exact response peak — the same metric Build's
+// validation reports in Info.EstErrPct.
+//
+// This is the re-certification step of an incremental what-if loop:
+// when an edit pushes element values outside the anchor-bracketed
+// envelope the basis was certified for, the caller re-runs the exact
+// probe solves against the recombined pencil before trusting it — and
+// falls back to the exact engine when the error exceeds its tolerance.
+// Cost: one complex band factorization per omega, independent of q.
+func (m *Model) Certify(gv, cv []float64, kl, ku int, omegas []float64) (float64, error) {
+	if len(gv) != len(m.gpi) || len(cv) != len(m.cpi) {
+		return 0, fmt.Errorf("mor: Certify structure mismatch (G %d vs %d, C %d vs %d entries)",
+			len(gv), len(m.gpi), len(cv), len(m.cpi))
+	}
+	if len(omegas) == 0 {
+		return 0, fmt.Errorf("mor: Certify needs at least one frequency")
+	}
+	bz := make([]complex128, m.n)
+	for _, in := range m.inputs {
+		for k, r := range in.Rows {
+			bz[r] += complex(in.Vals[k], 0)
+		}
+	}
+	x := make([]complex128, m.n)
+	yr := make([]complex128, m.nOut)
+	eval := m.NewACEval()
+	a := numeric.NewCBandMatrix(m.n, kl, ku)
+	var lu numeric.CBandLU
+	peak, worst := 0.0, 0.0
+	for _, w := range omegas {
+		a.Zero()
+		for k, i := range m.gpi {
+			a.Add(i, m.gpj[k], complex(gv[k], 0))
+		}
+		for k, i := range m.cpi {
+			a.Add(i, m.cpj[k], complex(0, w*cv[k]))
+		}
+		if err := numeric.FactorCBandLUInto(&lu, a); err != nil {
+			return 0, fmt.Errorf("mor: exact certification solve at ω=%g: %w", w, err)
+		}
+		lu.SolveTo(x, bz)
+		if err := m.evalPencil(eval, m.Gr, m.Cr, w, yr); err != nil {
+			return 0, fmt.Errorf("%w: reduced system singular at certification ω=%g", ErrNoConverge, w)
+		}
+		for k, r := range m.outputs {
+			ye := x[r]
+			if mag := math.Hypot(real(ye), imag(ye)); mag > peak {
+				peak = mag
+			}
+			d := yr[k] - ye
+			if mag := math.Hypot(real(d), imag(d)); mag > worst {
+				worst = mag
+			}
+		}
+	}
+	if peak == 0 {
+		return 0, fmt.Errorf("%w: exact response is identically zero at certification frequencies", ErrNoConverge)
+	}
+	return 100 * worst / peak, nil
+}
+
+// ProjectEntrySpan accumulates the congruence projection of a few
+// structure entries into dst (q×q row-major, caller-zeroed):
+//
+//	dst += Σ_k vals[k] · outer(Vrow(pi[k]), Vrow(pj[k]))
+//
+// where the ks are the given entry indices into the frozen G structure
+// (onC false) or C structure (onC true). Because the projection is
+// linear in the matrix values, a single element's entries project to a
+// q×q block in O(entries·q²) — the building block for per-element
+// incremental pencils: an edit re-targets the reduced pencil with one
+// block delta instead of a full O(nnz·q + n·q²) reprojection.
+func (m *Model) ProjectEntrySpan(entries []int, vals []float64, onC bool, dst []float64) error {
+	pi, pj := m.gpi, m.gpj
+	if onC {
+		pi, pj = m.cpi, m.cpj
+	}
+	q := m.q
+	if len(dst) != q*q {
+		return fmt.Errorf("mor: ProjectEntrySpan needs a %d×%d destination", q, q)
+	}
+	n := m.n
+	for _, k := range entries {
+		if k < 0 || k >= len(pi) {
+			return fmt.Errorf("mor: ProjectEntrySpan entry %d out of range [0, %d)", k, len(pi))
+		}
+		v := vals[k]
+		if v == 0 {
+			continue
+		}
+		ri, rj := pi[k], pj[k]
+		for a := 0; a < q; a++ {
+			va := v * m.v[a*n+ri]
+			if va == 0 {
+				continue
+			}
+			row := dst[a*q : (a+1)*q]
+			for b := 0; b < q; b++ {
+				row[b] += va * m.v[b*n+rj]
+			}
+		}
+	}
+	return nil
+}

@@ -64,11 +64,17 @@ func Summarize(values []float64) Summary {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
 // slice by linear interpolation between order statistics (the "type 7"
-// estimator most statistics packages default to). It panics on an empty
-// slice; callers summarizing possibly-empty data should use Summarize.
+// estimator most statistics packages default to). Out-of-range q is
+// clamped to the extremes (−Inf included). It panics on an empty slice
+// or a NaN q — a NaN would otherwise slip past both range guards and
+// turn into a garbage slice index; callers summarizing possibly-empty
+// data should use Summarize.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("report: Quantile of empty slice")
+	}
+	if math.IsNaN(q) {
+		panic("report: Quantile with NaN q")
 	}
 	if q <= 0 {
 		return sorted[0]

@@ -131,3 +131,23 @@ func TestSummaryTableHelpers(t *testing.T) {
 		t.Errorf("missing header:\n%s", b.String())
 	}
 }
+
+// TestQuantileRejectsNaNQ: a NaN q slips past both range guards
+// (every comparison with NaN is false) and used to become a garbage
+// slice index; it must be a loud precondition panic instead. The ±Inf
+// extremes stay clamped like any out-of-range q.
+func TestQuantileRejectsNaNQ(t *testing.T) {
+	sorted := []float64{1, 2, 3}
+	if got := Quantile(sorted, math.Inf(-1)); got != 1 {
+		t.Errorf("Quantile(-Inf) = %g, want 1", got)
+	}
+	if got := Quantile(sorted, math.Inf(1)); got != 3 {
+		t.Errorf("Quantile(+Inf) = %g, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(NaN) did not panic")
+		}
+	}()
+	Quantile(sorted, math.NaN())
+}

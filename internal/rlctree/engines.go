@@ -59,6 +59,12 @@ type Config struct {
 	// returns cancel.ErrCanceled/ErrDeadline instead of a result. The
 	// closed-form engine is microseconds of work and never checks.
 	Ctx context.Context
+	// AnchorSpread is the incremental engine's anchor bracketing
+	// factor (default 2): NewIncremental builds the frozen reduced
+	// basis with ×spread and ÷spread anchors, and edits whose
+	// value ratios stay inside the certified envelope evaluate
+	// without re-certification. Analyze ignores it.
+	AnchorSpread float64
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +80,9 @@ func (c Config) withDefaults() Config {
 		// transfer-function error can already move a 50% crossing by
 		// more than that on shallow-sloped tree responses.
 		c.ValTol = 1e-3
+	}
+	if c.AnchorSpread == 0 {
+		c.AnchorSpread = 2
 	}
 	return c
 }
@@ -331,15 +340,45 @@ func (t *Tree) timeScales(d Drive, table []SinkDelay) (horizon, tFast float64) {
 	return horizon, dMin / 2
 }
 
+// transientPlan derives the shared transient parameters from the
+// closed-form table: the timestep, the source step delay, and the
+// first-attempt end time. Both simulation engines — and their
+// incremental (frozen) twins, which must reproduce the cold engines'
+// arithmetic exactly — plan through this one function.
+func (t *Tree) transientPlan(d Drive, cfg Config, table []SinkDelay) (dt, delay, tEnd float64) {
+	horizon, tFast := t.timeScales(d, table)
+	dt = math.Min(horizon/float64(cfg.StepsPerScale), tFast/30)
+	delay = 10 * dt
+	return dt, delay, horizon + delay
+}
+
+// runCrossings drives a transient to completion and reads every
+// probe's 50% crossing, retrying with an extended horizon (×2.5, up to
+// 4 attempts) when a sink has not crossed yet. sim runs one transient
+// to tEnd; effDelay is the effective step time subtracted from the raw
+// crossings; what names the engine for the exhaustion error.
+func runCrossings(sim func(tEnd float64) (*mna.Result, error), probes []int, level, effDelay, tEnd float64, what string) ([]float64, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		res, err := sim(tEnd)
+		if err != nil {
+			return nil, err
+		}
+		out, err := extractCrossings(res, probes, level, effDelay)
+		if err == nil {
+			return out, nil
+		}
+		tEnd *= 2.5
+	}
+	return nil, fmt.Errorf("rlctree: a %s never crossed %g within the extended horizon", what, level)
+}
+
 // delaysMNA measures every sink's 50% delay from one shared transient:
 // all sinks are probed in a single mna.Simulate solve, so the cost is
 // one band factorization and one step loop regardless of sink count —
 // this is what makes multi-sink nets cheaper than N point-to-point
 // analyses (BenchmarkTreeDelay quantifies it).
 func delaysMNA(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, error) {
-	horizon, tFast := t.timeScales(d, table)
-	dt := math.Min(horizon/float64(cfg.StepsPerScale), tFast/30)
-	delay := 10 * dt
+	dt, delay, tEnd := t.transientPlan(d, cfg, table)
 	ckt, nodeOf, err := t.ToCircuit(d, delay)
 	if err != nil {
 		return nil, err
@@ -348,20 +387,9 @@ func delaysMNA(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, erro
 	for k, node := range t.sinks {
 		probes[k] = nodeOf[node]
 	}
-	level := d.Amplitude() / 2
-	tEnd := horizon + delay
-	for attempt := 0; attempt < 4; attempt++ {
-		res, err := mna.Simulate(ckt, mna.Options{Dt: dt, TEnd: tEnd, Probes: probes, Ctx: cfg.Ctx})
-		if err != nil {
-			return nil, err
-		}
-		out, err := extractCrossings(res, probes, level, delay-dt/2)
-		if err == nil {
-			return out, nil
-		}
-		tEnd *= 2.5
-	}
-	return nil, fmt.Errorf("rlctree: a sink never crossed %g within the extended horizon", level)
+	return runCrossings(func(tEnd float64) (*mna.Result, error) {
+		return mna.Simulate(ckt, mna.Options{Dt: dt, TEnd: tEnd, Probes: probes, Ctx: cfg.Ctx})
+	}, probes, d.Amplitude()/2, delay-dt/2, tEnd, "sink")
 }
 
 // extractCrossings reads each probe's 50% crossing from a shared
@@ -411,8 +439,7 @@ func treeProbeFreqs(horizon, tFast float64) []float64 {
 // the model could not be certified; Analyze falls back to delaysMNA.
 func delaysReduced(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, mor.Info, error) {
 	horizon, tFast := t.timeScales(d, table)
-	dt := math.Min(horizon/float64(cfg.StepsPerScale), tFast/30)
-	delay := 10 * dt
+	dt, delay, tEnd := t.transientPlan(d, cfg, table)
 	ckt, nodeOf, err := t.ToCircuit(d, delay)
 	if err != nil {
 		return nil, mor.Info{}, err
@@ -430,18 +457,11 @@ func delaysReduced(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, 
 	if err != nil {
 		return nil, mor.Info{}, err
 	}
-	level := d.Amplitude() / 2
-	tEnd := horizon + delay
-	for attempt := 0; attempt < 4; attempt++ {
-		res, err := red.Simulate(mna.Options{Dt: dt, TEnd: tEnd, Probes: probes, Ctx: cfg.Ctx})
-		if err != nil {
-			return nil, mor.Info{}, err
-		}
-		out, err := extractCrossings(res, probes, level, delay-dt/2)
-		if err == nil {
-			return out, red.Info(), nil
-		}
-		tEnd *= 2.5
+	out, err := runCrossings(func(tEnd float64) (*mna.Result, error) {
+		return red.Simulate(mna.Options{Dt: dt, TEnd: tEnd, Probes: probes, Ctx: cfg.Ctx})
+	}, probes, d.Amplitude()/2, delay-dt/2, tEnd, "reduced sink response")
+	if err != nil {
+		return nil, mor.Info{}, err
 	}
-	return nil, mor.Info{}, fmt.Errorf("rlctree: a reduced sink response never crossed %g", level)
+	return out, red.Info(), nil
 }

@@ -213,6 +213,46 @@ func (t *Tree) MarkSink(node int, cl float64) error {
 	return nil
 }
 
+// SetBranch replaces the series branch (r, l) into an existing non-root
+// node — the what-if edit of a wire segment (width change, layer move).
+// The same value rules as Add apply: finite, non-negative, r + l > 0.
+// Topology is untouched; only the branch impedance changes.
+func (t *Tree) SetBranch(node int, r, l float64) error {
+	if err := t.checkNode("node", node); err != nil {
+		return err
+	}
+	if node == 0 {
+		return fmt.Errorf("rlctree: the root has no incoming branch: %w", ErrNode)
+	}
+	if err := checkValue("branch resistance", r); err != nil {
+		return err
+	}
+	if err := checkValue("branch inductance", l); err != nil {
+		return err
+	}
+	if r == 0 && l == 0 {
+		return fmt.Errorf("rlctree: branch into node %d needs r + l > 0: %w", node, ErrValue)
+	}
+	t.r[node], t.l[node] = r, l
+	return nil
+}
+
+// SetLoad replaces the load capacitance at a marked sink — the what-if
+// edit of a receiver (gate resize, pin swap).
+func (t *Tree) SetLoad(node int, cl float64) error {
+	if err := t.checkNode("sink", node); err != nil {
+		return err
+	}
+	if err := checkValue("sink load", cl); err != nil {
+		return err
+	}
+	if !t.sink[node] {
+		return fmt.Errorf("rlctree: node %d is not a sink: %w", node, ErrNode)
+	}
+	t.load[node] = cl
+	return nil
+}
+
 // Len returns the node count.
 func (t *Tree) Len() int { return len(t.parent) }
 
@@ -321,32 +361,72 @@ type nodeMoments struct {
 	M2RC, M3RC, M4RC []float64
 }
 
-// moments computes m1..m4 (and the RC-only twins) for every node by two
-// index sweeps per order: a reverse (bottom-up) sweep accumulating the
-// branch current moments I_j = Σ_subtree C·m_{j-1}, then a forward
+// momentWorkspace holds the sweep scratch (and the output arrays) of
+// momentsInto, so an incremental caller re-running the moment engine
+// after every edit allocates nothing per call. The zero value is ready
+// to use; arrays grow on demand.
+type momentWorkspace struct {
+	ctot, mPrev, mPrevRC []float64
+	iPrev, iCur, iCurRC  []float64
+	mCur, mCurRC         []float64
+	out                  nodeMoments
+}
+
+// grow resizes every scratch array to n.
+func (ws *momentWorkspace) grow(n int) {
+	for _, p := range [...]*[]float64{
+		&ws.ctot, &ws.mPrev, &ws.mPrevRC,
+		&ws.iPrev, &ws.iCur, &ws.iCurRC,
+		&ws.mCur, &ws.mCurRC,
+	} {
+		if cap(*p) < n {
+			*p = make([]float64, n)
+		}
+		*p = (*p)[:n]
+	}
+}
+
+// moments computes m1..m4 (and the RC-only twins) for every node with a
+// fresh workspace.
+func (t *Tree) moments(rtr float64) nodeMoments {
+	var ws momentWorkspace
+	return *t.momentsInto(rtr, &ws)
+}
+
+// momentsInto computes m1..m4 (and the RC-only twins) for every node by
+// two index sweeps per order: a reverse (bottom-up) sweep accumulating
+// the branch current moments I_j = Σ_subtree C·m_{j-1}, then a forward
 // (top-down) sweep applying m_j(i) = m_j(parent) − r·I_j(i) − l·I_{j-1}(i).
 // The driver resistance acts as the root's branch (with zero
-// inductance). O(n) per order, no recursion.
-func (t *Tree) moments(rtr float64) nodeMoments {
+// inductance). O(n) per order, no recursion; every array (including the
+// returned nodeMoments' — valid until the workspace's next use) lives
+// in ws. The arithmetic is identical for a fresh or a reused workspace,
+// so repeated incremental calls are bit-identical to cold ones.
+func (t *Tree) momentsInto(rtr float64, ws *momentWorkspace) *nodeMoments {
 	n := len(t.parent)
-	ctot := make([]float64, n)
+	ws.grow(n)
+	ctot := ws.ctot
 	for i := range ctot {
 		ctot[i] = t.c[i] + t.load[i]
 	}
-	mPrev := make([]float64, n) // m_{j-1}; m_0 ≡ 1
+	mPrev := ws.mPrev // m_{j-1}; m_0 ≡ 1
 	for i := range mPrev {
 		mPrev[i] = 1
 	}
-	mPrevRC := append([]float64(nil), mPrev...)
-	iPrev := make([]float64, n) // I_{j-1}; I_0 ≡ 0
-	iCur := make([]float64, n)
-	iCurRC := make([]float64, n)
-	out := nodeMoments{}
-	store := func(dst *[]float64, src []float64) {
-		*dst = append([]float64(nil), src...)
+	mPrevRC := ws.mPrevRC
+	copy(mPrevRC, mPrev)
+	iPrev := ws.iPrev // I_{j-1}; I_0 ≡ 0
+	for i := range iPrev {
+		iPrev[i] = 0
 	}
-	mCur := make([]float64, n)
-	mCurRC := make([]float64, n)
+	iCur := ws.iCur
+	iCurRC := ws.iCurRC
+	out := &ws.out
+	store := func(dst *[]float64, src []float64) {
+		*dst = append((*dst)[:0], src...)
+	}
+	mCur := ws.mCur
+	mCurRC := ws.mCurRC
 	for order := 1; order <= 4; order++ {
 		// Bottom-up: branch current moments. Children have larger
 		// indices than parents, so one reverse sweep accumulates

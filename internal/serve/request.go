@@ -316,13 +316,17 @@ func sweepEstimator(m uint8) rlckit.SweepEstimator {
 	}
 }
 
-// endpoint kinds, for the shared cache's key space.
+// endpoint kinds, for the shared cache's key space and the per-endpoint
+// request counters (the session kinds never enter the cache — what-if
+// sessions are stateful and bypass it).
 const (
 	kindDelay uint8 = iota
 	kindScreen
 	kindRepeaters
 	kindSweep
 	kindTree
+	kindSession
+	kindSessionEdit
 )
 
 // cacheKey is the canonical identity of a request: the exact analyzed

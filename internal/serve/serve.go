@@ -83,12 +83,21 @@ type Config struct {
 	// request that exceeds it gets 503 with reason "deadline" — unless
 	// graceful degradation found a cheaper estimator that fits.
 	RequestTimeout time.Duration
+	// SessionTTL evicts what-if sessions idle longer than this
+	// (default DefaultSessionTTL; negative disables idle eviction).
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open what-if sessions (default
+	// DefaultMaxSessions); opening past the bound evicts the
+	// least-recently-used session.
+	MaxSessions int
 }
 
 // Serving defaults.
 const (
 	DefaultCacheEntries = 4096
 	DefaultMaxInFlight  = 256
+	DefaultSessionTTL   = 5 * time.Minute
+	DefaultMaxSessions  = 64
 )
 
 // Stats is a point-in-time snapshot of the server's counters, exported
@@ -122,11 +131,19 @@ type Stats struct {
 	// engine after a failed certification (cache hits touch neither).
 	MORHits      uint64 `json:"mor_hits"`
 	MORFallbacks uint64 `json:"mor_fallbacks"`
+	// SessionsOpen is the current number of what-if sessions;
+	// SessionsOpened counts opens, SessionsEvicted TTL/capacity
+	// evictions (explicit DELETEs are not evictions), and SessionEdits
+	// individual edits applied across all sessions.
+	SessionsOpen    int    `json:"sessions_open"`
+	SessionsOpened  uint64 `json:"sessions_opened"`
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+	SessionEdits    uint64 `json:"session_edits"`
 	// Cache is the response cache's hit/miss/eviction snapshot.
 	Cache cache.Stats `json:"cache"`
 }
 
-var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep", kindTree: "tree"}
+var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep", kindTree: "tree", kindSession: "session", kindSessionEdit: "session_edit"}
 
 // cacheEntry is a stored response body plus its integrity checksum,
 // computed at store time and re-verified on every hit.
@@ -164,6 +181,14 @@ type Server struct {
 	poisoned     atomic.Uint64
 	morHits      atomic.Uint64
 	morFallbacks atomic.Uint64
+
+	// What-if session registry (session.go).
+	sessMu       sync.Mutex
+	sessions     map[string]*liveSession
+	sessSeq      uint64
+	sessOpened   atomic.Uint64
+	sessEvicted  atomic.Uint64
+	sessionEdits atomic.Uint64
 }
 
 // New builds a Server from cfg.
@@ -191,6 +216,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/repeaters", s.endpoint(kindRepeaters, s.handleRepeaters))
 	s.mux.HandleFunc("POST /v1/sweep", s.endpoint(kindSweep, s.handleSweep))
 	s.mux.HandleFunc("POST /v1/tree", s.endpoint(kindTree, s.handleTree))
+	s.sessions = make(map[string]*liveSession)
+	s.mux.HandleFunc("POST /v1/session", s.endpoint(kindSession, s.handleSessionOpen))
+	s.mux.HandleFunc("POST /v1/session/{id}/edit", s.endpoint(kindSessionEdit, s.handleSessionEdit))
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.endpoint(kindSession, s.handleSessionDelete))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"version\":%q}\n", rlckit.Version)
@@ -211,6 +240,7 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.baseStop()
 		s.batch.close()
+		s.closeSessions()
 	})
 }
 
@@ -230,6 +260,10 @@ func (s *Server) Stats() Stats {
 		MORHits:       s.morHits.Load(),
 		MORFallbacks:  s.morFallbacks.Load(),
 	}
+	st.SessionsOpen = s.sessionCount()
+	st.SessionsOpened = s.sessOpened.Load()
+	st.SessionsEvicted = s.sessEvicted.Load()
+	st.SessionEdits = s.sessionEdits.Load()
 	for k, name := range endpointNames {
 		st.Requests[name] = s.requests[k].Load()
 	}

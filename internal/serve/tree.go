@@ -210,61 +210,80 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 	// can afford (the requested one when it fits).
 	engine, reason := degradeTree(ctx, key.method, t.Len())
 	respond(s, w, ctx, key, func() (TreeResponse, bool, error) {
-		cfg := rlckit.TreeConfig{Ctx: ctx}
-		switch engine {
-		case treeEngineMNA:
-			cfg.Engine = rlckit.TreeEngineMNA
-		case treeEngineReduced:
-			cfg.Engine = rlckit.TreeEngineReduced
-		}
+		cfg := rlckit.TreeConfig{Ctx: ctx, Engine: treeEngineOf(engine)}
 		res, err := rlckit.AnalyzeTree(t, drv, cfg)
 		if err != nil {
 			return TreeResponse{}, true, err
 		}
-		// Extreme-but-decodable element values can overflow the moment
-		// products into ±Inf/NaN delays; JSON cannot carry those, so
-		// reject the request instead of letting json.Marshal turn it
-		// into a 500.
-		for _, sk := range res.Sinks {
-			if !isFinite(sk.Delay) || !isFinite(sk.DelayRC) {
-				return TreeResponse{}, true, fmt.Errorf("tree analysis is numerically degenerate (sink %d delay overflows); rescale the element values", sk.Node)
-			}
-		}
-		resp := TreeResponse{
-			Engine:     res.Engine.String(),
-			MinDelayS:  res.MinDelay,
-			MaxDelayS:  res.MaxDelay,
-			MaxSkewS:   res.MaxSkew,
-			MaxSkewRCS: res.MaxSkewRC,
-			SkewErrPct: res.SkewErrPct,
-		}
-		if reason != "" {
-			resp.Degraded = true
-			resp.DegradeReason = reason
-			s.degraded.Add(1)
-		}
-		if res.Fallback {
-			// Exact-fallback contract: certification failure selects the
-			// shared-transient engine, it does not fail the request.
-			resp.Engine = rlckit.TreeEngineMNA.String()
-			resp.MORFallback = true
-			s.morFallbacks.Add(1)
-		} else if res.Reduced {
-			resp.MORQ, resp.MORN, resp.MORErrPct = res.MORInfo.Q, res.MORInfo.N, res.MORInfo.EstErrPct
-			s.morHits.Add(1)
-		}
-		for _, sk := range res.Sinks {
-			row := TreeSinkJSON{
-				Node: sk.Node, DelayS: sk.Delay, DelayRCS: sk.DelayRC,
-				Zeta: sk.Zeta, OmegaN: sk.OmegaN, InDomain: sk.InDomain,
-			}
-			// A collapsed fit reports ζ, ωn = +Inf (or NaN), which JSON
-			// cannot carry; such sinks are out of domain and ship zeros.
-			if !isFinite(row.Zeta) || !isFinite(row.OmegaN) {
-				row.Zeta, row.OmegaN = 0, 0
-			}
-			resp.Sinks = append(resp.Sinks, row)
+		resp, err := s.treeResponse(res, reason)
+		if err != nil {
+			return TreeResponse{}, true, err
 		}
 		return resp, reason == "", nil
 	})
+}
+
+// treeEngineOf maps a canonical engine byte to the facade engine.
+func treeEngineOf(engine uint8) rlckit.TreeEngine {
+	switch engine {
+	case treeEngineMNA:
+		return rlckit.TreeEngineMNA
+	case treeEngineReduced:
+		return rlckit.TreeEngineReduced
+	default:
+		return rlckit.TreeEngineClosed
+	}
+}
+
+// treeResponse renders a tree analysis as the wire response — the one
+// code path shared by /v1/tree and the what-if session endpoints, so a
+// session edit's embedded result is byte-identical to a cold /v1/tree
+// of the same net whenever the underlying tables are. It also owns the
+// degradation/MOR counters.
+func (s *Server) treeResponse(res *rlckit.TreeResult, reason string) (TreeResponse, error) {
+	// Extreme-but-decodable element values can overflow the moment
+	// products into ±Inf/NaN delays; JSON cannot carry those, so
+	// reject the request instead of letting json.Marshal turn it
+	// into a 500.
+	for _, sk := range res.Sinks {
+		if !isFinite(sk.Delay) || !isFinite(sk.DelayRC) {
+			return TreeResponse{}, fmt.Errorf("tree analysis is numerically degenerate (sink %d delay overflows); rescale the element values", sk.Node)
+		}
+	}
+	resp := TreeResponse{
+		Engine:     res.Engine.String(),
+		MinDelayS:  res.MinDelay,
+		MaxDelayS:  res.MaxDelay,
+		MaxSkewS:   res.MaxSkew,
+		MaxSkewRCS: res.MaxSkewRC,
+		SkewErrPct: res.SkewErrPct,
+	}
+	if reason != "" {
+		resp.Degraded = true
+		resp.DegradeReason = reason
+		s.degraded.Add(1)
+	}
+	if res.Fallback {
+		// Exact-fallback contract: certification failure selects the
+		// shared-transient engine, it does not fail the request.
+		resp.Engine = rlckit.TreeEngineMNA.String()
+		resp.MORFallback = true
+		s.morFallbacks.Add(1)
+	} else if res.Reduced {
+		resp.MORQ, resp.MORN, resp.MORErrPct = res.MORInfo.Q, res.MORInfo.N, res.MORInfo.EstErrPct
+		s.morHits.Add(1)
+	}
+	for _, sk := range res.Sinks {
+		row := TreeSinkJSON{
+			Node: sk.Node, DelayS: sk.Delay, DelayRCS: sk.DelayRC,
+			Zeta: sk.Zeta, OmegaN: sk.OmegaN, InDomain: sk.InDomain,
+		}
+		// A collapsed fit reports ζ, ωn = +Inf (or NaN), which JSON
+		// cannot carry; such sinks are out of domain and ship zeros.
+		if !isFinite(row.Zeta) || !isFinite(row.OmegaN) {
+			row.Zeta, row.OmegaN = 0, 0
+		}
+		resp.Sinks = append(resp.Sinks, row)
+	}
+	return resp, nil
 }

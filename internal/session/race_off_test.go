@@ -1,0 +1,8 @@
+//go:build !race
+
+package session
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under it (instrumentation distorts relative engine
+// costs, not just absolute ones).
+const raceEnabled = false

@@ -1,0 +1,359 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rlckit/internal/netgen"
+	"rlckit/internal/rlctree"
+	"rlckit/internal/tech"
+)
+
+// buildSmall returns a small asymmetric tree with two sinks.
+func buildSmall(t testing.TB) (*rlctree.Tree, rlctree.Drive) {
+	t.Helper()
+	tr, err := rlctree.New(5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := tr.Add(0, 20, 0.5e-9, 40e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tr.Add(stem, 15, 0.4e-9, 30e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Add(stem, 40, 1e-9, 60e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(a, 20e-15); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MarkSink(b, 35e-15); err != nil {
+		t.Fatal(err)
+	}
+	return tr, rlctree.Drive{Rtr: 80}
+}
+
+// buildClockTree returns a 64-sink H-tree instance — the tree class
+// whose anchored reduced build certifies, exercising the session's
+// O(q²) fast path.
+func buildClockTree(t testing.TB) netgen.TreeNet {
+	t.Helper()
+	node, err := tech.Lookup("180nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := netgen.RandomTreeBatch(42, node, netgen.TreeClockH, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trees[0]
+}
+
+// randomEdit applies one deterministic pseudo-random value edit
+// through Apply.
+func randomEdit(t testing.TB, s *Session, rng *rand.Rand) {
+	t.Helper()
+	tr := s.Tree()
+	n := tr.Len()
+	f := 0.85 + 0.3*rng.Float64()
+	var e Edit
+	switch rng.Intn(3) {
+	case 0:
+		node := 1 + rng.Intn(n-1)
+		r, l, _, err := tr.Branch(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e = Edit{Op: OpBranch, Node: node, R: r * f, L: l * f}
+	case 1:
+		sinks := tr.Sinks()
+		node := sinks[rng.Intn(len(sinks))]
+		cl, err := tr.SinkLoad(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl == 0 {
+			cl = 1e-15
+		}
+		e = Edit{Op: OpLoad, Node: node, CL: cl * f}
+	default:
+		d := s.Drive()
+		e = Edit{Op: OpDriver, Rtr: math.Max(1, d.Rtr*f), V: 1}
+	}
+	if err := s.Apply([]Edit{e}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameBits fails unless both results carry identical bits in every
+// column — the session contract for the closed and MNA engines.
+func sameBits(t *testing.T, tag string, got, want *rlctree.Result) {
+	t.Helper()
+	if got.Engine != want.Engine || got.Reduced != want.Reduced || got.Fallback != want.Fallback {
+		t.Fatalf("%s: flags differ", tag)
+	}
+	if len(got.Sinks) != len(want.Sinks) {
+		t.Fatalf("%s: sink count %d vs %d", tag, len(got.Sinks), len(want.Sinks))
+	}
+	eq := func(what string, a, b float64) {
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: %s differs: %v vs %v", tag, what, a, b)
+		}
+	}
+	for i := range got.Sinks {
+		g, w := &got.Sinks[i], &want.Sinks[i]
+		if g.Node != w.Node || g.InDomain != w.InDomain {
+			t.Fatalf("%s: sink %d identity differs", tag, i)
+		}
+		eq("Delay", g.Delay, w.Delay)
+		eq("DelayClosed", g.DelayClosed, w.DelayClosed)
+		eq("DelayRC", g.DelayRC, w.DelayRC)
+		eq("M1", g.M1, w.M1)
+		eq("Zeta", g.Zeta, w.Zeta)
+		eq("OmegaN", g.OmegaN, w.OmegaN)
+	}
+	eq("MaxSkew", got.MaxSkew, want.MaxSkew)
+	eq("SkewErrPct", got.SkewErrPct, want.SkewErrPct)
+}
+
+// TestSessionMatchesColdAnalysis: after every edit of a mixed script,
+// the session's closed and MNA results must be bit-identical to a
+// cold rlctree.Analyze of the session's current tree.
+func TestSessionMatchesColdAnalysis(t *testing.T) {
+	tr, d := buildSmall(t)
+	s, err := Open(tr, d, rlctree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 12; step++ {
+		randomEdit(t, s, rng)
+		for _, eng := range []rlctree.Engine{rlctree.EngineClosed, rlctree.EngineMNA} {
+			got, err := s.Result(context.Background(), eng)
+			if err != nil {
+				t.Fatalf("step %d %v: %v", step, eng, err)
+			}
+			want, err := rlctree.Analyze(s.Tree(), s.Drive(), rlctree.Config{Engine: eng})
+			if err != nil {
+				t.Fatalf("step %d %v cold: %v", step, eng, err)
+			}
+			sameBits(t, "session", got, want)
+		}
+	}
+}
+
+// TestSessionApplyAtomic: a batch whose tail edit is invalid must roll
+// back entirely — the next result matches a cold analysis of the
+// pre-batch tree bit for bit.
+func TestSessionApplyAtomic(t *testing.T) {
+	tr, d := buildSmall(t)
+	s, err := Open(tr, d, rlctree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Tree()
+	err = s.Apply([]Edit{
+		{Op: OpBranch, Node: 1, R: 35, L: 0.7e-9},
+		{Op: OpLoad, Node: 2, CL: 25e-15},
+		{Op: OpBranch, Node: 99, R: 1, L: 1e-9}, // invalid: no such node
+	})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	got, rerr := s.Result(context.Background(), rlctree.EngineClosed)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	want, rerr := rlctree.Analyze(before, d, rlctree.Config{Engine: rlctree.EngineClosed})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	sameBits(t, "rolled back", got, want)
+	if s.Stats().Gen != 0 {
+		t.Errorf("failed batch bumped the generation to %d", s.Stats().Gen)
+	}
+	// The batch must apply cleanly without the poison edit.
+	if err := s.Apply([]Edit{
+		{Op: OpBranch, Node: 1, R: 35, L: 0.7e-9},
+		{Op: OpLoad, Node: 2, CL: 25e-15},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Gen != 1 {
+		t.Errorf("gen %d after one applied batch", s.Stats().Gen)
+	}
+}
+
+// TestSessionResultCache: re-reading an unchanged state returns the
+// cached result without re-running an engine; any edit invalidates it.
+func TestSessionResultCache(t *testing.T) {
+	tr, d := buildSmall(t)
+	s, err := Open(tr, d, rlctree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Result(context.Background(), rlctree.EngineMNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Result(context.Background(), rlctree.EngineMNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("unchanged state did not reuse the cached result")
+	}
+	if s.Stats().CacheHits != 1 {
+		t.Errorf("cache hits %d, want 1", s.Stats().CacheHits)
+	}
+	if err := s.Apply([]Edit{{Op: OpDriver, Rtr: 60, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s.Result(context.Background(), rlctree.EngineMNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("edit did not invalidate the cached result")
+	}
+}
+
+// TestSessionClosed: every operation on a closed session fails with
+// ErrClosed.
+func TestSessionClosed(t *testing.T) {
+	tr, d := buildSmall(t)
+	s, err := Open(tr, d, rlctree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Apply([]Edit{{Op: OpDriver, Rtr: 60, V: 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Apply on closed session: %v", err)
+	}
+	if _, err := s.Result(context.Background(), rlctree.EngineClosed); !errors.Is(err, ErrClosed) {
+		t.Errorf("Result on closed session: %v", err)
+	}
+}
+
+// TestSessionDeterministicReplay: replaying the same edit script into
+// two independent sessions yields bit-identical results at every step
+// — the property that makes session traffic worker-count independent.
+func TestSessionDeterministicReplay(t *testing.T) {
+	tn := buildClockTree(t)
+	open := func() *Session {
+		s, err := Open(tn.Tree, tn.Drive, rlctree.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := open(), open()
+	rng1, rng2 := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for step := 0; step < 6; step++ {
+		randomEdit(t, s1, rng1)
+		randomEdit(t, s2, rng2)
+		r1, err := s1.Result(context.Background(), rlctree.EngineReduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s2.Result(context.Background(), rlctree.EngineReduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, "replay", r1, r2)
+	}
+}
+
+// TestWhatIfSpeedupAtLeast10x: the acceptance gate for the what-if
+// engine — on a 64-sink clock tree, an edit-and-reanalyze loop through
+// the session (certified reduced fast path) must run at least 10×
+// faster per edit than naive full-order re-analysis (a cold
+// EngineMNA run of the edited tree, the reference the reduced answers
+// are certified against). Measured ratios are ~15-20×; the 10× bound
+// leaves margin for loaded CI machines.
+func TestWhatIfSpeedupAtLeast10x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("timing test: race instrumentation distorts relative engine costs")
+	}
+	tn := buildClockTree(t)
+	s, err := Open(tn.Tree, tn.Drive, rlctree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Open-time build, outside the measured edit loop (it amortizes over
+	// the session's lifetime).
+	if _, err := s.Result(ctx, rlctree.EngineReduced); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	const edits = 200
+	start := time.Now()
+	for i := 0; i < edits; i++ {
+		randomEdit(t, s, rng)
+		res, err := s.Result(ctx, rlctree.EngineReduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reduced || res.Fallback {
+			t.Fatalf("edit %d left the reduced fast path (reduced=%v fallback=%v)", i, res.Reduced, res.Fallback)
+		}
+	}
+	perEdit := time.Since(start) / edits
+	if st := s.Stats(); st.Fallbacks != 0 {
+		t.Fatalf("fast-path script fell back: %+v", st)
+	}
+	// Naive baseline: full-order re-analysis of the edited tree, sampled
+	// and averaged (running it 200 times would dominate the suite).
+	const samples = 4
+	tr, d := s.Tree(), s.Drive()
+	start = time.Now()
+	for i := 0; i < samples; i++ {
+		if _, err := rlctree.Analyze(tr, d, rlctree.Config{Engine: rlctree.EngineMNA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perCold := time.Since(start) / samples
+	ratio := float64(perCold) / float64(perEdit)
+	t.Logf("session %v/edit vs naive full re-analysis %v/edit: %.1f×", perEdit, perCold, ratio)
+	if ratio < 10 {
+		t.Errorf("what-if speedup %.1f× < 10× (session %v/edit, naive %v/edit)", ratio, perEdit, perCold)
+	}
+}
+
+// BenchmarkWhatIfEditSequence replays a 1000-edit what-if script
+// (branch, load, and driver edits) against a 64-sink clock tree,
+// reading the closed-form delay table after every edit — the
+// interactive what-if loop the session exists for. Gated in
+// cmd/benchgate.
+func BenchmarkWhatIfEditSequence(b *testing.B) {
+	tn := buildClockTree(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(tn.Tree, tn.Drive, rlctree.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(23))
+		for e := 0; e < 1000; e++ {
+			randomEdit(b, s, rng)
+			if _, err := s.Result(ctx, rlctree.EngineClosed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
