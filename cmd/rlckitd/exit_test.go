@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the real rlckitd binary:
+// with RLCKITD_RUN_MAIN=1 it runs main() on its own os.Args, which is
+// how the exit-status regression tests below observe real exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("RLCKITD_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// rlckitd re-executes the test binary as rlckitd with args.
+func rlckitd(t *testing.T, args ...string) (exit int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RLCKITD_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		return ee.ExitCode(), out.String(), errb.String()
+	}
+	return 0, out.String(), errb.String()
+}
+
+// TestFlagValidationExitCodes pins the usage-error contract: nonsense
+// flag values exit 2 with a message before any listener opens — a
+// daemon that boots with -session-ttl -1m or an unwritable -store-dir
+// would fail much later and much more confusingly.
+func TestFlagValidationExitCodes(t *testing.T) {
+	// A path whose parent is a file can never become a directory.
+	blocked := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	roDir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(roDir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantErr  string // must appear on stderr
+		skipRoot bool   // permission checks are vacuous as uid 0
+	}{
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: "flag provided but not defined"},
+		{name: "positional arg", args: []string{"extra"}, wantErr: "unexpected argument"},
+		{name: "negative session ttl", args: []string{"-session-ttl", "-1m"}, wantErr: "-session-ttl must not be negative"},
+		{name: "zero max sessions", args: []string{"-max-sessions", "0"}, wantErr: "-max-sessions must be positive"},
+		{name: "negative max sessions", args: []string{"-max-sessions", "-3"}, wantErr: "run 'rlckitd -h' for usage"},
+		{name: "store dir under a file", args: []string{"-store-dir", filepath.Join(blocked, "sub")}, wantErr: "-store-dir"},
+		{name: "read-only store dir", args: []string{"-store-dir", filepath.Join(roDir, "sub")}, wantErr: "-store-dir", skipRoot: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.skipRoot && os.Geteuid() == 0 {
+				t.Skip("root ignores directory permissions")
+			}
+			exit, stdout, stderr := rlckitd(t, c.args...)
+			if exit != 2 {
+				t.Errorf("exit = %d, want 2 (stderr: %s)", exit, stderr)
+			}
+			if !strings.Contains(stderr, c.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr, c.wantErr)
+			}
+			if strings.Contains(stdout, "listening") || strings.Contains(stderr, "listening") {
+				t.Errorf("failed invocation still opened a listener:\n%s%s", stdout, stderr)
+			}
+		})
+	}
+}
+
+// TestUsageMentionsPersistenceFlags keeps -h self-documenting for the
+// store flags, and doubles as the exit-0/2 path of the -h convention.
+func TestUsageMentionsPersistenceFlags(t *testing.T) {
+	exit, _, stderr := rlckitd(t, "-h")
+	if exit != 0 && exit != 2 {
+		t.Fatalf("-h exit = %d", exit)
+	}
+	for _, want := range []string{"-store-dir", "-snapshot-interval", "-journal-sync", "-session-ttl"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage missing %q:\n%s", want, stderr)
+		}
+	}
+}

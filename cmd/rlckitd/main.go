@@ -25,6 +25,15 @@
 // service port, so profiling endpoints are never exposed on the
 // service address by accident).
 //
+// -store-dir enables crash-safe persistence: the response cache and
+// certified reduced-order pencils are snapshotted there (checksummed,
+// atomically replaced) every -snapshot-interval, and every what-if
+// session open/edit/close is appended to a journal so open sessions
+// survive a crash by replay. Recovery runs before the listener opens;
+// corrupt or torn records are discarded (counted in expvar as
+// store_discarded_corrupt), never served. -journal-sync trades edit
+// latency for an fsync per applied batch.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close,
 // in-flight requests get -grace to finish, then the process exits.
 // Requests still computing when -grace expires are canceled at their
@@ -65,29 +74,75 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max coalesced single-net batch size")
 		batchWindow = flag.Duration("batch-window", 0, "hold the first request of a batch up to this long to let it fill (0 = no added latency)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request compute budget; over-budget requests get 503 or a degraded answer (0 = uncapped)")
-		sessionTTL  = flag.Duration("session-ttl", serve.DefaultSessionTTL, "what-if session idle TTL before eviction (negative = never evict on idle)")
+		sessionTTL  = flag.Duration("session-ttl", serve.DefaultSessionTTL, "what-if session idle TTL before eviction (0 = never evict on idle)")
 		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessions, "max live what-if sessions; opening past the cap evicts the least recently used")
+		storeDir    = flag.String("store-dir", "", "persistence directory: warm-start snapshots + session journal (empty = in-memory only)")
+		snapEvery   = flag.Duration("snapshot-interval", serve.DefaultSnapshotInterval, "background snapshot cadence when -store-dir is set (negative = only on shutdown)")
+		journalSync = flag.Bool("journal-sync", false, "fsync the session journal after every applied edit batch (durability over latency)")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		pprofAddr   = flag.String("pprof", "", "net/http/pprof side-listener address (empty = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: rlckitd [flags] (see -h)")
-		os.Exit(2)
+		usageErr("unexpected argument %q", flag.Arg(0))
+	}
+	// Nonsensical flag values are usage errors (exit 2), caught before
+	// any listener opens — matching the netsweep/treeskew convention.
+	if *sessionTTL < 0 {
+		usageErr("-session-ttl must not be negative (use 0 to disable idle eviction)")
+	}
+	if *maxSessions <= 0 {
+		usageErr("-max-sessions must be positive, got %d", *maxSessions)
+	}
+	if *storeDir != "" {
+		if err := probeStoreDir(*storeDir); err != nil {
+			usageErr("-store-dir: %v", err)
+		}
+	}
+	ttl := *sessionTTL
+	if ttl == 0 {
+		ttl = -1 // serve.Config: negative disables idle eviction
 	}
 	if err := run(*addr, *pprofAddr, serve.Config{
-		Workers:        *workers,
-		CacheEntries:   *cacheSize,
-		MaxInFlight:    *maxInflight,
-		MaxBatch:       *maxBatch,
-		BatchWindow:    *batchWindow,
-		RequestTimeout: *reqTimeout,
-		SessionTTL:     *sessionTTL,
-		MaxSessions:    *maxSessions,
+		Workers:          *workers,
+		CacheEntries:     *cacheSize,
+		MaxInFlight:      *maxInflight,
+		MaxBatch:         *maxBatch,
+		BatchWindow:      *batchWindow,
+		RequestTimeout:   *reqTimeout,
+		SessionTTL:       ttl,
+		MaxSessions:      *maxSessions,
+		StoreDir:         *storeDir,
+		SnapshotInterval: *snapEvery,
+		JournalSync:      *journalSync,
 	}, *grace, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "rlckitd:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a flag-validation failure and exits 2, the
+// usage-error convention shared by the repo's CLIs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlckitd: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'rlckitd -h' for usage")
+	os.Exit(2)
+}
+
+// probeStoreDir verifies the persistence directory can be created and
+// written before the server boots, so a typo'd or read-only -store-dir
+// is a usage error up front rather than a runtime failure mid-snapshot.
+func probeStoreDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // current points expvar at the active server: registration must happen
@@ -104,7 +159,10 @@ var (
 // receives the bound listener address once that listener is accepting
 // connections (used by tests to serve on port 0).
 func run(addr, pprofAddr string, cfg serve.Config, grace time.Duration, ready, pprofReady chan<- net.Addr) error {
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	defer s.Close()
 	current.Store(s)
 

@@ -40,7 +40,10 @@ func main() {
 	// RequestTimeout is the server-side compute budget (the -request-
 	// timeout flag on rlckitd): big requests degrade to cheaper
 	// estimators instead of timing out.
-	s := serve.New(serve.Config{RequestTimeout: 300 * time.Millisecond})
+	s, err := serve.New(serve.Config{RequestTimeout: 300 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer s.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

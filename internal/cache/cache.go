@@ -157,6 +157,36 @@ func (c *Cache[K, V]) Put(k K, v V) {
 	}
 }
 
+// Range calls fn for every cached entry, shard by shard in
+// most-to-least-recently-used order within each shard, stopping early
+// when fn returns false. Each shard's entries are copied out under its
+// lock in one batch, so fn itself runs without holding any cache lock
+// (it may Get/Put) and a Range under concurrent traffic sees each
+// shard at one instant. Range does not touch recency or the hit/miss
+// counters — the serving layer's periodic snapshots must observe the
+// cache, not reorder it.
+func (c *Cache[K, V]) Range(fn func(k K, v V) bool) {
+	type pair struct {
+		k K
+		v V
+	}
+	var buf []pair
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		buf = buf[:0]
+		for e := s.sentinel.next; e != &s.sentinel; e = e.next {
+			buf = append(buf, pair{e.key, e.val})
+		}
+		s.mu.Unlock()
+		for _, p := range buf {
+			if !fn(p.k, p.v) {
+				return
+			}
+		}
+	}
+}
+
 // Len returns the total number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	n := 0

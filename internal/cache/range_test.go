@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"testing"
+)
+
+func TestRangeVisitsEverything(t *testing.T) {
+	c := New[int, string](640)
+	want := map[int]string{}
+	for i := 0; i < 40; i++ {
+		c.Put(i, string(rune('a'+i%26)))
+		want[i] = string(rune('a' + i%26))
+	}
+	got := map[int]string{}
+	c.Range(func(k int, v string) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	c := New[int, int](64)
+	for i := 0; i < 32; i++ {
+		c.Put(i, i)
+	}
+	n := 0
+	c.Range(func(int, int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d entries after early stop, want 5", n)
+	}
+}
+
+func TestRangeDoesNotTouchRecencyOrStats(t *testing.T) {
+	c := New[int, int](shardCount) // one entry per shard
+	c.Put(1, 1)
+	c.Put(2, 2)
+	before := c.Stats()
+	c.Range(func(int, int) bool { return true })
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("Range moved counters: %+v -> %+v", before, after)
+	}
+}

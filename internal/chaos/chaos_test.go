@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -124,7 +123,10 @@ func TestChaosSoak(t *testing.T) {
 		defer faultinject.Reset()
 	}
 
-	s := serve.New(serve.Config{Workers: 4, MaxInFlight: 128, MaxSessions: 256})
+	s, err := serve.New(serve.Config{Workers: 4, MaxInFlight: 128, MaxSessions: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	httpc := ts.Client()
 	c := client.New(ts.URL, client.Config{
@@ -184,9 +186,9 @@ func TestChaosSoak(t *testing.T) {
 		sessions[step] = append([]byte(nil), ed.Result...)
 	}
 	// runSession is one full what-if lifecycle: open, replay the fixed
-	// edit script, close. DELETE goes through the raw HTTP client (the
-	// retrying client only posts); a faulted close just leaves the
-	// session for the TTL/LRU eviction to collect.
+	// edit script, close. Session deletion is idempotent server-side,
+	// so the retrying client's Delete is safe; a close that exhausts
+	// its retries just leaves the session for TTL/LRU eviction.
 	//
 	// Sessions bypass the response cache, so unlike the cached mix a
 	// retried session request recomputes — and redraws its failpoints —
@@ -225,14 +227,7 @@ func TestChaosSoak(t *testing.T) {
 			}
 			checkSessionResult(step, er.Body)
 		}
-		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+open.SessionID, nil)
-		if err != nil {
-			t.Errorf("session close: %v", err)
-			return
-		}
-		if dr, err := httpc.Do(req); err == nil {
-			dr.Body.Close()
-		}
+		c.Delete(context.Background(), "/v1/session/"+open.SessionID)
 	}
 
 	const clients = 6
@@ -316,7 +311,10 @@ func TestRetryReturnsIdenticalBytes(t *testing.T) {
 		})
 		defer faultinject.Reset()
 	}
-	s := serve.New(serve.Config{Workers: 2})
+	s, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

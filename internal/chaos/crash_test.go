@@ -1,0 +1,484 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"rlckit/internal/client"
+	"rlckit/internal/serve"
+)
+
+// This file is the kill-mid-write crash harness: it builds the real
+// rlckitd binary with the faultinject tag, arms one store-layer crash
+// site per scenario via FAULTINJECT_CRASH, drives real HTTP traffic at
+// the child until the injected SIGKILL lands mid-write, then restarts
+// the daemon on the same -store-dir and asserts the durability
+// contract: recovery succeeds, nothing corrupt is ever served (torn
+// records are discarded and counted), warm answers are byte-identical
+// to the cold golden answers, and a journaled what-if session
+// continues its edit script with identical payloads.
+
+// crashRounds scales the kill loop: every scenario runs this many
+// times with a fresh store each (CRASH_ROUNDS env, default 1 — the
+// nightly chaos job storms it).
+func crashRounds(t *testing.T) int {
+	if v := os.Getenv("CRASH_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CRASH_ROUNDS=%q", v)
+		}
+		return n
+	}
+	return 1
+}
+
+// crashMix is the cacheable traffic replayed cold and warm. Trimmed
+// relative to the soak mix: every crash scenario replays it three
+// times (golden, pre-crash, post-recovery) across two child processes.
+var crashMix = []spec{
+	{"/v1/delay", `{"line":` + line + `,"drive":{"rtr":500,"cl":5e-13}}`},
+	{"/v1/delay", `{"line":` + line + `,"drive":{"rtr":250,"cl":1e-13},"method":"exact"}`},
+	{"/v1/tree", smallTree("closed")},
+	{"/v1/tree", smallTree("mna")},
+	{"/v1/tree", smallTree("reduced")},
+}
+
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+// buildDaemon compiles cmd/rlckitd with the faultinject build tag once
+// per test-process (the harness itself runs under any tag set — the
+// crash sites live in the child).
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rlckitd-crash-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "rlckitd")
+		cmd := exec.Command("go", "build", "-tags", "faultinject", "-o", builtBin, "rlckit/cmd/rlckitd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build -tags faultinject rlckit/cmd/rlckitd: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+var listenRe = regexp.MustCompile(`rlckitd .* listening on ([^ ]+) `)
+
+// daemon is one live rlckitd child process.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	exited chan *os.ProcessState
+}
+
+// startDaemon launches the binary on a random port with the given
+// store dir, waits for the listener line, and streams the rest of
+// stderr into the test log. crashEnv, when non-empty, arms a crash
+// site (e.g. "store.crash.journal=2").
+func startDaemon(t *testing.T, bin, storeDir, snapInterval, crashEnv string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-store-dir", storeDir,
+		"-snapshot-interval="+snapInterval,
+		"-workers", "2",
+	)
+	cmd.Env = os.Environ()
+	if crashEnv != "" {
+		cmd.Env = append(cmd.Env, "FAULTINJECT_CRASH="+crashEnv)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, exited: make(chan *os.ProcessState, 1)}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-d.exited
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(addrCh)
+		buf := make([]byte, 4096)
+		var acc []byte
+		for {
+			n, err := stderr.Read(buf)
+			if n > 0 {
+				acc = append(acc, buf[:n]...)
+				if m := listenRe.FindSubmatch(acc); m != nil {
+					addrCh <- string(m[1])
+					// Keep draining so the child never blocks on stderr.
+					io.Copy(io.Discard, stderr)
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		cmd.Wait()
+		d.exited <- cmd.ProcessState
+	}()
+
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			st := <-d.exited
+			d.exited <- st
+			t.Fatalf("rlckitd exited before listening: %v", st)
+		}
+		d.base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("rlckitd never reported its listen address")
+	}
+	return d
+}
+
+// waitKilled blocks until the child exits and asserts the injected
+// crash — a self-delivered SIGKILL — is what ended it.
+func (d *daemon) waitKilled(t *testing.T, site string) {
+	t.Helper()
+	select {
+	case st := <-d.exited:
+		d.exited <- st // re-fill for the Cleanup reader
+		ws, ok := st.Sys().(syscall.WaitStatus)
+		if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			t.Fatalf("armed crash %q: child exited with %v, want SIGKILL", site, st)
+		}
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("armed crash %q never fired within 15s", site)
+	}
+}
+
+// shutdown terminates a healthy child gracefully and asserts exit 0.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case st := <-d.exited:
+		d.exited <- st // re-fill for the Cleanup reader
+		if st.ExitCode() != 0 {
+			t.Fatalf("graceful shutdown: %v", st)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("graceful shutdown timed out")
+	}
+}
+
+// rawPost is one no-retry POST; pre-crash traffic wants to observe the
+// child dying, not paper over it.
+func rawPost(base, path, body string) (int, []byte, error) {
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// storeVars reads the child's expvar rlckitd map.
+func storeVars(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatalf("debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	var all struct {
+		Rlckitd map[string]any `json:"rlckitd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatalf("debug/vars: %v", err)
+	}
+	if all.Rlckitd == nil {
+		t.Fatal("debug/vars has no rlckitd map")
+	}
+	return all.Rlckitd
+}
+
+func varCount(t *testing.T, vars map[string]any, key string) float64 {
+	t.Helper()
+	v, ok := vars[key].(float64)
+	if !ok {
+		t.Fatalf("expvar rlckitd.%s missing or not a number: %v", key, vars[key])
+	}
+	return v
+}
+
+// crashGolden computes the golden bytes every scenario compares
+// against, from an in-process server with no store — the same handler
+// stack the child runs, so "warm equals cold" is checked against a
+// server that has never seen a disk.
+type crashGolden struct {
+	mix  [][]byte // response body per crashMix entry
+	edit [][]byte // session Result payload per sessionScript step
+}
+
+func goldenAnswers(t *testing.T) *crashGolden {
+	t.Helper()
+	s, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := &crashGolden{}
+	for _, sp := range crashMix {
+		status, body, err := rawPost(ts.URL, sp.path, sp.body)
+		if err != nil || status != 200 {
+			t.Fatalf("golden %s: status %d err %v: %s", sp.path, status, err, body)
+		}
+		g.mix = append(g.mix, body)
+	}
+	status, body, err := rawPost(ts.URL, "/v1/session", smallTree("closed"))
+	if err != nil || status != 200 {
+		t.Fatalf("golden session open: status %d err %v", status, err)
+	}
+	var open serve.SessionOpenResponse
+	if err := json.Unmarshal(body, &open); err != nil {
+		t.Fatal(err)
+	}
+	for step, eb := range sessionScript {
+		status, body, err := rawPost(ts.URL, "/v1/session/"+open.SessionID+"/edit", eb)
+		if err != nil || status != 200 {
+			t.Fatalf("golden session edit %d: status %d err %v", step, status, err)
+		}
+		var ed serve.SessionEditResponse
+		if err := json.Unmarshal(body, &ed); err != nil {
+			t.Fatal(err)
+		}
+		g.edit = append(g.edit, append([]byte(nil), ed.Result...))
+	}
+	return g
+}
+
+// crashScenario arms one store failpoint.
+type crashScenario struct {
+	name string
+	arm  string // FAULTINJECT_CRASH value
+	// interval is the child's -snapshot-interval: the snapshot-path
+	// crashes fire from the background loop, the journal crash from a
+	// request, where a pending snapshot would only add noise.
+	interval string
+	// wantTorn: the crash provably leaves a torn record inside a live
+	// store file, so recovery must count at least one discard.
+	wantTorn bool
+	// wantWarm: a full snapshot landed before the crash, so the
+	// restarted child must answer the mix from the warm cache.
+	wantWarm bool
+}
+
+var crashScenarios = []crashScenario{
+	// Append #1 is the session open, #2 the first edit batch: die
+	// half-way through the edit's journal frame.
+	{name: "journal-append", arm: "store.crash.journal=2", interval: "-1s", wantTorn: true},
+	// Die half-way through a snapshot record: the temp file is torn,
+	// no snapshot is ever installed, the journal stays authoritative.
+	{name: "snapshot-record", arm: "store.crash.snapshot=1", interval: "300ms"},
+	// Die with the snapshot temp complete but never renamed in.
+	{name: "snapshot-rename", arm: "store.crash.rename=1", interval: "300ms"},
+	// Die mid journal compaction, after the snapshot installed: the
+	// restart recovers the warm cache and the pre-compaction journal.
+	{name: "journal-rewrite", arm: "store.crash.rewrite=1", interval: "300ms", wantWarm: true},
+}
+
+// TestCrashRecoveryAtEveryFailpoint is the acceptance harness for the
+// persistence layer: for every store crash site, a real rlckitd child
+// is SIGKILLed mid-write and must come back serving byte-identical
+// answers, with every torn record discarded and counted, never served.
+func TestCrashRecoveryAtEveryFailpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes; run without -short (PR CI runs the store smoke instead)")
+	}
+	bin := buildDaemon(t)
+	golden := goldenAnswers(t)
+	for round := 0; round < crashRounds(t); round++ {
+		for _, sc := range crashScenarios {
+			sc := sc
+			t.Run(fmt.Sprintf("%s/round%d", sc.name, round), func(t *testing.T) {
+				runCrashScenario(t, bin, golden, sc)
+			})
+		}
+	}
+}
+
+func runCrashScenario(t *testing.T, bin string, golden *crashGolden, sc crashScenario) {
+	dir := t.TempDir()
+
+	// Phase 1: armed child. Drive the cacheable mix (fills the store's
+	// snapshot source) and a what-if session (fills the journal), then
+	// let the armed write land. Any request may observe the death as a
+	// connection error — that is the point.
+	d := startDaemon(t, bin, dir, sc.interval, sc.arm)
+	alive := true
+	for i, sp := range crashMix {
+		status, body, err := rawPost(d.base, sp.path, sp.body)
+		if err != nil {
+			alive = false
+			break
+		}
+		if status != 200 || !bytes.Equal(body, golden.mix[i]) {
+			t.Fatalf("pre-crash %s: status %d, body diverged from golden:\n got %s\nwant %s",
+				sp.path, status, body, golden.mix[i])
+		}
+	}
+	sessID := ""
+	editsAcked := 0
+	if alive {
+		if status, body, err := rawPost(d.base, "/v1/session", smallTree("closed")); err == nil {
+			if status != 200 {
+				t.Fatalf("pre-crash session open: status %d: %s", status, body)
+			}
+			var open serve.SessionOpenResponse
+			if err := json.Unmarshal(body, &open); err != nil {
+				t.Fatal(err)
+			}
+			sessID = open.SessionID
+			// First edit batch: for the journal crash this request IS the
+			// kill — the edit frame is half on disk and the ack never sent.
+			if status, body, err := rawPost(d.base, "/v1/session/"+sessID+"/edit", sessionScript[0]); err == nil {
+				if status != 200 {
+					t.Fatalf("pre-crash session edit: status %d: %s", status, body)
+				}
+				var ed serve.SessionEditResponse
+				if err := json.Unmarshal(body, &ed); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ed.Result, golden.edit[0]) {
+					t.Fatalf("pre-crash edit result diverged from golden:\n got %s\nwant %s", ed.Result, golden.edit[0])
+				}
+				editsAcked = 1
+			}
+		}
+	}
+	d.waitKilled(t, sc.arm)
+
+	// Phase 2: clean child on the same store dir. Recovery runs before
+	// the listener opens, so a successful startDaemon already proves
+	// the store loads; -snapshot-interval -1s keeps the restart from
+	// writing new snapshots, so every warm answer below came off disk.
+	d2 := startDaemon(t, bin, dir, "-1s", "")
+	c := client.New(d2.base, client.Config{Seed: 5})
+
+	vars := storeVars(t, d2.base)
+	discarded := varCount(t, vars, "store_discarded_corrupt")
+	recovered := varCount(t, vars, "store_recovered")
+	if sc.wantTorn && discarded < 1 {
+		t.Errorf("torn write at %s: store_discarded_corrupt = %v, want >= 1", sc.arm, discarded)
+	}
+	if sc.wantWarm && recovered < float64(len(crashMix)) {
+		t.Errorf("store_recovered = %v, want >= %d (snapshot was installed before the crash)", recovered, len(crashMix))
+	}
+
+	// No corrupt result is ever served: the whole mix must answer the
+	// golden bytes, warm or cold.
+	warmHits := 0
+	for i, sp := range crashMix {
+		resp, err := c.PostJSON(context.Background(), sp.path, []byte(sp.body))
+		if err != nil {
+			t.Fatalf("post-recovery %s: %v", sp.path, err)
+		}
+		if resp.Status != 200 {
+			t.Fatalf("post-recovery %s: status %d: %s", sp.path, resp.Status, resp.Body)
+		}
+		if !bytes.Equal(resp.Body, golden.mix[i]) {
+			t.Errorf("post-recovery %s: body diverged from golden:\n got %s\nwant %s", sp.path, resp.Body, golden.mix[i])
+		}
+		if resp.Cache == "hit" {
+			warmHits++
+		}
+	}
+	if sc.wantWarm && warmHits == 0 {
+		t.Errorf("no warm cache hit after recovering an installed snapshot")
+	}
+
+	// The journaled session continues its script. An un-acked edit may
+	// or may not have survived (its journal frame is the torn one); the
+	// edits are absolute sets, so re-applying every batch up to the
+	// acked prefix converges the state either way. A session whose open
+	// frame itself was torn answers 404 and is reopened — its journal
+	// never acked the open.
+	if sessID != "" {
+		resp, err := c.PostJSON(context.Background(), "/v1/session/"+sessID+"/edit", []byte(sessionScript[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.Status {
+		case 200:
+		case 404:
+			if editsAcked > 0 {
+				t.Fatalf("session %s was acked pre-crash but lost by recovery", sessID)
+			}
+			sessID = ""
+		default:
+			t.Fatalf("recovered session edit: status %d: %s", resp.Status, resp.Body)
+		}
+	}
+	if sessID == "" {
+		resp, err := c.PostJSON(context.Background(), "/v1/session", []byte(smallTree("closed")))
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("session reopen: %v %v", resp, err)
+		}
+		var open serve.SessionOpenResponse
+		if err := json.Unmarshal(resp.Body, &open); err != nil {
+			t.Fatal(err)
+		}
+		sessID = open.SessionID
+		if r, err := c.PostJSON(context.Background(), "/v1/session/"+sessID+"/edit", []byte(sessionScript[0])); err != nil || r.Status != 200 {
+			t.Fatalf("reopened session edit 0: %v %v", r, err)
+		}
+	}
+	for step := 1; step < len(sessionScript); step++ {
+		resp, err := c.PostJSON(context.Background(), "/v1/session/"+sessID+"/edit", []byte(sessionScript[step]))
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("recovered session edit %d: %v %v", step, resp, err)
+		}
+		var ed serve.SessionEditResponse
+		if err := json.Unmarshal(resp.Body, &ed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ed.Result, golden.edit[step]) {
+			t.Errorf("recovered session edit %d: result diverged from golden:\n got %s\nwant %s",
+				step, ed.Result, golden.edit[step])
+		}
+	}
+	if resp, err := c.Delete(context.Background(), "/v1/session/"+sessID); err != nil || resp.Status != 200 {
+		t.Fatalf("recovered session close: %v %v", resp, err)
+	}
+
+	d2.shutdown(t)
+}

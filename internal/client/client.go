@@ -166,9 +166,24 @@ func parseRetryAfter(h http.Header) time.Duration {
 // rejections — or an error when the network failed on every attempt or
 // ctx fired.
 func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (*Response, error) {
+	return c.Do(ctx, "POST", path, body)
+}
+
+// Delete issues DELETE to path (e.g. "/v1/session/s1") with the same
+// retry policy as PostJSON. Session deletion is idempotent server-side
+// (a repeat delete answers 404), so retrying it is safe.
+func (c *Client) Delete(ctx context.Context, path string) (*Response, error) {
+	return c.Do(ctx, "DELETE", path, nil)
+}
+
+// Do issues one method/path/body exchange under the retry policy; see
+// PostJSON. All rlckitd endpoints are safe to retry: responses are pure
+// functions of the body, and the one mutating verb (session DELETE) is
+// idempotent.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte) (*Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		ar, err := c.post(ctx, path, body)
+		ar, err := c.do(ctx, method, path, body)
 		if err == nil && !retryable(ar.Status) {
 			ar.Retries = attempt
 			return &ar.Response, nil
@@ -201,13 +216,19 @@ func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (*Respo
 	}
 }
 
-// post is one attempt.
-func (c *Client) post(ctx context.Context, path string, body []byte) (*attemptResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, "POST", c.base+path, bytes.NewReader(body))
+// do is one attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*attemptResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err

@@ -39,6 +39,35 @@ const (
 	// SiteSession panics inside a what-if session compute (the
 	// handler's recover converts it to a 500; the session survives).
 	SiteSession = "serve.session"
+	// SiteStoreWrite injects a write error inside internal/store's
+	// snapshot and journal writers (surfaces as a persistence error
+	// counter; serving is unaffected).
+	SiteStoreWrite = "store.write"
+	// SiteStoreShort makes one store write short: only a prefix of the
+	// record reaches the file before the error returns — a full disk
+	// mid-record. The torn bytes must be discarded on the next load.
+	SiteStoreShort = "store.short"
+	// SiteStoreSync injects an fsync error inside internal/store
+	// (durability degraded, correctness preserved).
+	SiteStoreSync = "store.sync"
+)
+
+// Crash sites, armed via Config.CrashAt / FAULTINJECT_CRASH rather
+// than rates: at the armed ordinal the process writes a torn prefix of
+// the in-flight record and SIGKILLs itself — the closest a test can
+// get to a power cut mid-write. internal/chaos's crash harness runs a
+// real rlckitd child into each of these and asserts recovery.
+const (
+	// SiteCrashJournal dies mid journal append (torn frame on disk).
+	SiteCrashJournal = "store.crash.journal"
+	// SiteCrashSnapshot dies mid snapshot record write (torn temp file;
+	// the previous snapshot must survive the crash untouched).
+	SiteCrashSnapshot = "store.crash.snapshot"
+	// SiteCrashRename dies after the snapshot temp file is complete but
+	// before the atomic rename installs it.
+	SiteCrashRename = "store.crash.rename"
+	// SiteCrashRewrite dies mid journal compaction rewrite.
+	SiteCrashRewrite = "store.crash.rewrite"
 )
 
 // ErrFault is the sentinel wrapped by every injected error, so layers
@@ -60,4 +89,8 @@ type Config struct {
 	Rates map[string]float64
 	// SleepFor is the delay injected by Sleep sites; 0 means 2ms.
 	SleepFor int64 // nanoseconds
+	// CrashAt arms crash sites: the site's Nth Crashpoint hit (1-based)
+	// SIGKILLs the process. Environment form:
+	// FAULTINJECT_CRASH="store.crash.journal=2".
+	CrashAt map[string]uint64
 }

@@ -26,3 +26,10 @@ func Corrupt(string) bool { return false }
 
 // Fired always reports zero without the faultinject build tag.
 func Fired(string) uint64 { return 0 }
+
+// Crashpoint never fires without the faultinject build tag.
+func Crashpoint(string) bool { return false }
+
+// KillSelf is a no-op without the faultinject build tag (it is only
+// reachable behind a Crashpoint that never fires).
+func KillSelf() {}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -17,9 +18,10 @@ import (
 const Active = true
 
 type runtimeState struct {
-	seed  uint64
-	sleep time.Duration
-	rates map[string]float64
+	seed    uint64
+	sleep   time.Duration
+	rates   map[string]float64
+	crashAt map[string]uint64
 }
 
 var (
@@ -52,15 +54,28 @@ func init() {
 			}
 		}
 	}
+	if v := os.Getenv("FAULTINJECT_CRASH"); v != "" {
+		cfg.CrashAt = map[string]uint64{}
+		for _, kv := range strings.Split(v, ",") {
+			site, ord, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				continue
+			}
+			if n, err := strconv.ParseUint(ord, 10, 64); err == nil && n > 0 {
+				cfg.CrashAt[site] = n
+			}
+		}
+	}
 	Configure(cfg)
 }
 
 // Configure arms the failpoints and resets all counters.
 func Configure(cfg Config) {
 	st := &runtimeState{
-		seed:  uint64(cfg.Seed),
-		sleep: time.Duration(cfg.SleepFor),
-		rates: map[string]float64{},
+		seed:    uint64(cfg.Seed),
+		sleep:   time.Duration(cfg.SleepFor),
+		rates:   map[string]float64{},
+		crashAt: map[string]uint64{},
 	}
 	if st.seed == 0 {
 		st.seed = 1
@@ -70,6 +85,9 @@ func Configure(cfg Config) {
 	}
 	for k, v := range cfg.Rates {
 		st.rates[k] = v
+	}
+	for k, v := range cfg.CrashAt {
+		st.crashAt[k] = v
 	}
 	current.Store(st)
 	hits.Range(func(k, _ any) bool { hits.Delete(k); return true })
@@ -142,6 +160,30 @@ func Sleep(site string) {
 // Corrupt reports whether the caller should corrupt its data on this
 // hit.
 func Corrupt(site string) bool { return fire(site) }
+
+// Crashpoint reports whether the site's armed crash ordinal has been
+// reached: hit counting is per-site, and exactly the configured
+// (1-based) hit returns true. Callers then tear their in-flight write
+// and call KillSelf.
+func Crashpoint(site string) bool {
+	st := current.Load()
+	if st == nil {
+		return false
+	}
+	at, ok := st.crashAt[site]
+	if !ok {
+		return false
+	}
+	return counter(&hits, "crash:"+site).Add(1) == at
+}
+
+// KillSelf delivers SIGKILL to the current process and never returns:
+// no deferred cleanup, no buffered flushing — the closest a test gets
+// to a power cut.
+func KillSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {}
+}
 
 // Fired reports how many faults the site has fired since the last
 // Configure/Reset.

@@ -43,6 +43,17 @@ type ReduceOptions struct {
 	// Ctx, when non-nil, cancels the build between Arnoldi growth
 	// rounds (see mor.Options.Ctx).
 	Ctx context.Context
+	// Pencil, when non-nil, is a serialized certified model from a
+	// previous identical Reduce (mor.EncodeModel bytes, e.g. out of the
+	// warm-start store). It is used instead of running the Arnoldi
+	// build only when its embedded fingerprint matches the system and
+	// options assembled here — a stale or mis-keyed pencil silently
+	// falls through to a fresh build, never a wrong model.
+	Pencil []byte
+	// OnBuild, when non-nil, receives the serialized model after a
+	// successful fresh build (not after a Pencil reuse), so callers can
+	// persist it for the next identical Reduce.
+	OnBuild func(pencil []byte)
 }
 
 // Reduced is a circuit compressed to a reduced-order model, plus the
@@ -119,18 +130,44 @@ func Reduce(ckt *circuit.Circuit, probes []int, opt ReduceOptions) (*Reduced, er
 	for i, f := range opt.Freqs {
 		omegas[i] = 2 * math.Pi * f
 	}
-	model, err := mor.Build(&mor.System{
+	morSys := &mor.System{
 		N: sys.n, KL: sys.kl, KU: sys.ku, Perm: sys.perm,
 		G: gt, C: ct,
 		Inputs: inputs, Outputs: outputs,
 		Anchors: anchors,
-	}, mor.Options{
+	}
+	morOpts := mor.Options{
 		Omegas: omegas, MaxOrder: opt.MaxOrder,
 		Tol: opt.Tol, ValTol: opt.ValTol, SkipValidate: opt.SkipValidate,
 		Ctx: opt.Ctx,
-	})
-	if err != nil {
-		return nil, err
+	}
+	// Pencil fast path: a persisted model whose fingerprint matches this
+	// exact system+options stands in for the Arnoldi build. Any mismatch
+	// or decode failure falls through to building fresh.
+	var (
+		model *mor.Model
+		fp    uint64
+		fpOK  bool
+		err2  error
+	)
+	if opt.Pencil != nil || opt.OnBuild != nil {
+		if v, ferr := mor.Fingerprint(morSys, morOpts); ferr == nil {
+			fp, fpOK = v, true
+		}
+	}
+	if fpOK && opt.Pencil != nil {
+		if m, derr := mor.DecodeModel(opt.Pencil, fp); derr == nil {
+			model = m
+		}
+	}
+	if model == nil {
+		model, err2 = mor.Build(morSys, morOpts)
+		if err2 != nil {
+			return nil, err2
+		}
+		if fpOK && opt.OnBuild != nil {
+			opt.OnBuild(mor.EncodeModel(model, fp))
+		}
 	}
 	return &Reduced{
 		sys: sys, model: model, probes: append([]int(nil), probes...),

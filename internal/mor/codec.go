@@ -1,0 +1,414 @@
+package mor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"rlckit/internal/numeric"
+)
+
+var le = binary.LittleEndian
+
+// Pencil persistence: a certified Model serializes to a self-contained
+// byte string so the serving layer can park it in the warm-start store
+// and rebuild an identical evaluator after a restart, skipping the
+// Arnoldi build entirely. Two properties make reuse safe:
+//
+//   - The encoding carries a fingerprint of the exact system and
+//     options the model was built from (Fingerprint); DecodeModel
+//     refuses bytes whose fingerprint does not match the system being
+//     served, so even a mis-keyed store entry can never evaluate the
+//     wrong circuit.
+//   - The encoding is canonical — EncodeModel of a decoded model
+//     reproduces the input bytes — and DecodeModel revalidates every
+//     structural invariant (dimensions, index ranges, slice lengths),
+//     so corrupt bytes fail loudly instead of evaluating garbage.
+//
+// A decoded Model is private to its caller: Models carry mutable
+// pencil state (Reproject/UsePencil), so consumers decode their own
+// copy rather than sharing one.
+
+const (
+	codecMagic   uint64 = 0x31524f4d4b4c52 // "RLKMOR1" little-endian
+	codecVersion uint8  = 1
+
+	// Decode sanity caps, far above anything the engines build but low
+	// enough that a corrupt length field cannot force a huge allocation
+	// before the bounds checks catch it.
+	codecMaxN = 1 << 22
+	codecMaxQ = 1 << 12
+)
+
+// ErrPencilMismatch reports that a serialized pencil was built from a
+// different system or options than the one it is being reused for.
+var ErrPencilMismatch = errors.New("mor: pencil fingerprint mismatch")
+
+var errCodec = errors.New("mor: malformed pencil encoding")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Fingerprint hashes everything a Build's result depends on — the full
+// system (structure, values, permutation, inputs, outputs, anchors)
+// and the defaulted options (expansion, tolerances, order cap) — so
+// equal fingerprints mean an encoded pencil is a valid stand-in for
+// running Build again. Options.Ctx is excluded: cancellation changes
+// whether a build finishes, never what it builds.
+func Fingerprint(sys *System, opts Options) (uint64, error) {
+	opts, err := opts.withDefaults(sys.N)
+	if err != nil {
+		return 0, err
+	}
+	h := crc64.New(crcTable)
+	var buf [8]byte
+	w64 := func(v uint64) {
+		le.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi := func(v int) { w64(uint64(int64(v))) }
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	wis := func(s []int) {
+		wi(len(s))
+		for _, v := range s {
+			wi(v)
+		}
+	}
+	wfs := func(s []float64) {
+		wi(len(s))
+		for _, v := range s {
+			wf(v)
+		}
+	}
+	wb := func(v bool) {
+		if v {
+			w64(1)
+		} else {
+			w64(0)
+		}
+	}
+
+	w64(codecMagic)
+	wi(sys.N)
+	wi(sys.KL)
+	wi(sys.KU)
+	wis(sys.Perm)
+	wis(sys.G.I)
+	wis(sys.G.J)
+	wfs(sys.G.V)
+	wis(sys.C.I)
+	wis(sys.C.J)
+	wfs(sys.C.V)
+	wi(len(sys.Inputs))
+	for _, in := range sys.Inputs {
+		wis(in.Rows)
+		wfs(in.Vals)
+	}
+	wis(sys.Outputs)
+	wi(len(sys.Anchors))
+	for _, a := range sys.Anchors {
+		wfs(a.G)
+		wfs(a.C)
+	}
+	wfs(opts.Omegas)
+	wf(opts.S0)
+	wi(opts.MaxOrder)
+	wf(opts.Tol)
+	wf(opts.ValTol)
+	wb(opts.SkipValidate)
+	return h.Sum64(), nil
+}
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = le.AppendUint64(e.b, v) }
+func (e *enc) i(v int)      { e.u64(uint64(int64(v))) }
+func (e *enc) f(v float64)  { e.u64(math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) ints(s []int) {
+	e.i(len(s))
+	for _, v := range s {
+		e.i(v)
+	}
+}
+func (e *enc) f64s(s []float64) {
+	e.i(len(s))
+	for _, v := range s {
+		e.f(v)
+	}
+}
+
+// EncodeModel serializes m with its system fingerprint (from
+// Fingerprint over the system/options the model was built from). The
+// encoding is canonical and versioned.
+func EncodeModel(m *Model, fp uint64) []byte {
+	e := &enc{b: make([]byte, 0, 64+8*(len(m.v)+len(m.feH)+4*len(m.gpi)))}
+	e.u64(codecMagic)
+	e.u8(codecVersion)
+	e.u64(fp)
+	e.i(m.n)
+	e.i(m.q)
+	e.i(m.m)
+	e.i(m.nOut)
+	e.f64s(m.v)
+	e.ints(m.gpi)
+	e.ints(m.gpj)
+	e.ints(m.cpi)
+	e.ints(m.cpj)
+	e.i(len(m.inputs))
+	for _, in := range m.inputs {
+		e.ints(in.Rows)
+		e.f64s(in.Vals)
+	}
+	e.ints(m.outputs)
+	e.f64s(m.Gr.Data)
+	e.f64s(m.Cr.Data)
+	e.f64s(m.br)
+	e.f64s(m.brAgg)
+	e.f64s(m.lr)
+	e.bool(m.feOK)
+	e.f64s(m.feH)
+	e.f64s(m.feB)
+	e.f64s(m.feL)
+	e.i(m.Info.Q)
+	e.i(m.Info.N)
+	e.f(m.Info.S0)
+	e.i(m.Info.Shifts)
+	e.i(m.Info.Anchors)
+	e.f(m.Info.EstErrPct)
+	e.bool(m.Info.Validated)
+	e.bool(m.Info.Exhausted)
+	return e.b
+}
+
+type dec struct{ b []byte }
+
+func (d *dec) u8() (uint8, error) {
+	if len(d.b) < 1 {
+		return 0, errCodec
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v, nil
+}
+func (d *dec) u64() (uint64, error) {
+	if len(d.b) < 8 {
+		return 0, errCodec
+	}
+	v := le.Uint64(d.b)
+	d.b = d.b[8:]
+	return v, nil
+}
+func (d *dec) i() (int, error) {
+	v, err := d.u64()
+	n := int(int64(v))
+	if err == nil && (int64(n) != int64(v) || n < 0) {
+		return 0, errCodec
+	}
+	return n, err
+}
+func (d *dec) f() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+func (d *dec) bool() (bool, error) {
+	v, err := d.u8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, errCodec
+	}
+	return v == 1, nil
+}
+
+// sliceLen reads a count and checks it against the bytes remaining
+// (elemBytes per element) before the caller allocates.
+func (d *dec) sliceLen(elemBytes int) (int, error) {
+	n, err := d.i()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(d.b)/elemBytes {
+		return 0, errCodec
+	}
+	return n, nil
+}
+
+func (d *dec) ints() ([]int, error) {
+	n, err := d.sliceLen(8)
+	if err != nil {
+		return nil, err
+	}
+	s := make([]int, n)
+	for i := range s {
+		if s[i], err = d.i(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+func (d *dec) f64s() ([]float64, error) {
+	n, err := d.sliceLen(8)
+	if err != nil {
+		return nil, err
+	}
+	s := make([]float64, n)
+	for i := range s {
+		if s[i], err = d.f(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// DecodeModel rebuilds a Model from EncodeModel bytes, refusing them
+// unless the embedded fingerprint equals fp (ErrPencilMismatch) and
+// every structural invariant checks out (dimension consistency, index
+// ranges). The returned Model is fully evaluation-ready and private to
+// the caller.
+func DecodeModel(data []byte, fp uint64) (*Model, error) {
+	d := &dec{b: data}
+	if magic, err := d.u64(); err != nil || magic != codecMagic {
+		return nil, errCodec
+	}
+	if ver, err := d.u8(); err != nil || ver != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version", errCodec)
+	}
+	got, err := d.u64()
+	if err != nil {
+		return nil, errCodec
+	}
+	if got != fp {
+		return nil, ErrPencilMismatch
+	}
+
+	m := &Model{}
+	geti := func(dst *int) {
+		if err == nil {
+			*dst, err = d.i()
+		}
+	}
+	getis := func(dst *[]int) {
+		if err == nil {
+			*dst, err = d.ints()
+		}
+	}
+	getfs := func(dst *[]float64) {
+		if err == nil {
+			*dst, err = d.f64s()
+		}
+	}
+	getb := func(dst *bool) {
+		if err == nil {
+			*dst, err = d.bool()
+		}
+	}
+	getf := func(dst *float64) {
+		if err == nil {
+			*dst, err = d.f()
+		}
+	}
+
+	geti(&m.n)
+	geti(&m.q)
+	geti(&m.m)
+	geti(&m.nOut)
+	getfs(&m.v)
+	getis(&m.gpi)
+	getis(&m.gpj)
+	getis(&m.cpi)
+	getis(&m.cpj)
+	var nin int
+	geti(&nin)
+	if err != nil {
+		return nil, err
+	}
+	if nin > len(d.b)/16 {
+		return nil, errCodec
+	}
+	m.inputs = make([]InputCol, nin)
+	for i := range m.inputs {
+		getis(&m.inputs[i].Rows)
+		getfs(&m.inputs[i].Vals)
+	}
+	getis(&m.outputs)
+	var grd, crd []float64
+	getfs(&grd)
+	getfs(&crd)
+	getfs(&m.br)
+	getfs(&m.brAgg)
+	getfs(&m.lr)
+	getb(&m.feOK)
+	getfs(&m.feH)
+	getfs(&m.feB)
+	getfs(&m.feL)
+	geti(&m.Info.Q)
+	geti(&m.Info.N)
+	getf(&m.Info.S0)
+	geti(&m.Info.Shifts)
+	geti(&m.Info.Anchors)
+	getf(&m.Info.EstErrPct)
+	getb(&m.Info.Validated)
+	getb(&m.Info.Exhausted)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", errCodec)
+	}
+
+	// Structural revalidation: nothing below may be trusted until the
+	// dimensions and index ranges are proven mutually consistent.
+	n, q := m.n, m.q
+	switch {
+	case n < 1 || n > codecMaxN,
+		q < 1 || q > codecMaxQ || q > n,
+		m.m < 1 || m.nOut < 1,
+		len(m.v) != n*q,
+		len(m.gpi) != len(m.gpj),
+		len(m.cpi) != len(m.cpj),
+		len(m.inputs) != m.m,
+		len(m.outputs) != m.nOut,
+		len(grd) != q*q || len(crd) != q*q,
+		len(m.br) != q*m.m,
+		len(m.brAgg) != q,
+		len(m.lr) != m.nOut*q:
+		return nil, fmt.Errorf("%w: inconsistent dimensions", errCodec)
+	}
+	inRange := func(idx []int) bool {
+		for _, v := range idx {
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if !inRange(m.gpi) || !inRange(m.gpj) || !inRange(m.cpi) || !inRange(m.cpj) || !inRange(m.outputs) {
+		return nil, fmt.Errorf("%w: index out of range", errCodec)
+	}
+	for _, in := range m.inputs {
+		if len(in.Rows) != len(in.Vals) || !inRange(in.Rows) {
+			return nil, fmt.Errorf("%w: malformed input column", errCodec)
+		}
+	}
+	if m.feOK {
+		if len(m.feH) != q*q || len(m.feB) != q || len(m.feL) != m.nOut*q {
+			return nil, fmt.Errorf("%w: inconsistent fast-eval state", errCodec)
+		}
+	} else if len(m.feH) != 0 || len(m.feB) != 0 || len(m.feL) != 0 {
+		return nil, fmt.Errorf("%w: unexpected fast-eval state", errCodec)
+	}
+
+	m.Gr = &numeric.Matrix{Rows: q, Cols: q, Data: grd}
+	m.Cr = &numeric.Matrix{Rows: q, Cols: q, Data: crd}
+	return m, nil
+}

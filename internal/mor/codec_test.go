@@ -1,0 +1,188 @@
+package mor
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	const n, r, c = 60, 100.0, 1e-13
+	sys := rcLadder(n, r, c)
+	opts := Options{Omegas: ladderOmegas(r, c, n)}
+	mdl, err := Build(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fingerprint(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc := EncodeModel(mdl, fp)
+	got, err := DecodeModel(enc, fp)
+	if err != nil {
+		t.Fatalf("DecodeModel: %v", err)
+	}
+	if got.Info != mdl.Info {
+		t.Fatalf("Info = %+v, want %+v", got.Info, mdl.Info)
+	}
+	if got.Q() != mdl.Q() || got.NumInputs() != mdl.NumInputs() || got.NumOutputs() != mdl.NumOutputs() {
+		t.Fatal("dimension accessors differ after decode")
+	}
+
+	// The encoding is canonical: re-encoding the decoded model must
+	// reproduce the bytes exactly.
+	if !bytes.Equal(EncodeModel(got, fp), enc) {
+		t.Fatal("encode(decode(enc)) != enc")
+	}
+
+	// The decoded model must evaluate bit-identically to the original —
+	// this is what lets a warm-started server promise byte-identical
+	// responses.
+	evA, evB := mdl.NewACEval(), got.NewACEval()
+	outA, outB := make([]complex128, 1), make([]complex128, 1)
+	for i := 0; i < 25; i++ {
+		w := opts.Omegas[0] * math.Pow(opts.Omegas[len(opts.Omegas)-1]/opts.Omegas[0], float64(i)/24)
+		if err := mdl.EvalAC(evA, w, outA); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.EvalAC(evB, w, outB); err != nil {
+			t.Fatal(err)
+		}
+		if outA[0] != outB[0] {
+			t.Fatalf("AC eval differs at ω=%g: %v vs %v", w, outA[0], outB[0])
+		}
+	}
+
+	trA, err := mdl.NewTransient(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := got.NewTransient(1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []float64{1}
+	for s := 0; s < 200; s++ {
+		trA.Step(u)
+		trB.Step(u)
+		if a, b := trA.Output(0), trB.Output(0); a != b {
+			t.Fatalf("transient differs at step %d: %g vs %g", s, a, b)
+		}
+	}
+}
+
+func TestDecodedModelSupportsReprojection(t *testing.T) {
+	const n, r, c = 40, 150.0, 1e-13
+	sys := rcLadder(n, r, c)
+	opts := Options{Omegas: ladderOmegas(r, c, n)}
+	mdl, err := Build(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := Fingerprint(sys, opts)
+	got, err := DecodeModel(EncodeModel(mdl, fp), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutable-state paths must work on a decoded model too: reproject
+	// both models at scaled values and compare evaluations bitwise.
+	gs := append([]float64(nil), sys.G.V...)
+	cs := append([]float64(nil), sys.C.V...)
+	for i := range gs {
+		gs[i] *= 1.07
+	}
+	for i := range cs {
+		cs[i] *= 0.93
+	}
+	g2 := *sys.G
+	c2 := *sys.C
+	g2.V, c2.V = gs, cs
+	if err := mdl.Reproject(&g2, &c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Reproject(&g2, &c2); err != nil {
+		t.Fatal(err)
+	}
+	evA, evB := mdl.NewACEval(), got.NewACEval()
+	outA, outB := make([]complex128, 1), make([]complex128, 1)
+	w := opts.Omegas[len(opts.Omegas)/2]
+	if err := mdl.EvalAC(evA, w, outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.EvalAC(evB, w, outB); err != nil {
+		t.Fatal(err)
+	}
+	if outA[0] != outB[0] {
+		t.Fatalf("reprojected eval differs: %v vs %v", outA[0], outB[0])
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	const n, r, c = 20, 100.0, 1e-13
+	sys := rcLadder(n, r, c)
+	opts := Options{Omegas: ladderOmegas(r, c, n)}
+	base, err := Fingerprint(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := Fingerprint(sys, opts); again != base {
+		t.Fatal("fingerprint is not deterministic")
+	}
+
+	// Any change to values or options must move the fingerprint.
+	sys2 := rcLadder(n, r*1.000001, c)
+	if fp, _ := Fingerprint(sys2, opts); fp == base {
+		t.Fatal("value change did not move the fingerprint")
+	}
+	if fp, _ := Fingerprint(sys, Options{Omegas: opts.Omegas, MaxOrder: 16}); fp == base {
+		t.Fatal("option change did not move the fingerprint")
+	}
+	// Ctx is excluded by contract; zero-vs-defaulted options match.
+	if fp, _ := Fingerprint(sys, Options{Omegas: opts.Omegas, MaxOrder: 32, Tol: 5e-4, ValTol: 5e-3}); fp != base {
+		t.Fatal("explicitly defaulted options moved the fingerprint")
+	}
+}
+
+func TestDecodeRejectsMismatchAndCorruption(t *testing.T) {
+	const n, r, c = 20, 100.0, 1e-13
+	sys := rcLadder(n, r, c)
+	opts := Options{Omegas: ladderOmegas(r, c, n)}
+	mdl, err := Build(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := Fingerprint(sys, opts)
+	enc := EncodeModel(mdl, fp)
+
+	if _, err := DecodeModel(enc, fp^1); !errors.Is(err, ErrPencilMismatch) {
+		t.Fatalf("wrong fingerprint decoded: %v", err)
+	}
+	if _, err := DecodeModel(nil, fp); err == nil {
+		t.Fatal("nil bytes decoded")
+	}
+	if _, err := DecodeModel(enc[:len(enc)-3], fp); err == nil {
+		t.Fatal("truncated bytes decoded")
+	}
+	if _, err := DecodeModel(append(append([]byte(nil), enc...), 0), fp); err == nil {
+		t.Fatal("trailing garbage decoded")
+	}
+	// Flipping any structural byte after the fingerprint must be caught
+	// by a bounds or consistency check — never a panic, never a model
+	// with out-of-range indices.
+	for off := 17; off < len(enc); off += 97 {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x10
+		m, err := DecodeModel(mut, fp)
+		if err != nil {
+			continue
+		}
+		// A float flip can decode fine; the structure must still be sane.
+		if m.Q() < 1 || m.NumInputs() < 1 || m.NumOutputs() < 1 {
+			t.Fatalf("byte flip at %d produced an inconsistent model", off)
+		}
+	}
+}

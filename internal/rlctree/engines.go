@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"rlckit/internal/cancel"
 	"rlckit/internal/circuit"
@@ -65,6 +67,23 @@ type Config struct {
 	// value ratios stay inside the certified envelope evaluate
 	// without re-certification. Analyze ignores it.
 	AnchorSpread float64
+	// Pencils, when non-nil, persists certified reduced models across
+	// analyses (and restarts, when backed by the warm-start store):
+	// before building, EngineReduced asks the store for the pencil
+	// keyed by the exact tree+drive+config bits, and after a fresh
+	// certified build it offers the serialized model back. Reuse is
+	// doubly guarded — the key is exact-bits, and the pencil's embedded
+	// system fingerprint is revalidated in mna.Reduce — so a stale or
+	// mis-keyed entry degrades to a rebuild, never a wrong delay.
+	Pencils PencilStore
+}
+
+// PencilStore is the persistence hook for certified reduced models.
+// Implementations must be safe for concurrent use; both methods are
+// best-effort (a miss or a dropped put only costs a rebuild).
+type PencilStore interface {
+	GetPencil(key string) ([]byte, bool)
+	PutPencil(key string, pencil []byte)
 }
 
 func (c Config) withDefaults() Config {
@@ -432,6 +451,43 @@ func treeProbeFreqs(horizon, tFast float64) []float64 {
 	return out
 }
 
+// pencilKey renders the exact bits a reduced build depends on — the
+// full tree arrays, the drive, and the build-relevant config — as a
+// canonical string. Floats use hex notation ('x', precision -1), which
+// round-trips every float64 exactly, so two analyses share a key iff
+// they would build bit-identical models.
+func pencilKey(t *Tree, d Drive, cfg Config) string {
+	var b strings.Builder
+	b.Grow(32 * len(t.parent))
+	x := func(v float64) {
+		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+		b.WriteByte(' ')
+	}
+	b.WriteString("tree1|")
+	for i, p := range t.parent {
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(':')
+		x(t.r[i])
+		x(t.l[i])
+		x(t.c[i])
+		x(t.load[i])
+		if t.sink[i] {
+			b.WriteByte('s')
+		}
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	x(d.Rtr)
+	x(d.V)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(cfg.StepsPerScale))
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(cfg.MaxOrder))
+	b.WriteByte(' ')
+	x(cfg.ValTol)
+	return b.String()
+}
+
 // delaysReduced measures every sink's delay on one multi-output
 // reduced-order model: a single Krylov basis is built with every sink
 // as an output (mna.Reduce), certified against exact solves, and the
@@ -448,12 +504,20 @@ func delaysReduced(t *Tree, d Drive, cfg Config, table []SinkDelay) ([]float64, 
 	for k, node := range t.sinks {
 		probes[k] = nodeOf[node]
 	}
-	red, err := mna.Reduce(ckt, probes, mna.ReduceOptions{
+	ropt := mna.ReduceOptions{
 		Freqs:    treeProbeFreqs(horizon, tFast),
 		MaxOrder: cfg.MaxOrder,
 		ValTol:   cfg.ValTol,
 		Ctx:      cfg.Ctx,
-	})
+	}
+	if cfg.Pencils != nil {
+		key := pencilKey(t, d, cfg)
+		if p, ok := cfg.Pencils.GetPencil(key); ok {
+			ropt.Pencil = p
+		}
+		ropt.OnBuild = func(p []byte) { cfg.Pencils.PutPencil(key, p) }
+	}
+	red, err := mna.Reduce(ckt, probes, ropt)
 	if err != nil {
 		return nil, mor.Info{}, err
 	}

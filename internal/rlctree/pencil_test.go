@@ -1,0 +1,144 @@
+package rlctree
+
+import (
+	"sync"
+	"testing"
+)
+
+// mapPencils is a PencilStore over a plain map, with hit/put counters
+// so tests can assert which path ran.
+type mapPencils struct {
+	mu               sync.Mutex
+	m                map[string][]byte
+	gets, hits, puts int
+}
+
+func (s *mapPencils) GetPencil(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	p, ok := s.m[key]
+	if ok {
+		s.hits++
+	}
+	return p, ok
+}
+
+func (s *mapPencils) PutPencil(key string, pencil []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.m == nil {
+		s.m = map[string][]byte{}
+	}
+	s.m[key] = append([]byte(nil), pencil...)
+}
+
+// TestPencilStoreRoundTrip: a second analysis through a warm pencil
+// store must skip the Arnoldi build and still produce bit-identical
+// delays — the property that lets a restarted server promise warm
+// responses equal to cold computes.
+func TestPencilStoreRoundTrip(t *testing.T) {
+	tr, d := buildY(t), Drive{Rtr: 80}
+	ps := &mapPencils{}
+	cfg := Config{Engine: EngineReduced, Pencils: ps}
+
+	cold, err := Analyze(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Reduced {
+		t.Fatal("reduced engine fell back; pencil path untested")
+	}
+	if ps.puts != 1 || ps.hits != 0 {
+		t.Fatalf("cold run: puts=%d hits=%d, want 1/0", ps.puts, ps.hits)
+	}
+
+	warm, err := Analyze(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.hits != 1 {
+		t.Fatalf("warm run did not hit the pencil store (gets=%d hits=%d)", ps.gets, ps.hits)
+	}
+	if ps.puts != 1 {
+		t.Fatalf("warm run rebuilt the model (puts=%d)", ps.puts)
+	}
+	if !warm.Reduced || warm.MORInfo != cold.MORInfo {
+		t.Fatalf("warm MORInfo %+v != cold %+v", warm.MORInfo, cold.MORInfo)
+	}
+	for i := range cold.Sinks {
+		if warm.Sinks[i] != cold.Sinks[i] {
+			t.Fatalf("sink %d differs warm vs cold:\n  %+v\n  %+v", i, warm.Sinks[i], cold.Sinks[i])
+		}
+	}
+	if warm.MaxSkew != cold.MaxSkew || warm.MinDelay != cold.MinDelay || warm.MaxDelay != cold.MaxDelay {
+		t.Fatal("skew statistics differ warm vs cold")
+	}
+}
+
+// TestPencilKeySeparates: different trees, drives, or build options
+// must never share a key (a collision is survivable thanks to the
+// fingerprint check, but it would silently zero the hit rate by
+// overwriting entries).
+func TestPencilKeySeparates(t *testing.T) {
+	tr, d := buildY(t), Drive{Rtr: 80}
+	tr2 := buildY(t)
+	if err := tr2.MarkSink(1, 1e-15); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Engine: EngineReduced}
+
+	base := pencilKey(tr, d, cfg.withDefaults())
+	if pencilKey(tr, d, cfg.withDefaults()) != base {
+		t.Fatal("pencil key is not deterministic")
+	}
+	if pencilKey(tr2, d, cfg.withDefaults()) == base {
+		t.Fatal("tree change kept the same key")
+	}
+	if pencilKey(tr, Drive{Rtr: d.Rtr * (1 + 1e-15)}, cfg.withDefaults()) == base {
+		t.Fatal("one-ulp drive change kept the same key")
+	}
+	cfg2 := cfg
+	cfg2.MaxOrder = 48
+	if pencilKey(tr, d, cfg2.withDefaults()) == base {
+		t.Fatal("MaxOrder change kept the same key")
+	}
+}
+
+// TestPencilMismatchRebuilds: bytes under the right key but from the
+// wrong system must be rejected by the fingerprint check and trigger a
+// fresh build, not a wrong answer.
+func TestPencilMismatchRebuilds(t *testing.T) {
+	tr, d := buildY(t), Drive{Rtr: 80}
+	ps := &mapPencils{}
+	cfg := Config{Engine: EngineReduced, Pencils: ps}
+	cold, err := Analyze(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison every entry with garbage of plausible length.
+	ps.mu.Lock()
+	for k, v := range ps.m {
+		bad := append([]byte(nil), v...)
+		for i := range bad {
+			bad[i] ^= 0x5a
+		}
+		ps.m[k] = bad
+	}
+	ps.mu.Unlock()
+
+	again, err := Analyze(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.puts != 2 {
+		t.Fatalf("poisoned pencil did not trigger a rebuild (puts=%d)", ps.puts)
+	}
+	for i := range cold.Sinks {
+		if again.Sinks[i] != cold.Sinks[i] {
+			t.Fatalf("rebuild after poisoned pencil differs at sink %d", i)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func benchServe(b *testing.B, s *Server, path string, bodies []string) {
 // request repeated, served from the response cache after the first
 // computation.
 func BenchmarkServeDelayHot(b *testing.B) {
-	s := New(Config{})
+	s, _ := New(Config{})
 	defer s.Close()
 	bodies := []string{benchBody(0)}
 	// Prime the cache before the timed loop (b.Loop resets the timer on
@@ -62,7 +62,7 @@ func BenchmarkServeDelayHot(b *testing.B) {
 // the LRU from ever serving a hit, so each iteration pays the full
 // exact-engine analysis.
 func BenchmarkServeDelayCold(b *testing.B) {
-	s := New(Config{CacheEntries: 1024})
+	s, _ := New(Config{CacheEntries: 1024})
 	defer s.Close()
 	bodies := make([]string, 4096)
 	for i := range bodies {
@@ -78,7 +78,7 @@ func BenchmarkServeDelayCold(b *testing.B) {
 // closed-form Eq. 9 compute plus JSON round trip — the floor a cache
 // hit competes with on easy requests.
 func BenchmarkServeDelayColdEq9(b *testing.B) {
-	s := New(Config{CacheEntries: 1024})
+	s, _ := New(Config{CacheEntries: 1024})
 	defer s.Close()
 	bodies := make([]string, 4096)
 	for i := range bodies {
@@ -93,7 +93,7 @@ func BenchmarkServeDelayColdEq9(b *testing.B) {
 // 200 nets × 3 corners × 2 draws, a fresh seed every iteration (never
 // cached).
 func BenchmarkServeSweep(b *testing.B) {
-	s := New(Config{})
+	s, _ := New(Config{})
 	defer s.Close()
 	h := s.Handler()
 	b.ReportAllocs()

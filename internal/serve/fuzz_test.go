@@ -5,9 +5,9 @@ import (
 	"testing"
 )
 
-// requestSeeds feed all five request decoders: the golden-test bodies
+// requestSeeds feed all six request decoders: the golden-test bodies
 // plus malformed shapes (truncation, unknown fields, huge numbers,
-// wrong types, trailing objects).
+// wrong types, trailing objects) and session edit batches.
 var requestSeeds = []string{
 	`{"tree":{"root_c":5e-15,"branches":[{"parent":0,"r":20,"l":5e-10,"c":4e-14},{"parent":1,"r":15,"l":4e-10,"c":3e-14}],"sinks":[{"node":2,"cl":2e-14}]},"drive":{"rtr":80}}`,
 	`{"tree":{"branches":[{"parent":9,"r":-1,"l":1e400,"c":null}],"sinks":[{"node":0,"cl":0},{"node":0,"cl":0}]},"drive":{"rtr":80},"engine":"warp"}`,
@@ -26,6 +26,9 @@ var requestSeeds = []string{
 	``,
 	`[1,2,3]`,
 	`{"bogus":true}`,
+	`{"edits":[{"op":"branch","node":2,"r":18,"l":3.5e-10},{"op":"driver","rtr":70}]}`,
+	`{"edits":[{"op":"load","node":4,"cl":4e-14}],"engine":"mna"}`,
+	`{"edits":[{"op":"teleport"}],"engine":"warp","extra":1}`,
 }
 
 // FuzzServeRequest asserts that none of the /v1/* request decoders
@@ -63,6 +66,15 @@ func FuzzServeRequest(f *testing.F) {
 			if k1.nets > maxSweepNets || k1.samples > maxSweepSamples ||
 				k1.nets*k1.samples > maxSweepTotal {
 				t.Errorf("sweep guard let %+v through", k1)
+			}
+		}
+		if r1, err := parseSessionEditRequest(strings.NewReader(s)); err == nil {
+			r2, err2 := parseSessionEditRequest(strings.NewReader(s))
+			if err2 != nil || len(r1.Edits) != len(r2.Edits) || r1.Engine != r2.Engine {
+				t.Errorf("session edit decode not idempotent: %v", err2)
+			}
+			if len(r1.Edits) > maxSessionEdits {
+				t.Errorf("edit batch guard let %d edits through", len(r1.Edits))
 			}
 		}
 		if tr, _, k1, err := parseTreeRequest(strings.NewReader(s)); err == nil {

@@ -534,6 +534,23 @@ func parseSweepRequest(r io.Reader) (SweepRequest, cacheKey, []rlckit.SweepCorne
 	return req, key, corners, nil
 }
 
+// parseSessionEditRequest decodes and validates a /v1/session/{id}/edit
+// body: strict JSON, and the batch size capped at maxSessionEdits so a
+// hostile body can neither balloon the journal nor occupy the session
+// lock for an unbounded apply-and-rollback walk. The edits themselves
+// are validated downstream by Session.Apply (the batch is atomic: on
+// the first invalid edit nothing is applied).
+func parseSessionEditRequest(r io.Reader) (SessionEditRequest, error) {
+	var req SessionEditRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return req, err
+	}
+	if len(req.Edits) > maxSessionEdits {
+		return req, fmt.Errorf("edit batch has %d edits, limit %d", len(req.Edits), maxSessionEdits)
+	}
+	return req, nil
+}
+
 func summaryJSON(s rlckit.SweepSummary) SummaryJSON {
 	return SummaryJSON{
 		N: s.N, Min: s.Min, Max: s.Max, Mean: s.Mean, StdDev: s.StdDev,

@@ -296,7 +296,7 @@ func TestAdaptiveRetryAfter(t *testing.T) {
 // Close cancels every in-flight request's context: a long sweep
 // returns 503 promptly instead of holding workers through shutdown.
 func TestCloseCancelsInFlight(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s, _ := New(Config{Workers: 2})
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(slowSweepBody))
 	done := make(chan struct{})
@@ -344,7 +344,7 @@ func waitStableGoroutines(t *testing.T, base int) {
 // goroutines behind once the server is closed.
 func TestNoGoroutineLeakAfterMixedLoad(t *testing.T) {
 	base := runtime.NumGoroutine()
-	s := New(Config{Workers: 4})
+	s, _ := New(Config{Workers: 4})
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

@@ -59,6 +59,7 @@ import (
 	"rlckit/internal/cache"
 	"rlckit/internal/cancel"
 	"rlckit/internal/faultinject"
+	"rlckit/internal/store"
 )
 
 // Config tunes a Server. The zero value serves with defaults.
@@ -90,14 +91,30 @@ type Config struct {
 	// DefaultMaxSessions); opening past the bound evicts the
 	// least-recently-used session.
 	MaxSessions int
+	// StoreDir, when non-empty, enables crash-safe persistence
+	// (internal/store) rooted at that directory: the response cache and
+	// certified reduced-model pencils are snapshotted there periodically
+	// and reloaded on the next New — before the caller opens a listener
+	// — and every session open/edit/close is journaled so live what-if
+	// sessions are rebuilt by replay. Empty disables persistence.
+	StoreDir string
+	// SnapshotInterval is the period of the background snapshot loop
+	// (default DefaultSnapshotInterval; negative disables the loop —
+	// a snapshot is still taken on Close). Ignored without StoreDir.
+	SnapshotInterval time.Duration
+	// JournalSync fsyncs the session journal on every append. Off, the
+	// journal still survives a process crash (the page cache persists);
+	// only a machine crash can lose the tail. Ignored without StoreDir.
+	JournalSync bool
 }
 
 // Serving defaults.
 const (
-	DefaultCacheEntries = 4096
-	DefaultMaxInFlight  = 256
-	DefaultSessionTTL   = 5 * time.Minute
-	DefaultMaxSessions  = 64
+	DefaultCacheEntries     = 4096
+	DefaultMaxInFlight      = 256
+	DefaultSessionTTL       = 5 * time.Minute
+	DefaultMaxSessions      = 64
+	DefaultSnapshotInterval = 30 * time.Second
 )
 
 // Stats is a point-in-time snapshot of the server's counters, exported
@@ -139,6 +156,21 @@ type Stats struct {
 	SessionsOpened  uint64 `json:"sessions_opened"`
 	SessionsEvicted uint64 `json:"sessions_evicted"`
 	SessionEdits    uint64 `json:"session_edits"`
+	// WarmHits counts cache hits served from entries recovered off disk
+	// (never recomputed this process); StoreRecovered counts records —
+	// cache entries, pencils, session journal records — successfully
+	// restored at boot; StoreDiscardedCorrupt counts records the store
+	// or the serving layer refused to restore (CRC failures, torn
+	// frames, stale versions, undecodable keys). A discarded record is
+	// recomputed on demand, never served.
+	WarmHits              uint64 `json:"warm_hits"`
+	StoreRecovered        uint64 `json:"store_recovered"`
+	StoreDiscardedCorrupt uint64 `json:"store_discarded_corrupt"`
+	// PencilHits and PencilBuilds count reduced-model pencil store
+	// lookups that hit vs fresh Arnoldi builds (a hit skips the build
+	// entirely; a fingerprint mismatch degrades to a build).
+	PencilHits   uint64 `json:"pencil_hits"`
+	PencilBuilds uint64 `json:"pencil_builds"`
 	// Cache is the response cache's hit/miss/eviction snapshot.
 	Cache cache.Stats `json:"cache"`
 }
@@ -146,10 +178,14 @@ type Stats struct {
 var endpointNames = [...]string{kindDelay: "delay", kindScreen: "screen", kindRepeaters: "repeaters", kindSweep: "sweep", kindTree: "tree", kindSession: "session", kindSessionEdit: "session_edit"}
 
 // cacheEntry is a stored response body plus its integrity checksum,
-// computed at store time and re-verified on every hit.
+// computed at store time and re-verified on every hit. warm marks an
+// entry recovered from the on-disk store rather than computed by this
+// process (the body bytes are identical either way — the warm-start
+// tests assert it).
 type cacheEntry struct {
 	body []byte
 	sum  uint64
+	warm bool
 }
 
 // cacheHashSeed keys the body checksums; per-process is enough (the
@@ -182,6 +218,20 @@ type Server struct {
 	morHits      atomic.Uint64
 	morFallbacks atomic.Uint64
 
+	// Persistence (persist.go). store is nil without Config.StoreDir;
+	// pencils is always live (in-memory reduced-model reuse works with
+	// or without a disk behind it). persistMu serializes every journal
+	// write and the snapshot/compaction cycle; it is never acquired
+	// while holding sessMu.
+	store          *store.Store
+	pencils        *pencilStore
+	persistMu      sync.Mutex
+	snapStop       chan struct{}
+	snapDone       chan struct{}
+	warmHits       atomic.Uint64
+	storeRecovered atomic.Uint64
+	storeDiscarded atomic.Uint64
+
 	// What-if session registry (session.go).
 	sessMu       sync.Mutex
 	sessions     map[string]*liveSession
@@ -191,9 +241,15 @@ type Server struct {
 	sessionEdits atomic.Uint64
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
-	s := &Server{cfg: cfg}
+// New builds a Server from cfg. With Config.StoreDir set it also opens
+// the crash-safe store, recovers the previous process's cache entries,
+// pencils and live sessions — all before returning, so by the time the
+// caller opens a listener every warm answer is already servable — and
+// starts the periodic snapshot loop. Recovery never fails the boot:
+// corrupt or stale records are counted and dropped (a truly unusable
+// store directory is the one error returned).
+func New(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, pencils: newPencilStore()}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	if cfg.CacheEntries >= 0 {
 		n := cfg.CacheEntries
@@ -224,7 +280,14 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"version\":%q}\n", rlckit.Version)
 	})
-	return s
+	if cfg.StoreDir != "" {
+		if err := s.openStore(); err != nil {
+			s.batch.close()
+			s.baseStop()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -240,7 +303,17 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.baseStop()
 		s.batch.close()
+		if s.store != nil {
+			// Stop the snapshot loop, then take a final snapshot while the
+			// sessions are still live so a graceful restart recovers them.
+			close(s.snapStop)
+			<-s.snapDone
+			_ = s.snapshotNow()
+		}
 		s.closeSessions()
+		if s.store != nil {
+			_ = s.store.Close()
+		}
 	})
 }
 
@@ -264,6 +337,15 @@ func (s *Server) Stats() Stats {
 	st.SessionsOpened = s.sessOpened.Load()
 	st.SessionsEvicted = s.sessEvicted.Load()
 	st.SessionEdits = s.sessionEdits.Load()
+	st.WarmHits = s.warmHits.Load()
+	st.StoreRecovered = s.storeRecovered.Load()
+	st.StoreDiscardedCorrupt = s.storeDiscarded.Load()
+	if s.store != nil {
+		sst := s.store.Stats()
+		st.StoreDiscardedCorrupt += uint64(sst.Corrupt + sst.Stale)
+	}
+	st.PencilHits = s.pencils.hits.Load()
+	st.PencilBuilds = s.pencils.builds.Load()
 	for k, name := range endpointNames {
 		st.Requests[name] = s.requests[k].Load()
 	}
@@ -405,10 +487,13 @@ func (s *Server) cached(key cacheKey) ([]byte, bool) {
 		s.poisoned.Add(1)
 		return nil, false
 	}
+	if e.warm {
+		s.warmHits.Add(1)
+	}
 	return e.body, true
 }
 
-func (s *Server) store(key cacheKey, body []byte) {
+func (s *Server) cachePut(key cacheKey, body []byte) {
 	if s.cache == nil {
 		return
 	}
@@ -454,7 +539,7 @@ func (s *Server) finish(w http.ResponseWriter, key cacheKey, resp any, store boo
 	}
 	body = append(body, '\n')
 	if store {
-		s.store(key, body)
+		s.cachePut(key, body)
 	}
 	s.writeJSON(w, body, false)
 }

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -75,11 +77,16 @@ type SessionCloseResponse struct {
 // maxSessionEdits bounds one edit batch.
 const maxSessionEdits = 4096
 
-// liveSession is one registry entry.
+// liveSession is one registry entry. seq is the numeric part of the
+// session ID (compaction orders the rewritten journal by it) and body
+// the original open request bytes — the journal's replay recipe is
+// "re-parse body, re-apply History()".
 type liveSession struct {
 	sess   *rlckit.Session
 	nodes  int
 	engine uint8 // default result engine, from the open request
+	seq    uint64
+	body   json.RawMessage
 	last   time.Time
 }
 
@@ -97,30 +104,35 @@ func (s *Server) maxSessions() int {
 	return s.cfg.MaxSessions
 }
 
-// sweepSessionsLocked evicts sessions idle past the TTL. Caller holds
-// sessMu.
-func (s *Server) sweepSessionsLocked(now time.Time) {
+// sweepSessionsLocked evicts sessions idle past the TTL, returning the
+// evicted IDs so the caller can journal their close records after
+// releasing sessMu (persistMu is never taken under sessMu). Caller
+// holds sessMu.
+func (s *Server) sweepSessionsLocked(now time.Time) []string {
 	ttl := s.sessionTTL()
 	if ttl < 0 {
-		return
+		return nil
 	}
+	var evicted []string
 	for id, ls := range s.sessions {
 		if now.Sub(ls.last) > ttl {
 			ls.sess.Close()
 			delete(s.sessions, id)
 			s.sessEvicted.Add(1)
+			evicted = append(evicted, id)
 		}
 	}
+	return evicted
 }
 
 // registerSession stores an opened session, evicting the
-// least-recently-used entry if the registry is full, and returns its
-// ID.
-func (s *Server) registerSession(sess *rlckit.Session, nodes int, engine uint8) string {
+// least-recently-used entry if the registry is full. It returns the
+// new ID plus any evicted IDs for the caller to journal.
+func (s *Server) registerSession(sess *rlckit.Session, nodes int, engine uint8, body json.RawMessage) (string, []string) {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	now := time.Now()
-	s.sweepSessionsLocked(now)
+	evicted := s.sweepSessionsLocked(now)
 	for len(s.sessions) >= s.maxSessions() {
 		oldID, oldest := "", now
 		for id, ls := range s.sessions {
@@ -131,26 +143,31 @@ func (s *Server) registerSession(sess *rlckit.Session, nodes int, engine uint8) 
 		s.sessions[oldID].sess.Close()
 		delete(s.sessions, oldID)
 		s.sessEvicted.Add(1)
+		evicted = append(evicted, oldID)
 	}
 	s.sessSeq++
 	id := fmt.Sprintf("s%d", s.sessSeq)
-	s.sessions[id] = &liveSession{sess: sess, nodes: nodes, engine: engine, last: now}
+	s.sessions[id] = &liveSession{
+		sess: sess, nodes: nodes, engine: engine,
+		seq: s.sessSeq, body: body, last: now,
+	}
 	s.sessOpened.Add(1)
-	return id
+	return id, evicted
 }
 
 // lookupSession returns the live session for id (touching its idle
-// clock), or nil if unknown or expired.
-func (s *Server) lookupSession(id string) *liveSession {
+// clock), or nil if unknown or expired, plus any IDs the TTL sweep
+// evicted on the way.
+func (s *Server) lookupSession(id string) (*liveSession, []string) {
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	now := time.Now()
-	s.sweepSessionsLocked(now)
+	evicted := s.sweepSessionsLocked(now)
 	ls := s.sessions[id]
 	if ls != nil {
 		ls.last = now
 	}
-	return ls
+	return ls, evicted
 }
 
 // dropSession removes id from the registry (an explicit close, not an
@@ -216,12 +233,21 @@ func (s *Server) sessionResult(ctx context.Context, sess *rlckit.Session, engine
 }
 
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
-	t, drv, key, err := parseTreeRequest(r.Body)
+	// The body is read whole before parsing: the journal persists the
+	// original bytes, and replaying them through this same decoder
+	// rebuilds the identical session (the decoder is a pure function of
+	// the body — FuzzServeRequest asserts it).
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := rlckit.OpenSession(t, drv, rlckit.TreeConfig{})
+	t, drv, key, err := parseTreeRequest(bytes.NewReader(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := rlckit.OpenSession(t, drv, rlckit.TreeConfig{Pencils: s.pencils})
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -234,35 +260,33 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		s.failCompute(w, err)
 		return
 	}
-	id := s.registerSession(sess, t.Len(), key.method)
+	id, evicted := s.registerSession(sess, t.Len(), key.method, body)
+	s.journalCloses(evicted)
+	s.journalAppend(journalRecord{Op: "open", ID: id, Body: body})
 	s.finishSession(w, SessionOpenResponse{SessionID: id, Nodes: t.Len(), Gen: 0, Result: raw})
 }
 
 func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	ls := s.lookupSession(id)
+	ls, evicted := s.lookupSession(id)
+	s.journalCloses(evicted)
 	if ls == nil {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", id))
 		return
 	}
-	var req SessionEditRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
+	req, err := parseSessionEditRequest(r.Body)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Edits) > maxSessionEdits {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("edit batch has %d edits, limit %d", len(req.Edits), maxSessionEdits))
 		return
 	}
 	engine := ls.engine
 	if req.Engine != "" {
-		var err error
 		if engine, err = parseTreeEngine(req.Engine); err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
-	if err := ls.sess.Apply(req.Edits); err != nil {
+	if err := s.applyAndJournal(id, ls, req.Edits); err != nil {
 		if errors.Is(err, session.ErrClosed) {
 			// Evicted between lookup and apply.
 			s.writeError(w, http.StatusNotFound, fmt.Errorf("session %q expired", id))
@@ -293,6 +317,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", id))
 		return
 	}
+	s.journalAppend(journalRecord{Op: "close", ID: id})
 	s.finishSession(w, SessionCloseResponse{SessionID: id, Closed: true})
 }
 

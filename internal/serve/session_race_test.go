@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSessionEvictionRacesEdits hammers a tiny session registry — a
+// 1 ms idle TTL and a capacity of four — with concurrent opens, edit
+// streams and deletes. The contract under that storm: an edit on a
+// session the sweeper or the LRU cap evicted mid-request answers a
+// clean 404, and a surviving edit answers a complete, well-formed 200
+// whose embedded result parses — never a torn response, never a 5xx.
+// Run under -race this also proves the registry's lock discipline
+// (sessMu vs the per-session lock vs persistMu) has no data races.
+func TestSessionEvictionRacesEdits(t *testing.T) {
+	s := newTestServer(t, Config{
+		SessionTTL:  time.Millisecond,
+		MaxSessions: 4,
+		MaxInFlight: -1,
+		StoreDir:    t.TempDir(), // journal the churn too: persistMu joins the race
+	})
+	const (
+		openers = 4
+		editors = 8
+		rounds  = 40
+	)
+	var wg, producers sync.WaitGroup
+	ids := make(chan string, openers*rounds)
+
+	for g := 0; g < openers; g++ {
+		wg.Add(1)
+		producers.Add(1)
+		go func() {
+			defer wg.Done()
+			defer producers.Done()
+			for i := 0; i < rounds; i++ {
+				rec := do(s.Handler(), "POST", "/v1/session", treeBody)
+				switch rec.Code {
+				case http.StatusOK:
+					var resp SessionOpenResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						t.Errorf("torn open response: %v: %s", err, rec.Body)
+						return
+					}
+					ids <- resp.SessionID
+				default:
+					t.Errorf("open: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < editors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("s%d", 1+(g*rounds+i)%(openers*rounds))
+				var rec = do(s.Handler(), "POST", "/v1/session/"+id+"/edit", sessionEditBatch)
+				switch rec.Code {
+				case http.StatusOK:
+					var resp SessionEditResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						t.Errorf("torn edit response: %v: %s", err, rec.Body)
+						return
+					}
+					if resp.SessionID != id || len(resp.Result) == 0 {
+						t.Errorf("edit answered for %q with id %q, result %d bytes", id, resp.SessionID, len(resp.Result))
+						return
+					}
+				case http.StatusNotFound:
+					// Evicted (TTL or LRU) or not yet opened: the clean miss.
+				default:
+					t.Errorf("edit: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				if i%8 == 0 {
+					// Let the TTL lapse so the sweeper actually fires mid-storm.
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	// A deleter races explicit closes against the sweeper; ids closes
+	// once the openers finish, so the range drains and exits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := range ids {
+			rec := do(s.Handler(), "DELETE", "/v1/session/"+id, "")
+			if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+				t.Errorf("delete: status %d: %s", rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+	go func() { producers.Wait(); close(ids) }()
+	wg.Wait()
+}

@@ -377,7 +377,7 @@ func TestSessionBypassesCache(t *testing.T) {
 // every live session; subsequent edits answer 503 shutdown (admission
 // is closed before the registry is consulted).
 func TestSessionsClosedOnServerClose(t *testing.T) {
-	s := New(Config{})
+	s, _ := New(Config{})
 	open := openSession(t, s, treeBody)
 	s.Close()
 	rec := do(s.Handler(), "POST", "/v1/session/"+open.SessionID+"/edit", sessionEditBatch)

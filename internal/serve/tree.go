@@ -210,7 +210,7 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 	// can afford (the requested one when it fits).
 	engine, reason := degradeTree(ctx, key.method, t.Len())
 	respond(s, w, ctx, key, func() (TreeResponse, bool, error) {
-		cfg := rlckit.TreeConfig{Ctx: ctx, Engine: treeEngineOf(engine)}
+		cfg := rlckit.TreeConfig{Ctx: ctx, Engine: treeEngineOf(engine), Pencils: s.pencils}
 		res, err := rlckit.AnalyzeTree(t, drv, cfg)
 		if err != nil {
 			return TreeResponse{}, true, err

@@ -1,0 +1,71 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rlckit/internal/rlctree"
+)
+
+// TestSessionHistoryReplay: History must return the applied batches in
+// order, and replaying them into a fresh Open must reproduce the
+// session's Result bit-for-bit — the contract the serving layer's
+// crash-recovery journal depends on.
+func TestSessionHistoryReplay(t *testing.T) {
+	tr, d := buildSmall(t)
+	cfg := rlctree.Config{}
+	s, err := Open(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		randomEdit(t, s, rng)
+	}
+	// A failed batch must not appear in the history.
+	if err := s.Apply([]Edit{{Op: "bogus"}}); err == nil {
+		t.Fatal("invalid edit accepted")
+	}
+	// An empty batch must not appear either.
+	if err := s.Apply(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	hist := s.History()
+	if len(hist) != 6 {
+		t.Fatalf("history has %d batches, want 6", len(hist))
+	}
+	// The returned copy must be isolated from the session.
+	hist[0][0].R = -1
+	if s.History()[0][0].R == -1 {
+		t.Fatal("History returned aliased storage")
+	}
+	hist = s.History()
+
+	replay, err := Open(tr, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	for i, batch := range hist {
+		if err := replay.Apply(batch); err != nil {
+			t.Fatalf("replaying batch %d: %v", i, err)
+		}
+	}
+	ctx := context.Background()
+	for _, eng := range []rlctree.Engine{rlctree.EngineClosed, rlctree.EngineMNA} {
+		want, err := s.Result(ctx, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := replay.Result(ctx, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, fmt.Sprint(eng), got, want)
+	}
+}

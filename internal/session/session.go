@@ -59,6 +59,7 @@ type Session struct {
 	mu        chan struct{} // 1-buffered mutex (acquired in lock)
 	inc       *rlctree.Incremental
 	gen       uint64
+	history   [][]Edit
 	cache     map[rlctree.Engine]cached
 	cacheHits int
 	closed    bool
@@ -158,8 +159,25 @@ func (s *Session) Apply(edits []Edit) error {
 	}
 	if len(edits) > 0 {
 		s.gen++
+		s.history = append(s.history, append([]Edit(nil), edits...))
 	}
 	return nil
+}
+
+// History returns a copy of every successfully applied edit batch, in
+// application order. Because a session is driven by its edit sequence
+// alone, Open with the same tree/drive/config followed by Apply of
+// each batch reproduces this session's state — and therefore its
+// Result bytes — exactly. This is the replay recipe the serving
+// layer's crash-recovery journal is built on.
+func (s *Session) History() [][]Edit {
+	s.lock()
+	defer s.unlock()
+	out := make([][]Edit, len(s.history))
+	for i, b := range s.history {
+		out[i] = append([]Edit(nil), b...)
+	}
+	return out
 }
 
 // Result reads the per-sink delay table of the current state with the

@@ -1,0 +1,32 @@
+// Package store is rlckitd's crash-safe on-disk persistence layer.
+//
+// It has two halves, both designed so that a kill -9 (or power cut) at
+// any byte boundary leaves the daemon able to restart and never serve
+// a corrupt result:
+//
+//   - A snapshot store: a single checksummed, versioned file holding
+//     namespaced key/value records (serve uses it for response-cache
+//     entries and certified MOR pencils). Snapshots are written to a
+//     temp file, fsynced, and atomically renamed into place, so the
+//     previous snapshot survives any crash mid-write. Every record
+//     carries a CRC32; corrupt or torn records are discarded with a
+//     counter on load, never returned to the caller.
+//
+//   - An append-only journal: length-prefixed, CRC-framed payloads
+//     (serve logs session opens and applied edit batches). Open scans
+//     the journal, truncates any torn tail back to the last good
+//     frame, and replays the clean prefix. RewriteJournal compacts it
+//     with the same temp-file + rename discipline.
+//
+// Both files start with a magic string, the store's own format
+// version, and a caller-supplied schema version; a mismatch in either
+// discards the whole file as stale rather than misinterpreting old
+// bytes. The store never repairs data — it only detects, counts, and
+// drops what it cannot prove intact, because a wrong answer from a
+// warm start is strictly worse than a cold compute.
+//
+// Under the faultinject build tag the writers carry failpoints for
+// injected write errors, short (torn) writes, and fsync failures, plus
+// crash sites that SIGKILL the process mid-write; internal/chaos's
+// crash harness drives a real rlckitd child through each of them.
+package store

@@ -1,0 +1,173 @@
+//go:build faultinject
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rlckit/internal/faultinject"
+)
+
+// These tests drive the store's rate-based failpoints (write error,
+// short write, fsync error). The crash sites are exercised end-to-end
+// against a real rlckitd child by internal/chaos's crash harness.
+
+func TestJournalShortWriteRollsBack(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Append([]byte("good")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	faultinject.Configure(faultinject.Config{
+		Rates: map[string]float64{faultinject.SiteStoreShort: 1},
+	})
+	if err := s.Append([]byte("torn-by-full-disk")); err == nil {
+		t.Fatal("short write reported success")
+	}
+	faultinject.Reset()
+
+	// The torn frame was rolled back: the journal is clean and appends
+	// continue from the last good frame.
+	if err := s.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after rollback: %v", err)
+	}
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"good", "after"}) {
+		t.Fatalf("replay = %q, want torn frame absent", got)
+	}
+}
+
+func TestJournalWriteErrorInjected(t *testing.T) {
+	defer faultinject.Reset()
+	s, err := Open(t.TempDir(), Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	faultinject.Configure(faultinject.Config{
+		Rates: map[string]float64{faultinject.SiteStoreWrite: 1},
+	})
+	err = s.Append([]byte("doomed"))
+	if !faultinject.IsFault(err) {
+		t.Fatalf("Append = %v, want injected fault", err)
+	}
+	faultinject.Reset()
+	if got := replayAll(t, s); len(got) != 0 {
+		t.Fatalf("failed append left frames: %q", got)
+	}
+}
+
+func TestJournalSyncErrorKeepsFrames(t *testing.T) {
+	defer faultinject.Reset()
+	s, err := Open(t.TempDir(), Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Append([]byte("frame")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	faultinject.Configure(faultinject.Config{
+		Rates: map[string]float64{faultinject.SiteStoreSync: 1},
+	})
+	if err := s.Sync(); !faultinject.IsFault(err) {
+		t.Fatalf("Sync = %v, want injected fault", err)
+	}
+	faultinject.Reset()
+	// Durability degraded, correctness preserved: the frame is intact.
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"frame"}) {
+		t.Fatalf("replay = %q", got)
+	}
+}
+
+func TestSnapshotShortWriteKeepsPrevious(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	writeSnapshot(t, s, []rec{{1, "k", "v"}})
+
+	faultinject.Configure(faultinject.Config{
+		Rates: map[string]float64{faultinject.SiteStoreShort: 1},
+	})
+	w, err := s.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if err := w.Add(1, []byte("new"), []byte("new")); err == nil {
+		t.Fatal("short snapshot write reported success")
+	}
+	faultinject.Reset()
+
+	if got := loadAll(t, s); len(got) != 1 || got[0].key != "k" {
+		t.Fatalf("loaded %+v, want the previous snapshot intact", got)
+	}
+}
+
+func TestSnapshotCommitSyncErrorKeepsPrevious(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	writeSnapshot(t, s, []rec{{1, "k", "v"}})
+
+	w, err := s.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if err := w.Add(1, []byte("new"), []byte("new")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	faultinject.Configure(faultinject.Config{
+		Rates: map[string]float64{faultinject.SiteStoreSync: 1},
+	})
+	err = w.Commit()
+	faultinject.Reset()
+	if !errors.Is(err, faultinject.ErrFault) {
+		t.Fatalf("Commit = %v, want injected fault", err)
+	}
+	if got := loadAll(t, s); len(got) != 1 || got[0].key != "k" {
+		t.Fatalf("loaded %+v, want the previous snapshot intact", got)
+	}
+}
+
+func TestRewriteWriteErrorKeepsOldJournal(t *testing.T) {
+	defer faultinject.Reset()
+	s, err := Open(t.TempDir(), Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for _, p := range []string{"a", "b", "c"} {
+		if err := s.Append([]byte(p)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	faultinject.Configure(faultinject.Config{
+		Rates: map[string]float64{faultinject.SiteStoreWrite: 1},
+	})
+	err = s.RewriteJournal([][]byte{[]byte("compact")})
+	faultinject.Reset()
+	if !faultinject.IsFault(err) {
+		t.Fatalf("RewriteJournal = %v, want injected fault", err)
+	}
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"a", "b", "c"}) {
+		t.Fatalf("replay = %q, want old journal untouched", got)
+	}
+}

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rlckit/internal/faultinject"
+)
+
+// A journal frame is [len u32][payload][crc u32], crc32-IEEE over the
+// payload. Appends go through a tracked offset: a failed or short
+// append truncates the file back to the last good frame immediately,
+// and a crash mid-append is healed by the torn-tail scan on the next
+// Open. Frames after the first bad one are unreachable by construction,
+// which is exactly the prefix-durability a write-ahead log promises.
+
+// openJournal opens or creates the journal, validates its header,
+// scans its frames, and truncates any torn tail so joff points just
+// past the last provably-intact frame.
+func (s *Store) openJournal() error {
+	path := filepath.Join(s.dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.journal = f
+
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	reset := false
+	if size == 0 {
+		reset = true
+	} else {
+		hdr := make([]byte, headerLen)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			s.stats.Corrupt++
+			reset = true
+		} else if ok, stale := s.checkHeader(hdr, journalMagic); !ok {
+			if stale {
+				s.stats.Stale++
+			} else {
+				s.stats.Corrupt++
+			}
+			reset = true
+		}
+	}
+	if reset {
+		if err := f.Truncate(0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.WriteAt(s.header(journalMagic), 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.joff = headerLen
+		return nil
+	}
+
+	good := s.scanJournal(f, size)
+	if good < size {
+		// Torn tail from a crash mid-append: roll back to the last good
+		// frame so new appends continue a clean prefix.
+		s.stats.Corrupt++
+		if err := f.Truncate(good); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.joff = good
+	return nil
+}
+
+// scanJournal walks frames from the header to the first bad one,
+// returning the offset just past the last good frame.
+func (s *Store) scanJournal(f *os.File, size int64) int64 {
+	r := bufio.NewReaderSize(io.NewSectionReader(f, headerLen, size-headerLen), 1<<16)
+	good := int64(headerLen)
+	var pre [4]byte
+	for {
+		if _, err := io.ReadFull(r, pre[:]); err != nil {
+			return good
+		}
+		n := le.Uint32(pre[:])
+		if n > maxFrameLen {
+			return good
+		}
+		body := make([]byte, n+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return good
+		}
+		if crc32.ChecksumIEEE(body[:n]) != le.Uint32(body[n:]) {
+			return good
+		}
+		good += int64(4 + len(body))
+	}
+}
+
+// Append writes one frame to the journal. Under Options.Sync it is
+// fsynced before returning; otherwise it is durable against process
+// death immediately and against power loss at the next sync. A failed
+// append leaves the journal exactly as it was.
+func (s *Store) Append(payload []byte) error {
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("store: journal frame too large (%d bytes)", len(payload))
+	}
+	frame := make([]byte, 0, 4+len(payload)+4)
+	frame = le.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = le.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := faultinject.Inject(faultinject.SiteStoreWrite); err != nil {
+		return err
+	}
+	if faultinject.Active && faultinject.Crashpoint(faultinject.SiteCrashJournal) {
+		// Power cut mid-frame: leave a torn prefix on disk and die. The
+		// next Open must truncate it away.
+		s.journal.WriteAt(frame[:len(frame)/2], s.joff)
+		faultinject.KillSelf()
+	}
+	n := len(frame)
+	if faultinject.Active && faultinject.Corrupt(faultinject.SiteStoreShort) {
+		n = len(frame) / 2
+	}
+	if _, err := s.journal.WriteAt(frame[:n], s.joff); err != nil || n < len(frame) {
+		// Torn append: roll the file back to the last good frame so the
+		// journal never carries an unreadable middle.
+		s.journal.Truncate(s.joff)
+		if err == nil {
+			err = fmt.Errorf("store: short journal write (%d of %d bytes)", n, len(frame))
+		}
+		return err
+	}
+	s.joff += int64(len(frame))
+	if s.opts.Sync {
+		return s.syncJournalLocked()
+	}
+	return nil
+}
+
+// Sync forces the journal to disk; use it as the periodic durability
+// point when Options.Sync is off. An fsync failure degrades durability
+// only — every acknowledged frame is still intact in the page cache.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncJournalLocked()
+}
+
+func (s *Store) syncJournalLocked() error {
+	if err := faultinject.Inject(faultinject.SiteStoreSync); err != nil {
+		return err
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// ReplayJournal streams every intact frame, in append order, to fn.
+// Open already truncated any torn tail, but frames are re-verified and
+// replay stops at the first bad one regardless. fn returning an error
+// aborts the replay.
+func (s *Store) ReplayJournal(fn func(payload []byte) error) error {
+	s.mu.Lock()
+	f, end := s.journal, s.joff
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+
+	r := bufio.NewReaderSize(io.NewSectionReader(f, headerLen, end-headerLen), 1<<16)
+	var pre [4]byte
+	for {
+		if _, err := io.ReadFull(r, pre[:]); err != nil {
+			return nil
+		}
+		n := le.Uint32(pre[:])
+		if n > maxFrameLen {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		body := make([]byte, n+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		if crc32.ChecksumIEEE(body[:n]) != le.Uint32(body[n:]) {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		s.count(func(st *Stats) { st.Recovered++ })
+		if err := fn(body[:n]); err != nil {
+			return err
+		}
+	}
+}
+
+// RewriteJournal atomically replaces the journal's contents with the
+// given payloads (compaction): a fresh file is written, fsynced, and
+// renamed over the old one, so a crash at any point leaves either the
+// old journal or the new one — never a mix.
+func (s *Store) RewriteJournal(payloads [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+
+	f, err := os.CreateTemp(s.dir, "journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(s.header(journalMagic)); err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	off := int64(headerLen)
+	for i, p := range payloads {
+		if len(p) > maxFrameLen {
+			return fail(fmt.Errorf("store: journal frame too large (%d bytes)", len(p)))
+		}
+		if err := faultinject.Inject(faultinject.SiteStoreWrite); err != nil {
+			return fail(err)
+		}
+		if faultinject.Active && i == len(payloads)/2 &&
+			faultinject.Crashpoint(faultinject.SiteCrashRewrite) {
+			// Die mid-compaction: the half-written temp file must be
+			// swept on restart and the old journal recovered intact.
+			w.Flush()
+			faultinject.KillSelf()
+		}
+		frame := make([]byte, 0, 4+len(p)+4)
+		frame = le.AppendUint32(frame, uint32(len(p)))
+		frame = append(frame, p...)
+		frame = le.AppendUint32(frame, crc32.ChecksumIEEE(p))
+		if _, err := w.Write(frame); err != nil {
+			return fail(fmt.Errorf("store: %w", err))
+		}
+		off += int64(len(frame))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	if err := faultinject.Inject(faultinject.SiteStoreSync); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(f.Name(), filepath.Join(s.dir, journalName)); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	// Swap the open handle to the installed file.
+	nf, err := os.OpenFile(filepath.Join(s.dir, journalName), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.journal.Close()
+	s.journal = nf
+	s.joff = off
+	return nil
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rlckit/internal/faultinject"
+)
+
+// A snapshot record is [ns u8][klen u32][vlen u32][key][val][crc u32],
+// crc32-IEEE over everything before it. The file is only ever replaced
+// atomically, so a record can be torn only by bit rot or a crashed
+// pre-rename temp file (which Open removes) — but LoadSnapshot still
+// verifies every record and skips what it cannot prove intact.
+
+// SnapshotWriter accumulates one snapshot in a temp file; Commit
+// atomically installs it, Abort discards it. Exactly one of the two
+// must be called. A SnapshotWriter is not safe for concurrent use.
+type SnapshotWriter struct {
+	s    *Store
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	done bool
+}
+
+// BeginSnapshot starts a new snapshot. The previous snapshot, if any,
+// stays installed and untouched until Commit's rename.
+func (s *Store) BeginSnapshot() (*SnapshotWriter, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	f, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(s.header(snapshotMagic)); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &SnapshotWriter{s: s, f: f, w: w, path: f.Name()}, nil
+}
+
+// Add appends one record. On error the snapshot is already aborted and
+// the writer must not be used further.
+func (w *SnapshotWriter) Add(ns uint8, key, val []byte) error {
+	if w.done {
+		return ErrClosed
+	}
+	if len(key) > maxKeyLen || len(val) > maxValLen {
+		w.Abort()
+		return fmt.Errorf("store: snapshot record too large (key %d, val %d bytes)", len(key), len(val))
+	}
+	rec := make([]byte, 0, 1+4+4+len(key)+len(val)+4)
+	rec = append(rec, ns)
+	rec = le.AppendUint32(rec, uint32(len(key)))
+	rec = le.AppendUint32(rec, uint32(len(val)))
+	rec = append(rec, key...)
+	rec = append(rec, val...)
+	rec = le.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+
+	if err := faultinject.Inject(faultinject.SiteStoreWrite); err != nil {
+		w.Abort()
+		return err
+	}
+	if faultinject.Active && faultinject.Crashpoint(faultinject.SiteCrashSnapshot) {
+		// Power cut mid-record: flush a torn prefix into the temp file,
+		// then die. The installed snapshot must survive untouched.
+		w.w.Write(rec[:len(rec)/2])
+		w.w.Flush()
+		faultinject.KillSelf()
+	}
+	n := len(rec)
+	if faultinject.Active && faultinject.Corrupt(faultinject.SiteStoreShort) {
+		n = len(rec) / 2
+	}
+	if _, err := w.w.Write(rec[:n]); err != nil || n < len(rec) {
+		w.Abort()
+		if err == nil {
+			err = fmt.Errorf("store: short snapshot write (%d of %d bytes)", n, len(rec))
+		}
+		return err
+	}
+	return nil
+}
+
+// Commit flushes, fsyncs, and atomically renames the snapshot into
+// place, then fsyncs the directory entry.
+func (w *SnapshotWriter) Commit() error {
+	if w.done {
+		return ErrClosed
+	}
+	w.done = true
+	if err := w.w.Flush(); err != nil {
+		w.discard()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := faultinject.Inject(faultinject.SiteStoreSync); err != nil {
+		w.discard()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.discard()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.path)
+		return fmt.Errorf("store: %w", err)
+	}
+	if faultinject.Active && faultinject.Crashpoint(faultinject.SiteCrashRename) {
+		// Die with the temp file complete but never installed: the old
+		// snapshot must still be the one recovered from.
+		faultinject.KillSelf()
+	}
+	if err := os.Rename(w.path, filepath.Join(w.s.dir, snapshotName)); err != nil {
+		os.Remove(w.path)
+		return fmt.Errorf("store: %w", err)
+	}
+	return w.s.syncDir()
+}
+
+// Abort discards the in-progress snapshot, leaving the previous one
+// installed.
+func (w *SnapshotWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.discard()
+}
+
+func (w *SnapshotWriter) discard() {
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// LoadSnapshot streams every intact record of the installed snapshot
+// to fn. A missing snapshot is not an error. A stale or unrecognizable
+// file is dropped wholesale; a record that fails its CRC is skipped
+// (both counted in Stats), and a record whose structure cannot be
+// trusted ends the load — nothing corrupt is ever surfaced.
+func (s *Store) LoadSnapshot(fn func(ns uint8, key, val []byte)) error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		s.count(func(st *Stats) { st.Corrupt++ })
+		return nil
+	}
+	ok, stale := s.checkHeader(hdr, snapshotMagic)
+	if !ok {
+		s.count(func(st *Stats) {
+			if stale {
+				st.Stale++
+			} else {
+				st.Corrupt++
+			}
+		})
+		return nil
+	}
+
+	pre := make([]byte, 1+4+4)
+	for {
+		if _, err := io.ReadFull(r, pre[:1]); err == io.EOF {
+			return nil
+		} else if err != nil {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		if _, err := io.ReadFull(r, pre[1:]); err != nil {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		klen, vlen := le.Uint32(pre[1:]), le.Uint32(pre[5:])
+		if klen > maxKeyLen || vlen > maxValLen {
+			// The length fields themselves are suspect; the rest of the
+			// file cannot be framed reliably.
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		body := make([]byte, klen+vlen+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return nil
+		}
+		sum := crc32.ChecksumIEEE(pre)
+		sum = crc32.Update(sum, crc32.IEEETable, body[:klen+vlen])
+		if sum != le.Uint32(body[klen+vlen:]) {
+			// The lengths framed a full record, so the stream stays in
+			// sync: skip just this record.
+			s.count(func(st *Stats) { st.Corrupt++ })
+			continue
+		}
+		s.count(func(st *Stats) { st.Recovered++ })
+		fn(pre[0], body[:klen], body[klen:klen+vlen])
+	}
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

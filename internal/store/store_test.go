@@ -1,0 +1,457 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	ns       uint8
+	key, val string
+}
+
+func writeSnapshot(t *testing.T, s *Store, recs []rec) {
+	t.Helper()
+	w, err := s.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Add(r.ns, []byte(r.key), []byte(r.val)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func loadAll(t *testing.T, s *Store) []rec {
+	t.Helper()
+	var got []rec
+	if err := s.LoadSnapshot(func(ns uint8, key, val []byte) {
+		got = append(got, rec{ns, string(key), string(val)})
+	}); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	return got
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	recs := []rec{
+		{1, "keyA", "value-a"},
+		{1, "keyB", ""},
+		{2, "", "pencil-bytes\x00\xff"},
+		{2, "big", string(bytes.Repeat([]byte{0xaa}, 100_000))},
+	}
+	writeSnapshot(t, s, recs)
+
+	got := loadAll(t, s)
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, rec{got[i].ns, got[i].key, got[i].val[:min(8, len(got[i].val))]}, recs[i])
+		}
+	}
+	st := s.Stats()
+	if st.Recovered != len(recs) || st.Corrupt != 0 || st.Stale != 0 {
+		t.Fatalf("stats = %+v, want Recovered=%d", st, len(recs))
+	}
+
+	// Overwriting with a second snapshot fully replaces the first.
+	writeSnapshot(t, s, recs[:1])
+	if got := loadAll(t, s); len(got) != 1 || got[0] != recs[0] {
+		t.Fatalf("after overwrite loaded %+v, want just %+v", got, recs[0])
+	}
+}
+
+func TestSnapshotMissingIsEmpty(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if got := loadAll(t, s); len(got) != 0 {
+		t.Fatalf("loaded %d records from missing snapshot", len(got))
+	}
+}
+
+func TestSnapshotAbortKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	writeSnapshot(t, s, []rec{{1, "k", "v"}})
+	w, err := s.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if err := w.Add(1, []byte("other"), []byte("other")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	w.Abort()
+
+	if got := loadAll(t, s); len(got) != 1 || got[0].key != "k" {
+		t.Fatalf("after abort loaded %+v, want the original snapshot", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("abort left temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSnapshotCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	recs := []rec{{1, "aaaa", "first"}, {1, "bbbb", "second"}, {1, "cccc", "third"}}
+	writeSnapshot(t, s, recs)
+	s.Close()
+
+	// Flip one byte inside the second record's value. Record layout:
+	// [ns][klen u32][vlen u32][key][val][crc], so record i of key/val
+	// length 4/k starts after header + i*(1+4+4+4+len(val)+4).
+	path := filepath.Join(dir, snapshotName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := headerLen + (1 + 4 + 4 + 4 + len("first") + 4) + (1 + 4 + 4 + 4) // first byte of "second"
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	got := loadAll(t, s)
+	if len(got) != 2 || got[0].key != "aaaa" || got[1].key != "cccc" {
+		t.Fatalf("loaded %+v, want records 1 and 3 only", got)
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Recovered != 2 {
+		t.Fatalf("stats = %+v, want Corrupt=1 Recovered=2", st)
+	}
+}
+
+func TestSnapshotInsaneLengthStopsLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	writeSnapshot(t, s, []rec{{1, "good", "good"}, {1, "bad", "bad"}})
+	s.Close()
+
+	// Blow up the second record's vlen field: framing is untrustworthy
+	// from there on, so the load must keep record 1 and stop.
+	path := filepath.Join(dir, snapshotName)
+	raw, _ := os.ReadFile(path)
+	off := headerLen + (1 + 4 + 4 + 4 + 4 + 4) + 1 + 4
+	binary.LittleEndian.PutUint32(raw[off:], 1<<30)
+	os.WriteFile(path, raw, 0o644)
+
+	s, err = Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	got := loadAll(t, s)
+	if len(got) != 1 || got[0].key != "good" {
+		t.Fatalf("loaded %+v, want just the first record", got)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+}
+
+func TestSnapshotStaleVersionDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	writeSnapshot(t, s, []rec{{1, "k", "v"}})
+	s.Close()
+
+	s, err = Open(dir, Options{Version: 2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := loadAll(t, s); len(got) != 0 {
+		t.Fatalf("stale snapshot surfaced records: %+v", got)
+	}
+	// One stale file from the snapshot, one from the journal header.
+	if st := s.Stats(); st.Stale != 2 {
+		t.Fatalf("stats = %+v, want Stale=2", st)
+	}
+}
+
+func replayAll(t *testing.T, s *Store) []string {
+	t.Helper()
+	var got []string
+	if err := s.ReplayJournal(func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayJournal: %v", err)
+	}
+	return got
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1, Sync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := []string{"open s1", "", "edit s1 batch1", "edit s1 batch2"}
+	for _, p := range want {
+		if err := s.Append([]byte(p)); err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+	}
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay in same process = %q, want %q", got, want)
+	}
+	s.Close()
+
+	s, err = Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay after reopen = %q, want %q", got, want)
+	}
+	if err := s.Append([]byte("post-reopen")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if got := replayAll(t, s); got[len(got)-1] != "post-reopen" {
+		t.Fatalf("appended frame missing from replay: %q", got)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, p := range []string{"one", "two"} {
+		if err := s.Append([]byte(p)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a frame header promising 64 bytes
+	// with only a few bytes of payload behind it.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := binary.LittleEndian.AppendUint32(nil, 64)
+	torn = append(torn, "part"...)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	s, err = Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"one", "two"}) {
+		t.Fatalf("replay = %q, want the two intact frames", got)
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Recovered != 2 {
+		t.Fatalf("stats = %+v, want Corrupt=1 Recovered=2", st)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// New appends land on the clean prefix.
+	if err := s.Append([]byte("three")); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"one", "two", "three"}) {
+		t.Fatalf("replay after repair+append = %q", got)
+	}
+}
+
+func TestJournalCorruptFrameCutsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, p := range []string{"aaaa", "bbbb", "cccc"} {
+		if err := s.Append([]byte(p)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.Close()
+
+	// Bit-flip inside the second frame's payload: everything from that
+	// frame on is untrusted (a WAL's prefix property).
+	path := filepath.Join(dir, journalName)
+	raw, _ := os.ReadFile(path)
+	raw[headerLen+(4+4+4)+4] ^= 1
+	os.WriteFile(path, raw, 0o644)
+
+	s, err = Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"aaaa"}) {
+		t.Fatalf("replay = %q, want only the frame before the corruption", got)
+	}
+}
+
+func TestJournalStaleVersionReset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Append([]byte("old-schema")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+
+	s, err = Open(dir, Options{Version: 9})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := replayAll(t, s); len(got) != 0 {
+		t.Fatalf("stale journal replayed frames: %q", got)
+	}
+	if st := s.Stats(); st.Stale != 1 {
+		t.Fatalf("stats = %+v, want Stale=1", st)
+	}
+	if err := s.Append([]byte("new-schema")); err != nil {
+		t.Fatalf("Append after reset: %v", err)
+	}
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"new-schema"}) {
+		t.Fatalf("replay = %q", got)
+	}
+}
+
+func TestRewriteJournalCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("frame%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.RewriteJournal([][]byte{[]byte("kept1"), []byte("kept2")}); err != nil {
+		t.Fatalf("RewriteJournal: %v", err)
+	}
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"kept1", "kept2"}) {
+		t.Fatalf("replay after rewrite = %q", got)
+	}
+	if err := s.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after rewrite: %v", err)
+	}
+	s.Close()
+
+	s, err = Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := replayAll(t, s); fmt.Sprint(got) != fmt.Sprint([]string{"kept1", "kept2", "after"}) {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+func TestOpenRemovesLeftoverTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"snapshot-123.tmp", "journal-456.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("crashed"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("leftover temp %s survived Open", e.Name())
+		}
+	}
+}
+
+func TestOpenUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(filepath.Join(dir, "store"), Options{}); err == nil {
+		t.Fatal("Open of unwritable dir succeeded")
+	}
+}
+
+func TestClosedStoreRejectsUse(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Version: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := s.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append on closed store = %v, want ErrClosed", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed store = %v, want ErrClosed", err)
+	}
+	if _, err := s.BeginSnapshot(); err != ErrClosed {
+		t.Fatalf("BeginSnapshot on closed store = %v, want ErrClosed", err)
+	}
+}
